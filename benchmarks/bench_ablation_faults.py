@@ -1,0 +1,106 @@
+"""Ablation: significance-aware execution on unreliable hardware.
+
+Paper section 6 names "approximate computing on top of ultra low-power
+but unreliable hardware" as future work; :mod:`repro.faults` implements
+the scenario (silent omission faults on relaxed-reliability cores,
+ERSA-style protection for significant tasks).  This bench sweeps the
+fault rate on the Sobel workload and quantifies the protection
+trade-off: output quality recovered versus re-execution time paid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultModel, faulty_scheduler
+from repro.kernels.sobel import SobelBenchmark
+from repro.quality.metrics import psnr
+from repro.runtime.policies import SignificanceAgnostic
+
+from conftest import SMALL, WORKERS
+
+
+def run_sobel_faulty(fault_rate: float, protect_threshold: float):
+    bench = SobelBenchmark(small=SMALL)
+    img = bench.build_input()
+    reference = bench.run_reference(img)
+    model = FaultModel.split_machine(
+        WORKERS, unreliable_fraction=0.5, fault_rate=fault_rate, seed=11
+    )
+    rt = faulty_scheduler(
+        SignificanceAgnostic(),
+        n_workers=WORKERS,
+        fault_model=model,
+        protect_threshold=protect_threshold,
+    )
+    out = bench.run_tasks(rt, img, 1.0)
+    report = rt.finish()
+    return psnr(reference, out), report, rt.engine.fault_log
+
+
+@pytest.mark.parametrize("fault_rate", [0.0, 0.02, 0.05, 0.10],
+                         ids=lambda r: f"p={r}")
+def test_ablation_fault_rate_unprotected(benchmark, fault_rate):
+    """Silent faults degrade quality monotonically with the rate."""
+    benchmark.group = "ablation-faults"
+    quality, report, log = benchmark.pedantic(
+        run_sobel_faulty,
+        args=(fault_rate, 1.1 if False else 1.0),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        psnr_db=(None if quality == float("inf") else quality),
+        silent_faults=log.silent,
+        makespan_s=report.makespan_s,
+    )
+    if fault_rate == 0.0:
+        assert quality == float("inf")
+    else:
+        assert log.silent > 0
+        assert quality > 10.0  # rows lost, but the image survives
+
+
+def test_ablation_protection_recovers_quality(benchmark):
+    """Full protection removes all silent faults at a time premium."""
+    benchmark.group = "ablation-faults"
+
+    def run():
+        unprot = run_sobel_faulty(0.10, protect_threshold=1.0)
+        prot = run_sobel_faulty(0.10, protect_threshold=0.0)
+        return unprot, prot
+
+    (q_u, rep_u, log_u), (q_p, rep_p, log_p) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        unprotected_psnr=q_u,
+        protected_psnr=("inf" if q_p == float("inf") else q_p),
+        recovery_time_premium=rep_p.makespan_s / rep_u.makespan_s,
+    )
+    assert log_p.silent == 0 and q_p == float("inf")
+    assert log_u.silent > 0 and q_u < float("inf")
+    assert rep_p.makespan_s > rep_u.makespan_s  # protection is not free
+
+
+def test_ablation_threshold_sweep(benchmark):
+    """Raising the protection threshold trades quality for time."""
+    benchmark.group = "ablation-faults"
+
+    def sweep():
+        return [
+            run_sobel_faulty(0.10, thr)[0:2]
+            for thr in (0.0, 0.5, 1.0)
+        ]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    qualities = [q for q, _ in rows]
+    busy = [r.energy.busy_s for _, r in rows]
+    # More protection -> at least as good quality, at least as much
+    # re-execution work.  (Total busy time is the robust monotone
+    # quantity; the makespan itself is subject to Graham-style
+    # scheduling anomalies when individual task durations change.)
+    finite = [q if q != float("inf") else 1e9 for q in qualities]
+    assert finite[0] >= finite[1] >= finite[2]
+    assert busy[0] >= busy[1] >= busy[2]

@@ -1,0 +1,69 @@
+"""Figures 1 and 3: the Sobel quadrant mosaics.
+
+Figure 1 shows the output under no/Mild/Medium/Aggressive significance-
+driven approximation; Figure 3 under 0/20/70/100 % blind loop
+perforation.  The assertion encodes the paper's visual claim: at every
+matching aggressiveness level, perforation is strictly worse than
+significance-driven approximation ("the cost of doing so is
+unacceptable output quality", section 4.2).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.harness.figures import (
+    fig1_sobel_approximation,
+    fig3_sobel_perforation,
+)
+
+from conftest import SMALL, WORKERS
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def test_fig1_sobel_approximation_quadrants(benchmark):
+    benchmark.group = "fig1"
+    OUT_DIR.mkdir(exist_ok=True)
+    fig = benchmark.pedantic(
+        fig1_sobel_approximation,
+        kwargs=dict(
+            small=SMALL,
+            n_workers=WORKERS,
+            out_path=OUT_DIR / "fig1_sobel_approx.pgm",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        psnr_db={
+            lbl: p for lbl, p in zip(fig.labels, fig.psnr_db)
+        }
+    )
+    assert fig.psnr_db[0] == float("inf")  # accurate quadrant exact
+    assert all(p > 8.0 for p in fig.psnr_db[1:])  # graceful
+
+
+def test_fig3_sobel_perforation_quadrants(benchmark):
+    benchmark.group = "fig3"
+    OUT_DIR.mkdir(exist_ok=True)
+    fig3 = benchmark.pedantic(
+        fig3_sobel_perforation,
+        kwargs=dict(
+            small=SMALL,
+            n_workers=WORKERS,
+            out_path=OUT_DIR / "fig3_sobel_perforation.pgm",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    fig1 = fig1_sobel_approximation(small=SMALL, n_workers=WORKERS)
+    benchmark.extra_info.update(
+        psnr_db={
+            lbl: p for lbl, p in zip(fig3.labels, fig3.psnr_db)
+        }
+    )
+    # Quadrant-for-quadrant: 20% perforation vs Mild (20% approx),
+    # 70% vs Medium, 100% vs Aggressive — perforation always loses.
+    for q in (1, 2, 3):
+        assert fig3.psnr_db[q] < fig1.psnr_db[q]

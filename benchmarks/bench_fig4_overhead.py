@@ -1,0 +1,44 @@
+"""Figure 4: runtime overhead of the significance-aware code paths.
+
+Every benchmark runs with all tasks accurate (ratio 1.0 equivalents)
+under each policy and is normalized to the significance-agnostic
+runtime.  The paper reports "negligible overhead ... in the order of 7%
+in the worst case (DCT under the GTB Max Buffer policy)".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.figures import POLICY_MODES, fig4_overhead
+
+from conftest import SMALL, WORKERS
+
+#: Full-size tolerance: the paper's worst case is ~1.07; small-size
+#: workloads are spawn-dominated, so the bound is loose there.
+MAX_OVERHEAD = 1.60 if SMALL else 1.15
+
+
+def test_fig4_policy_overhead(benchmark):
+    benchmark.group = "fig4"
+    data = benchmark.pedantic(
+        fig4_overhead,
+        kwargs=dict(small=SMALL, n_workers=WORKERS),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        normalized={
+            f"{b}/{m.split(':')[1]}": round(v, 4)
+            for (b, m), v in data.normalized.items()
+        }
+    )
+    for b in data.benchmarks:
+        for mode in POLICY_MODES:
+            v = data.normalized[(b, mode)]
+            assert v < MAX_OVERHEAD, (b, mode, v)
+    # Windowed GTB and LQH stay within a few percent everywhere.
+    if not SMALL:
+        for b in data.benchmarks:
+            assert data.normalized[(b, "policy:lqh")] < 1.05
+            assert data.normalized[(b, "policy:gtb")] < 1.08

@@ -1,0 +1,57 @@
+"""Shared plumbing for the benchmark harness.
+
+Every file regenerates one table or figure of the paper (see DESIGN.md
+section 4).  Benchmarks run the *full-size* workloads by default — set
+``REPRO_BENCH_SMALL=1`` to use the shrunken test workloads instead.
+
+Measurements use ``benchmark.pedantic(rounds=1)``: each experiment cell
+is itself a complete simulated execution whose *virtual* makespan and
+energy are the quantities of interest; the host wall time reported by
+pytest-benchmark is only a convenience.  The paper-facing numbers
+(virtual time, Joules, quality) are attached to ``benchmark.extra_info``
+so ``--benchmark-json`` exports carry them.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness.experiment import CellResult, ExperimentCell, run_cell
+
+SMALL = bool(int(os.environ.get("REPRO_BENCH_SMALL", "0")))
+WORKERS = 16  # the paper's testbed width
+
+
+def measure_cell(benchmark, cell: ExperimentCell) -> CellResult:
+    """Run one experiment cell under pytest-benchmark bookkeeping."""
+    result = benchmark.pedantic(
+        run_cell, args=(cell,), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        cell=cell.describe(),
+        virtual_makespan_s=result.makespan_s,
+        energy_j=result.energy_j,
+        quality_metric=result.quality.metric,
+        quality_value=result.quality.value,
+        accurate=result.report.accurate_tasks,
+        approximate=result.report.approximate_tasks,
+        dropped=result.report.dropped_tasks,
+    )
+    return result
+
+
+@pytest.fixture(scope="session")
+def accurate_reference():
+    """Accurate-run results per benchmark, shared across bench files."""
+    cache: dict[str, CellResult] = {}
+
+    def get(name: str) -> CellResult:
+        if name not in cache:
+            cache[name] = run_cell(
+                ExperimentCell(name, "accurate", None, WORKERS, SMALL)
+            )
+        return cache[name]
+
+    return get

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""SPH fluid simulation with alternating accurate/approximate steps.
+
+Reproduces the paper's Fluidanimate usage pattern: timesteps alternate
+between fully accurate SPH and ballistic extrapolation by flipping the
+taskwait ratio between 1.0 and 0.0 — "achieved in a trivial manner, by
+alternating the parameter of the ratio clause" (section 4.2).  The
+example sweeps the accurate-step period and prints how the fluid's
+error and the energy bill respond, illustrating why only the mild
+degree is usable: SPH integrates errors, so sparse accurate steps lose
+the physics.
+
+Run:  python examples/fluid_simulation.py
+"""
+
+import numpy as np
+
+from repro import Runtime
+from repro.kernels.fluidanimate import FluidanimateBenchmark
+from repro.runtime.policies import LocalQueueHistory
+
+
+def main() -> None:
+    bench = FluidanimateBenchmark(small=True)
+    state0 = bench.build_input()
+    reference = bench.run_reference(state0)
+
+    print(
+        f"{'accurate steps':>15} {'period':>7} {'pos err %':>10} "
+        f"{'energy (J)':>11} {'vs accurate':>11}"
+    )
+    base_energy = None
+    for fraction in (1.0, 0.5, 0.25, 0.125):
+        rt = Runtime(policy=LocalQueueHistory(), n_workers=16)
+        out = bench.run_tasks(rt, state0, fraction)
+        rep = rt.finish()
+        if base_energy is None:
+            base_energy = rep.energy_j
+        err = bench.quality(reference, out).value
+        print(
+            f"{fraction:15.3f} {max(1, round(1 / fraction)):7d} "
+            f"{err:10.4f} {rep.energy_j:11.5f} "
+            f"{rep.energy_j / base_energy:10.1%}"
+        )
+
+    # Sanity: the fluid stayed in the box and didn't blow up.
+    assert np.all(out.pos >= 0.0) and np.all(out.pos <= 1.0)
+    print(
+        "\nNote the steep error growth: Fluidanimate 'is so sensitive "
+        "to errors that only the mild degree of approximation leads to "
+        "acceptable results' (paper, section 4.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The pragma front-end: Listing 1 of the paper, in Python.
+
+``@pragma_compile`` recompiles a function whose body contains
+``#pragma omp task`` / ``#pragma omp taskwait`` comments into runtime
+calls — the same lowering the paper's SCOOP-based source-to-source
+compiler performs for C.  The undecorated behaviour (``.original``)
+treats the pragmas as plain comments and runs serially, exactly like
+compiling the C file without the pragma-aware compiler.
+
+Run:  python examples/pragma_compile_demo.py
+"""
+
+import numpy as np
+
+from repro import Runtime
+from repro.compiler import lower_source, pragma_compile
+from repro.kernels.sobel import (
+    sobel_reference,
+    sobel_row_accurate,
+    sobel_row_approx,
+)
+from repro.quality.images import synthetic_image
+from repro.quality.metrics import psnr
+from repro.runtime.policies import gtb_max_buffer
+
+
+@pragma_compile
+def sobel_listing1(img, res):
+    """The paper's Listing 1, transliterated."""
+    height = img.shape[0]
+    for i in range(1, height - 1):
+        #pragma omp task label(sobel) in(img) significant((i % 9 + 1) / 10.0) approxfun(sobel_row_approx)
+        sobel_row_accurate(res, img, i)
+    #pragma omp taskwait label(sobel) ratio(0.35)
+
+
+SNIPPET = '''
+for i in range(1, h - 1):
+    #pragma omp task label(sobel) in(img) significant((i % 9 + 1) / 10.0) approxfun(appr)
+    body(res, img, i)
+#pragma omp taskwait label(sobel) ratio(0.35)
+'''
+
+
+def main() -> None:
+    import ast
+
+    print("--- what the compiler generates for a Listing-1 loop ---")
+    print(ast.unparse(lower_source(SNIPPET)))
+    print()
+
+    img = synthetic_image(128, 128)
+    res = np.zeros_like(img)
+    with Runtime(policy=gtb_max_buffer(), n_workers=16) as rt:
+        sobel_listing1(img, res)
+    rep = rt.report
+    g = rep.groups["sobel"]
+    print(
+        f"compiled run : {g.spawned} tasks, "
+        f"{g.accurate}/{g.spawned} accurate "
+        f"(requested >= 35%), PSNR "
+        f"{psnr(sobel_reference(img), res):.2f} dB"
+    )
+
+    res_serial = np.zeros_like(img)
+    sobel_listing1.original(img, res_serial)
+    exact = np.array_equal(res_serial, sobel_reference(img))
+    print(f"serial run   : pragmas ignored, bit-exact accurate = {exact}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy shim: lets `pip install -e . --no-use-pep517` work on hosts
+without the `wheel` package (metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

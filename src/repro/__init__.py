@@ -1,0 +1,88 @@
+"""repro — significance-aware energy-efficient task computing.
+
+A production-quality Python reproduction of *"A Programming Model and
+Runtime System for Significance-Aware Energy-Efficient Computing"*
+(Vassiliadis et al., PPoPP 2015).
+
+Quickstart::
+
+    from repro import Runtime, sig_task, taskwait, TaskCost
+    from repro.runtime.policies import GlobalTaskBuffering
+
+    @sig_task(label="work", approxfun=lambda x: x, cost=TaskCost(1e6, 1e5))
+    def heavy(x):
+        return x * x
+
+    with Runtime(policy=GlobalTaskBuffering(16), n_workers=16) as rt:
+        rt.init_group("work", ratio=0.5)
+        for i in range(100):
+            heavy(i, significance=(i % 9 + 1) / 10)
+        taskwait(label="work")
+    print(rt.report.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured reproduction results.
+"""
+
+from .api import (
+    DataRef,
+    Runtime,
+    TaskCost,
+    TaskFunction,
+    current_runtime,
+    has_runtime,
+    ref,
+    refs,
+    sig_task,
+    taskwait,
+)
+from .energy import XEON_E5_2650, EnergyReport, MachineModel
+from .runtime import (
+    ExecutionKind,
+    ReproError,
+    RunReport,
+    Scheduler,
+    Task,
+)
+from .runtime.policies import (
+    GlobalTaskBuffering,
+    LocalQueueHistory,
+    OraclePolicy,
+    SignificanceAgnostic,
+    gtb_max_buffer,
+    make_policy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # programming model
+    "Runtime",
+    "sig_task",
+    "TaskFunction",
+    "taskwait",
+    "current_runtime",
+    "has_runtime",
+    "ref",
+    "refs",
+    "DataRef",
+    "TaskCost",
+    # runtime
+    "Scheduler",
+    "Task",
+    "ExecutionKind",
+    "RunReport",
+    "ReproError",
+    # policies
+    "GlobalTaskBuffering",
+    "gtb_max_buffer",
+    "LocalQueueHistory",
+    "SignificanceAgnostic",
+    "OraclePolicy",
+    "make_policy",
+    # energy
+    "MachineModel",
+    "XEON_E5_2650",
+    "EnergyReport",
+]

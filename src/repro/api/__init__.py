@@ -1,0 +1,29 @@
+"""Programming model: the decorator/context form of the paper's pragmas.
+
+=====================================  =================================
+Paper construct                        API equivalent
+=====================================  =================================
+``#pragma omp task significant(e)``    ``@sig_task(significance=...)`` /
+``approxfun(g) label(L) in(a) out(b)`` call-site keyword overrides
+``#pragma omp taskwait label/on/ratio`` :func:`taskwait`
+``tpc_init_group``                     :meth:`Runtime.init_group`
+runtime instance                       ``with Runtime(...) as rt:``
+=====================================  =================================
+"""
+
+from ..runtime.task import DataRef, TaskCost, ref, refs
+from .context import Runtime, current_runtime, has_runtime, taskwait
+from .task import TaskFunction, sig_task
+
+__all__ = [
+    "Runtime",
+    "current_runtime",
+    "has_runtime",
+    "taskwait",
+    "sig_task",
+    "TaskFunction",
+    "ref",
+    "refs",
+    "DataRef",
+    "TaskCost",
+]

@@ -1,0 +1,85 @@
+"""Runtime context: which scheduler do pragma-style calls target?
+
+The paper's pragmas are lowered to runtime calls against an ambient
+runtime instance.  In Python we reproduce that ambience with a
+context-local "current runtime": a :class:`Runtime` (context manager)
+registers itself on entry, and module-level operations like
+:func:`taskwait` or decorated task calls resolve it implicitly.
+
+``contextvars`` (not a plain global) keeps nested runtimes and
+thread/async contexts well-defined.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from typing import Any
+
+from ..runtime.errors import SchedulerError
+from ..runtime.scheduler import Scheduler
+from ..runtime.stats import RunReport
+
+__all__ = ["Runtime", "current_runtime", "has_runtime", "taskwait"]
+
+_current: contextvars.ContextVar["Runtime | None"] = contextvars.ContextVar(
+    "repro_current_runtime", default=None
+)
+
+
+class Runtime(Scheduler):
+    """A scheduler that installs itself as the ambient runtime.
+
+    >>> with Runtime(policy=LocalQueueHistory(), n_workers=16) as rt:
+    ...     rt.init_group("sobel", ratio=0.35)
+    ...     for i in range(1, h - 1):
+    ...         sobel_row(res, img, i, significance=(i % 9 + 1) / 10)
+    ...     taskwait(label="sobel")
+    >>> rt.report.energy_j
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._token: contextvars.Token | None = None
+        self.report: RunReport | None = None
+
+    def __enter__(self) -> "Runtime":
+        self._token = _current.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            if exc_type is None:
+                self.report = self.finish()
+        finally:
+            if self._token is not None:
+                _current.reset(self._token)
+                self._token = None
+
+
+def current_runtime() -> Runtime:
+    """The innermost active :class:`Runtime`; raises when absent."""
+    rt = _current.get()
+    if rt is None:
+        raise SchedulerError(
+            "no active Runtime: task calls and taskwait() must run "
+            "inside a `with Runtime(...)` block"
+        )
+    return rt
+
+
+def has_runtime() -> bool:
+    """True when a :class:`Runtime` context is active."""
+    return _current.get() is not None
+
+
+def taskwait(
+    label: str | None = None,
+    on: Any | None = None,
+    ratio: float | None = None,
+) -> float:
+    """``#pragma omp taskwait [label(...)] [on(...)] [ratio(...)]``.
+
+    Operates on the ambient runtime; see
+    :meth:`repro.runtime.scheduler.Scheduler.taskwait`.
+    """
+    return current_runtime().taskwait(label=label, on=on, ratio=ratio)

@@ -1,0 +1,146 @@
+"""``@sig_task`` — the decorator form of ``#pragma omp task``.
+
+The paper annotates a call site::
+
+    #pragma omp task label(sobel) in(img) out(res) \
+            significant((i%9 + 1)/10.0) approxfun(sbl_task_appr)
+    sbl_task(res, img, i);
+
+The decorator equivalent attaches the static clauses to the function and
+lets the dynamic ones (``significant`` is an *expression* over the call
+arguments) be supplied either per call or as clause callables evaluated
+against the call arguments::
+
+    @sig_task(label="sobel",
+              approxfun=sbl_task_appr,
+              significance=lambda res, img, i: (i % 9 + 1) / 10.0,
+              in_=lambda res, img, i: [img],
+              out=lambda res, img, i: [ref(res, region=i)])
+    def sbl_task(res, img, i): ...
+
+    sbl_task(res, img, i)                       # spawns a task
+    sbl_task(res, img, i, significance=0.9)     # per-call override
+    sbl_task.plain(res, img, i)                 # bypass: direct call
+
+Calling a decorated function with no active :class:`Runtime` executes
+the accurate body directly — annotated code degrades gracefully to
+ordinary Python, the same way pragma-annotated C compiles to serial code
+when the pragmas are ignored.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Iterable
+
+from ..runtime.task import Task, TaskCost
+from .context import current_runtime, has_runtime
+
+__all__ = ["sig_task", "TaskFunction"]
+
+#: Keywords reserved for clause overrides at call sites.
+_CLAUSE_KEYS = ("significance", "in_", "out", "cost", "label", "approxfun")
+
+
+def _evaluate(clause: Any, args: tuple, kwargs: dict) -> Any:
+    """Resolve a clause: callables are evaluated over the call args."""
+    if callable(clause) and not isinstance(clause, TaskCost):
+        return clause(*args, **kwargs)
+    return clause
+
+
+class TaskFunction:
+    """A function annotated with task clauses; calling it spawns a task."""
+
+    def __init__(
+        self,
+        fn: Callable[..., Any],
+        *,
+        significance: float | Callable[..., float] = 1.0,
+        approxfun: Callable[..., Any] | None = None,
+        label: str | None = None,
+        in_: Iterable | Callable[..., Iterable] = (),
+        out: Iterable | Callable[..., Iterable] = (),
+        cost: TaskCost | Callable[..., TaskCost] | None = None,
+    ) -> None:
+        functools.update_wrapper(self, fn)
+        self.fn = fn
+        self.clauses = dict(
+            significance=significance,
+            approxfun=approxfun,
+            label=label,
+            in_=in_,
+            out=out,
+            cost=cost,
+        )
+
+    # ------------------------------------------------------------------
+    def __call__(self, *args: Any, **kwargs: Any) -> Task | Any:
+        """Spawn the task in the ambient runtime (or run directly)."""
+        overrides = {
+            k: kwargs.pop(k) for k in _CLAUSE_KEYS if k in kwargs
+        }
+        if not has_runtime():
+            return self.fn(*args, **kwargs)
+        merged = {**self.clauses, **overrides}
+        return current_runtime().spawn(
+            self.fn,
+            *args,
+            significance=_evaluate(merged["significance"], args, kwargs),
+            approxfun=merged["approxfun"],
+            label=merged["label"],
+            in_=tuple(_evaluate(merged["in_"], args, kwargs)),
+            out=tuple(_evaluate(merged["out"], args, kwargs)),
+            cost=_evaluate(merged["cost"], args, kwargs),
+            **kwargs,
+        )
+
+    def plain(self, *args: Any, **kwargs: Any) -> Any:
+        """Run the accurate body directly, never spawning."""
+        return self.fn(*args, **kwargs)
+
+    def approx(self, *args: Any, **kwargs: Any) -> Any:
+        """Run the approximate body directly (for testing/examples)."""
+        approxfun = self.clauses["approxfun"]
+        if approxfun is None:
+            return None
+        return approxfun(*args, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<TaskFunction {getattr(self.fn, '__name__', '?')} "
+            f"label={self.clauses['label']!r}>"
+        )
+
+
+def sig_task(
+    fn: Callable[..., Any] | None = None,
+    *,
+    significance: float | Callable[..., float] = 1.0,
+    approxfun: Callable[..., Any] | None = None,
+    label: str | None = None,
+    in_: Iterable | Callable[..., Iterable] = (),
+    out: Iterable | Callable[..., Iterable] = (),
+    cost: TaskCost | Callable[..., TaskCost] | None = None,
+) -> Any:
+    """Decorator: mark a function as a significance-annotated task body.
+
+    May be used bare (``@sig_task``) or with clauses
+    (``@sig_task(label=..., approxfun=...)``); see the module docstring
+    for clause semantics.
+    """
+
+    def wrap(f: Callable[..., Any]) -> TaskFunction:
+        return TaskFunction(
+            f,
+            significance=significance,
+            approxfun=approxfun,
+            label=label,
+            in_=in_,
+            out=out,
+            cost=cost,
+        )
+
+    if fn is not None:
+        return wrap(fn)
+    return wrap

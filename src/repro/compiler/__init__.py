@@ -1,0 +1,35 @@
+"""Pragma front-end: the SCOOP source-to-source compiler substitute.
+
+Parses ``#pragma omp task`` / ``#pragma omp taskwait`` directives
+embedded as comments in Python source and lowers them to runtime calls
+(paper section 2, Listings 1-3).
+"""
+
+from .directives import (
+    TaskDirective,
+    TaskwaitDirective,
+    validate_expression,
+)
+from .lowering import (
+    PragmaLowerer,
+    compile_pragmas,
+    lower_source,
+    pragma_compile,
+    preprocess_source,
+)
+from .parser import is_pragma, parse_directive, scan_pragmas, split_arguments
+
+__all__ = [
+    "TaskDirective",
+    "TaskwaitDirective",
+    "validate_expression",
+    "is_pragma",
+    "parse_directive",
+    "scan_pragmas",
+    "split_arguments",
+    "preprocess_source",
+    "PragmaLowerer",
+    "lower_source",
+    "compile_pragmas",
+    "pragma_compile",
+]

@@ -1,0 +1,88 @@
+"""Directive AST for the pragma front-end.
+
+The paper's programming model consists of exactly two directives
+(Listings 2 and 3)::
+
+    #pragma omp task [significant(expr)] [approxfun(function)]
+                     [label(...)] [in(...)] [out(...)]
+
+    #pragma omp taskwait [on(...)] [label(...)] [ratio(...)]
+
+This module defines their parsed representation.  Clause argument
+expressions are kept as *source strings* (validated to parse as Python
+expressions); the lowering stage splices them into the generated
+runtime calls so they evaluate in the enclosing scope with the
+enclosing variables — the same semantics the C pragmas have.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..runtime.errors import DirectiveSyntaxError
+
+__all__ = [
+    "TaskDirective",
+    "TaskwaitDirective",
+    "Directive",
+    "validate_expression",
+]
+
+#: Clauses accepted by each directive (paper grammar + the ``cost``
+#: extension used to annotate analytic work).
+TASK_CLAUSES = ("significant", "approxfun", "label", "in", "out", "cost")
+TASKWAIT_CLAUSES = ("on", "label", "ratio")
+
+
+def validate_expression(expr: str, line: int | None = None) -> str:
+    """Ensure a clause argument is a valid Python expression."""
+    try:
+        ast.parse(expr, mode="eval")
+    except SyntaxError as e:
+        raise DirectiveSyntaxError(
+            f"invalid clause expression {expr!r}: {e.msg}", line
+        ) from e
+    return expr
+
+
+@dataclass
+class TaskDirective:
+    """A parsed ``#pragma omp task`` directive."""
+
+    line: int
+    significant: str | None = None
+    approxfun: str | None = None
+    label: str | None = None
+    ins: list[str] = field(default_factory=list)
+    outs: list[str] = field(default_factory=list)
+    cost: str | None = None
+
+    kind = "task"
+
+    def validate(self) -> "TaskDirective":
+        for e in filter(None, [self.significant, self.approxfun, self.cost]):
+            validate_expression(e, self.line)
+        for e in self.ins + self.outs:
+            validate_expression(e, self.line)
+        return self
+
+
+@dataclass
+class TaskwaitDirective:
+    """A parsed ``#pragma omp taskwait`` directive."""
+
+    line: int
+    on: str | None = None
+    label: str | None = None
+    ratio: str | None = None
+
+    kind = "taskwait"
+
+    def validate(self) -> "TaskwaitDirective":
+        for e in filter(None, [self.on, self.ratio]):
+            validate_expression(e, self.line)
+        return self
+
+
+Directive = TaskDirective | TaskwaitDirective

@@ -1,0 +1,319 @@
+"""Lowering: rewrite pragma-annotated Python into runtime calls.
+
+This is the reproduction of the paper's source-to-source compiler
+(SCOOP [Zakkak 2012]): "It recognizes the pragmas introduced by the
+programmer and lowers them to corresponding calls of the runtime
+system" (section 2).
+
+Pipeline:
+
+1. **Preprocess** (:func:`preprocess_source`): every pragma comment line
+   is replaced *in place* (same line count, so tracebacks stay aligned)
+   by a marker call — ``__repro_pragma__(<directive-index>)`` — because
+   comments do not survive ``ast.parse``.
+2. **Transform** (:class:`PragmaLowerer`): an AST pass replaces each
+   marker according to its directive:
+
+   * ``task`` markers fuse with the *next* sibling statement, which must
+     be a plain call ``f(args...)`` (the task body invocation, as in
+     Listing 1), producing
+     ``__repro_spawn__(f, args..., significance=..., approxfun=...,
+     label=..., in_=(...), out=(...), cost=...)``;
+   * ``taskwait`` markers become
+     ``__repro_taskwait__(label=..., on=..., ratio=...)``.
+
+3. **Compile/exec** with the two helpers injected; they resolve the
+   ambient :class:`repro.api.Runtime` at call time, exactly like the
+   lowered C calls resolve the linked runtime.
+
+The user-facing entry point is the :func:`pragma_compile` decorator.
+"""
+
+from __future__ import annotations
+
+import ast
+import functools
+import inspect
+import textwrap
+from typing import Any, Callable
+
+from ..api.context import current_runtime
+from ..runtime.errors import LoweringError
+from .directives import Directive, TaskDirective, TaskwaitDirective
+from .parser import is_pragma, parse_directive
+
+__all__ = [
+    "preprocess_source",
+    "PragmaLowerer",
+    "lower_source",
+    "compile_pragmas",
+    "pragma_compile",
+]
+
+_MARKER = "__repro_pragma__"
+_SPAWN = "__repro_spawn__"
+_TASKWAIT = "__repro_taskwait__"
+
+
+def preprocess_source(source: str) -> tuple[str, list[Directive]]:
+    """Replace pragma comments with marker calls; collect directives.
+
+    Pragma line continuations (trailing backslash) are folded into the
+    directive; the continuation lines become ``pass``-equivalent blank
+    markers (kept blank to preserve line numbering).
+    """
+    lines = source.splitlines()
+    directives: list[Directive] = []
+    out_lines = list(lines)
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        if is_pragma(line):
+            start = i
+            text = line
+            blank: list[int] = []
+            while text.rstrip().endswith("\\") and i + 1 < len(lines):
+                i += 1
+                cont = lines[i].lstrip()
+                text = text.rstrip()[:-1] + " " + cont.lstrip("#").strip()
+                blank.append(i)
+            directive = parse_directive(text, line=start + 1)
+            directives.append(directive)
+            indent = line[: len(line) - len(line.lstrip())]
+            out_lines[start] = (
+                f"{indent}{_MARKER}({len(directives) - 1})"
+            )
+            for b in blank:
+                out_lines[b] = ""
+        i += 1
+    return "\n".join(out_lines), directives
+
+
+def _expr(src: str, line: int) -> ast.expr:
+    """Parse a clause expression string into an AST expression node."""
+    try:
+        node = ast.parse(src, mode="eval").body
+    except SyntaxError as e:  # pragma: no cover - validated earlier
+        raise LoweringError(
+            f"clause expression {src!r} failed to parse: {e}"
+        ) from e
+    for sub in ast.walk(node):
+        sub.lineno = line
+        sub.col_offset = 0
+        sub.end_lineno = line
+        sub.end_col_offset = 0
+    return node
+
+
+class PragmaLowerer(ast.NodeTransformer):
+    """AST pass fusing pragma markers with their annotated statements."""
+
+    def __init__(self, directives: list[Directive]) -> None:
+        self.directives = directives
+
+    # Every statement-list owner goes through _rewrite_block.
+    def _rewrite_block(self, body: list[ast.stmt]) -> list[ast.stmt]:
+        out: list[ast.stmt] = []
+        i = 0
+        while i < len(body):
+            stmt = body[i]
+            idx = self._marker_index(stmt)
+            if idx is None:
+                out.append(self.visit(stmt))
+                i += 1
+                continue
+            directive = self.directives[idx]
+            if isinstance(directive, TaskwaitDirective):
+                out.append(self._lower_taskwait(directive, stmt))
+                i += 1
+            else:
+                if i + 1 >= len(body):
+                    raise LoweringError(
+                        f"'#pragma omp task' at line {directive.line} is "
+                        "not followed by a statement"
+                    )
+                target = body[i + 1]
+                out.append(self._lower_task(directive, target))
+                i += 2
+        return out
+
+    @staticmethod
+    def _marker_index(stmt: ast.stmt) -> int | None:
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Call)
+            and isinstance(stmt.value.func, ast.Name)
+            and stmt.value.func.id == _MARKER
+        ):
+            arg = stmt.value.args[0]
+            assert isinstance(arg, ast.Constant)
+            return int(arg.value)
+        return None
+
+    # -- directive lowerings -------------------------------------------
+    def _lower_task(
+        self, d: TaskDirective, target: ast.stmt
+    ) -> ast.stmt:
+        if not (
+            isinstance(target, ast.Expr)
+            and isinstance(target.value, ast.Call)
+        ):
+            raise LoweringError(
+                f"'#pragma omp task' at line {d.line} must annotate a "
+                "plain call statement (the task body invocation), got "
+                f"{ast.dump(target)[:60]}..."
+            )
+        call = target.value
+        line = target.lineno
+        kw: list[ast.keyword] = []
+        if d.significant is not None:
+            kw.append(
+                ast.keyword("significance", _expr(d.significant, line))
+            )
+        if d.approxfun is not None:
+            kw.append(ast.keyword("approxfun", _expr(d.approxfun, line)))
+        if d.label is not None:
+            kw.append(ast.keyword("label", ast.Constant(d.label)))
+        if d.ins:
+            kw.append(
+                ast.keyword(
+                    "in_",
+                    ast.Tuple(
+                        [_expr(e, line) for e in d.ins], ast.Load()
+                    ),
+                )
+            )
+        if d.outs:
+            kw.append(
+                ast.keyword(
+                    "out",
+                    ast.Tuple(
+                        [_expr(e, line) for e in d.outs], ast.Load()
+                    ),
+                )
+            )
+        if d.cost is not None:
+            kw.append(ast.keyword("cost", _expr(d.cost, line)))
+        spawn = ast.Call(
+            func=ast.Name(_SPAWN, ast.Load()),
+            args=[call.func, *call.args],
+            keywords=[*call.keywords, *kw],
+        )
+        new = ast.Expr(spawn)
+        ast.copy_location(new, target)
+        ast.fix_missing_locations(new)
+        return new
+
+    def _lower_taskwait(
+        self, d: TaskwaitDirective, marker: ast.stmt
+    ) -> ast.stmt:
+        line = marker.lineno
+        kw: list[ast.keyword] = []
+        if d.label is not None:
+            kw.append(ast.keyword("label", ast.Constant(d.label)))
+        if d.on is not None:
+            kw.append(ast.keyword("on", _expr(d.on, line)))
+        if d.ratio is not None:
+            kw.append(ast.keyword("ratio", _expr(d.ratio, line)))
+        call = ast.Call(
+            func=ast.Name(_TASKWAIT, ast.Load()), args=[], keywords=kw
+        )
+        new = ast.Expr(call)
+        ast.copy_location(new, marker)
+        ast.fix_missing_locations(new)
+        return new
+
+    # -- plumb _rewrite_block through all block-bearing nodes ----------
+    def generic_visit(self, node: ast.AST) -> ast.AST:
+        for field in ("body", "orelse", "finalbody"):
+            block = getattr(node, field, None)
+            if isinstance(block, list) and block and isinstance(
+                block[0], ast.stmt
+            ):
+                setattr(node, field, self._rewrite_block(block))
+        for field, value in ast.iter_fields(node):
+            if field in ("body", "orelse", "finalbody"):
+                continue
+            if isinstance(value, list):
+                for item in value:
+                    if isinstance(item, ast.AST):
+                        self.visit(item)
+            elif isinstance(value, ast.AST):
+                self.visit(value)
+        return node
+
+
+def lower_source(source: str, filename: str = "<pragma>") -> ast.Module:
+    """Full front-end: pragma scan + parse + AST lowering."""
+    processed, directives = preprocess_source(textwrap.dedent(source))
+    tree = ast.parse(processed, filename=filename)
+    PragmaLowerer(directives).visit(tree)
+    ast.fix_missing_locations(tree)
+    return tree
+
+
+def _spawn_helper(fn: Callable, *args: Any, **kwargs: Any):
+    """Injected as ``__repro_spawn__``: spawn on the ambient runtime."""
+    return current_runtime().spawn(fn, *args, **kwargs)
+
+
+def _taskwait_helper(**kwargs: Any):
+    """Injected as ``__repro_taskwait__``."""
+    return current_runtime().taskwait(**kwargs)
+
+
+def compile_pragmas(
+    source: str,
+    globals_: dict | None = None,
+    filename: str = "<pragma>",
+) -> dict:
+    """Compile pragma-annotated module source; return its namespace."""
+    tree = lower_source(source, filename)
+    ns: dict = {} if globals_ is None else dict(globals_)
+    ns[_SPAWN] = _spawn_helper
+    ns[_TASKWAIT] = _taskwait_helper
+    exec(compile(tree, filename, "exec"), ns)  # noqa: S102 - by design
+    return ns
+
+
+def pragma_compile(fn: Callable) -> Callable:
+    """Decorator: recompile a function whose body contains pragmas.
+
+    >>> @pragma_compile
+    ... def program(img, res):
+    ...     for i in range(1, img.shape[0] - 1):
+    ...         #pragma omp task label(sobel) in(img) \
+    ...                 significant((i%9+1)/10.0) approxfun(row_approx)
+    ...         row_accurate(res, img, i)
+    ...     #pragma omp taskwait label(sobel) ratio(0.35)
+
+    The rewritten function spawns tasks on the ambient
+    :class:`repro.api.Runtime`.  The original (pragmas-as-comments,
+    i.e. serial) behaviour remains available as ``program.original``.
+    """
+    try:
+        source = inspect.getsource(fn)
+    except (OSError, TypeError) as e:
+        raise LoweringError(
+            f"cannot fetch source of {fn!r} (defined interactively?)"
+        ) from e
+    source = textwrap.dedent(source)
+    # Drop decorator lines so exec doesn't recurse into pragma_compile.
+    lines = source.splitlines()
+    start = 0
+    while start < len(lines) and not lines[start].lstrip().startswith(
+        ("def ", "async def ")
+    ):
+        start += 1
+    if start == len(lines):
+        raise LoweringError(f"no function definition found in {fn!r}")
+    body_src = "\n".join(lines[start:])
+    ns = compile_pragmas(
+        body_src,
+        globals_=fn.__globals__,
+        filename=f"<pragma:{getattr(fn, '__name__', '?')}>",
+    )
+    new_fn = ns[fn.__name__]
+    functools.update_wrapper(new_fn, fn)
+    new_fn.original = fn  # type: ignore[attr-defined]
+    return new_fn

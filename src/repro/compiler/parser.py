@@ -1,0 +1,221 @@
+"""Parser for ``#pragma omp`` directive comments.
+
+A directive is a Python comment of the form::
+
+    #pragma omp task significant((i%9+1)/10.0) approxfun(appr) \
+        label(sobel) in(img) out(ref(res, region=i))
+
+Clause arguments are balanced-parenthesis Python expressions, so the
+parser cannot just split on whitespace; it scans clause keywords and
+extracts each argument by bracket counting (respecting string literals).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..runtime.errors import DirectiveSyntaxError
+from .directives import (
+    TASK_CLAUSES,
+    TASKWAIT_CLAUSES,
+    Directive,
+    TaskDirective,
+    TaskwaitDirective,
+)
+
+__all__ = ["is_pragma", "parse_directive", "scan_pragmas", "split_arguments"]
+
+#: A pragma comment: '#' optionally followed by spaces, then 'pragma omp'.
+_PRAGMA_RE = re.compile(r"^\s*#\s*pragma\s+omp\b(?P<rest>.*)$")
+
+
+def is_pragma(line: str) -> bool:
+    """Does this source line hold a ``#pragma omp`` directive?"""
+    return _PRAGMA_RE.match(line) is not None
+
+
+def _extract_parenthesized(text: str, start: int, line: int) -> tuple[str, int]:
+    """Return the balanced ``(...)`` body starting at ``text[start]``."""
+    if start >= len(text) or text[start] != "(":
+        raise DirectiveSyntaxError(
+            f"expected '(' after clause keyword near {text[start:start+20]!r}",
+            line,
+        )
+    depth = 0
+    in_str: str | None = None
+    for i in range(start, len(text)):
+        ch = text[i]
+        if in_str is not None:
+            if ch == in_str and text[i - 1] != "\\":
+                in_str = None
+            continue
+        if ch in "'\"":
+            in_str = ch
+        elif ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth == 0:
+                return text[start + 1 : i], i + 1
+    raise DirectiveSyntaxError(
+        f"unbalanced parentheses in clause near {text[start:start+30]!r}",
+        line,
+    )
+
+
+def split_arguments(body: str, line: int | None = None) -> list[str]:
+    """Split a clause body on top-level commas (``in(a, b)`` -> 2 args)."""
+    args: list[str] = []
+    depth = 0
+    in_str: str | None = None
+    current: list[str] = []
+    for i, ch in enumerate(body):
+        if in_str is not None:
+            current.append(ch)
+            if ch == in_str and (i == 0 or body[i - 1] != "\\"):
+                in_str = None
+            continue
+        if ch in "'\"":
+            in_str = ch
+            current.append(ch)
+        elif ch in "([{":
+            depth += 1
+            current.append(ch)
+        elif ch in ")]}":
+            depth -= 1
+            if depth < 0:
+                raise DirectiveSyntaxError(
+                    f"unbalanced brackets in clause body {body!r}", line
+                )
+            current.append(ch)
+        elif ch == "," and depth == 0:
+            args.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        args.append(tail)
+    return [a for a in args if a]
+
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def _parse_clauses(
+    rest: str, allowed: tuple[str, ...], line: int
+) -> dict[str, str]:
+    """Scan ``keyword(...)`` clauses from the directive tail."""
+    out: dict[str, str] = {}
+    i = 0
+    n = len(rest)
+    while i < n:
+        if rest[i].isspace():
+            i += 1
+            continue
+        m = _IDENT_RE.match(rest, i)
+        if not m:
+            raise DirectiveSyntaxError(
+                f"unexpected characters in directive: {rest[i:i+20]!r}",
+                line,
+            )
+        kw = m.group(0)
+        if kw not in allowed:
+            raise DirectiveSyntaxError(
+                f"unknown clause {kw!r}; expected one of {allowed}", line
+            )
+        if kw in out:
+            raise DirectiveSyntaxError(f"duplicate clause {kw!r}", line)
+        j = m.end()
+        while j < n and rest[j].isspace():
+            j += 1
+        body, j = _extract_parenthesized(rest, j, line)
+        out[kw] = body.strip()
+        i = j
+    return out
+
+
+def _label_value(raw: str, line: int) -> str:
+    """Labels are bare identifiers (Listing 1: ``label(sobel)``) or
+    quoted strings."""
+    s = raw.strip()
+    if (
+        len(s) >= 2
+        and s[0] in "'\""
+        and s[-1] == s[0]
+    ):
+        return s[1:-1]
+    if not _IDENT_RE.fullmatch(s):
+        raise DirectiveSyntaxError(
+            f"label must be an identifier or string, got {s!r}", line
+        )
+    return s
+
+
+def parse_directive(text: str, line: int = 0) -> Directive:
+    """Parse one pragma comment into a directive object."""
+    m = _PRAGMA_RE.match(text)
+    if not m:
+        raise DirectiveSyntaxError(f"not a '#pragma omp' line: {text!r}", line)
+    rest = m.group("rest").strip()
+    m2 = _IDENT_RE.match(rest)
+    if not m2:
+        raise DirectiveSyntaxError(
+            "expected 'task' or 'taskwait' after '#pragma omp'", line
+        )
+    head = m2.group(0)
+    tail = rest[m2.end():]
+    if head == "task":
+        clauses = _parse_clauses(tail, TASK_CLAUSES, line)
+        d = TaskDirective(
+            line=line,
+            significant=clauses.get("significant"),
+            approxfun=clauses.get("approxfun"),
+            label=(
+                _label_value(clauses["label"], line)
+                if "label" in clauses
+                else None
+            ),
+            ins=split_arguments(clauses.get("in", ""), line),
+            outs=split_arguments(clauses.get("out", ""), line),
+            cost=clauses.get("cost"),
+        )
+        return d.validate()
+    if head == "taskwait":
+        clauses = _parse_clauses(tail, TASKWAIT_CLAUSES, line)
+        d2 = TaskwaitDirective(
+            line=line,
+            on=clauses.get("on"),
+            label=(
+                _label_value(clauses["label"], line)
+                if "label" in clauses
+                else None
+            ),
+            ratio=clauses.get("ratio"),
+        )
+        return d2.validate()
+    raise DirectiveSyntaxError(
+        f"unknown directive {head!r}; expected 'task' or 'taskwait'", line
+    )
+
+
+def scan_pragmas(source: str) -> list[Directive]:
+    """Find and parse every pragma in a source string.
+
+    Line continuations (``\\`` at end of a pragma line) are honoured so
+    multi-line pragmas like Listing 1's work.
+    """
+    lines = source.splitlines()
+    directives: list[Directive] = []
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        start = i
+        if is_pragma(line):
+            text = line
+            while text.rstrip().endswith("\\") and i + 1 < len(lines):
+                i += 1
+                text = text.rstrip()[:-1] + " " + lines[i].lstrip().lstrip("#")
+            directives.append(parse_directive(text, line=start + 1))
+        i += 1
+    return directives

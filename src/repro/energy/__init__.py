@@ -1,0 +1,37 @@
+"""Energy substrate: machine model, cost models, simulated RAPL, DVFS.
+
+Substitutes the paper's likwid/RAPL measurements (see DESIGN.md
+section 2): energy is integrated from execution traces with an explicit
+Xeon-E5-2650-like power model instead of sampled from hardware MSRs.
+"""
+
+from .cost import AnalyticCost, CostModel, HybridCost, MeasuredCost
+from .dvfs import DvfsOutcome, DvfsPlan, replay_with_dvfs
+from .machine_model import XEON_E5_2650, MachineModel
+from .meter import EnergyMeter, EnergyReport
+from .rapl import (
+    COUNTER_WRAP,
+    ENERGY_UNIT_J,
+    RaplDomain,
+    SimulatedRapl,
+    rapl_delta,
+)
+
+__all__ = [
+    "MachineModel",
+    "XEON_E5_2650",
+    "CostModel",
+    "AnalyticCost",
+    "MeasuredCost",
+    "HybridCost",
+    "EnergyMeter",
+    "EnergyReport",
+    "SimulatedRapl",
+    "RaplDomain",
+    "rapl_delta",
+    "ENERGY_UNIT_J",
+    "COUNTER_WRAP",
+    "DvfsPlan",
+    "DvfsOutcome",
+    "replay_with_dvfs",
+]

@@ -1,0 +1,117 @@
+"""Task cost models: mapping task bodies to virtual durations.
+
+The simulated engine needs a duration for every executed task.  Three
+strategies are provided:
+
+* :class:`AnalyticCost` — use the :class:`~repro.runtime.task.TaskCost`
+  (work units) attached to the task.  Fully deterministic; the kernels in
+  :mod:`repro.kernels` attach analytic operation counts, so experiment
+  results are bit-reproducible.  Tasks without a cost raise.
+* :class:`MeasuredCost` — time the real Python body with
+  ``perf_counter`` and scale the wall time by ``scale`` (Python is
+  roughly two orders of magnitude slower than the paper's C kernels; the
+  default ``scale=1.0`` reports honest host time).  Nondeterministic but
+  useful for ad-hoc workloads.
+* :class:`HybridCost` — analytic when a cost is attached, measured
+  otherwise.  This is the engine default: library kernels stay
+  deterministic while user tasks "just work".
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..runtime.errors import CostModelError
+from ..runtime.task import ExecutionKind, Task
+from .machine_model import MachineModel
+
+__all__ = ["CostModel", "AnalyticCost", "MeasuredCost", "HybridCost"]
+
+
+class CostModel(abc.ABC):
+    """Strategy turning (task, decision) into virtual seconds."""
+
+    #: Whether the engine must measure host wall time around the body.
+    needs_measurement: bool = False
+
+    @abc.abstractmethod
+    def duration(
+        self,
+        task: Task,
+        kind: ExecutionKind,
+        machine: MachineModel,
+        measured_wall: float | None = None,
+    ) -> float:
+        """Virtual seconds the task occupies one core."""
+
+
+class AnalyticCost(CostModel):
+    """Deterministic durations from per-task work-unit annotations."""
+
+    needs_measurement = False
+
+    def duration(
+        self,
+        task: Task,
+        kind: ExecutionKind,
+        machine: MachineModel,
+        measured_wall: float | None = None,
+    ) -> float:
+        if kind is ExecutionKind.DROPPED:
+            return 0.0
+        if task.cost is None:
+            raise CostModelError(
+                f"AnalyticCost requires a TaskCost on task {task.tid} "
+                f"({getattr(task.fn, '__name__', '?')}); attach cost= or "
+                "use HybridCost/MeasuredCost"
+            )
+        return machine.duration_of(task.cost.for_kind(kind))
+
+
+class MeasuredCost(CostModel):
+    """Durations from measured host wall time, optionally rescaled."""
+
+    needs_measurement = True
+
+    def __init__(self, scale: float = 1.0) -> None:
+        if scale <= 0:
+            raise CostModelError(f"scale must be positive, got {scale}")
+        self.scale = scale
+
+    def duration(
+        self,
+        task: Task,
+        kind: ExecutionKind,
+        machine: MachineModel,
+        measured_wall: float | None = None,
+    ) -> float:
+        if kind is ExecutionKind.DROPPED:
+            return 0.0
+        if measured_wall is None:
+            raise CostModelError(
+                "MeasuredCost needs the engine to measure the body"
+            )
+        return measured_wall * self.scale
+
+
+class HybridCost(CostModel):
+    """Analytic when annotated, measured otherwise (engine default)."""
+
+    needs_measurement = True  # engine measures; analytic path ignores it
+
+    def __init__(self, scale: float = 1.0) -> None:
+        self._analytic = AnalyticCost()
+        self._measured = MeasuredCost(scale)
+
+    def duration(
+        self,
+        task: Task,
+        kind: ExecutionKind,
+        machine: MachineModel,
+        measured_wall: float | None = None,
+    ) -> float:
+        if task.cost is not None:
+            return self._analytic.duration(task, kind, machine)
+        return self._measured.duration(
+            task, kind, machine, measured_wall
+        )

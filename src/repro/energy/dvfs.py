@@ -1,0 +1,94 @@
+"""DVFS what-if modelling (paper section 6, future work).
+
+"In the future, we wish to explore more optimization scenarios, such as
+DVFS in conjunction with suitable runtime policies for executing
+approximate (and more light-weight) task versions on the slower but also
+less power-hungry CPUs."
+
+This module implements that scenario analytically so the ablation
+benchmark can quantify it: a :class:`DvfsPlan` assigns a frequency
+multiplier per execution kind; :func:`replay_with_dvfs` stretches each
+trace segment by ``1/f`` and re-integrates energy with the corresponding
+power point (dynamic power ~ f^3).  The replay keeps the schedule's
+structure (same workers, same order) and reports the energy/makespan
+trade-off of running approximate tasks on downclocked cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..runtime.errors import EnergyModelError
+from ..runtime.task import ExecutionKind
+from ..sim.trace import ExecutionTrace, Segment
+from .machine_model import MachineModel
+from .meter import EnergyReport
+
+__all__ = ["DvfsPlan", "DvfsOutcome", "replay_with_dvfs"]
+
+
+@dataclass(frozen=True)
+class DvfsPlan:
+    """Frequency multipliers per execution kind (1.0 = nominal)."""
+
+    accurate: float = 1.0
+    approximate: float = 1.0
+
+    def __post_init__(self) -> None:
+        for f in (self.accurate, self.approximate):
+            if f <= 0:
+                raise EnergyModelError(f"frequency factor must be > 0: {f}")
+
+    def factor_for(self, kind: ExecutionKind) -> float:
+        if kind is ExecutionKind.ACCURATE:
+            return self.accurate
+        return self.approximate
+
+
+@dataclass
+class DvfsOutcome:
+    """Replayed schedule metrics under a DVFS plan."""
+
+    makespan_s: float
+    energy: EnergyReport
+    stretched: ExecutionTrace = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+def replay_with_dvfs(
+    trace: ExecutionTrace, machine: MachineModel, plan: DvfsPlan
+) -> DvfsOutcome:
+    """Re-time a finished schedule under per-kind frequency scaling.
+
+    Per worker, segments are replayed back-to-back preserving order;
+    a segment of kind *k* takes ``duration / f_k`` and burns active power
+    ``P_idle + (P_active - P_idle) * f_k**3`` over the stretched
+    interval.  Idle gaps are compressed (work-conserving replay), which
+    models a runtime that re-packs tasks after slowing some down.
+    """
+    per_worker_end = [0.0] * trace.n_workers
+    stretched = ExecutionTrace(trace.n_workers)
+    active_j = 0.0
+    ordered = sorted(trace.segments, key=lambda s: (s.start, s.tid))
+    for seg in ordered:
+        f = plan.factor_for(seg.kind)
+        dur = seg.duration / f
+        start = per_worker_end[seg.worker]
+        end = start + dur
+        per_worker_end[seg.worker] = end
+        stretched.record(
+            Segment(seg.worker, start, end, seg.tid, seg.kind, seg.group)
+        )
+        dyn_w = machine.core_idle_w + machine.busy_extra_w() * f**3
+        active_j += dur * (dyn_w - machine.core_idle_w)
+
+    span = stretched.makespan
+    busy = stretched.busy_time()
+    report = EnergyReport(
+        window_s=span,
+        busy_s=busy,
+        package_uncore_j=machine.uncore_w * machine.topology.sockets * span,
+        dram_j=machine.dram_w * machine.topology.sockets * span,
+        core_active_j=active_j,
+        core_idle_j=(machine.n_cores * span - busy) * machine.core_idle_w,
+    )
+    return DvfsOutcome(makespan_s=span, energy=report, stretched=stretched)

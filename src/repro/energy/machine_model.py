@@ -1,0 +1,135 @@
+"""Machine performance/power model (the testbed substitute).
+
+The paper measured energy with likwid on the RAPL registers of a
+2-socket Intel Xeon E5-2650 (8 cores/socket, 2.0 GHz, 95 W TDP per
+package).  Offline reproduction cannot read RAPL, so this module defines
+an explicit first-order model with the two energy channels that drive the
+paper's results:
+
+* **time-proportional power** — package uncore + DRAM + idle-core power
+  burns energy for the entire makespan, so *finishing earlier saves
+  energy*;
+* **work-proportional power** — the active-minus-idle core power burns
+  energy per unit of computational work, so *running cheaper (approximate)
+  task bodies saves energy*.
+
+Both channels shrink when tasks are approximated or dropped, which is
+exactly the mechanism behind Figure 2's energy column.  The default
+constants approximate an E5-2650: 8 × 9.4 W active cores + 14 W uncore
+≈ 89 W per fully-busy package, idle package ≈ 26 W, plus 6 W per DRAM
+channel group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..runtime.errors import EnergyModelError
+from ..sim.topology import Topology
+
+__all__ = ["MachineModel", "XEON_E5_2650"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Performance and power parameters of the simulated machine."""
+
+    name: str = "xeon-e5-2650-sim"
+    topology: Topology = Topology(sockets=2, cores_per_socket=8)
+    #: Core clock in GHz (only used for reporting and DVFS scaling).
+    frequency_ghz: float = 2.0
+    #: Abstract work units one core retires per second at nominal
+    #: frequency.  Work units are "simple scalar operations"; 2 GHz with
+    #: ~1 op/cycle sustained gives 2e9.
+    ops_per_second: float = 2.0e9
+    #: Power of a core actively executing (W).
+    core_active_w: float = 9.4
+    #: Power of an idle (halted) core (W).
+    core_idle_w: float = 1.5
+    #: Per-socket uncore/static package power (W).
+    uncore_w: float = 14.0
+    #: Per-socket DRAM power (W), counted like RAPL's DRAM domain.
+    dram_w: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.ops_per_second <= 0:
+            raise EnergyModelError(
+                f"ops_per_second must be positive, got {self.ops_per_second}"
+            )
+        if self.frequency_ghz <= 0:
+            raise EnergyModelError(
+                f"frequency must be positive, got {self.frequency_ghz}"
+            )
+        for label, value in [
+            ("core_active_w", self.core_active_w),
+            ("core_idle_w", self.core_idle_w),
+            ("uncore_w", self.uncore_w),
+            ("dram_w", self.dram_w),
+        ]:
+            if value < 0:
+                raise EnergyModelError(f"{label} must be >= 0, got {value}")
+        if self.core_idle_w > self.core_active_w:
+            raise EnergyModelError(
+                "idle core power exceeds active core power"
+            )
+
+    # -- performance -------------------------------------------------------
+    def duration_of(self, work_units: float) -> float:
+        """Virtual seconds one core needs for ``work_units`` of work."""
+        if work_units < 0:
+            raise EnergyModelError(f"negative work: {work_units}")
+        return work_units / self.ops_per_second
+
+    # -- power -------------------------------------------------------------
+    @property
+    def n_cores(self) -> int:
+        return self.topology.n_cores
+
+    def package_static_w(self) -> float:
+        """Time-proportional power across all sockets (uncore + DRAM)."""
+        return (self.uncore_w + self.dram_w) * self.topology.sockets
+
+    def busy_extra_w(self) -> float:
+        """Extra power of a busy core over an idle one."""
+        return self.core_active_w - self.core_idle_w
+
+    def all_idle_w(self) -> float:
+        """Whole-machine floor power (everything idle)."""
+        return self.package_static_w() + self.core_idle_w * self.n_cores
+
+    def tdp_w(self) -> float:
+        """Whole-machine power with every core active (sanity metric)."""
+        return self.package_static_w() + self.core_active_w * self.n_cores
+
+    # -- derivation --------------------------------------------------------
+    def with_workers(self, n_workers: int) -> "MachineModel":
+        """Resize the topology to host ``n_workers`` cores."""
+        topo = Topology.for_workers(
+            n_workers, self.topology.cores_per_socket
+        )
+        return replace(self, topology=topo)
+
+    def scaled_frequency(self, factor: float) -> "MachineModel":
+        """DVFS: scale frequency by ``factor``.
+
+        Dynamic (active-minus-idle) power scales ~ f^3 (P = C V^2 f with
+        V roughly proportional to f); throughput scales linearly.  Static
+        and idle power are left unchanged — which is why racing-to-idle
+        versus slow-and-steady is a genuine trade-off (paper section 6
+        lists DVFS exploration as future work; see
+        :mod:`repro.energy.dvfs`).
+        """
+        if factor <= 0:
+            raise EnergyModelError(f"frequency factor must be > 0: {factor}")
+        return replace(
+            self,
+            name=f"{self.name}@x{factor:.2f}",
+            frequency_ghz=self.frequency_ghz * factor,
+            ops_per_second=self.ops_per_second * factor,
+            core_active_w=self.core_idle_w
+            + (self.core_active_w - self.core_idle_w) * factor**3,
+        )
+
+
+#: The paper's testbed, as a model instance.
+XEON_E5_2650 = MachineModel()

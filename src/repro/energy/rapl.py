@@ -1,0 +1,117 @@
+"""Simulated RAPL (Running Average Power Limit) counter interface.
+
+The paper reads energy through likwid, which in turn reads the RAPL MSRs
+(``MSR_PKG_ENERGY_STATUS``, ``MSR_PP0_ENERGY_STATUS``,
+``MSR_DRAM_ENERGY_STATUS``).  This module exposes the *same register
+semantics* on top of the simulated machine:
+
+* counters tick in units of ``ENERGY_UNIT_J`` (15.3 µJ, the common
+  ``1/2^16`` J Sandy-Bridge unit),
+* registers are 32-bit and wrap around, exactly like the hardware —
+  consumers must handle wrap when differencing two reads,
+* domains are per-socket ``package-N`` / ``pp0-N`` (cores) / ``dram-N``.
+
+It exists so downstream code written against a pyRAPL-style counter API
+ports over unchanged, and so the wrap-around handling that real energy
+tooling needs is exercised by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..runtime.errors import EnergyModelError
+from ..sim.trace import ExecutionTrace
+from .machine_model import MachineModel
+
+__all__ = ["RaplDomain", "SimulatedRapl", "rapl_delta"]
+
+#: Energy status register LSB: 1/2**16 Joule (Intel SDM, common unit).
+ENERGY_UNIT_J = 1.0 / (1 << 16)
+
+#: Register width: energy-status registers are 32-bit counters.
+COUNTER_WRAP = 1 << 32
+
+
+def rapl_delta(before: int, after: int) -> int:
+    """Counter difference handling 32-bit wrap-around."""
+    if not (0 <= before < COUNTER_WRAP and 0 <= after < COUNTER_WRAP):
+        raise EnergyModelError("RAPL counters are 32-bit unsigned")
+    return (after - before) % COUNTER_WRAP
+
+
+@dataclass(frozen=True)
+class RaplDomain:
+    """One RAPL power domain (e.g. ``package-0``)."""
+
+    kind: str  # "package" | "pp0" | "dram"
+    socket: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.kind}-{self.socket}"
+
+
+class SimulatedRapl:
+    """Energy-status registers backed by the trace-driven power model.
+
+    Reads are *stateless projections* of a trace at a given virtual time:
+    ``read(domain, trace, t)`` returns the register value as if the MSR
+    were sampled at virtual time ``t``.
+    """
+
+    def __init__(self, machine: MachineModel) -> None:
+        self.machine = machine
+
+    def domains(self) -> list[RaplDomain]:
+        out = []
+        for s in range(self.machine.topology.sockets):
+            out.append(RaplDomain("package", s))
+            out.append(RaplDomain("pp0", s))
+            out.append(RaplDomain("dram", s))
+        return out
+
+    # ------------------------------------------------------------------
+    def _energy_j(
+        self, domain: RaplDomain, trace: ExecutionTrace, t: float
+    ) -> float:
+        """Joules consumed by a domain over virtual [0, t]."""
+        if t < 0:
+            raise EnergyModelError(f"negative sample time {t}")
+        m = self.machine
+        if domain.socket >= m.topology.sockets:
+            raise EnergyModelError(f"unknown domain {domain.name}")
+        cores = m.topology.cores_of(domain.socket)
+        clipped = trace.window(0.0, t)
+        busy = sum(
+            clipped.busy_time(c) for c in cores if c < clipped.n_workers
+        )
+        n_cores = len(cores)
+        core_j = busy * m.core_active_w + (n_cores * t - busy) * m.core_idle_w
+
+        if domain.kind == "pp0":
+            return core_j
+        if domain.kind == "dram":
+            return m.dram_w * t
+        if domain.kind == "package":
+            return core_j + m.uncore_w * t
+        raise EnergyModelError(f"unknown RAPL domain kind {domain.kind!r}")
+
+    def read(
+        self, domain: RaplDomain, trace: ExecutionTrace, t: float
+    ) -> int:
+        """Sample a register: energy in RAPL units, 32-bit wrapped."""
+        units = int(self._energy_j(domain, trace, t) / ENERGY_UNIT_J)
+        return units % COUNTER_WRAP
+
+    def read_joules_between(
+        self,
+        domain: RaplDomain,
+        trace: ExecutionTrace,
+        t0: float,
+        t1: float,
+    ) -> float:
+        """Convenience: differenced, wrap-corrected energy in Joules."""
+        before = self.read(domain, trace, t0)
+        after = self.read(domain, trace, t1)
+        return rapl_delta(before, after) * ENERGY_UNIT_J

@@ -1,0 +1,23 @@
+"""Unreliable-hardware substrate (paper section 6 future work).
+
+Silent omission faults on designated cores, with significance-driven
+protection (execute-and-verify re-execution) for important tasks —
+the ERSA-style scenario the paper names as the next step for the
+programming model.
+"""
+
+from .engine import (
+    FaultAwareEngine,
+    FaultySimulatedMachine,
+    faulty_scheduler,
+)
+from .model import FaultLog, FaultModel, FaultRecord
+
+__all__ = [
+    "FaultModel",
+    "FaultRecord",
+    "FaultLog",
+    "FaultySimulatedMachine",
+    "FaultAwareEngine",
+    "faulty_scheduler",
+]

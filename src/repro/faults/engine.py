@@ -1,0 +1,201 @@
+"""Fault-aware execution: significance-based protection on unreliable cores.
+
+This realizes the paper's future-work scenario (section 6) on top of the
+simulated machine: task executions on unreliable cores may silently
+fail; the runtime can *protect* significant tasks the way ERSA protects
+critical code — here via execute-and-verify with re-execution, whose
+cost is charged to the schedule (a faithful first-order model of running
+the task redundantly or on a reliable core).
+
+Protection rule: tasks with ``significance >= protect_threshold`` are
+protected (fault detected, task re-executed until clean, each attempt
+paying full duration); less-significant tasks run unprotected — a fault
+silently omits their effect, exactly the failure class approximate
+programs are supposed to absorb.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Callable
+
+from ..runtime.errors import SchedulerError
+from ..runtime.task import ExecutionKind, Task, TaskState
+from ..sim.machine import SimulatedMachine
+from ..runtime.engine import SimulatedEngine
+from .model import FaultLog, FaultModel, FaultRecord
+
+__all__ = ["FaultySimulatedMachine", "FaultAwareEngine"]
+
+#: Give up re-executing after this many faulty attempts (prevents the
+#: pathological fault_rate=1.0 configuration from hanging).
+MAX_ATTEMPTS = 8
+
+
+class FaultySimulatedMachine(SimulatedMachine):
+    """A simulated machine whose designated cores drop task effects."""
+
+    def __init__(
+        self,
+        *args,
+        fault_model: FaultModel | None = None,
+        protect_threshold: float = 1.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.fault_model = fault_model or FaultModel()
+        if not 0.0 <= protect_threshold <= 1.0:
+            raise SchedulerError(
+                f"protect_threshold must be in [0, 1], got "
+                f"{protect_threshold}"
+            )
+        self.protect_threshold = protect_threshold
+        self.fault_log = FaultLog()
+
+    def _start_task(self, worker: int, task: Task, now: float) -> None:
+        kind = self.policy.decide(task, worker)
+        overhead = self.policy.decide_overhead(task)
+
+        task.state = TaskState.RUNNING
+        task.worker = worker
+        task.t_started = now
+
+        protected = task.significance >= self.protect_threshold
+        attempts = 1
+        key = task.group_seq if task.group_seq >= 0 else task.tid
+        faulted = self.fault_model.draws_fault(
+            worker, key, 0, group=task.group
+        )
+        if faulted and protected:
+            # Detected by the verification harness: re-execute until a
+            # clean attempt (bounded), paying for every attempt.
+            while (
+                attempts < MAX_ATTEMPTS
+                and self.fault_model.draws_fault(
+                    worker, key, attempts, group=task.group
+                )
+            ):
+                attempts += 1
+            attempts += 1  # the final clean attempt
+            faulted = False
+
+        host_t0 = _time.perf_counter()
+        if faulted:
+            # Omission fault: the body never takes effect.
+            task.decision = kind
+            task.result = None
+            self.fault_log.add(
+                FaultRecord(
+                    task.tid, worker, now, task.significance, False
+                )
+            )
+        else:
+            if attempts > 1:
+                self.fault_log.add(
+                    FaultRecord(
+                        task.tid, worker, now, task.significance, True
+                    )
+                )
+            task.execute(kind)
+        host_dt = _time.perf_counter() - host_t0
+        self.trace.host_seconds += host_dt
+
+        base = self.cost_model.duration(
+            task, kind, self.machine_model, measured_wall=host_dt
+        )
+        duration = base * attempts + self.machine_model.duration_of(
+            overhead
+        )
+        self.busy[worker] = True
+        self.events.push(
+            now + duration,
+            lambda t, w=worker, task=task: self._finish_task(w, task, t),
+            tag="finish",
+        )
+
+
+class FaultAwareEngine(SimulatedEngine):
+    """Drop-in engine exposing the faulty machine to the scheduler.
+
+    >>> model = FaultModel.split_machine(16, 0.5, fault_rate=0.05)
+    >>> engine = FaultAwareEngine.build(
+    ...     16, machine_model, cost_model, policy, on_finish,
+    ...     fault_model=model, protect_threshold=0.7)
+    >>> rt = Scheduler(policy=policy, n_workers=16, engine=engine)
+    """
+
+    def __init__(self, machine: FaultySimulatedMachine) -> None:
+        # Bypass SimulatedEngine.__init__: we received a built machine.
+        self.machine = machine
+
+    @classmethod
+    def build(
+        cls,
+        n_workers: int,
+        machine_model,
+        cost_model,
+        policy,
+        on_task_finished: Callable[[Task, float], None],
+        stall_handler: Callable[[], bool] | None = None,
+        fault_model: FaultModel | None = None,
+        protect_threshold: float = 1.0,
+    ) -> "FaultAwareEngine":
+        machine = FaultySimulatedMachine(
+            n_workers,
+            machine_model,
+            cost_model,
+            policy,
+            on_task_finished,
+            stall_handler,
+            fault_model=fault_model,
+            protect_threshold=protect_threshold,
+        )
+        return cls(machine)
+
+    @property
+    def fault_log(self) -> FaultLog:
+        return self.machine.fault_log  # type: ignore[attr-defined]
+
+
+def faulty_scheduler(
+    policy,
+    n_workers: int = 16,
+    fault_model: FaultModel | None = None,
+    protect_threshold: float = 1.0,
+    machine=None,
+    cost_model=None,
+):
+    """Convenience constructor: a Scheduler on a fault-injecting machine."""
+    from ..energy.cost import HybridCost
+    from ..energy.machine_model import XEON_E5_2650
+    from ..runtime.scheduler import Scheduler
+
+    machine_model = (
+        machine if machine is not None
+        else XEON_E5_2650.with_workers(n_workers)
+    )
+    cm = cost_model if cost_model is not None else HybridCost()
+
+    # Two-phase wiring: the engine needs the scheduler's callbacks, the
+    # scheduler needs the engine.  Build the scheduler with a plain
+    # engine first, then swap in the faulty machine reusing the same
+    # callbacks (the scheduler only ever talks to the Engine interface).
+    rt = Scheduler(
+        policy=policy,
+        n_workers=n_workers,
+        machine=machine_model,
+        cost_model=cm,
+        engine="simulated",
+    )
+    engine = FaultAwareEngine.build(
+        n_workers,
+        machine_model,
+        cm,
+        policy,
+        rt._on_task_finished,
+        rt._on_stall,
+        fault_model=fault_model,
+        protect_threshold=protect_threshold,
+    )
+    rt.engine = engine
+    return rt

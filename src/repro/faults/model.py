@@ -1,0 +1,133 @@
+"""Unreliable-hardware fault model (paper section 6, future work).
+
+"We are also interested in extending our programming model to support
+approximate computing on top of ultra low-power but unreliable
+hardware."  The related-work discussion points at ERSA [Leem et al.,
+DATE 2010], where critical code runs on fully reliable cores and
+error-tolerant code on relaxed-reliability cores.
+
+:class:`FaultModel` describes such a machine: a subset of cores is
+*unreliable* — a task executed there suffers a silent fault with a
+given per-execution probability.  Faults are **omission faults**: the
+task body does not take effect (its outputs keep their prior/default
+values), the silent-error mode that matters for approximate runtimes
+(crashes would be detected; silent corruption is what quality metrics
+must absorb).
+
+Fault draws are deterministic: each (task id, attempt) pair hashes into
+a counter-based RNG stream, so experiments replay bit-identically.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..runtime.errors import ReproError
+
+__all__ = ["FaultModel", "FaultRecord", "FaultLog"]
+
+
+class FaultConfigError(ReproError, ValueError):
+    """Invalid fault-model configuration."""
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Which cores are unreliable, and how unreliable they are."""
+
+    #: Core ids with relaxed reliability.
+    unreliable_cores: frozenset[int] = frozenset()
+    #: Probability that one task execution on an unreliable core
+    #: silently fails (omission).
+    fault_rate: float = 0.0
+    #: Seed of the per-task fault streams.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise FaultConfigError(
+                f"fault_rate must be in [0, 1], got {self.fault_rate}"
+            )
+        if any(c < 0 for c in self.unreliable_cores):
+            raise FaultConfigError("core ids must be non-negative")
+
+    @classmethod
+    def split_machine(
+        cls, n_workers: int, unreliable_fraction: float,
+        fault_rate: float, seed: int = 0,
+    ) -> "FaultModel":
+        """ERSA-style split: the last ``fraction`` of cores are relaxed."""
+        if not 0.0 <= unreliable_fraction <= 1.0:
+            raise FaultConfigError(
+                f"unreliable_fraction must be in [0, 1], got "
+                f"{unreliable_fraction}"
+            )
+        n_unreliable = int(round(n_workers * unreliable_fraction))
+        cores = frozenset(
+            range(n_workers - n_unreliable, n_workers)
+        )
+        return cls(
+            unreliable_cores=cores, fault_rate=fault_rate, seed=seed
+        )
+
+    # ------------------------------------------------------------------
+    def is_unreliable(self, worker: int) -> bool:
+        return worker in self.unreliable_cores
+
+    def draws_fault(
+        self,
+        worker: int,
+        task_key: int,
+        attempt: int = 0,
+        group: str | None = None,
+    ) -> bool:
+        """Deterministic fault draw for one execution attempt.
+
+        ``task_key`` must be stable across runs (the task's per-group
+        sequence number, not the process-global task id), so replays of
+        the same program observe identical fault patterns.
+        """
+        if not self.is_unreliable(worker) or self.fault_rate <= 0.0:
+            return False
+        group_key = zlib.crc32((group or "").encode("utf-8"))
+        rng = np.random.default_rng(
+            (self.seed, worker, group_key, task_key, attempt)
+        )
+        return bool(rng.random() < self.fault_rate)
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault occurrence."""
+
+    tid: int
+    worker: int
+    time: float
+    significance: float
+    protected: bool  # True when the runtime caught & re-executed it
+
+
+@dataclass
+class FaultLog:
+    """All fault events of one run."""
+
+    records: list[FaultRecord] = field(default_factory=list)
+
+    def add(self, rec: FaultRecord) -> None:
+        self.records.append(rec)
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    @property
+    def silent(self) -> int:
+        """Faults that actually corrupted the output (unprotected)."""
+        return sum(1 for r in self.records if not r.protected)
+
+    @property
+    def recovered(self) -> int:
+        return sum(1 for r in self.records if r.protected)

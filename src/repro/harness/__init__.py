@@ -1,0 +1,60 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Command line::
+
+    python -m repro.harness table1
+    python -m repro.harness table2 [--small]
+    python -m repro.harness fig1 [--small] [--out results/]
+    python -m repro.harness fig2 [--small] [--benchmark Sobel]
+    python -m repro.harness fig3 [--small] [--out results/]
+    python -m repro.harness fig4 [--small]
+    python -m repro.harness all  [--small] [--out results/]
+"""
+
+from .experiment import (
+    NATIVE_PARAMS,
+    CellResult,
+    ExperimentCell,
+    reference_output,
+    run_cell,
+)
+from .figures import (
+    POLICY_MODES,
+    POLICY_NAMES,
+    Fig2Data,
+    Fig4Data,
+    QuadrantFigure,
+    fig1_sobel_approximation,
+    fig2_benchmark,
+    fig3_sobel_perforation,
+    fig4_overhead,
+)
+from .export import to_dict, write_csv, write_json
+from .report import bar_chart, format_float, format_table
+from .tables import Table2Data, table1, table2_policy_accuracy
+
+__all__ = [
+    "ExperimentCell",
+    "CellResult",
+    "run_cell",
+    "reference_output",
+    "NATIVE_PARAMS",
+    "POLICY_MODES",
+    "POLICY_NAMES",
+    "Fig2Data",
+    "fig2_benchmark",
+    "Fig4Data",
+    "fig4_overhead",
+    "QuadrantFigure",
+    "fig1_sobel_approximation",
+    "fig3_sobel_perforation",
+    "table1",
+    "Table2Data",
+    "table2_policy_accuracy",
+    "format_table",
+    "format_float",
+    "bar_chart",
+    "to_dict",
+    "write_json",
+    "write_csv",
+]

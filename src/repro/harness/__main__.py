@@ -1,0 +1,109 @@
+"""CLI entry point: ``python -m repro.harness <experiment>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from ..kernels.base import benchmark_names
+from .figures import (
+    fig1_sobel_approximation,
+    fig2_benchmark,
+    fig3_sobel_perforation,
+    fig4_overhead,
+)
+from .tables import table1, table2_policy_accuracy
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["table1", "table2", "fig1", "fig2", "fig3", "fig4", "all"],
+    )
+    parser.add_argument(
+        "--small",
+        action="store_true",
+        help="shrunken workloads (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--benchmark",
+        default=None,
+        help="restrict fig2 to one benchmark",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=16, help="simulated worker cores"
+    )
+    parser.add_argument(
+        "--out", default=None, help="directory for PGM outputs (fig1/fig3)"
+    )
+    args = parser.parse_args(argv)
+
+    out_dir = None
+    if args.out:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    def pgm(name: str) -> Path | None:
+        return out_dir / name if out_dir else None
+
+    t0 = time.perf_counter()
+    todo = (
+        ["table1", "table2", "fig1", "fig2", "fig3", "fig4"]
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    for exp in todo:
+        if exp == "table1":
+            print(table1())
+        elif exp == "table2":
+            print(
+                table2_policy_accuracy(
+                    small=args.small, n_workers=args.workers
+                ).render()
+            )
+        elif exp == "fig1":
+            print(
+                fig1_sobel_approximation(
+                    small=args.small,
+                    n_workers=args.workers,
+                    out_path=pgm("fig1_sobel_approx.pgm"),
+                ).render()
+            )
+        elif exp == "fig2":
+            names = (
+                [args.benchmark] if args.benchmark else benchmark_names()
+            )
+            for name in names:
+                print(
+                    fig2_benchmark(
+                        name, small=args.small, n_workers=args.workers
+                    ).render()
+                )
+                print()
+        elif exp == "fig3":
+            print(
+                fig3_sobel_perforation(
+                    small=args.small,
+                    n_workers=args.workers,
+                    out_path=pgm("fig3_sobel_perforation.pgm"),
+                ).render()
+            )
+        elif exp == "fig4":
+            print(
+                fig4_overhead(
+                    small=args.small, n_workers=args.workers
+                ).render()
+            )
+        print()
+    print(f"[{time.perf_counter() - t0:.1f}s total]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

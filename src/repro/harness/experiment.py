@@ -1,0 +1,154 @@
+"""Experiment runner: one cell of the paper's evaluation at a time.
+
+An *experiment cell* fixes (benchmark, execution mode, degree) and
+produces the three quantities Figure 2 plots — execution time, energy,
+quality — plus the full :class:`~repro.runtime.stats.RunReport` for the
+policy-accuracy statistics of Table 2.
+
+Execution modes:
+
+* ``policy:<spec>`` — the significance runtime under GTB / GTB-MaxBuffer
+  / LQH / oracle (spec strings of
+  :func:`repro.runtime.policies.make_policy`);
+* ``accurate``      — the fully accurate reference on the
+  significance-agnostic runtime (Figure 2's "accurate execution" line);
+* ``perforated``    — the loop-perforation baseline (Figure 2's
+  "perforation" line; absent where inapplicable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..kernels.base import (
+    Benchmark,
+    Degree,
+    PerforationNotApplicable,
+    get_benchmark,
+)
+from ..quality.metrics import QualityValue
+from ..runtime.policies import SignificanceAgnostic, make_policy
+from ..runtime.scheduler import Scheduler
+from ..runtime.stats import RunReport
+
+__all__ = [
+    "NATIVE_PARAMS",
+    "ExperimentCell",
+    "CellResult",
+    "run_cell",
+    "reference_output",
+]
+
+#: The "native" knob value per benchmark: what a fully accurate
+#: execution uses (ratio 1.0 everywhere; Jacobi's native tolerance).
+NATIVE_PARAMS: dict[str, float] = {
+    "sobel": 1.0,
+    "dct": 1.0,
+    "mc": 1.0,
+    "kmeans": 1.0,
+    "jacobi": 1e-5,
+    "fluidanimate": 1.0,
+}
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """One point of the evaluation grid."""
+
+    benchmark: str
+    mode: str  # "policy:gtb", "policy:lqh", "accurate", "perforated"
+    degree: Degree | None = None
+    n_workers: int = 16
+    small: bool = False
+    seed: int = 2015
+    gtb_buffer: int = 32
+
+    def describe(self) -> str:
+        d = self.degree.value if self.degree else "native"
+        return f"{self.benchmark}/{self.mode}/{d}"
+
+
+@dataclass
+class CellResult:
+    """Measured outcome of one experiment cell."""
+
+    cell: ExperimentCell
+    makespan_s: float
+    energy_j: float
+    quality: QualityValue
+    report: RunReport = field(repr=False)
+    output: Any = field(repr=False, default=None)
+
+    @property
+    def label(self) -> str:
+        return self.cell.describe()
+
+
+def _build_policy(cell: ExperimentCell):
+    mode = cell.mode
+    if mode == "accurate" or mode == "perforated":
+        return SignificanceAgnostic()
+    if mode.startswith("policy:"):
+        spec = mode.split(":", 1)[1]
+        if spec == "gtb":
+            return make_policy("gtb", buffer_size=cell.gtb_buffer)
+        return make_policy(spec)
+    raise ValueError(f"unknown experiment mode {mode!r}")
+
+
+def _param_for(bench: Benchmark, cell: ExperimentCell) -> float:
+    if cell.mode == "accurate":
+        return NATIVE_PARAMS[bench.name.lower()]
+    if cell.degree is None:
+        raise ValueError(f"mode {cell.mode!r} requires a degree")
+    return bench.degree_param(cell.degree)
+
+
+_REFERENCE_CACHE: dict[tuple, Any] = {}
+
+
+def reference_output(bench: Benchmark, seed: int) -> Any:
+    """Fully accurate output (cached per benchmark/size/seed).
+
+    The reference is the quality yardstick for every cell of the same
+    benchmark, so computing it once per harness invocation matters for
+    the full-size sweeps.
+    """
+    key = (bench.name, bench.small, seed)
+    if key not in _REFERENCE_CACHE:
+        inputs = bench.build_input(seed)
+        _REFERENCE_CACHE[key] = bench.run_reference(inputs)
+    return _REFERENCE_CACHE[key]
+
+
+def run_cell(cell: ExperimentCell, keep_output: bool = False) -> CellResult:
+    """Execute one experiment cell and measure time/energy/quality.
+
+    Raises :class:`PerforationNotApplicable` for perforated cells of
+    benchmarks where the baseline cannot be built (Fluidanimate).
+    """
+    bench = get_benchmark(cell.benchmark, small=cell.small)
+    inputs = bench.build_input(cell.seed)
+    reference = reference_output(bench, cell.seed)
+    param = _param_for(bench, cell)
+
+    policy = _build_policy(cell)
+    rt = Scheduler(policy=policy, n_workers=cell.n_workers)
+    if cell.mode == "perforated":
+        if not bench.perforation_applicable:
+            raise PerforationNotApplicable(bench.name)
+        output = bench.run_perforated(rt, inputs, param)
+    else:
+        output = bench.run_tasks(rt, inputs, param)
+    report = rt.finish()
+
+    quality = bench.quality(reference, output)
+    return CellResult(
+        cell=cell,
+        makespan_s=report.makespan_s,
+        energy_j=report.energy_j,
+        quality=quality,
+        report=report,
+        output=output if keep_output else None,
+    )

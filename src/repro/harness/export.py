@@ -1,0 +1,142 @@
+"""Machine-readable export of harness results (JSON / CSV).
+
+The ASCII tables are for humans; downstream plotting and regression
+tracking want structured data.  Every harness result object
+(:class:`~repro.harness.figures.Fig2Data`,
+:class:`~repro.harness.figures.Fig4Data`,
+:class:`~repro.harness.tables.Table2Data`,
+:class:`~repro.harness.figures.QuadrantFigure`) serializes to plain
+dictionaries here, and :func:`write_json` / :func:`write_csv` persist
+them.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+from .figures import Fig2Data, Fig4Data, QuadrantFigure
+from .tables import Table2Data
+
+__all__ = [
+    "fig2_to_rows",
+    "fig4_to_rows",
+    "table2_to_rows",
+    "quadrants_to_rows",
+    "to_dict",
+    "write_json",
+    "write_csv",
+]
+
+
+def _clean(v: Any) -> Any:
+    """JSON-safe scalar (inf -> None, keeps strings/numbers)."""
+    if isinstance(v, float) and not math.isfinite(v):
+        return None
+    return v
+
+
+def fig2_to_rows(data: Fig2Data) -> list[dict]:
+    """One row per measured cell of a Figure 2 panel."""
+    rows: list[dict] = []
+
+    def row(mode: str, degree: str, res) -> dict:
+        return {
+            "benchmark": data.benchmark,
+            "mode": mode,
+            "degree": degree,
+            "makespan_s": res.makespan_s,
+            "energy_j": res.energy_j,
+            "quality_metric": res.quality.metric,
+            "quality_value": _clean(res.quality.value),
+            "accurate": res.report.accurate_tasks,
+            "approximate": res.report.approximate_tasks,
+            "dropped": res.report.dropped_tasks,
+        }
+
+    if data.accurate is not None:
+        rows.append(row("accurate", "native", data.accurate))
+    for (degree, mode), res in data.cells.items():
+        rows.append(row(mode, degree.value, res))
+    for degree, res in data.perforated.items():
+        rows.append(row("perforated", degree.value, res))
+    return rows
+
+
+def fig4_to_rows(data: Fig4Data) -> list[dict]:
+    return [
+        {
+            "benchmark": b,
+            "mode": mode,
+            "normalized_time": value,
+        }
+        for (b, mode), value in data.normalized.items()
+    ]
+
+
+def table2_to_rows(data: Table2Data) -> list[dict]:
+    rows = []
+    for b in data.benchmarks:
+        for mode in Table2Data.MODES:
+            rows.append(
+                {
+                    "benchmark": b,
+                    "mode": mode,
+                    "inversion_pct": data.inversions[(b, mode)],
+                    "ratio_diff": data.ratio_diff[(b, mode)],
+                }
+            )
+    return rows
+
+
+def quadrants_to_rows(fig: QuadrantFigure) -> list[dict]:
+    return [
+        {
+            "figure": fig.title,
+            "quadrant": label,
+            "psnr_db": _clean(p),
+        }
+        for label, p in zip(fig.labels, fig.psnr_db)
+    ]
+
+
+_CONVERTERS = {
+    Fig2Data: fig2_to_rows,
+    Fig4Data: fig4_to_rows,
+    Table2Data: table2_to_rows,
+    QuadrantFigure: quadrants_to_rows,
+}
+
+
+def to_dict(result: Any) -> list[dict]:
+    """Dispatch any harness result object to its row form."""
+    for cls, conv in _CONVERTERS.items():
+        if isinstance(result, cls):
+            return conv(result)
+    raise TypeError(
+        f"no exporter for {type(result).__name__}; expected one of "
+        f"{[c.__name__ for c in _CONVERTERS]}"
+    )
+
+
+def write_json(result: Any, path: str | Path) -> Path:
+    """Serialize a harness result to a JSON file of row objects."""
+    p = Path(path)
+    p.write_text(json.dumps(to_dict(result), indent=2, sort_keys=True))
+    return p
+
+
+def write_csv(result: Any, path: str | Path) -> Path:
+    """Serialize a harness result to CSV (one header + one row/cell)."""
+    rows = to_dict(result)
+    if not rows:
+        raise ValueError("nothing to export")
+    p = Path(path)
+    with p.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)
+    return p

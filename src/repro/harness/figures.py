@@ -1,0 +1,342 @@
+"""Regeneration of every figure in the paper's evaluation (Figs 1-4).
+
+Each ``figN_*`` function runs the necessary experiment cells and returns
+a small result object carrying both the raw numbers (for tests and
+EXPERIMENTS.md) and a ``render()`` method producing the ASCII view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..kernels.base import Degree, get_benchmark
+from ..kernels.sobel import sobel_reference
+from ..perforation import perforated_indices
+from ..quality.images import (
+    quadrant_mosaic,
+    quadrant_psnr,
+    synthetic_image,
+    write_pgm,
+)
+from ..runtime.policies import make_policy
+from ..runtime.scheduler import Scheduler
+from .experiment import CellResult, ExperimentCell, run_cell
+from .report import bar_chart, format_table
+
+__all__ = [
+    "POLICY_MODES",
+    "POLICY_NAMES",
+    "Fig2Data",
+    "fig2_benchmark",
+    "Fig4Data",
+    "fig4_overhead",
+    "QuadrantFigure",
+    "fig1_sobel_approximation",
+    "fig3_sobel_perforation",
+]
+
+#: The three policy configurations of Figure 2, in paper order.
+POLICY_MODES = ("policy:gtb", "policy:gtb-max", "policy:lqh")
+POLICY_NAMES = {
+    "policy:gtb": "GTB",
+    "policy:gtb-max": "GTB(MaxBuffer)",
+    "policy:lqh": "LQH",
+    "accurate": "accurate",
+    "perforated": "perforation",
+}
+
+_DEGREES = (Degree.AGGRESSIVE, Degree.MEDIUM, Degree.MILD)
+
+
+@dataclass
+class Fig2Data:
+    """One benchmark's panel of Figure 2.
+
+    ``cells[(degree, mode)]`` holds the measured
+    :class:`~repro.harness.experiment.CellResult`; ``accurate`` is the
+    reference line; ``perforated[degree]`` the perforation line (may be
+    empty when inapplicable).
+    """
+
+    benchmark: str
+    cells: dict[tuple[Degree, str], CellResult] = field(default_factory=dict)
+    accurate: CellResult | None = None
+    perforated: dict[Degree, CellResult] = field(default_factory=dict)
+
+    def metric(self, which: str, degree: Degree, mode: str) -> float:
+        cell = self.cells[(degree, mode)]
+        return {
+            "time": cell.makespan_s,
+            "energy": cell.energy_j,
+            "quality": cell.quality.value,
+        }[which]
+
+    def render(self) -> str:
+        assert self.accurate is not None
+        qmetric = next(iter(self.cells.values())).quality.metric
+        sections = []
+        for which, unit in (
+            ("time", "s"),
+            ("energy", "J"),
+            ("quality", qmetric),
+        ):
+            headers = ["degree"] + [POLICY_NAMES[m] for m in POLICY_MODES]
+            headers += ["perforation"] if self.perforated else []
+            rows = []
+            for degree in _DEGREES:
+                row: list[object] = [degree.value]
+                row += [
+                    self.metric(which, degree, mode)
+                    for mode in POLICY_MODES
+                ]
+                if self.perforated:
+                    perf = self.perforated.get(degree)
+                    row.append(
+                        ""
+                        if perf is None
+                        else {
+                            "time": perf.makespan_s,
+                            "energy": perf.energy_j,
+                            "quality": perf.quality.value,
+                        }[which]
+                    )
+                rows.append(row)
+            acc_val = {
+                "time": self.accurate.makespan_s,
+                "energy": self.accurate.energy_j,
+                "quality": 0.0,
+            }[which]
+            sections.append(
+                format_table(
+                    headers,
+                    rows,
+                    title=(
+                        f"[{self.benchmark}] {which} ({unit}) — "
+                        f"accurate reference: {acc_val:.6g}"
+                    ),
+                )
+            )
+        return "\n\n".join(sections)
+
+
+def fig2_benchmark(
+    name: str,
+    small: bool = False,
+    n_workers: int = 16,
+    seed: int = 2015,
+) -> Fig2Data:
+    """Run the full Figure 2 panel for one benchmark."""
+    data = Fig2Data(benchmark=name)
+    data.accurate = run_cell(
+        ExperimentCell(name, "accurate", None, n_workers, small, seed)
+    )
+    bench = get_benchmark(name, small=small)
+    for degree in _DEGREES:
+        for mode in POLICY_MODES:
+            data.cells[(degree, mode)] = run_cell(
+                ExperimentCell(name, mode, degree, n_workers, small, seed)
+            )
+        if bench.perforation_applicable:
+            data.perforated[degree] = run_cell(
+                ExperimentCell(
+                    name, "perforated", degree, n_workers, small, seed
+                )
+            )
+    return data
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class Fig4Data:
+    """Normalized policy overhead (Figure 4).
+
+    ``normalized[(benchmark, mode)]`` = makespan under the policy with
+    every task accurate (ratio 1.0 equivalents), divided by the
+    makespan on the significance-agnostic runtime.
+    """
+
+    normalized: dict[tuple[str, str], float] = field(default_factory=dict)
+    benchmarks: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        headers = ["benchmark"] + [POLICY_NAMES[m] for m in POLICY_MODES]
+        rows = []
+        for b in self.benchmarks:
+            rows.append(
+                [b] + [self.normalized[(b, m)] for m in POLICY_MODES]
+            )
+        return format_table(
+            headers,
+            rows,
+            title=(
+                "Figure 4: execution time with all tasks accurate, "
+                "normalized to the significance-agnostic runtime"
+            ),
+        )
+
+
+def fig4_overhead(
+    benchmarks: tuple[str, ...] = (
+        "Sobel",
+        "DCT",
+        "MC",
+        "Kmeans",
+        "Jacobi",
+        "Fluidanimate",
+    ),
+    small: bool = False,
+    n_workers: int = 16,
+    seed: int = 2015,
+) -> Fig4Data:
+    """Measure the overhead of the significance-aware code paths.
+
+    Paper section 4.2: the baseline "does not include the execution
+    paths for classifying and executing tasks according to
+    significance"; the policy runs execute 100% of tasks accurately so
+    any makespan difference is pure runtime overhead.
+    """
+    data = Fig4Data(benchmarks=list(benchmarks))
+    for b in benchmarks:
+        base = run_cell(
+            ExperimentCell(b, "accurate", None, n_workers, small, seed)
+        )
+        for mode in POLICY_MODES:
+            # Degree is irrelevant: NATIVE ratio equivalents are forced
+            # by running the benchmark with its native parameter.
+            cell = ExperimentCell(b, mode, None, n_workers, small, seed)
+            bench_cell = _run_native(cell)
+            data.normalized[(b, mode)] = (
+                bench_cell.makespan_s / base.makespan_s
+            )
+    return data
+
+
+def _run_native(cell: ExperimentCell) -> CellResult:
+    """Run a policy cell at the benchmark's native (all-accurate) knob."""
+    from .experiment import _build_policy, reference_output
+
+    bench = get_benchmark(cell.benchmark, small=cell.small)
+    inputs = bench.build_input(cell.seed)
+    reference = reference_output(bench, cell.seed)
+    rt = Scheduler(policy=_build_policy(cell), n_workers=cell.n_workers)
+    output = bench.run_overhead_probe(rt, inputs)
+    report = rt.finish()
+    return CellResult(
+        cell=cell,
+        makespan_s=report.makespan_s,
+        energy_j=report.energy_j,
+        quality=bench.quality(reference, output),
+        report=report,
+    )
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class QuadrantFigure:
+    """Figures 1 and 3: a 4-quadrant Sobel mosaic plus per-quadrant PSNR."""
+
+    title: str
+    labels: list[str]
+    mosaic: np.ndarray = field(repr=False)
+    psnr_db: list[float] = field(default_factory=list)
+    written: Path | None = None
+
+    def render(self) -> str:
+        vals = [
+            0.0 if p == float("inf") else 1.0 / p for p in self.psnr_db
+        ]
+        chart = bar_chart(
+            [
+                f"{lbl} (PSNR={p:.1f}dB)" if p != float("inf")
+                else f"{lbl} (PSNR=inf)"
+                for lbl, p in zip(self.labels, self.psnr_db)
+            ],
+            vals,
+        )
+        out = f"{self.title}\nper-quadrant PSNR^-1 (lower is better):\n{chart}"
+        if self.written:
+            out += f"\nmosaic written to {self.written}"
+        return out
+
+
+def _sobel_with_ratio(
+    img: np.ndarray, ratio: float, n_workers: int
+) -> np.ndarray:
+    bench = get_benchmark("Sobel", small=img.shape[0] < 256)
+    bench.height, bench.width = img.shape
+    rt = Scheduler(policy=make_policy("gtb-max"), n_workers=n_workers)
+    return bench.run_tasks(rt, img, ratio)
+
+
+def fig1_sobel_approximation(
+    small: bool = False,
+    n_workers: int = 16,
+    out_path: str | Path | None = None,
+    seed: int = 2015,
+) -> QuadrantFigure:
+    """Figure 1: Sobel under no/Mild/Medium/Aggressive approximation.
+
+    Quadrants: upper-left accurate, upper-right Mild (80%), lower-left
+    Medium (30%), lower-right Aggressive (0%).
+    """
+    size = 64 if small else 512
+    img = synthetic_image(size, size, seed)
+    reference = sobel_reference(img)
+    outputs = [reference]
+    for ratio in (0.80, 0.30, 0.0):
+        outputs.append(_sobel_with_ratio(img, ratio, n_workers))
+    mosaic = quadrant_mosaic(outputs)
+    fig = QuadrantFigure(
+        title=(
+            "Figure 1: Sobel approximation levels "
+            "(quadrants: accurate / Mild 80% / Medium 30% / Aggr 0%)"
+        ),
+        labels=["accurate", "Mild", "Medium", "Aggressive"],
+        mosaic=mosaic,
+        psnr_db=quadrant_psnr(reference, mosaic),
+    )
+    if out_path is not None:
+        fig.written = write_pgm(out_path, mosaic)
+    return fig
+
+
+def fig3_sobel_perforation(
+    small: bool = False,
+    n_workers: int = 16,
+    out_path: str | Path | None = None,
+    seed: int = 2015,
+) -> QuadrantFigure:
+    """Figure 3: Sobel under loop perforation of 0/20/70/100 % of rows.
+
+    Perforated rows keep the zero initialization — the black banding
+    that makes perforated Sobel visually unacceptable even at 20%.
+    """
+    size = 64 if small else 512
+    img = synthetic_image(size, size, seed)
+    reference = sobel_reference(img)
+    outputs = [reference]
+    rows = img.shape[0] - 2
+    for drop in (0.20, 0.70, 1.00):
+        res = np.zeros_like(img)
+        for r in perforated_indices(rows, 1.0 - drop, scheme="stride"):
+            i = int(r) + 1
+            from ..kernels.sobel import sobel_row_accurate
+
+            sobel_row_accurate(res, img, i)
+        outputs.append(res)
+    mosaic = quadrant_mosaic(outputs)
+    fig = QuadrantFigure(
+        title=(
+            "Figure 3: Sobel loop perforation "
+            "(quadrants: accurate / 20% / 70% / 100% perforated)"
+        ),
+        labels=["accurate", "perf 20%", "perf 70%", "perf 100%"],
+        mosaic=mosaic,
+        psnr_db=quadrant_psnr(reference, mosaic),
+    )
+    if out_path is not None:
+        fig.written = write_pgm(out_path, mosaic)
+    return fig

@@ -1,0 +1,78 @@
+"""Plain-text rendering helpers for harness output.
+
+Everything the harness produces is rendered as aligned ASCII tables (no
+plotting dependencies offline); the same renderers generate the
+EXPERIMENTS.md sections.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_float", "bar_chart"]
+
+
+def format_float(x: float, width: int = 9) -> str:
+    """Compact fixed-width float: engineering-friendly, never wider."""
+    if x == 0:
+        return f"{0:>{width}.3g}"
+    a = abs(x)
+    if 1e-3 <= a < 1e5:
+        s = f"{x:>{width}.4g}"
+    else:
+        s = f"{x:>{width}.2e}"
+    return s if len(s) <= width else f"{x:>{width}.2e}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as a column-aligned text table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(
+            " | ".join(c.rjust(w) for c, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def _cell(v: object) -> str:
+    if isinstance(v, float):
+        return format_float(v).strip()
+    return str(v)
+
+
+def bar_chart(
+    labels: Sequence[str], values: Sequence[float], width: int = 46
+) -> str:
+    """Horizontal ASCII bar chart (used for the figure-style series)."""
+    if len(labels) != len(values):
+        raise ValueError("labels/values length mismatch")
+    if not values:
+        return "(empty)"
+    peak = max(max(values), 1e-300)
+    wl = max(len(x) for x in labels)
+    lines = []
+    for label, v in zip(labels, values):
+        n = int(round(width * v / peak))
+        lines.append(
+            f"{label.ljust(wl)} |{'#' * n}{' ' * (width - n)}| "
+            f"{format_float(v).strip()}"
+        )
+    return "\n".join(lines)

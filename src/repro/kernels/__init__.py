@@ -1,0 +1,46 @@
+"""The six evaluation benchmarks (paper Table 1), ported to the
+significance programming model.
+
+============  ======  ==========================  ==========
+Benchmark     Mode    Degrees (Mild/Med/Aggr)      Quality
+============  ======  ==========================  ==========
+Sobel         A       80% / 30% / 0%              PSNR
+DCT           D       80% / 40% / 10%             PSNR
+MC            D, A    100% / 80% / 50%            Rel.Err
+Kmeans        A       80% / 60% / 40%             Rel.Err
+Jacobi        D, A    1e-4 / 1e-3 / 1e-2 (tol)    Rel.Err
+Fluidanimate  A       50% / 25% / 12.5%           Rel.Err
+============  ======  ==========================  ==========
+"""
+
+from .base import (
+    Benchmark,
+    Degree,
+    DegreeSpec,
+    PerforationNotApplicable,
+    benchmark_names,
+    get_benchmark,
+    register,
+)
+from .dct import DctBenchmark
+from .fluidanimate import FluidanimateBenchmark
+from .jacobi import JacobiBenchmark
+from .kmeans import KmeansBenchmark
+from .mc import McBenchmark
+from .sobel import SobelBenchmark
+
+__all__ = [
+    "Benchmark",
+    "Degree",
+    "DegreeSpec",
+    "PerforationNotApplicable",
+    "register",
+    "get_benchmark",
+    "benchmark_names",
+    "SobelBenchmark",
+    "DctBenchmark",
+    "McBenchmark",
+    "KmeansBenchmark",
+    "JacobiBenchmark",
+    "FluidanimateBenchmark",
+]

@@ -1,0 +1,171 @@
+"""Benchmark framework: the shape shared by the six evaluation codes.
+
+Table 1 of the paper defines, per benchmark: whether approximation means
+an approximate task version ("A"), dropping ("D"), or both; the three
+approximation degrees (Mild / Medium / Aggressive); and the quality
+metric.  :class:`Benchmark` captures that contract so the experiment
+harness can sweep every (benchmark × policy × degree) cell of Figure 2
+uniformly:
+
+* :meth:`Benchmark.build_input` — deterministic workload generation;
+* :meth:`Benchmark.run_tasks` — spawn the annotated task graph into a
+  runtime (the significance-programming-model port of the code);
+* :meth:`Benchmark.run_reference` — plain accurate execution, no
+  runtime (the quality baseline);
+* :meth:`Benchmark.run_perforated` — the loop-perforation port, spawning
+  only the kept tasks (time/energy baseline; ``None`` when perforation
+  is inapplicable, as for Fluidanimate);
+* :meth:`Benchmark.quality` — PSNR⁻¹ or relative error versus the
+  reference output.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from ..quality.metrics import QualityValue
+from ..runtime.scheduler import Scheduler
+
+__all__ = ["Degree", "DegreeSpec", "Benchmark", "register", "get_benchmark",
+           "benchmark_names", "PerforationNotApplicable"]
+
+
+class Degree(enum.Enum):
+    """The paper's three approximation degrees."""
+
+    MILD = "Mild"
+    MEDIUM = "Medium"
+    AGGRESSIVE = "Aggr"
+
+
+@dataclass(frozen=True)
+class DegreeSpec:
+    """One row of Table 1 for one benchmark.
+
+    ``param`` is the degree's knob value: the ratio of accurately
+    executed tasks for most benchmarks, the convergence tolerance for
+    Jacobi.
+    """
+
+    degree: Degree
+    param: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.degree.value}({self.param:g})"
+
+
+class PerforationNotApplicable(Exception):
+    """Raised by benchmarks where perforation breaks the computation.
+
+    "The perforation mechanism could not be applied on top of the
+    Fluidanimate benchmark ... the physics of the fluid are violated"
+    (section 4.2).
+    """
+
+
+class Benchmark(abc.ABC):
+    """One evaluation code ported to the significance programming model."""
+
+    #: Table 1 name.
+    name: str = "?"
+    #: "A", "D", or "D, A" — approximate and/or drop (Table 1).
+    approx_mode: str = "A"
+    #: Quality metric label: "PSNR" or "Rel.Err".
+    quality_metric: str = "Rel.Err"
+    #: Mild/Medium/Aggressive knob values (Table 1).
+    degrees: dict[Degree, float] = {}
+
+    def __init__(self, small: bool = False) -> None:
+        """``small=True`` shrinks the workload for fast unit tests."""
+        self.small = small
+
+    # -- workload ------------------------------------------------------
+    @abc.abstractmethod
+    def build_input(self, seed: int = 2015) -> Any:
+        """Deterministic input data for one experiment run."""
+
+    # -- executions ------------------------------------------------------
+    @abc.abstractmethod
+    def run_tasks(self, rt: Scheduler, inputs: Any, param: float) -> Any:
+        """Spawn the significance-annotated task graph; return output.
+
+        Must be fully driven by ``param`` (the Table 1 knob): callers
+        pick the policy and worker count through ``rt``.
+        """
+
+    @abc.abstractmethod
+    def run_reference(self, inputs: Any) -> Any:
+        """Fully accurate output computed without any runtime."""
+
+    def run_perforated(
+        self, rt: Scheduler, inputs: Any, param: float
+    ) -> Any:
+        """Loop-perforated execution (same kept-task count as ``param``).
+
+        Default: not applicable.
+        """
+        raise PerforationNotApplicable(self.name)
+
+    @property
+    def perforation_applicable(self) -> bool:
+        return type(self).run_perforated is not Benchmark.run_perforated
+
+    def run_overhead_probe(self, rt: Scheduler, inputs: Any) -> Any:
+        """The Figure 4 configuration: every task accurate, ratio 1.0.
+
+        Paper section 4.2: "All tasks are created with the same
+        significance and the ratio of tasks executed accurately is set
+        to 100%, therefore eliminating any benefits of approximate
+        execution."  The default runs :meth:`run_tasks` with ratio 1.0;
+        benchmarks whose phase structure forces approximate ratios
+        internally (Jacobi, Fluidanimate) override this.
+        """
+        return self.run_tasks(rt, inputs, 1.0)
+
+    # -- quality -----------------------------------------------------------
+    @abc.abstractmethod
+    def quality(self, reference: Any, output: Any) -> QualityValue:
+        """Lower-is-better quality of ``output`` against ``reference``."""
+
+    # -- conveniences -------------------------------------------------------
+    def degree_param(self, degree: Degree) -> float:
+        try:
+            return self.degrees[degree]
+        except KeyError:
+            raise KeyError(
+                f"{self.name} has no {degree.value} degree configured"
+            ) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Benchmark {self.name} ({'small' if self.small else 'full'})>"
+
+
+_REGISTRY: dict[str, type[Benchmark]] = {}
+
+
+def register(cls: type[Benchmark]) -> type[Benchmark]:
+    """Class decorator adding a benchmark to the global registry."""
+    key = cls.name.lower()
+    if key in _REGISTRY and _REGISTRY[key] is not cls:
+        raise ValueError(f"duplicate benchmark name {cls.name!r}")
+    _REGISTRY[key] = cls
+    return cls
+
+
+def get_benchmark(name: str, small: bool = False) -> Benchmark:
+    """Instantiate a registered benchmark by (case-insensitive) name."""
+    try:
+        cls = _REGISTRY[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(small=small)
+
+
+def benchmark_names() -> list[str]:
+    """Registered benchmark names in Table 1 order (registration order)."""
+    return [cls.name for cls in _REGISTRY.values()]

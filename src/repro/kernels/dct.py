@@ -1,0 +1,267 @@
+"""Discrete Cosine Transform (JPEG forward path) — Table 1 row "DCT".
+
+"DCT is a module of the JPEG compression and decompression algorithm.
+We assign higher significance to tasks that compute lower frequency
+coefficients" (section 4.1).  Approximation means *dropping* (Table 1:
+"D"): a dropped task leaves its frequency band zero, exactly like a
+JPEG encoder that truncates the zigzag scan.
+
+Decomposition: the image is split into 8x8 pixel blocks grouped into
+strips of block-rows; each task computes one *zigzag diagonal band*
+(all coefficients with ``u + v == k``) for every block of one strip.
+Low-``k`` bands carry the visually dominant low spatial frequencies, so
+significance decreases with ``k`` — "owing to the fact that the human
+eye is more sensitive to lower spatial frequencies" (section 1).
+
+Quality is the PSNR of the decompressed (dequantized + inverse DCT)
+image against the output of the fully accurate pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..perforation import perforated_indices
+from ..quality.images import synthetic_image
+from ..quality.metrics import QualityValue
+from ..runtime.scheduler import Scheduler
+from ..runtime.task import TaskCost, ref
+from .base import Benchmark, Degree, register
+
+__all__ = [
+    "BLOCK",
+    "N_BANDS",
+    "dct_matrix",
+    "band_coefficients",
+    "blockize",
+    "unblockize",
+    "dct_band_task",
+    "reconstruct",
+    "jpeg_quantization_table",
+    "band_significance",
+    "DctBenchmark",
+]
+
+#: JPEG block edge.
+BLOCK = 8
+#: Zigzag diagonals in an 8x8 block: u+v ranges over 0..14.
+N_BANDS = 2 * BLOCK - 1
+
+#: Work units per coefficient: an 8x8 inner product (64 MACs) plus
+#: scaling and quantization.
+OPS_PER_COEFF = 140.0
+
+
+def dct_matrix() -> np.ndarray:
+    """The 8x8 orthonormal DCT-II matrix ``C`` (rows are basis vectors)."""
+    k = np.arange(BLOCK)
+    n = np.arange(BLOCK)
+    mat = np.cos(np.pi * (2 * n[None, :] + 1) * k[:, None] / (2 * BLOCK))
+    mat *= np.sqrt(2.0 / BLOCK)
+    mat[0] /= np.sqrt(2.0)
+    return mat
+
+
+_C = dct_matrix()
+
+
+def jpeg_quantization_table() -> np.ndarray:
+    """The standard JPEG luminance quantization table (Annex K)."""
+    return np.array(
+        [
+            [16, 11, 10, 16, 24, 40, 51, 61],
+            [12, 12, 14, 19, 26, 58, 60, 55],
+            [14, 13, 16, 24, 40, 57, 69, 56],
+            [14, 17, 22, 29, 51, 87, 80, 62],
+            [18, 22, 37, 56, 68, 109, 103, 77],
+            [24, 35, 55, 64, 81, 104, 113, 92],
+            [49, 64, 78, 87, 103, 121, 120, 101],
+            [72, 92, 95, 98, 112, 100, 103, 99],
+        ],
+        dtype=np.float64,
+    )
+
+
+_Q = jpeg_quantization_table()
+
+
+def band_coefficients(k: int) -> list[tuple[int, int]]:
+    """The ``(u, v)`` coefficient indices on zigzag diagonal ``k``."""
+    if not 0 <= k < N_BANDS:
+        raise ValueError(f"band {k} out of range 0..{N_BANDS - 1}")
+    return [
+        (u, k - u)
+        for u in range(max(0, k - BLOCK + 1), min(k, BLOCK - 1) + 1)
+    ]
+
+
+def band_significance(k: int) -> float:
+    """Monotonically decreasing in frequency, within (0, 1) exclusive.
+
+    Band 0 (DC) gets 0.95, band 14 (highest frequencies) 0.05 — the
+    special forced values 0.0/1.0 are deliberately avoided, as in the
+    paper's Sobel example.
+    """
+    return 0.95 - 0.90 * k / (N_BANDS - 1)
+
+
+def blockize(img: np.ndarray) -> np.ndarray:
+    """(H, W) image -> (H//8 * W//8, 8, 8) block array, level-shifted."""
+    h, w = img.shape
+    if h % BLOCK or w % BLOCK:
+        raise ValueError(f"image {h}x{w} not a multiple of {BLOCK}")
+    a = img.astype(np.float64) - 128.0
+    return (
+        a.reshape(h // BLOCK, BLOCK, w // BLOCK, BLOCK)
+        .transpose(0, 2, 1, 3)
+        .reshape(-1, BLOCK, BLOCK)
+    )
+
+
+def unblockize(blocks: np.ndarray, h: int, w: int) -> np.ndarray:
+    """Inverse of :func:`blockize` (adds the level shift back)."""
+    a = (
+        blocks.reshape(h // BLOCK, w // BLOCK, BLOCK, BLOCK)
+        .transpose(0, 2, 1, 3)
+        .reshape(h, w)
+    )
+    return np.clip(a + 128.0, 0, 255).astype(np.uint8)
+
+
+def dct_band_task(
+    coeffs: np.ndarray, blocks: np.ndarray, lo: int, hi: int, k: int
+) -> None:
+    """Compute quantized band-``k`` coefficients for blocks ``lo:hi``.
+
+    Each coefficient ``(u, v)`` is the inner product of the block with
+    the separable basis ``C[u] x C[v]``, divided by the quantization
+    step — one frequency layer of a JPEG encoder.
+    """
+    chunk = blocks[lo:hi]
+    for u, v in band_coefficients(k):
+        basis = np.outer(_C[u], _C[v])
+        vals = np.tensordot(chunk, basis, axes=([1, 2], [0, 1]))
+        coeffs[lo:hi, u, v] = np.round(vals / _Q[u, v])
+
+
+def reconstruct(coeffs: np.ndarray, h: int, w: int) -> np.ndarray:
+    """JPEG decode: dequantize and inverse-DCT every block."""
+    deq = coeffs * _Q[None, :, :]
+    spatial = np.einsum("ku,nuv,vl->nkl", _C.T, deq, _C, optimize=True)
+    return unblockize(spatial, h, w)
+
+
+def band_cost(n_blocks: int, k: int) -> TaskCost:
+    """Analytic work of one band task (drop semantics: approximate=0)."""
+    n_coeff = len(band_coefficients(k))
+    return TaskCost(accurate=n_blocks * n_coeff * OPS_PER_COEFF)
+
+
+@register
+class DctBenchmark(Benchmark):
+    """JPEG DCT ported to the significance programming model."""
+
+    name = "DCT"
+    approx_mode = "D"
+    quality_metric = "PSNR"
+    degrees = {
+        Degree.MILD: 0.80,
+        Degree.MEDIUM: 0.40,
+        Degree.AGGRESSIVE: 0.10,
+    }
+
+    GROUP = "dct"
+
+    def __init__(self, small: bool = False) -> None:
+        super().__init__(small)
+        self.height = 64 if small else 1024
+        self.width = 64 if small else 1024
+        #: Block-rows per strip; many lightweight tasks (the paper notes
+        #: DCT "creates many lightweight tasks, therefore stressing the
+        #: runtime" — key to the Figure 4 overhead result).
+        self.strip_block_rows = 1
+
+    # ------------------------------------------------------------------
+    def build_input(self, seed: int = 2015) -> np.ndarray:
+        return synthetic_image(self.height, self.width, seed)
+
+    def _strips(self) -> list[tuple[int, int]]:
+        """(lo, hi) block index ranges, one per strip of block rows."""
+        rows = self.height // BLOCK
+        cols = self.width // BLOCK
+        out = []
+        for r0 in range(0, rows, self.strip_block_rows):
+            r1 = min(r0 + self.strip_block_rows, rows)
+            out.append((r0 * cols, r1 * cols))
+        return out
+
+    def run_tasks(
+        self, rt: Scheduler, inputs: np.ndarray, param: float
+    ) -> np.ndarray:
+        img = inputs
+        blocks = blockize(img)
+        coeffs = np.zeros_like(blocks)
+        rt.init_group(self.GROUP, ratio=param)
+        for lo, hi in self._strips():
+            for k in range(N_BANDS):
+                rt.spawn(
+                    dct_band_task,
+                    coeffs,
+                    blocks,
+                    lo,
+                    hi,
+                    k,
+                    significance=band_significance(k),
+                    label=self.GROUP,
+                    in_=[blocks],
+                    out=[ref(coeffs, region=(lo, k))],
+                    cost=band_cost(hi - lo, k),
+                )
+        rt.taskwait(label=self.GROUP)
+        return reconstruct(coeffs, img.shape[0], img.shape[1])
+
+    def run_reference(self, inputs: np.ndarray) -> np.ndarray:
+        blocks = blockize(inputs)
+        coeffs = np.zeros_like(blocks)
+        n = blocks.shape[0]
+        for k in range(N_BANDS):
+            dct_band_task(coeffs, blocks, 0, n, k)
+        return reconstruct(coeffs, inputs.shape[0], inputs.shape[1])
+
+    def run_perforated(
+        self, rt: Scheduler, inputs: np.ndarray, param: float
+    ) -> np.ndarray:
+        """Blind perforation over the (strip, band) task loop.
+
+        Keeps the same number of tasks the runtime executes accurately,
+        but chosen by loop position rather than frequency significance —
+        so low-frequency bands get dropped too, which is why perforated
+        DCT loses PSNR against the significance-aware runs.
+        """
+        img = inputs
+        blocks = blockize(img)
+        coeffs = np.zeros_like(blocks)
+        work = [
+            (lo, hi, k) for lo, hi in self._strips() for k in range(N_BANDS)
+        ]
+        rt.init_group(self.GROUP, ratio=1.0)
+        for j in perforated_indices(len(work), param, scheme="stride"):
+            lo, hi, k = work[int(j)]
+            rt.spawn(
+                dct_band_task,
+                coeffs,
+                blocks,
+                lo,
+                hi,
+                k,
+                significance=1.0,
+                label=self.GROUP,
+                in_=[blocks],
+                out=[ref(coeffs, region=(lo, k))],
+                cost=band_cost(hi - lo, k),
+            )
+        rt.taskwait(label=self.GROUP)
+        return reconstruct(coeffs, img.shape[0], img.shape[1])
+
+    def quality(self, reference, output) -> QualityValue:
+        return QualityValue.from_psnr(reference, output)

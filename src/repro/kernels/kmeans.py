@@ -1,0 +1,347 @@
+"""K-means clustering — Table 1 row "Kmeans".
+
+"K-means clustering aims to partition n observations in a
+multi-dimensional space into k clusters ... In each iteration the
+algorithm spawns a number of tasks, each being responsible for a subset
+of the entire problem.  All tasks are assigned the same significance
+value.  The degree of approximation is controlled by the ratio used at
+taskwait pragmas.  Approximated tasks compute a simpler version of the
+euclidean distance, while at the same time considering only a subset
+(1/8) of the dimensions.  Only accurate results are considered when
+evaluating the convergence criteria" (section 4.1).
+
+Convergence follows section 4.2: "The application terminates when the
+number of objects which move to another cluster is less than 1/1000 of
+the total object population" — counting only accurately-processed
+objects, which is exactly what makes LQH converge slowly (it accurately
+evaluates *different* objects every iteration, while deterministic GTB
+always picks the same ones).
+
+Each task assigns one chunk of points to the nearest centroid and
+returns partial sums; the master reduces them into new centroids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..perforation import perforated_indices
+from ..quality.metrics import QualityValue
+from ..runtime.scheduler import Scheduler
+from ..runtime.task import ExecutionKind, TaskCost
+from .base import Benchmark, Degree, register
+
+__all__ = [
+    "KmeansProblem",
+    "assign_chunk_accurate",
+    "assign_chunk_approx",
+    "kmeans_chunk_cost",
+    "inertia",
+    "KmeansBenchmark",
+]
+
+#: Fraction of dimensions the approximate distance considers.
+APPROX_DIM_FRACTION = 1.0 / 8.0
+#: Work units per point-centroid distance evaluation, per dimension.
+OPS_PER_DIM = 3.0
+#: Uniform task significance ("All tasks are assigned the same
+#: significance value").
+UNIFORM_SIGNIFICANCE = 0.5
+#: Convergence: moved objects < population / 1000.
+CONVERGENCE_DIVISOR = 1000
+MAX_ITERATIONS = 60
+
+
+@dataclass
+class KmeansProblem:
+    """One clustering workload: points plus deterministic initial
+    centroids.
+
+    Initialization is greedy farthest-point (maxmin) seeding: start
+    from the first point and repeatedly add the point farthest from the
+    chosen set.  On well-separated blobs this reliably seeds one
+    centroid per cluster, so the accurate run, the approximated runs
+    and the perforated run all descend into the *same* basin — the
+    precondition for the paper's graceful sub-percent errors (naive
+    Forgy init can merge two blobs and flip basins between variants,
+    which shows up as tens-of-percent inertia differences).
+    """
+
+    points: np.ndarray  # (n, d)
+    k: int
+
+    @property
+    def initial_centroids(self) -> np.ndarray:
+        pts = self.points
+        chosen = [0]
+        min_d2 = np.einsum(
+            "pd,pd->p", pts - pts[0], pts - pts[0]
+        )
+        for _ in range(1, self.k):
+            nxt = int(np.argmax(min_d2))
+            chosen.append(nxt)
+            d2 = np.einsum(
+                "pd,pd->p", pts - pts[nxt], pts - pts[nxt]
+            )
+            min_d2 = np.minimum(min_d2, d2)
+        return pts[chosen].copy()
+
+
+def _partial_result(
+    points: np.ndarray,
+    chunk: slice,
+    new_labels: np.ndarray,
+    k: int,
+):
+    """Partial sums and counts over a freshly assigned chunk."""
+    d = points.shape[1]
+    sums = np.zeros((k, d))
+    counts = np.zeros(k, dtype=np.int64)
+    np.add.at(sums, new_labels, points[chunk])
+    np.add.at(counts, new_labels, 1)
+    return sums, counts
+
+
+def assign_chunk_accurate(
+    points: np.ndarray,
+    centroids: np.ndarray,
+    labels: np.ndarray,
+    lo: int,
+    hi: int,
+):
+    """Accurate task body: full Euclidean assignment for points[lo:hi].
+
+    Updates the shared label array (the record of the last *accurate*
+    assignment of each point) and reports how many points moved
+    relative to it — the quantity the convergence test counts.
+    """
+    chunk = slice(lo, hi)
+    diff = points[chunk, None, :] - centroids[None, :, :]
+    dist2 = np.einsum("pkd,pkd->pk", diff, diff)
+    new_labels = np.argmin(dist2, axis=1)
+    moved = int(np.count_nonzero(new_labels != labels[chunk]))
+    labels[chunk] = new_labels
+    sums, counts = _partial_result(points, chunk, new_labels, len(centroids))
+    return sums, counts, moved
+
+
+def assign_chunk_approx(
+    points: np.ndarray,
+    centroids: np.ndarray,
+    labels: np.ndarray,
+    lo: int,
+    hi: int,
+):
+    """Approximate body: Manhattan distance over 1/8 of the dimensions.
+
+    Produces the chunk's (cheap) assignment for the program output but
+    does *not* touch the shared accurate-label record: "objects which
+    are computed approximately do not participate in the termination
+    criteria" — letting approximate assignments overwrite the labels
+    would make every later accurate visit look like a mass move and
+    stall convergence (the failure mode is worst under LQH, which
+    accurately visits different chunks every iteration).
+    """
+    chunk = slice(lo, hi)
+    d = points.shape[1]
+    d_sub = max(1, int(d * APPROX_DIM_FRACTION))
+    diff = points[chunk, None, :d_sub] - centroids[None, :, :d_sub]
+    dist = np.abs(diff).sum(axis=2)
+    new_labels = np.argmin(dist, axis=1)
+    sums, counts = _partial_result(points, chunk, new_labels, len(centroids))
+    return sums, counts, 0
+
+
+def kmeans_chunk_cost(chunk_size: int, k: int, d: int) -> TaskCost:
+    d_sub = max(1, int(d * APPROX_DIM_FRACTION))
+    return TaskCost(
+        accurate=chunk_size * k * d * OPS_PER_DIM,
+        approximate=chunk_size * k * d_sub * OPS_PER_DIM,
+    )
+
+
+def inertia(points: np.ndarray, centroids: np.ndarray) -> float:
+    """Sum of squared distances to the nearest centroid (the k-means
+    objective; the scalar whose relative error we report)."""
+    diff = points[:, None, :] - centroids[None, :, :]
+    dist2 = np.einsum("pkd,pkd->pk", diff, diff)
+    return float(dist2.min(axis=1).sum())
+
+
+@register
+class KmeansBenchmark(Benchmark):
+    """K-means ported to the significance programming model."""
+
+    name = "Kmeans"
+    approx_mode = "A"
+    quality_metric = "Rel.Err"
+    degrees = {
+        Degree.MILD: 0.80,
+        Degree.MEDIUM: 0.60,
+        Degree.AGGRESSIVE: 0.40,
+    }
+
+    GROUP = "kmeans"
+
+    def __init__(self, small: bool = False) -> None:
+        super().__init__(small)
+        self.n_points = 512 if small else 4096
+        self.dims = 16
+        self.k = 8
+        self.chunk = 32 if small else 64
+
+    # ------------------------------------------------------------------
+    def build_input(self, seed: int = 2015) -> KmeansProblem:
+        """Gaussian blobs around k random centers (deterministic).
+
+        The point set is also cached on the instance because
+        :meth:`quality` evaluates the clustering objective on it.
+        """
+        rng = np.random.default_rng(seed)
+        centers = rng.uniform(-6, 6, size=(self.k, self.dims))
+        which = rng.integers(0, self.k, size=self.n_points)
+        pts = centers[which] + rng.normal(0, 1.0, (self.n_points, self.dims))
+        self._points_cache = pts
+        return KmeansProblem(points=pts, k=self.k)
+
+    def _chunks(self) -> list[tuple[int, int]]:
+        return [
+            (lo, min(lo + self.chunk, self.n_points))
+            for lo in range(0, self.n_points, self.chunk)
+        ]
+
+    # ------------------------------------------------------------------
+    def run_tasks(
+        self, rt: Scheduler, inputs: KmeansProblem, param: float
+    ) -> np.ndarray:
+        points = inputs.points
+        centroids = inputs.initial_centroids
+        labels = np.zeros(self.n_points, dtype=np.int64)
+        rt.init_group(self.GROUP, ratio=param)
+        cost = kmeans_chunk_cost(self.chunk, self.k, self.dims)
+        threshold = self.n_points / CONVERGENCE_DIVISOR
+
+        for _ in range(MAX_ITERATIONS):
+            tasks = [
+                rt.spawn(
+                    assign_chunk_accurate,
+                    points,
+                    centroids,
+                    labels,
+                    lo,
+                    hi,
+                    significance=UNIFORM_SIGNIFICANCE,
+                    approxfun=assign_chunk_approx,
+                    label=self.GROUP,
+                    cost=cost,
+                )
+                for lo, hi in self._chunks()
+            ]
+            rt.taskwait(label=self.GROUP)
+
+            # "Only accurate results are considered when evaluating the
+            # convergence criteria" — and, to keep degradation graceful,
+            # only accurate partial sums feed the centroid update (the
+            # accurate chunks are an unbiased subsample of the points;
+            # approximate chunks merely refresh their labels cheaply).
+            sums = np.zeros_like(centroids)
+            counts = np.zeros(self.k, dtype=np.int64)
+            moved_accurate = 0
+            for t in tasks:
+                s, c, moved = t.result
+                if t.decision is ExecutionKind.ACCURATE:
+                    sums += s
+                    counts += c
+                    moved_accurate += moved
+            nonzero = counts > 0
+            centroids = centroids.copy()
+            centroids[nonzero] = sums[nonzero] / counts[nonzero, None]
+
+            if moved_accurate < threshold:
+                break
+        return centroids
+
+    def run_reference(self, inputs: KmeansProblem) -> np.ndarray:
+        """Plain accurate k-means with the same convergence rule."""
+        points = inputs.points
+        centroids = inputs.initial_centroids
+        labels = np.zeros(self.n_points, dtype=np.int64)
+        threshold = self.n_points / CONVERGENCE_DIVISOR
+        for _ in range(MAX_ITERATIONS):
+            sums = np.zeros_like(centroids)
+            counts = np.zeros(self.k, dtype=np.int64)
+            moved_total = 0
+            for lo, hi in self._chunks():
+                s, c, moved = assign_chunk_accurate(
+                    points, centroids, labels, lo, hi
+                )
+                sums += s
+                counts += c
+                moved_total += moved
+            nonzero = counts > 0
+            centroids = centroids.copy()
+            centroids[nonzero] = sums[nonzero] / counts[nonzero, None]
+            if moved_total < threshold:
+                break
+        return centroids
+
+    def run_perforated(
+        self, rt: Scheduler, inputs: KmeansProblem, param: float
+    ) -> np.ndarray:
+        """Perforated k-means: only ``param`` of the chunks are
+        (accurately) processed each iteration; the rest keep stale
+        assignments and do not contribute to the update or convergence."""
+        points = inputs.points
+        centroids = inputs.initial_centroids
+        labels = np.zeros(self.n_points, dtype=np.int64)
+        chunks = self._chunks()
+        kept = [
+            chunks[int(j)]
+            for j in perforated_indices(len(chunks), param, scheme="stride")
+        ]
+        kept_points = sum(hi - lo for lo, hi in kept)
+        threshold = max(kept_points, 1) / CONVERGENCE_DIVISOR
+        rt.init_group(self.GROUP, ratio=1.0)
+        cost = kmeans_chunk_cost(self.chunk, self.k, self.dims)
+
+        for _ in range(MAX_ITERATIONS):
+            tasks = [
+                rt.spawn(
+                    assign_chunk_accurate,
+                    points,
+                    centroids,
+                    labels,
+                    lo,
+                    hi,
+                    significance=1.0,
+                    label=self.GROUP,
+                    cost=cost,
+                )
+                for lo, hi in kept
+            ]
+            rt.taskwait(label=self.GROUP)
+            sums = np.zeros_like(centroids)
+            counts = np.zeros(self.k, dtype=np.int64)
+            moved_total = 0
+            for t in tasks:
+                s, c, moved = t.result
+                sums += s
+                counts += c
+                moved_total += moved
+            nonzero = counts > 0
+            centroids = centroids.copy()
+            centroids[nonzero] = sums[nonzero] / counts[nonzero, None]
+            if moved_total < threshold:
+                break
+        return centroids
+
+    def quality(self, reference, output) -> QualityValue:
+        """Relative error of the clustering objective (inertia)."""
+        ref_val = np.asarray([inertia(self._points_cache, reference)])
+        out_val = np.asarray([inertia(self._points_cache, output)])
+        return QualityValue.from_relative_error(ref_val, out_val)
+
+    # quality() needs the points; build_input stashes them here.
+    _points_cache: np.ndarray = np.empty((0, 0))

@@ -1,0 +1,185 @@
+"""Sobel edge detection — the paper's running example (Listing 1).
+
+One task computes one row of the output image.  The accurate body
+evaluates the full 3x3 Sobel stencil and the exact gradient magnitude
+``sqrt(gx^2 + gy^2)``; the approximate body "uses a lightweight Sobel
+stencil with just 2/3 of the filter taps [and] substitutes the costly
+formula with its approximate counterpart |gx| + |gy|" (section 4.1).
+
+Significance is assigned round-robin, ``(i % 9 + 1) / 10``, so that
+"approximated pixels are uniformly spread throughout the output image"
+and the special values 0.0/1.0 are avoided (Listing 1, line 53).
+
+Table 1 row: approximate (A); degrees Mild/Medium/Aggressive =
+80% / 30% / 0% accurate tasks; quality metric PSNR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..perforation import perforated_indices
+from ..quality.images import synthetic_image
+from ..quality.metrics import QualityValue
+from ..runtime.scheduler import Scheduler
+from ..runtime.task import TaskCost, ref
+from .base import Benchmark, Degree, register
+
+__all__ = [
+    "sobel_row_accurate",
+    "sobel_row_approx",
+    "sobel_reference",
+    "sobel_row_significance",
+    "sobel_row_cost",
+    "SobelBenchmark",
+]
+
+#: Work units per output pixel.  The accurate body of Listing 1 calls
+#: ``pow()`` twice and ``sqrt()`` once per pixel — library calls of
+#: roughly 40 simple ops each on the paper's testbed — plus 12 loads,
+#: 8 add/sub and 4 multiplies for the stencils.
+ACCURATE_OPS_PER_PIXEL = 144.0
+#: Approximate body: 8 loads, 6 add/sub, 2 mul, abs and clamp — the
+#: whole point of substituting ``|gx| + |gy|`` for ``sqrt(pow+pow)``.
+APPROX_OPS_PER_PIXEL = 16.0
+
+
+def sobel_row_accurate(res: np.ndarray, img: np.ndarray, i: int) -> None:
+    """Full-precision Sobel for output row ``i`` (vectorized over j).
+
+    Mirrors ``sbl_task`` of Listing 1: 3x3 X and Y stencils, gradient
+    magnitude ``sqrt(gx^2+gy^2)`` clamped to 255.
+    """
+    a = img.astype(np.int32)
+    top, mid, bot = a[i - 1], a[i], a[i + 1]
+    gx = (
+        top[:-2] + 2 * mid[:-2] + bot[:-2]
+        - top[2:] - 2 * mid[2:] - bot[2:]
+    )
+    gy = (
+        bot[:-2] + 2 * bot[1:-1] + bot[2:]
+        - top[:-2] - 2 * top[1:-1] - top[2:]
+    )
+    p = np.sqrt(gx.astype(np.float64) ** 2 + gy.astype(np.float64) ** 2)
+    res[i, 1:-1] = np.minimum(p, 255.0).astype(np.uint8)
+
+
+def sobel_row_approx(res: np.ndarray, img: np.ndarray, i: int) -> None:
+    """Lightweight Sobel for row ``i``.
+
+    Mirrors ``sbl_task_appr``: the ``(y-1, x-1)`` and ``(y-1, x+1)``
+    taps are omitted from each stencil (2/3 of the taps remain) and the
+    magnitude becomes ``|gx + gy|``.
+    """
+    a = img.astype(np.int32)
+    top, mid, bot = a[i - 1], a[i], a[i + 1]
+    gx = 2 * mid[:-2] + bot[:-2] - 2 * mid[2:] - bot[2:]
+    gy = 2 * bot[1:-1] + bot[2:] - 2 * top[1:-1] - top[2:]
+    p = np.abs(gx + gy)
+    res[i, 1:-1] = np.minimum(p, 255).astype(np.uint8)
+
+
+def sobel_reference(img: np.ndarray) -> np.ndarray:
+    """Whole-image accurate Sobel (the quality baseline)."""
+    res = np.zeros_like(img)
+    for i in range(1, img.shape[0] - 1):
+        sobel_row_accurate(res, img, i)
+    return res
+
+
+def sobel_row_significance(i: int) -> float:
+    """Listing 1 line 53: ``(i % 9 + 1) / 10.0``."""
+    return (i % 9 + 1) / 10.0
+
+
+def sobel_row_cost(width: int) -> TaskCost:
+    """Analytic work for one row task."""
+    inner = max(width - 2, 0)
+    return TaskCost(
+        accurate=inner * ACCURATE_OPS_PER_PIXEL,
+        approximate=inner * APPROX_OPS_PER_PIXEL,
+    )
+
+
+@register
+class SobelBenchmark(Benchmark):
+    """Sobel ported to the significance programming model."""
+
+    name = "Sobel"
+    approx_mode = "A"
+    quality_metric = "PSNR"
+    degrees = {
+        Degree.MILD: 0.80,
+        Degree.MEDIUM: 0.30,
+        Degree.AGGRESSIVE: 0.0,
+    }
+
+    GROUP = "sobel"
+
+    def __init__(self, small: bool = False) -> None:
+        super().__init__(small)
+        self.height = 64 if small else 512
+        self.width = 64 if small else 512
+
+    def build_input(self, seed: int = 2015) -> np.ndarray:
+        return synthetic_image(self.height, self.width, seed)
+
+    def run_tasks(
+        self, rt: Scheduler, inputs: np.ndarray, param: float
+    ) -> np.ndarray:
+        img = inputs
+        res = np.zeros_like(img)
+        rt.init_group(self.GROUP, ratio=param)
+        cost = sobel_row_cost(img.shape[1])
+        for i in range(1, img.shape[0] - 1):
+            rt.spawn(
+                sobel_row_accurate,
+                res,
+                img,
+                i,
+                significance=sobel_row_significance(i),
+                approxfun=sobel_row_approx,
+                label=self.GROUP,
+                in_=[img],
+                out=[ref(res, region=i)],
+                cost=cost,
+            )
+        rt.taskwait(label=self.GROUP)
+        return res
+
+    def run_reference(self, inputs: np.ndarray) -> np.ndarray:
+        return sobel_reference(inputs)
+
+    def run_perforated(
+        self, rt: Scheduler, inputs: np.ndarray, param: float
+    ) -> np.ndarray:
+        """Blind loop perforation over the row loop.
+
+        Keeps ``param * rows`` iterations (the same number of tasks the
+        significance runtime executes accurately); dropped rows keep the
+        output's initialization value — exactly what perforating the row
+        loop of the C code does.
+        """
+        img = inputs
+        res = np.zeros_like(img)
+        rows = img.shape[0] - 2
+        cost = sobel_row_cost(img.shape[1])
+        rt.init_group(self.GROUP, ratio=1.0)
+        for r in perforated_indices(rows, param, scheme="stride"):
+            i = int(r) + 1
+            rt.spawn(
+                sobel_row_accurate,
+                res,
+                img,
+                i,
+                significance=1.0,
+                label=self.GROUP,
+                in_=[img],
+                out=[ref(res, region=i)],
+                cost=cost,
+            )
+        rt.taskwait(label=self.GROUP)
+        return res
+
+    def quality(self, reference, output) -> QualityValue:
+        return QualityValue.from_psnr(reference, output)

@@ -1,0 +1,5 @@
+"""Loop perforation baseline (Sidiroglou-Douskos et al., FSE 2011)."""
+
+from .perforate import PerforationError, perforate_loop, perforated_indices
+
+__all__ = ["PerforationError", "perforate_loop", "perforated_indices"]

@@ -1,0 +1,115 @@
+"""Loop perforation — the paper's comparison baseline.
+
+Loop perforation [Sidiroglou-Douskos et al., ESEC/FSE 2011] "classifies
+loop iterations into critical and non-critical ones.  The latter can be
+dropped, as long as the results of the loop are acceptable from a
+quality standpoint."  The paper compares its significance-driven runtime
+against perforated versions of each benchmark, arranged so that "the
+perforated version executes the same number of tasks as those executed
+accurately by our approach" (section 4.1).
+
+This module provides the iteration-selection schemes a perforating
+compiler would emit, plus a decorator that perforates functions
+iterating over an index range.  Perforation is *blind*: it has no notion
+of significance — dropping the same fraction of iterations that the
+significance runtime would approximate, but without choosing *which*
+ones matter (which is exactly why Figure 3 looks so much worse than
+Figure 1).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..runtime.errors import ReproError
+
+__all__ = ["PerforationError", "perforated_indices", "perforate_loop"]
+
+
+class PerforationError(ReproError, ValueError):
+    """Invalid perforation configuration."""
+
+
+_SCHEMES = ("stride", "truncate", "random")
+
+
+def perforated_indices(
+    n: int,
+    keep_fraction: float,
+    scheme: str = "stride",
+    seed: int = 0,
+) -> np.ndarray:
+    """Indices in ``range(n)`` a perforated loop still executes.
+
+    Schemes (the standard perforation transformations):
+
+    * ``stride``   — keep every k-th iteration, evenly spread (the
+      "interleaved" perforation most perforating compilers default to);
+    * ``truncate`` — keep the first ``keep_fraction * n`` iterations;
+    * ``random``   — keep a uniform random subset (seeded).
+
+    ``keep_fraction=1`` keeps everything; ``0`` drops everything.
+    """
+    if not 0.0 <= keep_fraction <= 1.0:
+        raise PerforationError(
+            f"keep_fraction must be in [0, 1], got {keep_fraction}"
+        )
+    if n < 0:
+        raise PerforationError(f"negative loop trip count: {n}")
+    if scheme not in _SCHEMES:
+        raise PerforationError(
+            f"unknown scheme {scheme!r}; expected one of {_SCHEMES}"
+        )
+    keep = int(round(keep_fraction * n))
+    if keep == 0:
+        return np.empty(0, dtype=np.int64)
+    if keep >= n:
+        return np.arange(n, dtype=np.int64)
+    if scheme == "truncate":
+        return np.arange(keep, dtype=np.int64)
+    if scheme == "random":
+        rng = np.random.default_rng(seed)
+        return np.sort(rng.choice(n, size=keep, replace=False)).astype(
+            np.int64
+        )
+    # stride: ideal equidistant placement, first iteration always kept.
+    return np.unique(
+        np.floor(np.arange(keep) * (n / keep)).astype(np.int64)
+    )
+
+
+def perforate_loop(
+    keep_fraction: float, scheme: str = "stride", seed: int = 0
+) -> Callable:
+    """Decorator: perforate a function of the form ``f(i, ...)``.
+
+    Returns a wrapper ``g(indices, ...)`` that calls ``f`` only for the
+    kept subset of ``indices`` — the code shape a perforating compiler
+    produces for a counted loop whose body is ``f``.
+
+    >>> @perforate_loop(0.5)
+    ... def body(i, acc):
+    ...     acc.append(i)
+    >>> acc = []
+    >>> body(range(10), acc)
+    >>> len(acc)
+    5
+    """
+
+    def deco(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(indices: Iterable[int], *args, **kwargs):
+            idx = np.fromiter(indices, dtype=np.int64)
+            for i in perforated_indices(
+                len(idx), keep_fraction, scheme, seed
+            ):
+                fn(int(idx[i]), *args, **kwargs)
+
+        wrapper.keep_fraction = keep_fraction  # type: ignore[attr-defined]
+        wrapper.scheme = scheme  # type: ignore[attr-defined]
+        return wrapper
+
+    return deco

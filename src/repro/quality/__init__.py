@@ -1,0 +1,33 @@
+"""Quality metrics and image helpers (PSNR, relative error, mosaics)."""
+
+from .images import (
+    quadrant_mosaic,
+    quadrant_psnr,
+    read_pgm,
+    synthetic_image,
+    write_pgm,
+)
+from .metrics import (
+    QualityValue,
+    inverse_psnr,
+    mean_relative_error,
+    mse,
+    psnr,
+    relative_error,
+)
+from .ssim import ssim
+
+__all__ = [
+    "mse",
+    "psnr",
+    "inverse_psnr",
+    "relative_error",
+    "mean_relative_error",
+    "ssim",
+    "QualityValue",
+    "synthetic_image",
+    "quadrant_mosaic",
+    "quadrant_psnr",
+    "write_pgm",
+    "read_pgm",
+]

@@ -1,0 +1,121 @@
+"""Output-quality metrics (paper section 4.1).
+
+"The quality of the final result is evaluated by comparing it to the
+output produced by a fully accurate execution of the respective code.
+For benchmarks involving image processing (DCT, Sobel), we use the peak
+signal to noise ratio (PSNR) metric, whereas for MC, Kmeans, Jacobi and
+Fluidanimate we use the relative error."
+
+Figure 2 plots *lower-is-better* quality, i.e. ``PSNR^-1`` for the image
+benchmarks and relative error (%) for the rest; both are provided here.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "mse",
+    "psnr",
+    "inverse_psnr",
+    "relative_error",
+    "mean_relative_error",
+    "QualityValue",
+]
+
+
+def _as_float(a) -> np.ndarray:
+    return np.asarray(a, dtype=np.float64)
+
+
+def mse(reference, test) -> float:
+    """Mean squared error between two arrays of identical shape."""
+    r, t = _as_float(reference), _as_float(test)
+    if r.shape != t.shape:
+        raise ValueError(f"shape mismatch: {r.shape} vs {t.shape}")
+    if r.size == 0:
+        raise ValueError("cannot compute MSE of empty arrays")
+    return float(np.mean((r - t) ** 2))
+
+
+def psnr(reference, test, peak: float = 255.0) -> float:
+    """Peak signal-to-noise ratio in dB; ``inf`` for identical inputs.
+
+    ``peak`` is the dynamic range of the signal (255 for 8-bit images).
+    """
+    if peak <= 0:
+        raise ValueError(f"peak must be positive, got {peak}")
+    err = mse(reference, test)
+    if err == 0.0:
+        return math.inf
+    return 10.0 * math.log10(peak * peak / err)
+
+
+def inverse_psnr(reference, test, peak: float = 255.0) -> float:
+    """``1 / PSNR`` — the lower-is-better image metric of Figure 2.
+
+    Identical outputs give 0.0 (perfect quality).
+    """
+    p = psnr(reference, test, peak)
+    if math.isinf(p):
+        return 0.0
+    if p <= 0:
+        # PSNR <= 0 dB means noise power exceeds signal power; clamp the
+        # inverse to a large sentinel rather than flipping sign.
+        return math.inf
+    return 1.0 / p
+
+
+def relative_error(reference, test, eps: float = 1e-300) -> float:
+    """L2-norm relative error ``||t - r|| / ||r||``.
+
+    The scalar form the paper reports for MC/Kmeans/Jacobi/Fluidanimate.
+    A zero reference with nonzero test yields ``inf``.
+    """
+    r, t = _as_float(reference), _as_float(test)
+    if r.shape != t.shape:
+        raise ValueError(f"shape mismatch: {r.shape} vs {t.shape}")
+    num = float(np.linalg.norm((t - r).ravel()))
+    den = float(np.linalg.norm(r.ravel()))
+    if den < eps:
+        return 0.0 if num < eps else math.inf
+    return num / den
+
+
+def mean_relative_error(reference, test, eps: float = 1e-12) -> float:
+    """Mean elementwise ``|t - r| / max(|r|, eps)`` (robust variant)."""
+    r, t = _as_float(reference), _as_float(test)
+    if r.shape != t.shape:
+        raise ValueError(f"shape mismatch: {r.shape} vs {t.shape}")
+    if r.size == 0:
+        raise ValueError("cannot compute error of empty arrays")
+    denom = np.maximum(np.abs(r), eps)
+    return float(np.mean(np.abs(t - r) / denom))
+
+
+class QualityValue:
+    """A tagged quality number, lower-is-better, as plotted in Figure 2.
+
+    ``metric`` is ``"PSNR^-1"`` or ``"Rel.Err(%)"``; ``value`` carries the
+    already-inverted/percentaged number so harness code can compare and
+    print uniformly.
+    """
+
+    __slots__ = ("metric", "value")
+
+    def __init__(self, metric: str, value: float) -> None:
+        self.metric = metric
+        self.value = float(value)
+
+    @classmethod
+    def from_psnr(cls, reference, test, peak: float = 255.0) -> "QualityValue":
+        return cls("PSNR^-1", inverse_psnr(reference, test, peak))
+
+    @classmethod
+    def from_relative_error(cls, reference, test) -> "QualityValue":
+        return cls("Rel.Err(%)", 100.0 * relative_error(reference, test))
+
+    def __repr__(self) -> str:
+        return f"QualityValue({self.metric}={self.value:.6g})"

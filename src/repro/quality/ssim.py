@@ -1,0 +1,68 @@
+"""Structural similarity (SSIM) — a perceptual quality metric.
+
+PSNR (the paper's image metric) is purely pixel-wise; SSIM [Wang et al.
+2004] correlates better with perceived quality and is the standard
+second opinion in approximate-computing evaluations.  Provided here so
+users of the library can report both; the harness keeps PSNR for paper
+fidelity.
+
+Implementation: the common simplified SSIM with an 8x8 sliding window
+(stride 4), uniform weighting, ``K1=0.01, K2=0.03``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ssim"]
+
+_K1, _K2 = 0.01, 0.03
+
+
+def _windows(a: np.ndarray, size: int, stride: int) -> np.ndarray:
+    h, w = a.shape
+    if h < size or w < size:
+        raise ValueError(
+            f"image {h}x{w} smaller than SSIM window {size}"
+        )
+    out = []
+    for i in range(0, h - size + 1, stride):
+        for j in range(0, w - size + 1, stride):
+            out.append(a[i : i + size, j : j + size])
+    return np.stack(out)
+
+
+def ssim(
+    reference,
+    test,
+    peak: float = 255.0,
+    window: int = 8,
+    stride: int = 4,
+) -> float:
+    """Mean SSIM over sliding windows; 1.0 means identical.
+
+    Raises ``ValueError`` on shape mismatch or images smaller than the
+    window.
+    """
+    r = np.asarray(reference, dtype=np.float64)
+    t = np.asarray(test, dtype=np.float64)
+    if r.shape != t.shape:
+        raise ValueError(f"shape mismatch: {r.shape} vs {t.shape}")
+    if peak <= 0:
+        raise ValueError(f"peak must be positive, got {peak}")
+
+    wr = _windows(r, window, stride)
+    wt = _windows(t, window, stride)
+    mu_r = wr.mean(axis=(1, 2))
+    mu_t = wt.mean(axis=(1, 2))
+    var_r = wr.var(axis=(1, 2))
+    var_t = wt.var(axis=(1, 2))
+    cov = ((wr - mu_r[:, None, None]) * (wt - mu_t[:, None, None])).mean(
+        axis=(1, 2)
+    )
+
+    c1 = (_K1 * peak) ** 2
+    c2 = (_K2 * peak) ** 2
+    num = (2 * mu_r * mu_t + c1) * (2 * cov + c2)
+    den = (mu_r**2 + mu_t**2 + c1) * (var_r + var_t + c2)
+    return float(np.mean(num / den))

@@ -1,0 +1,308 @@
+"""Execution engines: how tasks actually run.
+
+One scheduler, three interchangeable engines (DESIGN.md section 5):
+
+* :class:`SimulatedEngine` — the default.  Wraps
+  :class:`repro.sim.machine.SimulatedMachine`: N virtual cores under a
+  deterministic discrete-event clock.  Task bodies really execute (so
+  results and quality metrics are genuine); durations come from the cost
+  model; energy from the machine power model.  This engine reproduces
+  the paper's 16-core testbed on any host.
+* :class:`ThreadedEngine` — real ``threading`` workers sharing the same
+  queue fabric and policies.  Useful when task bodies release the GIL
+  (NumPy); timing is host wall-clock and therefore noisy.  The energy
+  report applies the machine power model to *measured* busy intervals —
+  an estimate, clearly labelled as such.
+* ``sequential`` — a :class:`SimulatedEngine` with one worker; the
+  reference semantics for debugging.
+
+Engines expose a deliberately narrow interface: ``enqueue`` a ready
+task, ``master_charge`` bookkeeping work, ``run_until`` a barrier
+predicate holds, ``finish`` the run.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+import time as _time
+from typing import TYPE_CHECKING, Callable
+
+from ..sim.machine import SimulatedMachine
+from ..sim.trace import ExecutionTrace, Segment
+from .errors import SchedulerError
+from .queues import WorkerQueues
+from .task import Task, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..energy.cost import CostModel
+    from ..energy.machine_model import MachineModel
+    from ..runtime.policies.base import Policy
+
+__all__ = ["Engine", "SimulatedEngine", "ThreadedEngine", "make_engine"]
+
+
+class Engine(abc.ABC):
+    """Minimal contract between the scheduler and an execution backend."""
+
+    @abc.abstractmethod
+    def enqueue(self, task: Task, at: float | None = None) -> None:
+        """Accept a dependence-free task for execution."""
+
+    @abc.abstractmethod
+    def master_charge(self, work_units: float) -> None:
+        """Account master-side bookkeeping work."""
+
+    @property
+    @abc.abstractmethod
+    def master_time(self) -> float:
+        """The master thread's current (virtual or wall) time."""
+
+    @abc.abstractmethod
+    def run_until(
+        self, predicate: Callable[[], bool], description: str
+    ) -> float:
+        """Block until the barrier predicate holds; return the time."""
+
+    @abc.abstractmethod
+    def finish(self) -> tuple[ExecutionTrace, float]:
+        """Complete all work; return (trace, makespan)."""
+
+    @property
+    @abc.abstractmethod
+    def n_workers(self) -> int: ...
+
+    @property
+    @abc.abstractmethod
+    def queue_stats(self): ...
+
+
+class SimulatedEngine(Engine):
+    """Virtual-time engine over :class:`SimulatedMachine`."""
+
+    def __init__(
+        self,
+        n_workers: int,
+        machine_model: "MachineModel",
+        cost_model: "CostModel",
+        policy: "Policy",
+        on_task_finished: Callable[[Task, float], None],
+        stall_handler: Callable[[], bool] | None = None,
+    ) -> None:
+        self.machine = SimulatedMachine(
+            n_workers,
+            machine_model,
+            cost_model,
+            policy,
+            on_task_finished,
+            stall_handler,
+        )
+
+    def enqueue(self, task: Task, at: float | None = None) -> None:
+        self.machine.enqueue(task, at)
+
+    def master_charge(self, work_units: float) -> None:
+        self.machine.master_charge(work_units)
+
+    @property
+    def master_time(self) -> float:
+        return self.machine.master_time
+
+    def run_until(
+        self, predicate: Callable[[], bool], description: str
+    ) -> float:
+        return self.machine.run_until(predicate, description)
+
+    def finish(self) -> tuple[ExecutionTrace, float]:
+        self.machine.drain()
+        return self.machine.trace, self.machine.makespan
+
+    @property
+    def n_workers(self) -> int:
+        return self.machine.queues.n_workers
+
+    @property
+    def queue_stats(self):
+        return self.machine.queues.stats
+
+    @property
+    def trace(self) -> ExecutionTrace:
+        return self.machine.trace
+
+
+class ThreadedEngine(Engine):
+    """Real-thread engine sharing the queue fabric and policies.
+
+    Worker threads loop on :meth:`WorkerQueues.acquire` under a lock and
+    block on a condition variable when idle.  Timestamps are wall-clock
+    seconds relative to engine construction, so the resulting trace can
+    be fed to the same energy model (as an *estimate*; see module
+    docstring).
+    """
+
+    _IDLE_WAIT_S = 0.05
+
+    def __init__(
+        self,
+        n_workers: int,
+        machine_model: "MachineModel",
+        cost_model: "CostModel",
+        policy: "Policy",
+        on_task_finished: Callable[[Task, float], None],
+        stall_handler: Callable[[], bool] | None = None,
+    ) -> None:
+        if n_workers > machine_model.n_cores:
+            raise SchedulerError(
+                f"{n_workers} workers exceed the machine's "
+                f"{machine_model.n_cores} cores"
+            )
+        self.machine_model = machine_model
+        self.cost_model = cost_model
+        self.policy = policy
+        self.on_task_finished = on_task_finished
+        self.stall_handler = stall_handler
+
+        self.queues = WorkerQueues(n_workers)
+        self.trace = ExecutionTrace(n_workers)
+        self._t0 = _time.perf_counter()
+        # RLock: on_task_finished (held) may release successors, which
+        # re-enters enqueue() on the same lock.
+        self._lock = threading.RLock()
+        self._work_cv = threading.Condition(self._lock)
+        self._done_cv = threading.Condition(self._lock)
+        self._stop = False
+        self._inflight = 0
+        self._master_busy = 0.0
+        policy.make_worker_state(n_workers)
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, args=(w,), daemon=True
+            )
+            for w in range(n_workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- master side -----------------------------------------------------
+    def _now(self) -> float:
+        return _time.perf_counter() - self._t0
+
+    def enqueue(self, task: Task, at: float | None = None) -> None:
+        with self._work_cv:
+            task.t_issued = self._now()
+            self.queues.push(task)
+            self._inflight += 1
+            self._work_cv.notify_all()
+
+    def master_charge(self, work_units: float) -> None:
+        # Real bookkeeping already costs real time on this engine; we
+        # only record the model-equivalent for reporting symmetry.
+        self._master_busy += self.machine_model.duration_of(work_units)
+
+    @property
+    def master_time(self) -> float:
+        return self._now()
+
+    # -- worker side ----------------------------------------------------
+    def _worker_loop(self, worker: int) -> None:
+        while True:
+            with self._work_cv:
+                task = self.queues.acquire(worker)
+                while task is None:
+                    if self._stop:
+                        return
+                    self._work_cv.wait(self._IDLE_WAIT_S)
+                    task = self.queues.acquire(worker)
+            self._run_one(worker, task)
+
+    def _run_one(self, worker: int, task: Task) -> None:
+        kind = self.policy.decide(task, worker)
+        task.state = TaskState.RUNNING
+        task.worker = worker
+        start = self._now()
+        task.t_started = start
+        task.execute(kind)
+        end = self._now()
+        with self._lock:
+            task.state = TaskState.FINISHED
+            task.t_finished = end
+            self.trace.record(
+                Segment(worker, start, end, task.tid, kind, task.group)
+            )
+            self.trace.host_seconds += end - start
+            self.on_task_finished(task, end)
+            self._inflight -= 1
+            self._done_cv.notify_all()
+
+    # -- barriers ---------------------------------------------------------
+    def run_until(
+        self, predicate: Callable[[], bool], description: str
+    ) -> float:
+        stalled_once = False
+        with self._done_cv:
+            while not predicate():
+                if self._inflight == 0 and len(self.queues) == 0:
+                    if not stalled_once and self.stall_handler is not None:
+                        stalled_once = True
+                        # Stall handler may spawn/flush, which re-enters
+                        # enqueue -> needs the lock we hold; release it.
+                        self._done_cv.release()
+                        try:
+                            produced = self.stall_handler()
+                        finally:
+                            self._done_cv.acquire()
+                        if produced:
+                            continue
+                    raise SchedulerError(
+                        f"threaded engine stalled at {description}"
+                    )
+                self._done_cv.wait(self._IDLE_WAIT_S)
+        return self._now()
+
+    def finish(self) -> tuple[ExecutionTrace, float]:
+        self.run_until(
+            lambda: self._inflight == 0 and len(self.queues) == 0,
+            "engine shutdown",
+        )
+        with self._work_cv:
+            self._stop = True
+            self._work_cv.notify_all()
+        for t in self._threads:
+            t.join(timeout=5.0)
+        self.trace.master_busy = self._master_busy
+        return self.trace, max(self.trace.makespan, self._now())
+
+    @property
+    def n_workers(self) -> int:
+        return self.queues.n_workers
+
+    @property
+    def queue_stats(self):
+        return self.queues.stats
+
+
+def make_engine(
+    kind: str,
+    n_workers: int,
+    machine_model: "MachineModel",
+    cost_model: "CostModel",
+    policy: "Policy",
+    on_task_finished: Callable[[Task, float], None],
+    stall_handler: Callable[[], bool] | None = None,
+) -> Engine:
+    """Engine factory: ``simulated`` (default), ``threaded``,
+    ``sequential`` (one simulated worker)."""
+    key = kind.strip().lower()
+    if key == "sequential":
+        key, n_workers = "simulated", 1
+    cls = {"simulated": SimulatedEngine, "threaded": ThreadedEngine}.get(key)
+    if cls is None:
+        raise SchedulerError(f"unknown engine kind {kind!r}")
+    return cls(
+        n_workers,
+        machine_model,
+        cost_model,
+        policy,
+        on_task_finished,
+        stall_handler,
+    )

@@ -1,0 +1,87 @@
+"""Exception hierarchy for the significance-aware runtime.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch the whole family with a single ``except`` clause, mirroring
+how the paper's C runtime reports errors through a single ``tpc_error``
+channel.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SignificanceError",
+    "RatioError",
+    "GroupError",
+    "DependenceError",
+    "SchedulerError",
+    "PolicyError",
+    "CostModelError",
+    "EnergyModelError",
+    "CompilerError",
+    "DirectiveSyntaxError",
+    "LoweringError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro runtime."""
+
+
+class SignificanceError(ReproError, ValueError):
+    """A task significance value lies outside the closed range [0.0, 1.0]."""
+
+    def __init__(self, value: float) -> None:
+        super().__init__(
+            f"task significance must lie in [0.0, 1.0], got {value!r}"
+        )
+        self.value = value
+
+
+class RatioError(ReproError, ValueError):
+    """A taskwait/group ratio value lies outside the closed range [0.0, 1.0]."""
+
+    def __init__(self, value: float) -> None:
+        super().__init__(f"ratio must lie in [0.0, 1.0], got {value!r}")
+        self.value = value
+
+
+class GroupError(ReproError):
+    """A task group was used inconsistently (e.g. waiting on an unknown label)."""
+
+
+class DependenceError(ReproError):
+    """Invalid dataflow clause (e.g. unhashable handle, self-dependence cycle)."""
+
+
+class SchedulerError(ReproError):
+    """The scheduler was driven through an illegal state transition."""
+
+
+class PolicyError(ReproError):
+    """A policy was configured with invalid parameters."""
+
+
+class CostModelError(ReproError):
+    """A task cost specification is invalid (e.g. negative work)."""
+
+
+class EnergyModelError(ReproError):
+    """The machine/energy model was configured with invalid parameters."""
+
+
+class CompilerError(ReproError):
+    """Base class for pragma front-end errors."""
+
+
+class DirectiveSyntaxError(CompilerError, SyntaxError):
+    """A ``#pragma`` directive could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        loc = f" (line {line})" if line is not None else ""
+        super().__init__(f"{message}{loc}")
+        self.line = line
+
+
+class LoweringError(CompilerError):
+    """A parsed directive could not be attached to a statement."""

@@ -1,0 +1,51 @@
+"""Significance-aware execution policies (paper section 3).
+
+========================  =====================================================
+Policy                    Paper reference
+========================  =====================================================
+:class:`GlobalTaskBuffering`   section 3.3 / Listing 4 ("GTB"); the
+                               ``buffer_size=None`` flavour is "Max Buffer GTB"
+:class:`LocalQueueHistory`     section 3.4 ("LQH")
+:class:`SignificanceAgnostic`  section 4.2's significance-agnostic baseline
+:class:`OraclePolicy`          the "ideal case" of section 3.2 (analysis aid)
+========================  =====================================================
+"""
+
+from .agnostic import SignificanceAgnostic
+from .base import Policy, PolicyOverheads, resolve_drop
+from .gtb import GlobalTaskBuffering, gtb_max_buffer
+from .lqh import GroupHistory, LocalQueueHistory
+from .oracle import OraclePolicy
+
+__all__ = [
+    "Policy",
+    "PolicyOverheads",
+    "resolve_drop",
+    "GlobalTaskBuffering",
+    "gtb_max_buffer",
+    "LocalQueueHistory",
+    "GroupHistory",
+    "SignificanceAgnostic",
+    "OraclePolicy",
+    "make_policy",
+]
+
+
+def make_policy(spec: str, **kwargs) -> Policy:
+    """Build a policy from a short name used in the CLI/benchmarks.
+
+    Accepts: ``gtb`` (optionally ``buffer_size=``), ``gtb-max``, ``lqh``,
+    ``accurate``/``agnostic``, ``oracle``.
+    """
+    key = spec.strip().lower()
+    if key == "gtb":
+        return GlobalTaskBuffering(**kwargs)
+    if key in ("gtb-max", "gtb_max", "gtbmax", "max-buffer", "gtb-mb"):
+        return GlobalTaskBuffering(buffer_size=None)
+    if key == "lqh":
+        return LocalQueueHistory()
+    if key in ("accurate", "agnostic", "none"):
+        return SignificanceAgnostic()
+    if key == "oracle":
+        return OraclePolicy()
+    raise ValueError(f"unknown policy spec {spec!r}")

@@ -1,0 +1,38 @@
+"""Significance-agnostic baseline runtime policy.
+
+The paper evaluates overhead against "a significance-agnostic version of
+the runtime system, which does not include the execution paths for
+classifying and executing tasks according to significance" (section 4.2,
+Figure 4), and the fully-accurate reference of Figure 2 runs on the same
+configuration.
+
+:class:`SignificanceAgnostic` reproduces that: every task is executed in
+its accurate version, nothing is buffered, no histograms are kept, and
+the per-decision overhead is zero — only the bare task-creation cost
+remains on the master.
+"""
+
+from __future__ import annotations
+
+from ..task import ExecutionKind, Task
+from .base import Policy, PolicyOverheads
+
+__all__ = ["SignificanceAgnostic"]
+
+
+class SignificanceAgnostic(Policy):
+    """Run everything accurately, with no significance code paths."""
+
+    name = "accurate"
+
+    def decide(self, task: Task, worker: int) -> ExecutionKind:
+        return ExecutionKind.ACCURATE
+
+    def spawn_overhead(self, task: Task) -> float:
+        return PolicyOverheads.SPAWN_BASE
+
+    def decide_overhead(self, task: Task) -> float:
+        return 0.0
+
+    def describe(self) -> str:
+        return "significance-agnostic (all accurate)"

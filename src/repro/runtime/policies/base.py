@@ -1,0 +1,153 @@
+"""Policy interface: deciding accurate vs. approximate execution.
+
+The runtime's job is "to selectively execute a subset of the tasks
+approximately while respecting the constraints given by the programmer"
+(paper section 3.2).  A :class:`Policy` observes tasks at two points:
+
+* **spawn time** (master thread) — :meth:`Policy.on_spawn` may absorb the
+  task into a buffer (GTB) instead of letting the scheduler issue it;
+  :meth:`Policy.on_barrier` flushes such buffers.
+* **execution time** (worker) — :meth:`Policy.decide` chooses
+  :class:`~repro.runtime.task.ExecutionKind` for tasks that were not
+  pre-stamped at spawn time (LQH).
+
+Policies also expose an *overhead model*: abstract work units charged to
+the master per spawned/flushed task and to the worker per decision.  The
+simulated engine turns these into virtual time, which is what the paper's
+Figure 4 measures (policy overhead relative to a significance-agnostic
+runtime).
+
+Special significance values (paper section 2): ``1.0`` forces accurate
+execution and ``0.0`` forces approximate execution, unconditionally.
+Every policy honours them through :meth:`Policy.resolve_special` /
+:func:`resolve_drop`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from ..errors import PolicyError
+from ..task import ExecutionKind, Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..scheduler import Scheduler
+
+__all__ = ["Policy", "PolicyOverheads", "resolve_drop"]
+
+
+def resolve_drop(task: Task, kind: ExecutionKind) -> ExecutionKind:
+    """Turn APPROXIMATE into DROPPED for tasks without an ``approxfun``.
+
+    Paper section 2: "If a task is selected by the runtime system to be
+    executed approximately, and the programmer has not supplied an
+    approxfun version, it is simply dropped by the runtime."
+    """
+    if kind is ExecutionKind.APPROXIMATE and task.droppable:
+        return ExecutionKind.DROPPED
+    return kind
+
+
+class PolicyOverheads:
+    """Abstract work units modelling a policy's bookkeeping costs.
+
+    Calibrated so that, on the default machine model, the significance-
+    aware runtime adds the low-single-digit-percent overheads reported in
+    the paper's Figure 4 (worst case ~7% for DCT under GTB Max Buffer).
+    """
+
+    #: Master-side work to create + enqueue one task descriptor
+    #: (~50 ns at 2 GOPS — BDDT-class task creation).
+    SPAWN_BASE = 100.0
+    #: Extra master-side work to append a task to a GTB buffer.
+    BUFFER_APPEND = 20.0
+    #: Master-side work per element for the GTB sort (times B log2 B).
+    SORT_PER_ELEMENT = 5.0
+    #: Worker-side work to update the LQH histogram and take a decision.
+    HISTOGRAM_UPDATE = 60.0
+    #: Worker-side work to read a pre-stamped decision.
+    STAMP_READ = 8.0
+
+
+class Policy(abc.ABC):
+    """Base class for significance-aware execution policies."""
+
+    #: Short identifier used in reports/figures (e.g. ``"GTB"``).
+    name: str = "policy"
+
+    def __init__(self) -> None:
+        self._scheduler: "Scheduler | None" = None
+
+    # -- lifecycle -----------------------------------------------------
+    def attach(self, scheduler: "Scheduler") -> None:
+        """Bind the policy to a scheduler (gives access to groups/issue)."""
+        self._scheduler = scheduler
+
+    @property
+    def scheduler(self) -> "Scheduler":
+        if self._scheduler is None:
+            raise PolicyError(f"{self.name} policy is not attached")
+        return self._scheduler
+
+    def reset(self) -> None:
+        """Clear per-run state (buffers, histograms)."""
+
+    def make_worker_state(self, n_workers: int) -> None:
+        """Allocate per-worker state; called when the engine starts."""
+
+    # -- master-side hooks ----------------------------------------------
+    def on_spawn(self, task: Task) -> bool:
+        """Observe a freshly spawned task.
+
+        Return ``True`` when the policy absorbed the task (it will issue
+        it later itself, e.g. after buffering); ``False`` when the
+        scheduler should issue it immediately.
+        """
+        return False
+
+    def on_barrier(self, group: str | None) -> None:
+        """A taskwait was reached; flush any buffered tasks.
+
+        ``group is None`` means a global barrier (flush everything).
+        """
+
+    # -- worker-side hook -------------------------------------------------
+    @abc.abstractmethod
+    def decide(self, task: Task, worker: int) -> ExecutionKind:
+        """Choose the execution kind for ``task`` on ``worker``.
+
+        Called exactly once per task, right before execution.  Must
+        already account for the forced values (significance 0.0 / 1.0)
+        and for drop semantics (use :func:`resolve_drop`).
+        """
+
+    @staticmethod
+    def forced_kind(task: Task) -> ExecutionKind | None:
+        """Forced decision for the special significance values, if any."""
+        if task.significance >= 1.0:
+            return ExecutionKind.ACCURATE
+        if task.significance <= 0.0:
+            return resolve_drop(task, ExecutionKind.APPROXIMATE)
+        return None
+
+    # -- overhead model (virtual work units) -------------------------------
+    def spawn_overhead(self, task: Task) -> float:
+        """Master work charged when this task is spawned."""
+        return PolicyOverheads.SPAWN_BASE
+
+    def barrier_overhead(self, group: str | None) -> float:
+        """Master work charged when a barrier is processed."""
+        return 0.0
+
+    def decide_overhead(self, task: Task) -> float:
+        """Worker work charged when the decision for ``task`` is taken."""
+        return PolicyOverheads.STAMP_READ
+
+    # -- cosmetics ---------------------------------------------------------
+    def describe(self) -> str:
+        """One-line human-readable parameterization."""
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} {self.describe()}>"

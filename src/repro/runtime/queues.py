@@ -1,0 +1,126 @@
+"""Per-worker task queues with round-robin distribution and work stealing.
+
+The paper (section 3): "Our runtime system is organized as a master/slave
+work-sharing scheduler. ... For every task call encountered, the task is
+enqueued in a per-worker task queue.  Tasks are distributed across workers
+in round-robin fashion.  Workers select the oldest tasks from their queues
+for execution.  When a worker's queue runs empty, the worker may steal
+tasks from other worker's queues."
+
+:class:`WorkerQueues` implements exactly that discipline:
+
+* ``push(task)`` places a ready task on the next queue in round-robin
+  order (or on an explicitly chosen queue);
+* ``pop_local(w)`` removes the *oldest* task of worker ``w`` (FIFO);
+* ``steal(w)`` scans the other workers starting after ``w`` and removes
+  the oldest task from the first non-empty victim queue.
+
+The implementation is engine-agnostic: the simulated engine drives it
+under virtual time, the threaded engine under a lock.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from .errors import SchedulerError
+from .task import Task, TaskState
+
+__all__ = ["WorkerQueues", "QueueStats"]
+
+
+@dataclass
+class QueueStats:
+    """Counters for queue traffic, reported per experiment run."""
+
+    pushed: int = 0
+    popped_local: int = 0
+    steals: int = 0
+    failed_steals: int = 0
+    #: Per-worker number of tasks executed (occupancy balance).
+    executed_per_worker: list[int] = field(default_factory=list)
+
+
+class WorkerQueues:
+    """The work-sharing queue fabric shared by all execution engines."""
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers < 1:
+            raise SchedulerError(
+                f"need at least one worker, got {n_workers}"
+            )
+        self.n_workers = n_workers
+        self._queues: list[deque[Task]] = [deque() for _ in range(n_workers)]
+        self._rr_next = 0
+        self.stats = QueueStats(
+            executed_per_worker=[0 for _ in range(n_workers)]
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues)
+
+    def depth(self, worker: int) -> int:
+        return len(self._queues[worker])
+
+    def is_empty(self) -> bool:
+        return all(not q for q in self._queues)
+
+    # ------------------------------------------------------------------
+    def select_worker(self) -> int:
+        """Round-robin choice for the next issued task (master side)."""
+        w = self._rr_next
+        self._rr_next = (self._rr_next + 1) % self.n_workers
+        return w
+
+    def push(self, task: Task, worker: int | None = None) -> int:
+        """Issue a ready task to a worker queue; returns the worker id."""
+        w = self.select_worker() if worker is None else worker
+        if not 0 <= w < self.n_workers:
+            raise SchedulerError(f"worker {w} out of range")
+        task.state = TaskState.QUEUED
+        self._queues[w].append(task)
+        self.stats.pushed += 1
+        return w
+
+    def pop_local(self, worker: int) -> Task | None:
+        """Oldest task from the worker's own queue (FIFO), or None."""
+        q = self._queues[worker]
+        if not q:
+            return None
+        self.stats.popped_local += 1
+        return q.popleft()
+
+    def steal(self, thief: int) -> Task | None:
+        """Steal the oldest task from the first non-empty victim queue.
+
+        Victims are scanned round-robin starting after the thief, so steal
+        pressure spreads instead of hammering worker 0.
+        """
+        for off in range(1, self.n_workers):
+            victim = (thief + off) % self.n_workers
+            q = self._queues[victim]
+            if q:
+                self.stats.steals += 1
+                return q.popleft()
+        self.stats.failed_steals += 1
+        return None
+
+    def acquire(self, worker: int) -> Task | None:
+        """Local pop falling back to stealing — one worker scheduling step."""
+        task = self.pop_local(worker)
+        if task is None:
+            task = self.steal(worker)
+        if task is not None:
+            self.stats.executed_per_worker[worker] += 1
+        return task
+
+    # ------------------------------------------------------------------
+    def drain(self) -> list[Task]:
+        """Remove and return every queued task (used on shutdown/reset)."""
+        out: list[Task] = []
+        for q in self._queues:
+            out.extend(q)
+            q.clear()
+        return out

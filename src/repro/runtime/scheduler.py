@@ -1,0 +1,288 @@
+"""The significance-aware scheduler: the runtime's front door.
+
+:class:`Scheduler` ties together every substrate in the library — task
+groups (``label``/``ratio``), dependence tracking (``in``/``out``),
+the significance policy (GTB / LQH / ...), the execution engine
+(simulated machine or real threads) and the energy model — and exposes
+the three operations the paper's compiler lowers pragmas to:
+
+* ``spawn``     ≙ ``#pragma omp task ...``  (``tpc_call``)
+* ``taskwait``  ≙ ``#pragma omp taskwait [label|on] [ratio]``
+  (``tpc_wait_all`` / ``tpc_wait_group``)
+* ``init_group``≙ ``tpc_init_group`` (per-group accurate-task ratio)
+
+A scheduler instance executes one program run and then yields a
+:class:`~repro.runtime.stats.RunReport` via :meth:`finish`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..energy.cost import CostModel, HybridCost
+from ..energy.machine_model import XEON_E5_2650, MachineModel
+from ..energy.meter import EnergyReport
+from .dependencies import DependenceTracker
+from .engine import Engine, make_engine
+from .errors import SchedulerError
+from .groups import GroupRegistry
+from .policies.base import Policy
+from .policies.agnostic import SignificanceAgnostic
+from .stats import GroupSummary, RunReport
+from .task import DataRef, Task, TaskCost, TaskState, ref
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler:
+    """One run of the significance-aware runtime.
+
+    Parameters
+    ----------
+    policy:
+        Accurate/approximate decision policy; defaults to the
+        significance-agnostic baseline (everything accurate).
+    n_workers:
+        Worker cores; the paper's evaluation uses 16.
+    machine:
+        Machine performance/power model; defaults to the Xeon E5-2650
+        model resized to ``n_workers`` cores.
+    cost_model:
+        Task-duration strategy (default :class:`HybridCost`: analytic
+        when tasks carry costs, measured wall time otherwise).
+    engine:
+        ``"simulated"`` (default), ``"threaded"``, or ``"sequential"``.
+    """
+
+    def __init__(
+        self,
+        policy: Policy | None = None,
+        n_workers: int = 16,
+        machine: MachineModel | None = None,
+        cost_model: CostModel | None = None,
+        engine: str | Engine = "simulated",
+    ) -> None:
+        if n_workers < 1:
+            raise SchedulerError(f"n_workers must be >= 1, got {n_workers}")
+        self.policy = policy if policy is not None else SignificanceAgnostic()
+        self.machine_model = (
+            machine
+            if machine is not None
+            else XEON_E5_2650.with_workers(n_workers)
+        )
+        self.cost_model = cost_model if cost_model is not None else HybridCost()
+        self.groups = GroupRegistry()
+        self.deps = DependenceTracker()
+        self._tasks: list[Task] = []
+        self._finished = False
+
+        self.policy.attach(self)
+        if isinstance(engine, Engine):
+            self.engine: Engine = engine
+        else:
+            self.engine = make_engine(
+                engine,
+                n_workers,
+                self.machine_model,
+                self.cost_model,
+                self.policy,
+                self._on_task_finished,
+                self._on_stall,
+            )
+
+    # ------------------------------------------------------------------
+    # Program-facing operations (the pragma lowerings)
+    # ------------------------------------------------------------------
+    def init_group(self, label: str, ratio: float = 1.0):
+        """``tpc_init_group``: create a group and set its accurate ratio."""
+        return self.groups.init_group(label, ratio)
+
+    def spawn(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        significance: float = 1.0,
+        approxfun: Callable[..., Any] | None = None,
+        label: str | None = None,
+        in_: tuple | list = (),
+        out: tuple | list = (),
+        cost: TaskCost | None = None,
+        **kwargs: Any,
+    ) -> Task:
+        """Create one task (``#pragma omp task``) and hand it to the
+        policy/engine.  Returns the task descriptor.
+
+        ``in_``/``out`` accept raw objects or :class:`DataRef`; raw
+        objects are converted with :func:`repro.runtime.task.ref`.
+        """
+        if self._finished:
+            raise SchedulerError("scheduler already finished")
+        task = Task(
+            fn=fn,
+            args=args,
+            kwargs=kwargs,
+            significance=significance,
+            approx_fn=approxfun,
+            group=label,
+            ins=tuple(ref(o) for o in in_),
+            outs=tuple(ref(o) for o in out),
+            cost=cost,
+        )
+        group = self.groups.get(label)
+        task.group_seq = group.spawned
+        group.spawned += 1
+
+        task.t_created = self.engine.master_time
+        self.engine.master_charge(self.policy.spawn_overhead(task))
+        self.deps.register(task)
+        self._tasks.append(task)
+
+        if not self.policy.on_spawn(task):
+            self.issue(task)
+        return task
+
+    def taskwait(
+        self,
+        label: str | None = None,
+        on: Any | None = None,
+        ratio: float | None = None,
+    ) -> float:
+        """``#pragma omp taskwait [label(...)] [on(...)] [ratio(...)]``.
+
+        Returns the (virtual) time at which the barrier completed.
+        """
+        if self._finished:
+            raise SchedulerError("scheduler already finished")
+        if ratio is not None:
+            if label is not None:
+                self.groups.get(label).set_ratio(ratio)
+            else:
+                # Global barrier ratio: applies to every group seen so
+                # far plus the implicit group (paper section 2: "either
+                # globally or in a specific group").
+                self.groups.get(None).set_ratio(ratio)
+                for g in self.groups:
+                    g.set_ratio(ratio)
+
+        if on is not None:
+            # Wait on a data object: flush everything (conservative —
+            # any buffered task might affect the object), then wait for
+            # the tasks currently known to touch it.
+            self.policy.on_barrier(None)
+            waiters = list(self.deps.waiters_on(ref(on)))
+            predicate = lambda: all(
+                t.state is TaskState.FINISHED for t in waiters
+            )
+            desc = f"taskwait on({ref(on)!r})"
+        elif label is not None:
+            self.policy.on_barrier(label)
+            group = self.groups.get(label)
+            predicate = lambda: group.outstanding == 0
+            desc = f"taskwait label({label})"
+        else:
+            self.policy.on_barrier(None)
+            predicate = lambda: self.groups.outstanding() == 0
+            desc = "taskwait (global)"
+
+        self.engine.master_charge(self.policy.barrier_overhead(label))
+        t = self.engine.run_until(predicate, desc)
+
+        # Barrier epochs delimit phases for the Table 2 statistics.
+        if label is not None:
+            self.groups.get(label).new_epoch()
+        elif on is None:
+            for g in self.groups:
+                g.new_epoch()
+        return t
+
+    # ------------------------------------------------------------------
+    # Policy-facing operations
+    # ------------------------------------------------------------------
+    def issue(self, task: Task, at_creation_time: bool = False) -> None:
+        """Release a task from the master/policy toward the workers.
+
+        Dependence-free tasks enter the queue fabric immediately; others
+        park in ``PENDING`` until their predecessors retire.
+        """
+        if task.unmet_deps == 0:
+            # Mark released immediately; the engine's enqueue event will
+            # place it on a concrete worker queue at its virtual time.
+            task.state = TaskState.QUEUED
+            at = task.t_created if at_creation_time else None
+            self.engine.enqueue(task, at=at)
+        else:
+            task.state = TaskState.PENDING
+
+    def charge_master(self, work_units: float) -> None:
+        """Account master-side policy work (e.g. the GTB sort)."""
+        self.engine.master_charge(work_units)
+
+    # ------------------------------------------------------------------
+    # Engine callbacks
+    # ------------------------------------------------------------------
+    def _on_task_finished(self, task: Task, now: float) -> None:
+        self.groups.get(task.group).record(task)
+        for succ in self.deps.retire(task):
+            if succ.state is TaskState.PENDING:
+                self.engine.enqueue(succ, at=now)
+            # BUFFERED successors stay with the policy until flushed.
+
+    def _on_stall(self) -> bool:
+        """Last-resort unblocking: flush every policy buffer.
+
+        Returns True when the flush produced runnable work.  This guards
+        against programs that wait on group A while group B's buffered
+        tasks hold A's dependences.
+        """
+        before = len(self._tasks)
+        self.policy.on_barrier(None)
+        issued = any(
+            t.state in (TaskState.QUEUED, TaskState.RUNNING)
+            for t in self._tasks[:before]
+        )
+        return issued
+
+    # ------------------------------------------------------------------
+    # Run completion
+    # ------------------------------------------------------------------
+    def finish(self) -> RunReport:
+        """Global barrier + engine shutdown; build the run report."""
+        if self._finished:
+            raise SchedulerError("scheduler already finished")
+        self.taskwait()  # global barrier (flushes all buffers)
+        trace, makespan = self.engine.finish()
+        self._finished = True
+
+        energy = EnergyReport.from_trace(
+            trace, self.machine_model, window_s=makespan
+        )
+        by_kind = trace.tasks_by_kind()
+        # Dropped tasks produce no trace segment; count them from groups.
+        from .task import ExecutionKind
+
+        by_kind[ExecutionKind.DROPPED] = sum(
+            g.dropped_count for g in self.groups
+        )
+        return RunReport(
+            policy=self.policy.describe(),
+            n_workers=self.engine.n_workers,
+            makespan_s=makespan,
+            energy=energy,
+            tasks_total=len(self._tasks),
+            tasks_by_kind=by_kind,
+            groups={
+                g.name: GroupSummary.from_record(g) for g in self.groups
+            },
+            queue_stats=self.engine.queue_stats,
+            dep_stats=self.deps.stats,
+            host_seconds=trace.host_seconds,
+            trace=trace,
+        )
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None and not self._finished:
+            self.finish()

@@ -1,0 +1,281 @@
+"""Task descriptors for the significance-aware runtime.
+
+A :class:`Task` is the unit of scheduling, significance annotation and
+approximation, mirroring the paper's ``#pragma omp task`` construct
+(Listing 2):
+
+``#pragma omp task significant(e) approxfun(g) label(L) in(...) out(...)``
+
+maps onto a :class:`Task` with
+
+* ``fn``           -- the accurate task body,
+* ``approx_fn``    -- the optional approximate body (``approxfun``),
+* ``significance`` -- a float in ``[0.0, 1.0]``,
+* ``group``        -- the task-group label,
+* ``ins/outs``     -- dataflow clauses used for dependence tracking,
+* ``cost``         -- an abstract work estimate consumed by the simulated
+  machine / energy substrate (the paper measures wall time on real silicon;
+  see DESIGN.md section 2 for the substitution).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .errors import CostModelError, DependenceError, SignificanceError
+
+__all__ = [
+    "ExecutionKind",
+    "TaskState",
+    "TaskCost",
+    "DataRef",
+    "ref",
+    "refs",
+    "Task",
+    "SIGNIFICANCE_LEVELS",
+    "quantize_significance",
+]
+
+#: Number of discrete significance levels used by history-based policies.
+#: The paper implements "101 discrete (integer) levels ... ranging from 0.0
+#: to 1.0 (inclusive) in steps of 0.01" (section 3.4).
+SIGNIFICANCE_LEVELS: int = 101
+
+
+def quantize_significance(significance: float) -> int:
+    """Map a significance in ``[0, 1]`` to a discrete level in ``[0, 100]``.
+
+    Matches the paper's runtime, which tracks per-group statistics over 101
+    integer levels rather than raw floats.
+    """
+    if not 0.0 <= significance <= 1.0:
+        raise SignificanceError(significance)
+    return int(round(significance * (SIGNIFICANCE_LEVELS - 1)))
+
+
+class ExecutionKind(enum.Enum):
+    """How a task was (or will be) executed."""
+
+    ACCURATE = "accurate"
+    APPROXIMATE = "approximate"
+    #: The task had no ``approxfun`` and the policy chose approximation, so
+    #: the runtime dropped it entirely (paper section 2: "it is simply
+    #: dropped by the runtime").
+    DROPPED = "dropped"
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a task inside the runtime.
+
+    ``CREATED -> (BUFFERED ->) PENDING -> QUEUED -> RUNNING -> FINISHED``
+
+    ``BUFFERED`` only occurs under the GTB policy, which holds tasks in the
+    master's buffer before issue.  ``PENDING`` means waiting for
+    dependences; dependence-free tasks go straight to ``QUEUED``.
+    """
+
+    CREATED = "created"
+    BUFFERED = "buffered"
+    PENDING = "pending"
+    QUEUED = "queued"
+    RUNNING = "running"
+    FINISHED = "finished"
+
+
+@dataclass(frozen=True)
+class TaskCost:
+    """Abstract work estimate for one task, in machine work units.
+
+    One work unit is one "simple scalar operation"; the machine model
+    converts work units to virtual seconds through its per-core throughput
+    (:attr:`repro.energy.machine_model.MachineModel.ops_per_second`).
+
+    ``accurate`` is the work of the accurate body; ``approximate`` the work
+    of the ``approxfun`` body.  A dropped task costs
+    :attr:`TaskCost.DROP_WORK` (0.0).
+    """
+
+    accurate: float
+    approximate: float = 0.0
+
+    DROP_WORK = 0.0
+
+    def __post_init__(self) -> None:
+        if self.accurate < 0 or self.approximate < 0:
+            raise CostModelError(
+                f"task work must be non-negative, got {self!r}"
+            )
+
+    def for_kind(self, kind: ExecutionKind) -> float:
+        """Work units consumed when executing with the given kind."""
+        if kind is ExecutionKind.ACCURATE:
+            return self.accurate
+        if kind is ExecutionKind.APPROXIMATE:
+            return self.approximate
+        return self.DROP_WORK
+
+    def scaled(self, factor: float) -> "TaskCost":
+        """Return a copy with both variants scaled by ``factor``."""
+        return TaskCost(self.accurate * factor, self.approximate * factor)
+
+
+@dataclass(frozen=True)
+class DataRef:
+    """A handle naming a piece of data for ``in()``/``out()`` clauses.
+
+    Dependence tracking needs stable, hashable identities for the data that
+    tasks read and write.  Arbitrary Python objects (NumPy arrays in
+    particular) are not hashable by value, so a :class:`DataRef` wraps the
+    *identity* of the underlying buffer plus an optional human-readable
+    name and region tag.  Two refs alias iff their keys are equal.
+    """
+
+    key: int
+    name: str = ""
+    region: Any = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = self.name or f"0x{self.key:x}"
+        if self.region is not None:
+            return f"DataRef({tag}[{self.region!r}])"
+        return f"DataRef({tag})"
+
+
+def _identity_key(obj: Any) -> int:
+    """Stable identity for dependence tracking.
+
+    NumPy views share storage with their base array; treating a view and
+    its base as independent objects would miss real dependences, so the
+    key of a view is the key of its base buffer.
+    """
+    base = getattr(obj, "base", None)
+    while base is not None:
+        obj = base
+        base = getattr(obj, "base", None)
+    return id(obj)
+
+
+def ref(obj: Any, name: str = "", region: Any = None) -> DataRef:
+    """Create a :class:`DataRef` for ``obj``.
+
+    ``region`` may name a sub-object (e.g. a row index) so that writers of
+    disjoint regions do not serialize:  ``ref(img, region=i)`` and
+    ``ref(img, region=j)`` are independent when ``i != j``.
+    """
+    if isinstance(obj, DataRef):
+        if region is not None and obj.region != region:
+            return DataRef(obj.key, obj.name, region)
+        return obj
+    if region is not None and not isinstance(region, (int, str, tuple)):
+        raise DependenceError(
+            f"region must be int/str/tuple, got {type(region).__name__}"
+        )
+    return DataRef(_identity_key(obj), name=name, region=region)
+
+
+def refs(*objs: Any) -> tuple[DataRef, ...]:
+    """Vector form of :func:`ref` used by the clause helpers."""
+    return tuple(ref(o) for o in objs)
+
+
+_task_counter = itertools.count()
+
+
+@dataclass(eq=False)  # identity equality: tasks are unique entities
+class Task:
+    """One schedulable task instance.
+
+    Instances are created by :meth:`repro.runtime.scheduler.Scheduler.spawn`
+    (or the :func:`repro.api.sig_task` decorator) and flow through the
+    buffering policy, the per-worker queues and finally a worker, which
+    executes either ``fn`` or ``approx_fn`` depending on the policy
+    decision.
+    """
+
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    significance: float = 1.0
+    approx_fn: Callable[..., Any] | None = None
+    group: str | None = None
+    ins: tuple[DataRef, ...] = ()
+    outs: tuple[DataRef, ...] = ()
+    cost: TaskCost | None = None
+
+    # --- runtime-managed fields -------------------------------------
+    tid: int = field(default_factory=lambda: next(_task_counter))
+    #: Index into the spawn order of its group (set by the scheduler).
+    group_seq: int = -1
+    state: TaskState = TaskState.CREATED
+    decision: ExecutionKind | None = None
+    result: Any = None
+    #: Worker id that executed the task (-1 before execution).
+    worker: int = -1
+    #: Virtual timestamps filled in by the simulated engine (seconds).
+    t_created: float = 0.0
+    t_issued: float = 0.0
+    t_started: float = 0.0
+    t_finished: float = 0.0
+    #: Number of unresolved predecessor tasks (dependence tracking).
+    unmet_deps: int = 0
+    #: Tasks that must be notified when this one finishes.
+    successors: list["Task"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.significance <= 1.0:
+            raise SignificanceError(self.significance)
+        if not callable(self.fn):
+            raise TypeError(f"task body must be callable, got {self.fn!r}")
+        if self.approx_fn is not None and not callable(self.approx_fn):
+            raise TypeError(
+                f"approxfun must be callable, got {self.approx_fn!r}"
+            )
+
+    # --- convenience -------------------------------------------------
+    @property
+    def level(self) -> int:
+        """Discrete significance level in ``[0, 100]`` (paper section 3.4)."""
+        return quantize_significance(self.significance)
+
+    @property
+    def droppable(self) -> bool:
+        """True when approximation means dropping (no ``approxfun``)."""
+        return self.approx_fn is None
+
+    def body_for(self, kind: ExecutionKind) -> Callable[..., Any] | None:
+        """The callable to run for a given decision (None when dropped)."""
+        if kind is ExecutionKind.ACCURATE:
+            return self.fn
+        if kind is ExecutionKind.APPROXIMATE:
+            return self.approx_fn
+        return None
+
+    def execute(self, kind: ExecutionKind) -> Any:
+        """Run the real Python body for this decision and store the result.
+
+        Dropped tasks do not run anything; their ``result`` stays ``None``
+        (the paper: outputs keep whatever default the program initialized).
+        """
+        self.decision = kind
+        body = self.body_for(kind)
+        if body is None:
+            self.result = None
+        else:
+            self.result = body(*self.args, **self.kwargs)
+        return self.result
+
+    def work_for(self, kind: ExecutionKind) -> float:
+        """Abstract work units consumed for a decision (0 if no cost set)."""
+        if self.cost is None:
+            return 0.0
+        return self.cost.for_kind(kind)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        g = f" group={self.group!r}" if self.group else ""
+        return (
+            f"Task(#{self.tid} {getattr(self.fn, '__name__', '?')}"
+            f" sig={self.significance:.2f}{g} state={self.state.value})"
+        )

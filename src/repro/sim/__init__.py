@@ -1,0 +1,17 @@
+"""Discrete-event simulated multicore machine (testbed substitute)."""
+
+from .clock import VirtualClock
+from .events import Event, EventQueue
+from .machine import SimulatedMachine
+from .topology import Topology
+from .trace import ExecutionTrace, Segment
+
+__all__ = [
+    "VirtualClock",
+    "Event",
+    "EventQueue",
+    "SimulatedMachine",
+    "Topology",
+    "ExecutionTrace",
+    "Segment",
+]

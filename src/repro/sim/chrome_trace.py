@@ -1,0 +1,83 @@
+"""Chrome trace-event export for execution traces.
+
+Serializes an :class:`~repro.sim.trace.ExecutionTrace` into the Chrome
+``chrome://tracing`` / Perfetto JSON format, one timeline row per
+worker, so schedules can be inspected interactively.  Accurate tasks
+render in one color category, approximate in another; dropped tasks are
+instant events.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..runtime.task import ExecutionKind
+from .trace import ExecutionTrace
+
+__all__ = ["to_chrome_trace", "write_chrome_trace"]
+
+_CATEGORY = {
+    ExecutionKind.ACCURATE: "accurate",
+    ExecutionKind.APPROXIMATE: "approximate",
+    ExecutionKind.DROPPED: "dropped",
+}
+
+
+def to_chrome_trace(trace: ExecutionTrace, pid: int = 1) -> dict:
+    """Build the trace-event JSON object (not yet serialized)."""
+    events: list[dict] = []
+    for w in range(trace.n_workers):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": w,
+                "args": {"name": f"worker-{w}"},
+            }
+        )
+    for seg in trace.segments:
+        base = {
+            "pid": pid,
+            "tid": seg.worker,
+            "cat": _CATEGORY[seg.kind],
+            "name": f"task-{seg.tid}"
+            + (f" [{seg.group}]" if seg.group else ""),
+            "args": {
+                "tid": seg.tid,
+                "kind": seg.kind.value,
+                "group": seg.group,
+            },
+        }
+        us = 1e6  # trace-event timestamps are microseconds
+        if seg.duration <= 0:
+            events.append(
+                {**base, "ph": "i", "ts": seg.start * us, "s": "t"}
+            )
+        else:
+            events.append(
+                {
+                    **base,
+                    "ph": "X",
+                    "ts": seg.start * us,
+                    "dur": seg.duration * us,
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "makespan_s": trace.makespan,
+            "workers": trace.n_workers,
+        },
+    }
+
+
+def write_chrome_trace(
+    trace: ExecutionTrace, path: str | Path, pid: int = 1
+) -> Path:
+    """Serialize to a ``.json`` file loadable by chrome://tracing."""
+    p = Path(path)
+    p.write_text(json.dumps(to_chrome_trace(trace, pid)))
+    return p

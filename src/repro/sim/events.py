@@ -1,0 +1,82 @@
+"""Deterministic discrete-event queue.
+
+A thin priority queue over ``(time, sequence)`` pairs.  The sequence
+number is a global tie-breaker, so two events scheduled for the same
+virtual instant always fire in insertion order — this is what makes whole
+simulation runs bit-reproducible regardless of hash seeds or dict
+ordering.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..runtime.errors import SchedulerError
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled occurrence; ordering is (time, seq)."""
+
+    time: float
+    seq: int
+    action: Callable[[float], None] = field(compare=False)
+    tag: str = field(default="", compare=False)
+    payload: Any = field(default=None, compare=False)
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` with monotone pop times."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._last_pop = 0.0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(
+        self,
+        time: float,
+        action: Callable[[float], None],
+        tag: str = "",
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``action(time)`` at virtual ``time``.
+
+        Events may only be scheduled at or after the time of the last pop
+        — scheduling into the already-processed past would make the
+        simulation acausal.
+        """
+        if time < self._last_pop - 1e-12:
+            raise SchedulerError(
+                f"event {tag!r} scheduled at {time} before already-"
+                f"processed time {self._last_pop}"
+            )
+        ev = Event(time, next(self._seq), action, tag, payload)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise SchedulerError("pop from empty event queue")
+        ev = heapq.heappop(self._heap)
+        self._last_pop = ev.time
+        return ev
+
+    def peek_time(self) -> float | None:
+        """Time of the next event, or None when the queue is empty."""
+        return self._heap[0].time if self._heap else None
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._last_pop = 0.0

@@ -1,0 +1,203 @@
+"""The discrete-event simulated multicore machine.
+
+This is the substitution for the paper's 16-core Xeon testbed (DESIGN.md
+section 2).  The *runtime logic* — per-worker queues, round-robin issue,
+work stealing, policy decisions, dependence release — is the production
+code from :mod:`repro.runtime`; only the passage of time is virtual:
+
+* the **master** timeline advances as the program spawns tasks (task
+  creation cost, policy buffering cost, GTB sort cost);
+* **workers** are simulated cores that acquire tasks from the queue
+  fabric, execute the *real* Python body (so program outputs and quality
+  metrics are genuine), and occupy virtual time according to the cost
+  model;
+* a :class:`~repro.sim.events.EventQueue` orders everything
+  deterministically.
+
+Scheduling discipline (paper section 3): tasks are distributed round-
+robin to per-worker FIFO queues; workers take the oldest task from their
+own queue and steal the oldest task from a victim when empty.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import TYPE_CHECKING, Callable
+
+from ..runtime.errors import SchedulerError
+from ..runtime.queues import WorkerQueues
+from ..runtime.task import Task, TaskState
+from .clock import VirtualClock
+from .events import EventQueue
+from .trace import ExecutionTrace, Segment
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..energy.cost import CostModel
+    from ..energy.machine_model import MachineModel
+    from ..runtime.policies.base import Policy
+
+__all__ = ["SimulatedMachine"]
+
+
+class SimulatedMachine:
+    """Event-driven execution of the task stream on N virtual cores."""
+
+    def __init__(
+        self,
+        n_workers: int,
+        machine_model: "MachineModel",
+        cost_model: "CostModel",
+        policy: "Policy",
+        on_task_finished: Callable[[Task, float], None],
+        stall_handler: Callable[[], bool] | None = None,
+    ) -> None:
+        if n_workers > machine_model.n_cores:
+            raise SchedulerError(
+                f"{n_workers} workers exceed the machine's "
+                f"{machine_model.n_cores} cores"
+            )
+        self.machine_model = machine_model
+        self.cost_model = cost_model
+        self.policy = policy
+        self.on_task_finished = on_task_finished
+        self.stall_handler = stall_handler
+
+        self.clock = VirtualClock()
+        self.events = EventQueue()
+        self.queues = WorkerQueues(n_workers)
+        self.trace = ExecutionTrace(n_workers)
+        self.busy: list[bool] = [False] * n_workers
+        #: The master thread's private timeline (spawning, buffering).
+        self.master_time = 0.0
+
+        policy.make_worker_state(n_workers)
+
+    # -- master-side operations ---------------------------------------
+    def master_charge(self, work_units: float) -> None:
+        """Advance the master timeline by ``work_units`` of bookkeeping."""
+        dt = self.machine_model.duration_of(work_units)
+        self.master_time += dt
+        self.trace.master_busy += dt
+
+    def enqueue(self, task: Task, at: float | None = None) -> None:
+        """Schedule a ready task to enter the queue fabric at ``at``.
+
+        Defaults to the master's current time (master-issued tasks);
+        dependence-released tasks pass their releaser's finish time.
+        """
+        t = self.master_time if at is None else at
+        self.events.push(t, lambda now, task=task: self._do_enqueue(task, now), tag="enqueue")
+
+    def _do_enqueue(self, task: Task, now: float) -> None:
+        task.t_issued = now
+        owner = self.queues.push(task)
+        # Wake the owner plus every currently idle worker so stealing can
+        # kick in immediately (the paper's work-sharing runtime keeps
+        # idle workers spinning on steal attempts; events replace spins).
+        for w in range(self.queues.n_workers):
+            if w == owner or not self.busy[w]:
+                self.events.push(
+                    now, lambda t, w=w: self._try_run(w, t), tag="tryrun"
+                )
+
+    # -- worker-side operations ------------------------------------------
+    def _try_run(self, worker: int, now: float) -> None:
+        if self.busy[worker]:
+            return
+        task = self.queues.acquire(worker)
+        if task is None:
+            return
+        self._start_task(worker, task, now)
+
+    def _start_task(self, worker: int, task: Task, now: float) -> None:
+        kind = self.policy.decide(task, worker)
+        overhead = self.policy.decide_overhead(task)
+
+        task.state = TaskState.RUNNING
+        task.worker = worker
+        task.t_started = now
+
+        host_t0 = _time.perf_counter()
+        task.execute(kind)
+        host_dt = _time.perf_counter() - host_t0
+        self.trace.host_seconds += host_dt
+
+        duration = self.cost_model.duration(
+            task, kind, self.machine_model, measured_wall=host_dt
+        ) + self.machine_model.duration_of(overhead)
+        self.busy[worker] = True
+        self.events.push(
+            now + duration,
+            lambda t, w=worker, task=task: self._finish_task(w, task, t),
+            tag="finish",
+        )
+
+    def _finish_task(self, worker: int, task: Task, now: float) -> None:
+        self.busy[worker] = False
+        task.state = TaskState.FINISHED
+        task.t_finished = now
+        assert task.decision is not None
+        self.trace.record(
+            Segment(
+                worker,
+                task.t_started,
+                now,
+                task.tid,
+                task.decision,
+                task.group,
+            )
+        )
+        # Group bookkeeping + dependence release (may enqueue successors
+        # at `now`; their events sort after this one).
+        self.on_task_finished(task, now)
+        self.events.push(
+            now, lambda t, w=worker: self._try_run(w, t), tag="tryrun"
+        )
+
+    # -- event loop --------------------------------------------------------
+    def run_until(
+        self, predicate: Callable[[], bool], description: str = "barrier"
+    ) -> float:
+        """Pump events in time order until ``predicate()`` holds.
+
+        Stops at the first instant the condition is satisfied (leaving
+        unrelated future events queued, so other task groups keep
+        running "in the background" of subsequent program phases).  If
+        the event queue drains with the condition unsatisfied, the
+        stall handler gets one chance to produce work (e.g. flushing GTB
+        buffers); a second stall is a genuine deadlock.
+        """
+        stalled_once = False
+        while not predicate():
+            if not self.events:
+                if not stalled_once and self.stall_handler is not None:
+                    stalled_once = True
+                    if self.stall_handler():
+                        continue
+                raise SchedulerError(
+                    f"simulation stalled waiting for {description}: no "
+                    "events left but the wait condition is unsatisfied "
+                    "(buffered tasks never flushed, or a dependence "
+                    "cycle)"
+                )
+            ev = self.events.pop()
+            self.clock.advance_to(ev.time)
+            ev.action(ev.time)
+        # The master was blocked at the barrier until this instant.
+        self.master_time = max(self.master_time, self.clock.now)
+        return self.clock.now
+
+    def drain(self) -> float:
+        """Run every remaining event (used by the final barrier)."""
+        while self.events:
+            ev = self.events.pop()
+            self.clock.advance_to(ev.time)
+            ev.action(ev.time)
+        self.master_time = max(self.master_time, self.clock.now)
+        return self.clock.now
+
+    # -- reporting -----------------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        """Completion time of the whole run (workers and master)."""
+        return max(self.trace.makespan, self.master_time)

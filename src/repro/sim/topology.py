@@ -1,0 +1,58 @@
+"""Machine topology: sockets and cores.
+
+The paper's testbed is "2 Intel(R) Xeon(R) CPU E5-2650 processors ...
+Each CPU consists of 8 cores", hyper-threading disabled, 16 threads
+pinned on 16 cores.  :class:`Topology` captures exactly the structural
+facts the energy model needs: how many sockets there are and which core
+lives on which socket (package power is accounted per socket).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..runtime.errors import EnergyModelError
+
+__all__ = ["Topology"]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A multi-socket, multi-core shared-memory machine shape."""
+
+    sockets: int = 2
+    cores_per_socket: int = 8
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1 or self.cores_per_socket < 1:
+            raise EnergyModelError(
+                f"invalid topology: {self.sockets} sockets x "
+                f"{self.cores_per_socket} cores"
+            )
+
+    @property
+    def n_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    def socket_of(self, core: int) -> int:
+        """Socket hosting ``core`` (cores are numbered socket-major)."""
+        if not 0 <= core < self.n_cores:
+            raise EnergyModelError(
+                f"core {core} out of range 0..{self.n_cores - 1}"
+            )
+        return core // self.cores_per_socket
+
+    def cores_of(self, socket: int) -> range:
+        """Core ids belonging to ``socket``."""
+        if not 0 <= socket < self.sockets:
+            raise EnergyModelError(f"socket {socket} out of range")
+        lo = socket * self.cores_per_socket
+        return range(lo, lo + self.cores_per_socket)
+
+    @classmethod
+    def for_workers(cls, n_workers: int, cores_per_socket: int = 8) -> "Topology":
+        """Smallest topology (in whole sockets) hosting ``n_workers``."""
+        if n_workers < 1:
+            raise EnergyModelError(f"need >=1 worker, got {n_workers}")
+        sockets = -(-n_workers // cores_per_socket)
+        return cls(sockets=sockets, cores_per_socket=cores_per_socket)

@@ -1,0 +1,5 @@
+"""QoS auto-tuning of the ratio knob (Green-style calibration)."""
+
+from .qos import CalibrationPoint, QosError, QosTuner
+
+__all__ = ["QosTuner", "QosError", "CalibrationPoint"]

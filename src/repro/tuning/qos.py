@@ -1,0 +1,147 @@
+"""QoS calibration: choosing the ratio knob to meet a quality target.
+
+The paper's intro argues the accurate-task ratio "can be an open
+parameter of a kernel or an entire application, which can take different
+values in each invocation, or be changed interactively by the user";
+Green [Baek & Chilimbi, PLDI 2010] (related work, section 5.1) built
+exactly this loop: calibrate a QoS model offline, pick the cheapest
+configuration meeting the target, re-calibrate when violations appear.
+
+:class:`QosTuner` reproduces that controller for the significance
+runtime.  Given a *probe* function ``ratio -> (quality_loss, energy)``
+(both lower-is-better; quality loss in the same units the benchmark's
+metric reports), it:
+
+1. **calibrates** over a ratio grid, recording the measured frontier;
+2. **chooses** the smallest-energy ratio whose measured quality loss is
+   within the target;
+3. **monitors** production measurements and triggers re-calibration
+   when the violation rate exceeds a bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..runtime.errors import ReproError
+
+__all__ = ["CalibrationPoint", "QosTuner", "QosError"]
+
+
+class QosError(ReproError):
+    """Tuner misuse or unsatisfiable target."""
+
+
+@dataclass(frozen=True)
+class CalibrationPoint:
+    """One probed configuration."""
+
+    ratio: float
+    quality_loss: float
+    energy_j: float
+
+
+@dataclass
+class QosTuner:
+    """Green-style calibrate/choose/monitor controller."""
+
+    probe: Callable[[float], tuple[float, float]]
+    target_quality_loss: float
+    #: Ratios probed during calibration (coarse-to-fine grids work too).
+    grid: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0)
+    #: Fraction of production runs allowed to violate the target before
+    #: re-calibration is requested.
+    violation_budget: float = 0.1
+    points: list[CalibrationPoint] = field(default_factory=list)
+    chosen: CalibrationPoint | None = None
+    _production_runs: int = 0
+    _violations: int = 0
+
+    def __post_init__(self) -> None:
+        if self.target_quality_loss < 0:
+            raise QosError(
+                f"target quality loss must be >= 0, got "
+                f"{self.target_quality_loss}"
+            )
+        if not self.grid:
+            raise QosError("calibration grid is empty")
+        if any(not 0.0 <= r <= 1.0 for r in self.grid):
+            raise QosError(f"grid ratios must be in [0, 1]: {self.grid}")
+
+    # ------------------------------------------------------------------
+    def calibrate(self) -> CalibrationPoint:
+        """Probe the grid and choose the cheapest satisfying ratio.
+
+        Raises :class:`QosError` when even ratio 1.0 misses the target
+        (the probe's fully accurate run should have ~zero loss; if not,
+        the target is unsatisfiable for this workload).
+        """
+        self.points = []
+        for ratio in sorted(set(self.grid)):
+            loss, energy = self.probe(ratio)
+            if loss < 0 or energy < 0:
+                raise QosError(
+                    f"probe returned negative measurements at "
+                    f"ratio={ratio}: loss={loss}, energy={energy}"
+                )
+            self.points.append(CalibrationPoint(ratio, loss, energy))
+
+        feasible = [
+            p
+            for p in self.points
+            if p.quality_loss <= self.target_quality_loss
+        ]
+        if not feasible:
+            raise QosError(
+                f"no calibrated ratio meets quality loss <= "
+                f"{self.target_quality_loss}; best was "
+                f"{min(p.quality_loss for p in self.points):.6g}"
+            )
+        self.chosen = min(feasible, key=lambda p: p.energy_j)
+        self._production_runs = 0
+        self._violations = 0
+        return self.chosen
+
+    # ------------------------------------------------------------------
+    @property
+    def ratio(self) -> float:
+        """The ratio production runs should use."""
+        if self.chosen is None:
+            raise QosError("calibrate() has not been run")
+        return self.chosen.ratio
+
+    def observe(self, quality_loss: float) -> bool:
+        """Record one production measurement.
+
+        Returns ``True`` when re-calibration is warranted — the
+        observed violation rate exceeded the budget (Green's
+        re-calibration trigger).
+        """
+        if self.chosen is None:
+            raise QosError("calibrate() has not been run")
+        self._production_runs += 1
+        if quality_loss > self.target_quality_loss:
+            self._violations += 1
+        if self._production_runs < 5:
+            return False  # not enough evidence yet
+        rate = self._violations / self._production_runs
+        return rate > self.violation_budget
+
+    @property
+    def violation_rate(self) -> float:
+        if self._production_runs == 0:
+            return 0.0
+        return self._violations / self._production_runs
+
+    # ------------------------------------------------------------------
+    def frontier(self) -> list[CalibrationPoint]:
+        """The calibrated Pareto frontier (energy vs quality loss)."""
+        pts = sorted(self.points, key=lambda p: p.energy_j)
+        out: list[CalibrationPoint] = []
+        best_loss = float("inf")
+        for p in pts:
+            if p.quality_loss < best_loss:
+                out.append(p)
+                best_loss = p.quality_loss
+        return out

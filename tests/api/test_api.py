@@ -1,0 +1,160 @@
+"""Unit tests for the programming-model layer (Runtime / sig_task)."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    Runtime,
+    current_runtime,
+    has_runtime,
+    ref,
+    sig_task,
+    taskwait,
+)
+from repro.runtime.errors import SchedulerError
+from repro.runtime.policies import gtb_max_buffer
+from repro.runtime.task import ExecutionKind, Task, TaskCost
+
+COST = TaskCost(10_000.0, 1_000.0)
+
+
+class TestRuntimeContext:
+    def test_no_ambient_runtime_raises(self):
+        with pytest.raises(SchedulerError):
+            current_runtime()
+
+    def test_has_runtime(self):
+        assert not has_runtime()
+        with Runtime(n_workers=2):
+            assert has_runtime()
+        assert not has_runtime()
+
+    def test_report_populated_on_exit(self):
+        with Runtime(n_workers=2) as rt:
+            rt.spawn(lambda: 1, cost=COST)
+        assert rt.report is not None
+        assert rt.report.tasks_total == 1
+
+    def test_nested_runtimes(self):
+        with Runtime(n_workers=2) as outer:
+            with Runtime(n_workers=2) as inner:
+                assert current_runtime() is inner
+            assert current_runtime() is outer
+
+    def test_exception_skips_finish(self):
+        with pytest.raises(RuntimeError):
+            with Runtime(n_workers=2) as rt:
+                raise RuntimeError("user code failed")
+        assert rt.report is None
+
+    def test_module_level_taskwait(self):
+        with Runtime(n_workers=2) as rt:
+            rt.init_group("g", ratio=1.0)
+            rt.spawn(lambda: 1, label="g", cost=COST)
+            taskwait(label="g")
+            assert rt.groups.get("g").outstanding == 0
+
+
+class TestSigTask:
+    def test_plain_call_without_runtime_executes_directly(self):
+        @sig_task(cost=COST)
+        def double(x):
+            return x * 2
+
+        assert double(21) == 42
+
+    def test_call_inside_runtime_spawns(self):
+        @sig_task(label="g", cost=COST)
+        def double(x):
+            return x * 2
+
+        with Runtime(n_workers=2):
+            t = double(21)
+            assert isinstance(t, Task)
+        assert t.result == 42
+
+    def test_per_call_significance_override(self):
+        @sig_task(label="g", significance=0.9, cost=COST)
+        def f():
+            return 1
+
+        with Runtime(n_workers=2):
+            t = f(significance=0.2)
+        assert t.significance == 0.2
+
+    def test_callable_clauses_evaluated_on_args(self):
+        @sig_task(
+            label="g",
+            significance=lambda i: (i % 9 + 1) / 10.0,
+            cost=lambda i: COST,
+        )
+        def f(i):
+            return i
+
+        with Runtime(n_workers=2):
+            t = f(3)
+        assert t.significance == pytest.approx(0.4)
+
+    def test_in_out_clauses(self):
+        data = np.zeros(4)
+
+        @sig_task(
+            label="g",
+            out=lambda d, i: [ref(d, region=i)],
+            cost=COST,
+        )
+        def write(d, i):
+            d[i] = 1.0
+
+        with Runtime(n_workers=2):
+            t = write(data, 2)
+        assert len(t.outs) == 1
+        assert t.outs[0].region == 2
+        assert data[2] == 1.0
+
+    def test_approxfun_used_when_ratio_low(self):
+        @sig_task(
+            label="g",
+            approxfun=lambda x: -x,
+            significance=0.5,
+            cost=COST,
+        )
+        def f(x):
+            return x
+
+        with Runtime(policy=gtb_max_buffer(), n_workers=2) as rt:
+            rt.init_group("g", ratio=0.0)
+            t = f(5)
+        assert t.decision is ExecutionKind.APPROXIMATE
+        assert t.result == -5
+
+    def test_plain_and_approx_direct_access(self):
+        @sig_task(approxfun=lambda x: x - 1)
+        def f(x):
+            return x + 1
+
+        assert f.plain(1) == 2
+        assert f.approx(1) == 0
+
+    def test_approx_without_approxfun_returns_none(self):
+        @sig_task
+        def f(x):
+            return x
+
+        assert f.approx(1) is None
+
+    def test_bare_decorator_form(self):
+        @sig_task
+        def f(x):
+            return x * 3
+
+        assert f(2) == 6  # no runtime: direct execution
+
+    def test_wrapper_metadata(self):
+        @sig_task(label="g")
+        def my_kernel(x):
+            "docs"
+            return x
+
+        assert my_kernel.__name__ == "my_kernel"
+        assert my_kernel.__doc__ == "docs"

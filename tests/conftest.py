@@ -1,0 +1,75 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.policies import (
+    GlobalTaskBuffering,
+    LocalQueueHistory,
+    OraclePolicy,
+    SignificanceAgnostic,
+    gtb_max_buffer,
+)
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.task import TaskCost
+
+
+def make_scheduler(policy=None, workers: int = 4, **kw) -> Scheduler:
+    """Small scheduler for unit tests (4 simulated workers)."""
+    return Scheduler(policy=policy, n_workers=workers, **kw)
+
+
+@pytest.fixture
+def scheduler() -> Scheduler:
+    return make_scheduler()
+
+
+@pytest.fixture(
+    params=["gtb", "gtb-max", "lqh", "agnostic", "oracle"],
+    ids=["GTB", "GTB-MB", "LQH", "agnostic", "oracle"],
+)
+def any_policy(request):
+    """One instance of every policy (fresh per test)."""
+    return {
+        "gtb": lambda: GlobalTaskBuffering(8),
+        "gtb-max": gtb_max_buffer,
+        "lqh": LocalQueueHistory,
+        "agnostic": SignificanceAgnostic,
+        "oracle": OraclePolicy,
+    }[request.param]()
+
+
+SMALL_COST = TaskCost(accurate=10_000.0, approximate=1_000.0)
+
+
+def spawn_n(rt: Scheduler, n: int, *, label="g", sig=None, approx=True,
+            cost=SMALL_COST, results=None):
+    """Spawn n trivial tasks with round-robin significance."""
+    out = []
+
+    def body(i):
+        if results is not None:
+            results.append(("acc", i))
+        return i * 2
+
+    def appr(i):
+        if results is not None:
+            results.append(("apx", i))
+        return i
+
+    for i in range(n):
+        s = sig(i) if callable(sig) else (
+            sig if sig is not None else (i % 9 + 1) / 10.0
+        )
+        out.append(
+            rt.spawn(
+                body,
+                i,
+                significance=s,
+                approxfun=appr if approx else None,
+                label=label,
+                cost=cost,
+            )
+        )
+    return out

@@ -1,0 +1,118 @@
+"""Unit tests for cost models and the DVFS what-if replay."""
+
+import pytest
+
+from repro.energy.cost import AnalyticCost, HybridCost, MeasuredCost
+from repro.energy.dvfs import DvfsPlan, replay_with_dvfs
+from repro.energy.machine_model import MachineModel
+from repro.runtime.errors import CostModelError, EnergyModelError
+from repro.runtime.task import ExecutionKind, Task, TaskCost
+from repro.sim.topology import Topology
+from repro.sim.trace import ExecutionTrace, Segment
+
+M = MachineModel(topology=Topology(1, 2))
+A, X, D = (
+    ExecutionKind.ACCURATE,
+    ExecutionKind.APPROXIMATE,
+    ExecutionKind.DROPPED,
+)
+
+
+def task(cost=None):
+    return Task(fn=lambda: None, cost=cost)
+
+
+class TestAnalyticCost:
+    def test_uses_task_cost(self):
+        c = AnalyticCost()
+        t = task(TaskCost(M.ops_per_second, M.ops_per_second / 10))
+        assert c.duration(t, A, M) == pytest.approx(1.0)
+        assert c.duration(t, X, M) == pytest.approx(0.1)
+
+    def test_dropped_is_free(self):
+        c = AnalyticCost()
+        assert c.duration(task(TaskCost(1e9)), D, M) == 0.0
+
+    def test_missing_cost_raises(self):
+        with pytest.raises(CostModelError):
+            AnalyticCost().duration(task(), A, M)
+
+
+class TestMeasuredCost:
+    def test_scales_wall_time(self):
+        c = MeasuredCost(scale=0.5)
+        assert c.duration(task(), A, M, measured_wall=2.0) == 1.0
+
+    def test_requires_measurement(self):
+        with pytest.raises(CostModelError):
+            MeasuredCost().duration(task(), A, M)
+
+    def test_invalid_scale(self):
+        with pytest.raises(CostModelError):
+            MeasuredCost(scale=0.0)
+
+    def test_dropped_free_without_measurement(self):
+        assert MeasuredCost().duration(task(), D, M) == 0.0
+
+
+class TestHybridCost:
+    def test_prefers_analytic(self):
+        c = HybridCost()
+        t = task(TaskCost(M.ops_per_second))
+        assert c.duration(t, A, M, measured_wall=99.0) == pytest.approx(
+            1.0
+        )
+
+    def test_falls_back_to_measured(self):
+        c = HybridCost(scale=2.0)
+        assert c.duration(task(), A, M, measured_wall=1.5) == 3.0
+
+
+def two_kind_trace() -> ExecutionTrace:
+    tr = ExecutionTrace(2)
+    tr.record(Segment(0, 0.0, 1.0, 0, A))
+    tr.record(Segment(0, 1.0, 2.0, 1, X))
+    tr.record(Segment(1, 0.0, 1.5, 2, A))
+    return tr
+
+
+class TestDvfs:
+    def test_identity_plan_preserves_schedule(self):
+        out = replay_with_dvfs(two_kind_trace(), M, DvfsPlan())
+        assert out.makespan_s == pytest.approx(2.0)
+        assert out.energy.busy_s == pytest.approx(3.5)
+
+    def test_slowing_approximate_stretches_their_segments(self):
+        plan = DvfsPlan(accurate=1.0, approximate=0.5)
+        out = replay_with_dvfs(two_kind_trace(), M, plan)
+        # worker 0: 1.0 (acc) + 2.0 (apx stretched) = 3.0
+        assert out.makespan_s == pytest.approx(3.0)
+
+    def test_downclocking_cuts_dynamic_energy(self):
+        base = replay_with_dvfs(two_kind_trace(), M, DvfsPlan())
+        slow = replay_with_dvfs(
+            two_kind_trace(), M, DvfsPlan(accurate=1.0, approximate=0.5)
+        )
+        # Dynamic energy of the approximate second: stretched 2x but
+        # power scaled by 0.5^3 -> net 0.25x for that segment.
+        assert slow.energy.core_active_j < base.energy.core_active_j
+
+    def test_overclocking_shortens_but_burns(self):
+        fast = replay_with_dvfs(
+            two_kind_trace(), M, DvfsPlan(accurate=2.0, approximate=2.0)
+        )
+        base = replay_with_dvfs(two_kind_trace(), M, DvfsPlan())
+        assert fast.makespan_s < base.makespan_s
+        assert fast.energy.core_active_j > base.energy.core_active_j
+
+    def test_invalid_plan(self):
+        with pytest.raises(EnergyModelError):
+            DvfsPlan(accurate=0.0)
+
+    def test_replay_is_work_conserving(self):
+        """Idle gaps compress: per-worker busy time is preserved/scaled."""
+        tr = ExecutionTrace(1)
+        tr.record(Segment(0, 0.0, 1.0, 0, A))
+        tr.record(Segment(0, 5.0, 6.0, 1, A))  # long idle gap
+        out = replay_with_dvfs(tr, M, DvfsPlan())
+        assert out.makespan_s == pytest.approx(2.0)

@@ -1,0 +1,104 @@
+"""Energy measurement over live runs (meter sessions + RAPL reads).
+
+The meter/RAPL unit tests use hand-built traces; these drive them from
+real scheduler executions, the way a user instruments phases of an
+application.
+"""
+
+import pytest
+
+from repro.energy.meter import EnergyMeter, EnergyReport
+from repro.energy.rapl import RaplDomain, SimulatedRapl
+from repro.runtime.policies import gtb_max_buffer
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.task import TaskCost
+
+COST = TaskCost(100_000.0, 10_000.0)
+
+
+def run_two_phase(ratio2: float = 0.0):
+    """Phase 1 fully accurate, phase 2 at ``ratio2``; return report
+    plus the barrier timestamps bracketing each phase."""
+    rt = Scheduler(policy=gtb_max_buffer(), n_workers=4)
+    rt.init_group("p1", ratio=1.0)
+    rt.init_group("p2", ratio=ratio2)
+    for _ in range(16):
+        rt.spawn(
+            lambda: None,
+            significance=0.5,
+            approxfun=lambda: None,
+            label="p1",
+            cost=COST,
+        )
+    t1 = rt.taskwait(label="p1")
+    for _ in range(16):
+        rt.spawn(
+            lambda: None,
+            significance=0.5,
+            approxfun=lambda: None,
+            label="p2",
+            cost=COST,
+        )
+    t2 = rt.taskwait(label="p2")
+    report = rt.finish()
+    return report, t1, t2, rt.machine_model
+
+
+class TestMeterSessions:
+    def test_phase_energies_sum_to_total(self):
+        report, t1, t2, machine = run_two_phase()
+        assert report.trace is not None
+        meter = EnergyMeter(machine)
+        meter.begin(report.trace, 0.0)
+        phase1 = meter.end(report.trace, t1)
+        meter.begin(report.trace, t1)
+        phase2 = meter.end(report.trace, t2)
+        total = EnergyReport.from_trace(
+            report.trace, machine, window_s=report.makespan_s
+        )
+        assert phase1.total_j + phase2.total_j == pytest.approx(
+            total.total_j, rel=1e-6
+        )
+
+    def test_approximate_phase_cheaper(self):
+        report, t1, t2, machine = run_two_phase(ratio2=0.0)
+        assert report.trace is not None
+        meter = EnergyMeter(machine)
+        meter.begin(report.trace, 0.0)
+        accurate_phase = meter.end(report.trace, t1)
+        meter.begin(report.trace, t1)
+        approx_phase = meter.end(report.trace, t2)
+        assert approx_phase.total_j < accurate_phase.total_j
+        assert approx_phase.window_s < accurate_phase.window_s
+
+
+class TestRaplOnLiveRuns:
+    def test_package_counters_cover_run(self):
+        report, _, _, machine = run_two_phase()
+        assert report.trace is not None
+        rapl = SimulatedRapl(machine)
+        total = 0.0
+        for s in range(machine.topology.sockets):
+            total += rapl.read_joules_between(
+                RaplDomain("package", s),
+                report.trace,
+                0.0,
+                report.makespan_s,
+            )
+            total += rapl.read_joules_between(
+                RaplDomain("dram", s),
+                report.trace,
+                0.0,
+                report.makespan_s,
+            )
+        # Counter quantization (15.3 uJ units) allows tiny slack.
+        assert total == pytest.approx(report.energy_j, rel=1e-3)
+
+    def test_counters_monotone_in_time(self):
+        report, t1, _, machine = run_two_phase()
+        assert report.trace is not None
+        rapl = SimulatedRapl(machine)
+        dom = RaplDomain("pp0", 0)
+        early = rapl.read(dom, report.trace, t1 / 2)
+        late = rapl.read(dom, report.trace, report.makespan_s)
+        assert late >= early  # no wrap at these magnitudes

@@ -1,0 +1,92 @@
+"""Unit tests for the machine performance/power model."""
+
+import pytest
+
+from repro.energy.machine_model import XEON_E5_2650, MachineModel
+from repro.runtime.errors import EnergyModelError
+from repro.sim.topology import Topology
+
+
+class TestDefaults:
+    def test_paper_testbed(self):
+        m = XEON_E5_2650
+        assert m.topology.n_cores == 16
+        assert m.frequency_ghz == pytest.approx(2.0)
+
+    def test_tdp_plausible_for_dual_e5_2650(self):
+        """Two 95 W packages plus DRAM: full-load power in 150-250 W."""
+        assert 150.0 <= XEON_E5_2650.tdp_w() <= 250.0
+
+    def test_idle_floor_below_tdp(self):
+        m = XEON_E5_2650
+        assert m.all_idle_w() < m.tdp_w()
+
+    def test_duration_of(self):
+        m = MachineModel()
+        assert m.duration_of(m.ops_per_second) == pytest.approx(1.0)
+        assert m.duration_of(0.0) == 0.0
+
+    def test_duration_negative_rejected(self):
+        with pytest.raises(EnergyModelError):
+            MachineModel().duration_of(-1.0)
+
+    def test_busy_extra_positive(self):
+        assert XEON_E5_2650.busy_extra_w() > 0
+
+
+class TestValidation:
+    def test_zero_throughput_rejected(self):
+        with pytest.raises(EnergyModelError):
+            MachineModel(ops_per_second=0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(EnergyModelError):
+            MachineModel(core_active_w=-1.0)
+
+    def test_idle_above_active_rejected(self):
+        with pytest.raises(EnergyModelError):
+            MachineModel(core_idle_w=20.0, core_active_w=10.0)
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(EnergyModelError):
+            MachineModel(frequency_ghz=0.0)
+
+
+class TestDerivation:
+    def test_with_workers_resizes(self):
+        m = XEON_E5_2650.with_workers(4)
+        assert m.topology.sockets == 1
+        m24 = XEON_E5_2650.with_workers(24)
+        assert m24.topology.sockets == 3
+
+    def test_scaled_frequency_throughput_linear(self):
+        m = MachineModel().scaled_frequency(0.5)
+        assert m.ops_per_second == pytest.approx(
+            MachineModel().ops_per_second * 0.5
+        )
+
+    def test_scaled_frequency_power_cubic(self):
+        base = MachineModel()
+        slow = base.scaled_frequency(0.5)
+        dyn_base = base.core_active_w - base.core_idle_w
+        dyn_slow = slow.core_active_w - slow.core_idle_w
+        assert dyn_slow == pytest.approx(dyn_base * 0.125)
+
+    def test_scaled_frequency_keeps_idle_power(self):
+        base = MachineModel()
+        assert base.scaled_frequency(0.5).core_idle_w == base.core_idle_w
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(EnergyModelError):
+            MachineModel().scaled_frequency(0.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            XEON_E5_2650.ops_per_second = 1.0  # type: ignore[misc]
+
+    def test_custom_topology(self):
+        m = MachineModel(topology=Topology(1, 4))
+        assert m.n_cores == 4
+        assert m.package_static_w() == pytest.approx(
+            m.uncore_w + m.dram_w
+        )

@@ -1,0 +1,168 @@
+"""Unit tests for energy integration, the meter and simulated RAPL."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy.machine_model import MachineModel
+from repro.energy.meter import EnergyMeter, EnergyReport
+from repro.energy.rapl import (
+    COUNTER_WRAP,
+    ENERGY_UNIT_J,
+    RaplDomain,
+    SimulatedRapl,
+    rapl_delta,
+)
+from repro.runtime.errors import EnergyModelError
+from repro.runtime.task import ExecutionKind
+from repro.sim.topology import Topology
+from repro.sim.trace import ExecutionTrace, Segment
+
+MACHINE = MachineModel(topology=Topology(1, 2))  # 1 socket, 2 cores
+
+
+def trace_one_busy_second() -> ExecutionTrace:
+    tr = ExecutionTrace(2)
+    tr.record(Segment(0, 0.0, 1.0, 0, ExecutionKind.ACCURATE))
+    return tr
+
+
+class TestEnergyReport:
+    def test_manual_integration(self):
+        tr = trace_one_busy_second()
+        rep = EnergyReport.from_trace(tr, MACHINE)
+        # window = 1 s; core0 busy 1 s; core1 idle 1 s.
+        assert rep.window_s == 1.0
+        assert rep.package_uncore_j == pytest.approx(MACHINE.uncore_w)
+        assert rep.dram_j == pytest.approx(MACHINE.dram_w)
+        assert rep.core_active_j == pytest.approx(MACHINE.core_active_w)
+        assert rep.core_idle_j == pytest.approx(MACHINE.core_idle_w)
+        expected = (
+            MACHINE.uncore_w
+            + MACHINE.dram_w
+            + MACHINE.core_active_w
+            + MACHINE.core_idle_w
+        )
+        assert rep.total_j == pytest.approx(expected)
+
+    def test_longer_window_adds_idle(self):
+        tr = trace_one_busy_second()
+        r1 = EnergyReport.from_trace(tr, MACHINE)
+        r2 = EnergyReport.from_trace(tr, MACHINE, window_s=2.0)
+        assert r2.total_j > r1.total_j
+
+    def test_window_shorter_than_trace_rejected(self):
+        tr = trace_one_busy_second()
+        with pytest.raises(EnergyModelError):
+            EnergyReport.from_trace(tr, MACHINE, window_s=0.5)
+
+    def test_more_workers_than_cores_rejected(self):
+        tr = ExecutionTrace(4)
+        with pytest.raises(EnergyModelError):
+            EnergyReport.from_trace(tr, MACHINE)
+
+    def test_average_power(self):
+        rep = EnergyReport.from_trace(trace_one_busy_second(), MACHINE)
+        assert rep.average_power_w == pytest.approx(rep.total_j)
+
+    def test_addition(self):
+        rep = EnergyReport.from_trace(trace_one_busy_second(), MACHINE)
+        both = rep + rep
+        assert both.total_j == pytest.approx(2 * rep.total_j)
+        assert both.window_s == 2.0
+
+    def test_approximation_saves_energy(self):
+        """Shorter busy time at equal window -> strictly less energy."""
+        busy = trace_one_busy_second()
+        lighter = ExecutionTrace(2)
+        lighter.record(Segment(0, 0.0, 0.2, 0, ExecutionKind.APPROXIMATE))
+        r_busy = EnergyReport.from_trace(busy, MACHINE, window_s=1.0)
+        r_light = EnergyReport.from_trace(lighter, MACHINE, window_s=1.0)
+        assert r_light.total_j < r_busy.total_j
+
+
+class TestEnergyMeter:
+    def test_session_measures_window(self):
+        tr = trace_one_busy_second()
+        m = EnergyMeter(MACHINE)
+        m.begin(tr, 0.0)
+        rep = m.end(tr, 0.5)
+        assert rep.window_s == pytest.approx(0.5)
+        assert rep.busy_s == pytest.approx(0.5)
+
+    def test_end_without_begin(self):
+        m = EnergyMeter(MACHINE)
+        with pytest.raises(EnergyModelError):
+            m.end(trace_one_busy_second(), 1.0)
+
+    def test_inverted_window(self):
+        m = EnergyMeter(MACHINE)
+        m.begin(trace_one_busy_second(), 1.0)
+        with pytest.raises(EnergyModelError):
+            m.end(trace_one_busy_second(), 0.5)
+
+
+class TestRapl:
+    def test_domains_enumerated(self):
+        rapl = SimulatedRapl(MACHINE)
+        names = {d.name for d in rapl.domains()}
+        assert names == {"package-0", "pp0-0", "dram-0"}
+
+    def test_counter_monotone_and_consistent(self):
+        rapl = SimulatedRapl(MACHINE)
+        tr = trace_one_busy_second()
+        dom = RaplDomain("package", 0)
+        j = rapl.read_joules_between(dom, tr, 0.0, 1.0)
+        expected = (
+            MACHINE.uncore_w
+            + MACHINE.core_active_w
+            + MACHINE.core_idle_w
+        )
+        assert j == pytest.approx(expected, rel=1e-4)
+
+    def test_pp0_excludes_uncore(self):
+        rapl = SimulatedRapl(MACHINE)
+        tr = trace_one_busy_second()
+        pkg = rapl.read_joules_between(RaplDomain("package", 0), tr, 0, 1)
+        pp0 = rapl.read_joules_between(RaplDomain("pp0", 0), tr, 0, 1)
+        assert pkg - pp0 == pytest.approx(MACHINE.uncore_w, rel=1e-4)
+
+    def test_dram_constant_power(self):
+        rapl = SimulatedRapl(MACHINE)
+        tr = trace_one_busy_second()
+        j = rapl.read_joules_between(RaplDomain("dram", 0), tr, 0.0, 2.0)
+        assert j == pytest.approx(2.0 * MACHINE.dram_w, rel=1e-4)
+
+    def test_register_is_32bit(self):
+        rapl = SimulatedRapl(MACHINE)
+        tr = trace_one_busy_second()
+        val = rapl.read(RaplDomain("package", 0), tr, 1.0)
+        assert 0 <= val < COUNTER_WRAP
+
+    def test_unknown_socket_rejected(self):
+        rapl = SimulatedRapl(MACHINE)
+        with pytest.raises(EnergyModelError):
+            rapl.read(RaplDomain("package", 5), trace_one_busy_second(), 1.0)
+
+    def test_wraparound_delta(self):
+        assert rapl_delta(COUNTER_WRAP - 10, 5) == 15
+        assert rapl_delta(5, 10) == 5
+
+    def test_delta_range_checked(self):
+        with pytest.raises(EnergyModelError):
+            rapl_delta(-1, 5)
+        with pytest.raises(EnergyModelError):
+            rapl_delta(0, COUNTER_WRAP)
+
+    def test_energy_unit_is_sandy_bridge(self):
+        assert ENERGY_UNIT_J == pytest.approx(1 / 65536)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=COUNTER_WRAP - 1),
+        st.integers(min_value=0, max_value=COUNTER_WRAP - 1),
+    )
+    def test_delta_never_negative(self, a, b):
+        assert 0 <= rapl_delta(a, b) < COUNTER_WRAP

@@ -1,0 +1,147 @@
+"""Tests for the unreliable-hardware substrate (paper section 6)."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultLog, FaultModel, FaultRecord, faulty_scheduler
+from repro.faults.model import FaultConfigError
+from repro.runtime.policies import SignificanceAgnostic, gtb_max_buffer
+from repro.runtime.task import TaskCost
+
+COST = TaskCost(10_000.0, 1_000.0)
+
+
+class TestFaultModel:
+    def test_split_machine(self):
+        m = FaultModel.split_machine(16, 0.5, 0.1)
+        assert m.unreliable_cores == frozenset(range(8, 16))
+
+    def test_split_rounding(self):
+        m = FaultModel.split_machine(4, 0.3, 0.1)
+        assert len(m.unreliable_cores) == 1
+
+    def test_invalid_rate(self):
+        with pytest.raises(FaultConfigError):
+            FaultModel(fault_rate=1.5)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(FaultConfigError):
+            FaultModel.split_machine(8, -0.1, 0.1)
+
+    def test_reliable_cores_never_fault(self):
+        m = FaultModel.split_machine(4, 0.5, 1.0)
+        assert not m.draws_fault(0, task_key=1)
+        assert m.draws_fault(3, task_key=1)
+
+    def test_deterministic_draws(self):
+        m = FaultModel.split_machine(4, 0.5, 0.5, seed=9)
+        draws_a = [m.draws_fault(3, t) for t in range(100)]
+        draws_b = [m.draws_fault(3, t) for t in range(100)]
+        assert draws_a == draws_b
+        assert any(draws_a) and not all(draws_a)
+
+    def test_group_changes_stream(self):
+        m = FaultModel.split_machine(4, 0.5, 0.5, seed=9)
+        a = [m.draws_fault(3, t, group="a") for t in range(200)]
+        b = [m.draws_fault(3, t, group="b") for t in range(200)]
+        assert a != b
+
+    def test_rate_zero_never_faults(self):
+        m = FaultModel.split_machine(4, 1.0, 0.0)
+        assert not any(m.draws_fault(w, t) for w in range(4)
+                       for t in range(50))
+
+
+class TestFaultLog:
+    def test_counters(self):
+        log = FaultLog()
+        log.add(FaultRecord(1, 0, 0.0, 0.5, protected=False))
+        log.add(FaultRecord(2, 0, 0.0, 0.9, protected=True))
+        assert log.total == 2
+        assert log.silent == 1
+        assert log.recovered == 1
+
+
+def run_faulty(fault_rate, protect_threshold, n=200, workers=4):
+    """Tasks append to a list; omitted (faulted) tasks leave gaps."""
+    model = FaultModel.split_machine(
+        workers, 0.5, fault_rate, seed=7
+    )
+    rt = faulty_scheduler(
+        SignificanceAgnostic(),
+        n_workers=workers,
+        fault_model=model,
+        protect_threshold=protect_threshold,
+    )
+    done = []
+    for i in range(n):
+        rt.spawn(
+            lambda i=i: done.append(i),
+            significance=(i % 9 + 1) / 10.0,
+            cost=COST,
+        )
+    report = rt.finish()
+    return done, rt.engine.fault_log, report
+
+
+class TestFaultInjection:
+    def test_no_faults_at_zero_rate(self):
+        done, log, _ = run_faulty(0.0, 1.0)
+        assert len(done) == 200 and log.total == 0
+
+    def test_silent_faults_omit_effects(self):
+        done, log, _ = run_faulty(0.3, 1.1 if False else 1.0, n=200)
+        # protect_threshold=1.0 -> only significance==1.0 protected;
+        # all our tasks are < 1.0, so every fault is silent.
+        assert log.silent > 0
+        assert len(done) == 200 - log.silent
+
+    def test_protection_recovers_significant_tasks(self):
+        done, log, _ = run_faulty(0.3, protect_threshold=0.0, n=200)
+        # Everything protected -> no silent faults, all effects present.
+        assert log.silent == 0
+        assert len(done) == 200
+        assert log.recovered > 0
+
+    def test_partial_protection_threshold(self):
+        done, log, _ = run_faulty(0.3, protect_threshold=0.5, n=300)
+        silent_sigs = [
+            r.significance for r in log.records if not r.protected
+        ]
+        recovered_sigs = [
+            r.significance for r in log.records if r.protected
+        ]
+        assert all(s < 0.5 for s in silent_sigs)
+        assert all(s >= 0.5 for s in recovered_sigs)
+
+    def test_protection_costs_time(self):
+        _, log_unprot, rep_unprot = run_faulty(0.4, 1.0)
+        _, log_prot, rep_prot = run_faulty(0.4, 0.0)
+        assert rep_prot.makespan_s > rep_unprot.makespan_s
+
+    def test_determinism(self):
+        a = run_faulty(0.25, 0.5)
+        b = run_faulty(0.25, 0.5)
+        assert a[0] == b[0]
+        assert a[1].total == b[1].total
+        assert a[2].makespan_s == b[2].makespan_s
+
+    def test_composes_with_significance_policy(self):
+        model = FaultModel.split_machine(4, 0.5, 0.2, seed=3)
+        rt = faulty_scheduler(
+            gtb_max_buffer(),
+            n_workers=4,
+            fault_model=model,
+            protect_threshold=0.6,
+        )
+        rt.init_group("g", ratio=0.5)
+        for i in range(100):
+            rt.spawn(
+                lambda: None,
+                significance=(i % 9 + 1) / 10.0,
+                approxfun=lambda: None,
+                label="g",
+                cost=COST,
+            )
+        report = rt.finish()
+        assert report.accurate_tasks == 50

@@ -1,0 +1,36 @@
+"""Smoke tests for the harness command-line interface."""
+
+import pytest
+
+from repro.harness.__main__ import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Sobel" in out and "Fluidanimate" in out
+
+    def test_fig1_small_with_output(self, capsys, tmp_path):
+        assert main(["fig1", "--small", "--workers", "4",
+                     "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "fig1_sobel_approx.pgm").exists()
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_fig3_small(self, capsys):
+        assert main(["fig3", "--small", "--workers", "4"]) == 0
+        assert "perforation" in capsys.readouterr().out
+
+    def test_fig2_single_benchmark(self, capsys):
+        assert main(
+            ["fig2", "--small", "--workers", "4",
+             "--benchmark", "Jacobi"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[Jacobi] time" in out
+        assert "[Jacobi] energy" in out
+        assert "[Jacobi] quality" in out
+
+    def test_invalid_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig9"])

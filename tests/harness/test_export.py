@@ -1,0 +1,82 @@
+"""Tests for JSON/CSV export of harness results."""
+
+import csv
+import json
+
+import pytest
+
+from repro.harness.export import (
+    fig2_to_rows,
+    to_dict,
+    write_csv,
+    write_json,
+)
+from repro.harness.figures import (
+    fig1_sobel_approximation,
+    fig2_benchmark,
+)
+from repro.harness.tables import table2_policy_accuracy
+
+
+@pytest.fixture(scope="module")
+def small_fig2():
+    return fig2_benchmark("Jacobi", small=True, n_workers=4)
+
+
+class TestFig2Export:
+    def test_rows_cover_all_cells(self, small_fig2):
+        rows = fig2_to_rows(small_fig2)
+        # 1 accurate + 9 policy cells + 3 perforated
+        assert len(rows) == 13
+        modes = {r["mode"] for r in rows}
+        assert {"accurate", "policy:gtb", "perforated"} <= modes
+
+    def test_row_schema(self, small_fig2):
+        row = fig2_to_rows(small_fig2)[0]
+        assert set(row) == {
+            "benchmark",
+            "mode",
+            "degree",
+            "makespan_s",
+            "energy_j",
+            "quality_metric",
+            "quality_value",
+            "accurate",
+            "approximate",
+            "dropped",
+        }
+
+    def test_json_roundtrip(self, small_fig2, tmp_path):
+        p = write_json(small_fig2, tmp_path / "fig2.json")
+        rows = json.loads(p.read_text())
+        assert len(rows) == 13
+        assert all(isinstance(r["energy_j"], float) for r in rows)
+
+    def test_csv_roundtrip(self, small_fig2, tmp_path):
+        p = write_csv(small_fig2, tmp_path / "fig2.csv")
+        with p.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 13
+        assert rows[0]["benchmark"] == "Jacobi"
+
+
+class TestOtherExports:
+    def test_table2_rows(self):
+        data = table2_policy_accuracy(
+            benchmarks=("Jacobi",), small=True, n_workers=4
+        )
+        rows = to_dict(data)
+        assert len(rows) == 3  # three policies
+        assert all("inversion_pct" in r for r in rows)
+
+    def test_quadrant_rows_inf_cleaned(self):
+        fig = fig1_sobel_approximation(small=True, n_workers=4)
+        rows = to_dict(fig)
+        assert rows[0]["psnr_db"] is None  # inf -> None for JSON
+        assert all(
+            isinstance(r["psnr_db"], (float, type(None))) for r in rows
+        )
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            to_dict({"not": "a result"})

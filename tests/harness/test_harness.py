@@ -1,0 +1,141 @@
+"""Tests for the experiment harness (cells, figures, tables, report)."""
+
+import numpy as np
+import pytest
+
+from repro.harness.experiment import (
+    NATIVE_PARAMS,
+    ExperimentCell,
+    run_cell,
+)
+from repro.harness.figures import (
+    POLICY_MODES,
+    fig1_sobel_approximation,
+    fig3_sobel_perforation,
+    fig4_overhead,
+)
+from repro.harness.report import bar_chart, format_float, format_table
+from repro.harness.tables import table1, table2_policy_accuracy
+from repro.kernels.base import Degree, PerforationNotApplicable
+
+
+class TestReportRendering:
+    def test_format_table_alignment(self):
+        out = format_table(
+            ["a", "bb"], [[1, 2.5], ["x", 3.0]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "|" in lines[1] and "-+-" in lines[2]
+
+    def test_format_table_row_length_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_float_widths(self):
+        assert len(format_float(1.23456789)) <= 9
+        assert len(format_float(1.2e-12)) <= 12
+
+    def test_bar_chart(self):
+        art = bar_chart(["x", "yy"], [1.0, 2.0])
+        assert art.count("|") == 4
+        assert "##" in art
+
+    def test_bar_chart_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart(["x"], [1.0, 2.0])
+
+
+class TestExperimentCells:
+    def test_accurate_cell(self):
+        res = run_cell(
+            ExperimentCell("Sobel", "accurate", None, 4, True)
+        )
+        assert res.quality.value == 0.0  # reference vs itself
+        assert res.makespan_s > 0 and res.energy_j > 0
+
+    def test_policy_cell(self):
+        res = run_cell(
+            ExperimentCell("Sobel", "policy:lqh", Degree.MEDIUM, 4, True)
+        )
+        assert res.report.approximate_tasks > 0
+
+    def test_perforated_cell(self):
+        res = run_cell(
+            ExperimentCell("Sobel", "perforated", Degree.MILD, 4, True)
+        )
+        assert res.report.tasks_total < 62  # rows dropped up front
+
+    def test_perforation_not_applicable(self):
+        with pytest.raises(PerforationNotApplicable):
+            run_cell(
+                ExperimentCell(
+                    "Fluidanimate", "perforated", Degree.MILD, 4, True
+                )
+            )
+
+    def test_policy_mode_requires_degree(self):
+        with pytest.raises(ValueError):
+            run_cell(ExperimentCell("Sobel", "policy:gtb", None, 4, True))
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            run_cell(
+                ExperimentCell("Sobel", "turbo", Degree.MILD, 4, True)
+            )
+
+    def test_native_params_cover_all_benchmarks(self):
+        from repro.kernels.base import benchmark_names
+
+        assert {n.lower() for n in benchmark_names()} == set(
+            NATIVE_PARAMS
+        )
+
+    def test_describe(self):
+        cell = ExperimentCell("Sobel", "policy:gtb", Degree.MILD, 4, True)
+        assert "Sobel" in cell.describe()
+        assert "Mild" in cell.describe()
+
+
+class TestFigures:
+    def test_fig1_quadrants(self, tmp_path):
+        fig = fig1_sobel_approximation(
+            small=True, n_workers=4, out_path=tmp_path / "f1.pgm"
+        )
+        assert fig.mosaic.shape == (64, 64)
+        assert fig.psnr_db[0] == float("inf")  # accurate quadrant
+        assert (tmp_path / "f1.pgm").exists()
+        assert "Figure 1" in fig.render()
+
+    def test_fig3_perforation_worse_than_fig1(self):
+        f1 = fig1_sobel_approximation(small=True, n_workers=4)
+        f3 = fig3_sobel_perforation(small=True, n_workers=4)
+        # Compare the most aggressive quadrants: 100% perforation is
+        # catastrophically worse than 100% approximation.
+        assert f3.psnr_db[3] < f1.psnr_db[3]
+
+    def test_fig4_overhead_bounded(self):
+        data = fig4_overhead(
+            benchmarks=("Sobel",), small=True, n_workers=4
+        )
+        for mode in POLICY_MODES:
+            v = data.normalized[("Sobel", mode)]
+            assert 0.9 < v < 2.0  # small-scale: generous bound
+        assert "Figure 4" in data.render()
+
+
+class TestTables:
+    def test_table1_static_content(self):
+        out = table1()
+        assert "Sobel" in out and "Fluidanimate" in out
+        assert "80%" in out and "12.5%" in out
+        assert "0.0001" in out  # Jacobi tolerance column
+
+    def test_table2_small_run(self):
+        data = table2_policy_accuracy(
+            benchmarks=("Sobel",), small=True, n_workers=4
+        )
+        gtb_mb = data.inversions[("Sobel", "policy:gtb-max")]
+        assert gtb_mb == 0.0  # max-buffer GTB never inverts
+        assert data.ratio_diff[("Sobel", "policy:gtb-max")] < 0.05
+        assert "Table 2" in data.render()

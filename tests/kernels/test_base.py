@@ -1,0 +1,108 @@
+"""Unit tests for the benchmark framework and Table 1 configuration."""
+
+import pytest
+
+from repro.kernels import (
+    Benchmark,
+    Degree,
+    PerforationNotApplicable,
+    benchmark_names,
+    get_benchmark,
+)
+
+
+class TestRegistry:
+    def test_all_six_registered(self):
+        names = set(benchmark_names())
+        assert names == {
+            "Sobel",
+            "DCT",
+            "MC",
+            "Kmeans",
+            "Jacobi",
+            "Fluidanimate",
+        }
+
+    def test_lookup_case_insensitive(self):
+        assert get_benchmark("sobel").name == "Sobel"
+        assert get_benchmark("SOBEL").name == "Sobel"
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            get_benchmark("linpack")
+
+    def test_small_flag(self):
+        assert get_benchmark("Sobel", small=True).small
+
+
+class TestTable1Configuration:
+    """The degree table must match the paper's Table 1 exactly."""
+
+    @pytest.mark.parametrize("name,mild,med,aggr", [
+        ("Sobel", 0.80, 0.30, 0.0),
+        ("DCT", 0.80, 0.40, 0.10),
+        ("MC", 1.00, 0.80, 0.50),
+        ("Kmeans", 0.80, 0.60, 0.40),
+        ("Jacobi", 1e-4, 1e-3, 1e-2),
+        ("Fluidanimate", 0.50, 0.25, 0.125),
+    ])
+    def test_degrees(self, name, mild, med, aggr):
+        b = get_benchmark(name, small=True)
+        assert b.degree_param(Degree.MILD) == mild
+        assert b.degree_param(Degree.MEDIUM) == med
+        assert b.degree_param(Degree.AGGRESSIVE) == aggr
+
+    @pytest.mark.parametrize("name,metric", [
+        ("Sobel", "PSNR"),
+        ("DCT", "PSNR"),
+        ("MC", "Rel.Err"),
+        ("Kmeans", "Rel.Err"),
+        ("Jacobi", "Rel.Err"),
+        ("Fluidanimate", "Rel.Err"),
+    ])
+    def test_quality_metrics(self, name, metric):
+        assert get_benchmark(name, small=True).quality_metric == metric
+
+    @pytest.mark.parametrize("name,mode", [
+        ("Sobel", "A"),
+        ("DCT", "D"),
+        ("MC", "D, A"),
+        ("Kmeans", "A"),
+        ("Jacobi", "D, A"),
+        ("Fluidanimate", "A"),
+    ])
+    def test_approx_modes(self, name, mode):
+        assert get_benchmark(name, small=True).approx_mode == mode
+
+    def test_perforation_applicability(self):
+        """Perforation exists for all benchmarks except Fluidanimate
+        (paper section 4.2)."""
+        for name in benchmark_names():
+            b = get_benchmark(name, small=True)
+            expected = name != "Fluidanimate"
+            assert b.perforation_applicable == expected
+
+    def test_fluidanimate_perforation_raises(self):
+        b = get_benchmark("Fluidanimate", small=True)
+        with pytest.raises(PerforationNotApplicable):
+            b.run_perforated(None, None, 0.5)
+
+    def test_missing_degree_rejected(self):
+        class Incomplete(Benchmark):
+            name = "x"
+            degrees = {}
+
+            def build_input(self, seed=0):
+                return None
+
+            def run_tasks(self, rt, inputs, param):
+                return None
+
+            def run_reference(self, inputs):
+                return None
+
+            def quality(self, reference, output):
+                raise NotImplementedError
+
+        with pytest.raises(KeyError):
+            Incomplete().degree_param(Degree.MILD)

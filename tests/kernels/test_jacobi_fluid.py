@@ -1,0 +1,197 @@
+"""Unit tests for the Jacobi and Fluidanimate kernels."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.fluidanimate import (
+    DT,
+    FluidanimateBenchmark,
+    FluidState,
+    sph_chunk_accurate,
+    sph_chunk_ballistic,
+)
+from repro.kernels.jacobi import (
+    JacobiBenchmark,
+    JacobiProblem,
+    jacobi_chunk_accurate,
+    jacobi_chunk_banded,
+    jacobi_reference,
+)
+from repro.runtime.policies import gtb_max_buffer
+from repro.runtime.scheduler import Scheduler
+
+
+class TestJacobiProblem:
+    def test_diagonally_dominant(self):
+        p = JacobiProblem.generate(32)
+        diag = np.abs(np.diagonal(p.a))
+        off = np.abs(p.a).sum(axis=1) - diag
+        assert (diag > off).all()
+
+    def test_deterministic(self):
+        a = JacobiProblem.generate(16, seed=3)
+        b = JacobiProblem.generate(16, seed=3)
+        assert np.array_equal(a.a, b.a) and np.array_equal(a.b, b.b)
+
+
+class TestJacobiBodies:
+    def test_accurate_matches_dense_formula(self):
+        p = JacobiProblem.generate(16)
+        x = np.random.default_rng(0).normal(size=16)
+        out = np.empty(16)
+        jacobi_chunk_accurate(out, p.a, p.b, x, 0, 16)
+        diag = np.diagonal(p.a)
+        expected = (p.b - (p.a @ x - diag * x)) / diag
+        assert out == pytest.approx(expected)
+
+    def test_banded_close_to_accurate(self):
+        p = JacobiProblem.generate(64)
+        x = np.random.default_rng(1).normal(size=64)
+        acc = np.empty(64)
+        apx = np.empty(64)
+        jacobi_chunk_accurate(acc, p.a, p.b, x, 16, 32)
+        jacobi_chunk_banded(apx, p.a, p.b, x, 16, 32)
+        # The band keeps the diagonal, which dominates, so the banded
+        # update is a genuine approximation, not noise.
+        rel = np.linalg.norm(acc[16:32] - apx[16:32]) / np.linalg.norm(
+            acc[16:32]
+        )
+        assert rel < 1.0
+
+    def test_reference_solves_system(self):
+        p = JacobiProblem.generate(48)
+        x = jacobi_reference(p, tol=1e-10)
+        assert p.a @ x == pytest.approx(p.b, abs=1e-6)
+
+
+class TestJacobiBenchmark:
+    def test_tolerance_ordering(self):
+        """Tighter tolerance -> closer to the native solution."""
+        b = JacobiBenchmark(small=True)
+        prob = b.build_input()
+        ref = b.run_reference(prob)
+        errs = []
+        for tol in (1e-4, 1e-3, 1e-2):
+            rt = Scheduler(policy=gtb_max_buffer(), n_workers=4)
+            out = b.run_tasks(rt, prob, tol)
+            rt.finish()
+            errs.append(b.quality(ref, out).value)
+        assert errs[0] <= errs[1] <= errs[2]
+        assert errs[2] < 5.0  # still graceful
+
+    def test_first_iterations_approximate(self):
+        b = JacobiBenchmark(small=True)
+        prob = b.build_input()
+        rt = Scheduler(policy=gtb_max_buffer(), n_workers=4)
+        b.run_tasks(rt, prob, 1e-3)
+        rep = rt.finish()
+        # 5 approximate sweeps -> approx tasks = 5 * n_chunks
+        n_chunks = len(b._chunks())
+        assert rep.approximate_tasks == 5 * n_chunks
+
+    def test_overhead_probe_all_accurate(self):
+        b = JacobiBenchmark(small=True)
+        prob = b.build_input()
+        rt = Scheduler(policy=gtb_max_buffer(), n_workers=4)
+        b.run_overhead_probe(rt, prob)
+        rep = rt.finish()
+        assert rep.approximate_tasks == 0
+        assert rep.dropped_tasks == 0
+
+    def test_perforated_converges(self):
+        b = JacobiBenchmark(small=True)
+        prob = b.build_input()
+        ref = b.run_reference(prob)
+        rt = Scheduler(n_workers=4)
+        out = b.run_perforated(rt, prob, 1e-3)
+        rt.finish()
+        assert b.quality(ref, out).value < 5.0
+
+
+class TestFluidState:
+    def test_dam_break_inside_box(self):
+        s = FluidState.dam_break(100)
+        assert (s.pos >= 0).all() and (s.pos <= 1).all()
+        assert np.allclose(s.vel, 0.0)
+
+    def test_copy_independent(self):
+        s = FluidState.dam_break(10)
+        c = s.copy()
+        c.pos[0, 0] = 0.99
+        assert s.pos[0, 0] != 0.99
+
+
+class TestSphBodies:
+    def test_accurate_step_conserves_particles(self):
+        s = FluidState.dam_break(64)
+        nxt = s.copy()
+        sph_chunk_accurate(nxt, s, 0, 64)
+        assert (nxt.pos >= 0).all() and (nxt.pos <= 1).all()
+        assert np.isfinite(nxt.vel).all()
+        assert (nxt.rho > 0).all()
+
+    def test_gravity_pulls_down(self):
+        s = FluidState.dam_break(64)
+        nxt = s.copy()
+        sph_chunk_accurate(nxt, s, 0, 64)
+        # Mean vertical velocity becomes negative from rest.
+        assert nxt.vel[:, 1].mean() < 0
+
+    def test_ballistic_is_linear_extrapolation(self):
+        s = FluidState.dam_break(32)
+        s.vel[:] = [[0.1, 0.0]] * 32
+        nxt = s.copy()
+        sph_chunk_ballistic(nxt, s, 0, 32)
+        assert nxt.pos == pytest.approx(s.pos + DT * s.vel)
+        assert np.array_equal(nxt.vel, s.vel)
+        assert np.array_equal(nxt.rho, s.rho)
+
+    def test_ballistic_bounces_at_walls(self):
+        s = FluidState.dam_break(4)
+        s.pos[0] = [0.9995, 0.5]
+        s.vel[0] = [2.0, 0.0]
+        nxt = s.copy()
+        sph_chunk_ballistic(nxt, s, 0, 4)
+        assert nxt.pos[0, 0] <= 1.0
+        assert nxt.vel[0, 0] < 0  # reflected
+
+
+class TestFluidBenchmark:
+    def test_full_accurate_matches_reference(self):
+        b = FluidanimateBenchmark(small=True)
+        s = b.build_input()
+        ref = b.run_reference(s)
+        rt = Scheduler(policy=gtb_max_buffer(), n_workers=4)
+        out = b.run_tasks(rt, s, 1.0)
+        rt.finish()
+        assert out.pos == pytest.approx(ref.pos)
+
+    def test_error_grows_with_approximation(self):
+        b = FluidanimateBenchmark(small=True)
+        s = b.build_input()
+        ref = b.run_reference(s)
+        errs = []
+        for frac in (0.5, 0.25, 0.125):
+            rt = Scheduler(policy=gtb_max_buffer(), n_workers=4)
+            out = b.run_tasks(rt, s, frac)
+            rt.finish()
+            errs.append(b.quality(ref, out).value)
+        assert errs[0] < errs[1] < errs[2]
+
+    def test_invalid_fraction_rejected(self):
+        b = FluidanimateBenchmark(small=True)
+        s = b.build_input()
+        rt = Scheduler(n_workers=4)
+        with pytest.raises(ValueError):
+            b.run_tasks(rt, s, 0.0)
+
+    def test_alternation_schedule(self):
+        """Mild (period 2): half the steps accurate, half approximate."""
+        b = FluidanimateBenchmark(small=True)
+        s = b.build_input()
+        rt = Scheduler(policy=gtb_max_buffer(), n_workers=4)
+        b.run_tasks(rt, s, 0.5)
+        rep = rt.finish()
+        per_step = b.n_particles // b.chunk
+        acc_steps = rep.accurate_tasks / per_step
+        assert acc_steps == b.steps // 2

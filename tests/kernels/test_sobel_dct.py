@@ -1,0 +1,202 @@
+"""Unit tests for the Sobel and DCT kernels."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.dct import (
+    BLOCK,
+    N_BANDS,
+    band_coefficients,
+    band_significance,
+    blockize,
+    dct_band_task,
+    dct_matrix,
+    reconstruct,
+    unblockize,
+)
+from repro.kernels.sobel import (
+    SobelBenchmark,
+    sobel_reference,
+    sobel_row_accurate,
+    sobel_row_approx,
+    sobel_row_significance,
+)
+from repro.quality.images import synthetic_image
+from repro.quality.metrics import psnr
+from repro.runtime.policies import gtb_max_buffer
+from repro.runtime.scheduler import Scheduler
+
+
+class TestSobelBodies:
+    def test_accurate_detects_vertical_edge(self):
+        img = np.zeros((8, 8), np.uint8)
+        img[:, 4:] = 200
+        res = np.zeros_like(img)
+        sobel_row_accurate(res, img, 4)
+        assert res[4, 3] > 100 and res[4, 4] > 100
+        assert res[4, 1] == 0
+
+    def test_approximate_close_to_accurate(self):
+        img = synthetic_image(32, 32)
+        acc = np.zeros_like(img)
+        apx = np.zeros_like(img)
+        for i in range(1, 31):
+            sobel_row_accurate(acc, img, i)
+            sobel_row_approx(apx, img, i)
+        p = psnr(acc, apx)
+        assert 10 < p < 45  # approximate but recognizable
+
+    def test_clamp_to_255(self):
+        img = np.zeros((4, 8), np.uint8)
+        img[:, 4:] = 255
+        res = np.zeros_like(img)
+        sobel_row_accurate(res, img, 2)
+        assert res.max() <= 255
+
+    def test_significance_round_robin(self):
+        sigs = [sobel_row_significance(i) for i in range(1, 19)]
+        assert min(sigs) == pytest.approx(0.1)
+        assert max(sigs) == pytest.approx(0.9)
+        assert 0.0 not in sigs and 1.0 not in sigs  # specials avoided
+
+    def test_reference_matches_rowwise(self):
+        img = synthetic_image(16, 16)
+        ref = sobel_reference(img)
+        res = np.zeros_like(img)
+        for i in range(1, 15):
+            sobel_row_accurate(res, img, i)
+        assert np.array_equal(ref, res)
+
+
+class TestSobelBenchmark:
+    def test_ratio_one_equals_reference(self):
+        b = SobelBenchmark(small=True)
+        img = b.build_input()
+        rt = Scheduler(policy=gtb_max_buffer(), n_workers=4)
+        out = b.run_tasks(rt, img, 1.0)
+        rt.finish()
+        assert np.array_equal(out, b.run_reference(img))
+
+    def test_quality_degrades_with_ratio(self):
+        b = SobelBenchmark(small=True)
+        img = b.build_input()
+        ref = b.run_reference(img)
+        errs = []
+        for ratio in (0.8, 0.3, 0.0):
+            rt = Scheduler(policy=gtb_max_buffer(), n_workers=4)
+            out = b.run_tasks(rt, img, ratio)
+            rt.finish()
+            errs.append(b.quality(ref, out).value)
+        assert errs[0] <= errs[1] <= errs[2]
+
+    def test_perforated_leaves_black_rows(self):
+        b = SobelBenchmark(small=True)
+        img = b.build_input()
+        rt = Scheduler(n_workers=4)
+        out = b.run_perforated(rt, img, 0.5)
+        rt.finish()
+        zero_rows = np.count_nonzero(out[1:-1].sum(axis=1) == 0)
+        assert zero_rows >= (img.shape[0] - 2) // 2 - 1
+
+
+class TestDctPieces:
+    def test_dct_matrix_orthonormal(self):
+        c = dct_matrix()
+        assert np.allclose(c @ c.T, np.eye(BLOCK), atol=1e-12)
+
+    def test_band_coefficients_partition(self):
+        all_uv = [
+            uv for k in range(N_BANDS) for uv in band_coefficients(k)
+        ]
+        assert len(all_uv) == BLOCK * BLOCK
+        assert len(set(all_uv)) == BLOCK * BLOCK
+
+    def test_band_out_of_range(self):
+        with pytest.raises(ValueError):
+            band_coefficients(N_BANDS)
+
+    def test_band_significance_monotone_and_interior(self):
+        sigs = [band_significance(k) for k in range(N_BANDS)]
+        assert all(0.0 < s < 1.0 for s in sigs)
+        assert all(a > b for a, b in zip(sigs, sigs[1:]))
+
+    def test_blockize_roundtrip(self):
+        img = synthetic_image(16, 24)
+        blocks = blockize(img)
+        assert blocks.shape == (2 * 3, 8, 8)
+        back = unblockize(blocks, 16, 24)
+        assert np.array_equal(back, img)
+
+    def test_blockize_requires_multiple_of_8(self):
+        with pytest.raises(ValueError):
+            blockize(np.zeros((10, 16)))
+
+    def test_full_pipeline_high_psnr(self):
+        """All bands computed -> JPEG-quantized reconstruction only."""
+        img = synthetic_image(32, 32)
+        blocks = blockize(img)
+        coeffs = np.zeros_like(blocks)
+        for k in range(N_BANDS):
+            dct_band_task(coeffs, blocks, 0, blocks.shape[0], k)
+        out = reconstruct(coeffs, 32, 32)
+        assert psnr(img, out) > 28  # quantization-limited
+
+    def test_dropping_high_bands_graceful(self):
+        img = synthetic_image(32, 32)
+        blocks = blockize(img)
+        full = np.zeros_like(blocks)
+        partial = np.zeros_like(blocks)
+        for k in range(N_BANDS):
+            dct_band_task(full, blocks, 0, blocks.shape[0], k)
+            if k < 6:
+                dct_band_task(partial, blocks, 0, blocks.shape[0], k)
+        ref = reconstruct(full, 32, 32)
+        out = reconstruct(partial, 32, 32)
+        assert psnr(ref, out) > 15
+
+    def test_low_bands_matter_more(self):
+        """Dropping low-frequency bands hurts more than high ones."""
+        img = synthetic_image(32, 32)
+        blocks = blockize(img)
+
+        def rec(skip_low: bool):
+            coeffs = np.zeros_like(blocks)
+            for k in range(N_BANDS):
+                drop = k < 4 if skip_low else k >= N_BANDS - 4
+                if not drop:
+                    dct_band_task(coeffs, blocks, 0, blocks.shape[0], k)
+            return reconstruct(coeffs, 32, 32)
+
+        full = np.zeros_like(blocks)
+        for k in range(N_BANDS):
+            dct_band_task(full, blocks, 0, blocks.shape[0], k)
+        ref = reconstruct(full, 32, 32)
+        assert psnr(ref, rec(skip_low=False)) > psnr(ref, rec(skip_low=True))
+
+
+class TestDctBenchmark:
+    def test_ratio_one_equals_reference(self):
+        from repro.kernels.dct import DctBenchmark
+
+        b = DctBenchmark(small=True)
+        img = b.build_input()
+        rt = Scheduler(policy=gtb_max_buffer(), n_workers=4)
+        out = b.run_tasks(rt, img, 1.0)
+        rt.finish()
+        assert np.array_equal(out, b.run_reference(img))
+
+    def test_significance_keeps_low_bands(self):
+        """At medium ratio the significance runtime retains every
+        low-frequency band, so quality beats blind perforation."""
+        from repro.kernels.dct import DctBenchmark
+
+        b = DctBenchmark(small=True)
+        img = b.build_input()
+        ref = b.run_reference(img)
+        rt1 = Scheduler(policy=gtb_max_buffer(), n_workers=4)
+        ours = b.run_tasks(rt1, img, 0.4)
+        rt1.finish()
+        rt2 = Scheduler(n_workers=4)
+        perf = b.run_perforated(rt2, img, 0.4)
+        rt2.finish()
+        assert b.quality(ref, ours).value < b.quality(ref, perf).value

@@ -1,0 +1,102 @@
+"""Unit and property tests for the loop-perforation baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perforation import (
+    PerforationError,
+    perforate_loop,
+    perforated_indices,
+)
+
+
+class TestPerforatedIndices:
+    def test_keep_all(self):
+        assert np.array_equal(
+            perforated_indices(10, 1.0), np.arange(10)
+        )
+
+    def test_keep_none(self):
+        assert perforated_indices(10, 0.0).size == 0
+
+    def test_truncate_scheme(self):
+        idx = perforated_indices(10, 0.3, scheme="truncate")
+        assert np.array_equal(idx, [0, 1, 2])
+
+    def test_stride_scheme_spreads(self):
+        idx = perforated_indices(10, 0.5, scheme="stride")
+        assert len(idx) == 5
+        # spread: no two adjacent-only cluster; gaps ~2
+        assert np.all(np.diff(idx) == 2)
+
+    def test_random_scheme_seeded(self):
+        a = perforated_indices(100, 0.4, scheme="random", seed=7)
+        b = perforated_indices(100, 0.4, scheme="random", seed=7)
+        c = perforated_indices(100, 0.4, scheme="random", seed=8)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(PerforationError):
+            perforated_indices(10, 1.5)
+
+    def test_negative_n(self):
+        with pytest.raises(PerforationError):
+            perforated_indices(-1, 0.5)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(PerforationError):
+            perforated_indices(10, 0.5, scheme="chaotic")
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.sampled_from(["stride", "truncate", "random"]),
+    )
+    def test_count_and_bounds_property(self, n, keep, scheme):
+        idx = perforated_indices(n, keep, scheme=scheme)
+        assert len(idx) <= max(1, int(round(keep * n)))
+        assert len(set(idx.tolist())) == len(idx)  # unique
+        if len(idx):
+            assert idx.min() >= 0 and idx.max() < n
+            assert np.all(np.diff(idx) > 0)  # sorted
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=1, max_value=300))
+    def test_full_keep_identity(self, n):
+        assert np.array_equal(
+            perforated_indices(n, 1.0), np.arange(n)
+        )
+
+
+class TestPerforateLoop:
+    def test_decorator_executes_subset(self):
+        acc = []
+
+        @perforate_loop(0.5)
+        def body(i, sink):
+            sink.append(i)
+
+        body(range(10), acc)
+        assert len(acc) == 5
+
+    def test_decorator_passes_original_indices(self):
+        acc = []
+
+        @perforate_loop(0.5, scheme="truncate")
+        def body(i, sink):
+            sink.append(i)
+
+        body([10, 20, 30, 40], acc)
+        assert acc == [10, 20]
+
+    def test_metadata_attached(self):
+        @perforate_loop(0.25, scheme="random")
+        def body(i):
+            pass
+
+        assert body.keep_fraction == 0.25
+        assert body.scheme == "random"

@@ -1,0 +1,165 @@
+"""Unit tests for Global Task Buffering (paper section 3.3, Listing 4)."""
+
+import pytest
+
+from repro.runtime.errors import PolicyError
+from repro.runtime.policies import GlobalTaskBuffering, gtb_max_buffer
+from repro.runtime.task import ExecutionKind, TaskState
+
+from ..conftest import make_scheduler, spawn_n
+
+
+class TestConfiguration:
+    def test_invalid_buffer_size(self):
+        with pytest.raises(PolicyError):
+            GlobalTaskBuffering(0)
+        with pytest.raises(PolicyError):
+            GlobalTaskBuffering(-4)
+
+    def test_max_buffer_factory(self):
+        p = gtb_max_buffer()
+        assert p.buffer_size is None
+        assert "MaxBuffer" in p.name
+
+    def test_describe(self):
+        assert "B=8" in GlobalTaskBuffering(8).describe()
+        assert "B=max" in gtb_max_buffer().describe()
+
+
+class TestBuffering:
+    def test_tasks_buffered_until_window_full(self):
+        rt = make_scheduler(policy=GlobalTaskBuffering(4))
+        tasks = spawn_n(rt, 3, label="g")
+        assert all(t.state is TaskState.BUFFERED for t in tasks)
+        spawn_n(rt, 1, label="g")  # fills the window -> flush
+        assert all(t.state is not TaskState.BUFFERED for t in tasks)
+        rt.finish()
+
+    def test_max_buffer_holds_until_barrier(self):
+        rt = make_scheduler(policy=gtb_max_buffer())
+        tasks = spawn_n(rt, 50, label="g")
+        assert all(t.state is TaskState.BUFFERED for t in tasks)
+        rt.taskwait(label="g")
+        assert all(t.state is TaskState.FINISHED for t in tasks)
+        rt.finish()
+
+    def test_buffers_are_per_group(self):
+        rt = make_scheduler(policy=GlobalTaskBuffering(4))
+        a = spawn_n(rt, 3, label="a")
+        spawn_n(rt, 4, label="b")  # fills b's buffer only
+        assert all(t.state is TaskState.BUFFERED for t in a)
+        rt.finish()
+
+    def test_unstamped_task_rejected_at_worker(self):
+        p = GlobalTaskBuffering(4)
+        rt = make_scheduler(policy=p)
+        t = spawn_n(rt, 1, label="g")[0]
+        with pytest.raises(PolicyError):
+            p.decide(t, worker=0)
+        rt.finish()
+
+
+class TestQuotaSelection:
+    @pytest.mark.parametrize("ratio,expected", [
+        (1.0, 20), (0.75, 15), (0.5, 10), (0.25, 5), (0.0, 0),
+    ])
+    def test_exact_quota(self, ratio, expected):
+        rt = make_scheduler(policy=gtb_max_buffer())
+        rt.init_group("g", ratio=ratio)
+        spawn_n(rt, 20, label="g")
+        report = rt.finish()
+        assert report.accurate_tasks == expected
+
+    def test_most_significant_selected(self):
+        rt = make_scheduler(policy=gtb_max_buffer())
+        rt.init_group("g", ratio=0.3)
+        tasks = spawn_n(rt, 10, label="g", sig=lambda i: (i + 1) / 20.0)
+        rt.finish()
+        accurate = {t.args[0] for t in tasks
+                    if t.decision is ExecutionKind.ACCURATE}
+        assert accurate == {7, 8, 9}  # the 3 highest significances
+
+    def test_quota_is_ceiling(self):
+        """'at least the specified percentage' -> ceil(R*B)."""
+        rt = make_scheduler(policy=gtb_max_buffer())
+        rt.init_group("g", ratio=0.35)
+        spawn_n(rt, 10, label="g")
+        report = rt.finish()
+        assert report.accurate_tasks == 4  # ceil(3.5)
+
+    def test_forced_significance_one_always_accurate(self):
+        rt = make_scheduler(policy=gtb_max_buffer())
+        rt.init_group("g", ratio=0.0)
+        tasks = spawn_n(rt, 5, label="g", sig=1.0)
+        rt.finish()
+        assert all(t.decision is ExecutionKind.ACCURATE for t in tasks)
+
+    def test_forced_significance_zero_always_approx(self):
+        rt = make_scheduler(policy=gtb_max_buffer())
+        rt.init_group("g", ratio=1.0)
+        tasks = spawn_n(rt, 5, label="g", sig=0.0)
+        rt.finish()
+        assert all(
+            t.decision is ExecutionKind.APPROXIMATE for t in tasks
+        )
+
+    def test_droppable_tasks_get_dropped(self):
+        rt = make_scheduler(policy=gtb_max_buffer())
+        rt.init_group("g", ratio=0.5)
+        tasks = spawn_n(rt, 10, label="g", approx=False)
+        rt.finish()
+        dropped = [t for t in tasks if t.decision is ExecutionKind.DROPPED]
+        assert len(dropped) == 5
+
+    def test_stable_tie_break_by_spawn_order(self):
+        """Uniform significance: GTB deterministically picks the first
+        spawned tasks (paper: Kmeans 'GTB policies behave
+        deterministically')."""
+        rt = make_scheduler(policy=gtb_max_buffer())
+        rt.init_group("g", ratio=0.4)
+        tasks = spawn_n(rt, 10, label="g", sig=0.5)
+        rt.finish()
+        accurate = [t.args[0] for t in tasks
+                    if t.decision is ExecutionKind.ACCURATE]
+        assert accurate == [0, 1, 2, 3]
+
+
+class TestWindowedQuota:
+    def test_quota_applied_per_window(self):
+        rt = make_scheduler(policy=GlobalTaskBuffering(5))
+        rt.init_group("g", ratio=0.4)
+        spawn_n(rt, 10, label="g")
+        report = rt.finish()
+        # ceil(0.4*5)=2 accurate per window, 2 windows
+        assert report.accurate_tasks == 4
+
+    def test_partial_window_flushed_at_barrier(self):
+        rt = make_scheduler(policy=GlobalTaskBuffering(8))
+        rt.init_group("g", ratio=0.5)
+        spawn_n(rt, 3, label="g")  # window never fills
+        rt.taskwait(label="g")
+        report = rt.finish()
+        assert report.tasks_total == 3
+        assert report.accurate_tasks == 2  # ceil(1.5)
+
+    def test_no_inversions_within_any_run_max_buffer(self):
+        rt = make_scheduler(policy=gtb_max_buffer())
+        rt.init_group("g", ratio=0.37)
+        spawn_n(rt, 60, label="g")
+        report = rt.finish()
+        assert report.total_inversion_pct() == 0.0
+        assert report.mean_ratio_offset() < 0.02
+
+    def test_reset_clears_buffers(self):
+        p = GlobalTaskBuffering(100)
+        rt = make_scheduler(policy=p)
+        spawn_n(rt, 5, label="g")
+        p.reset()
+        assert not p._buffers or all(
+            not b for b in p._buffers.values()
+        )
+        # Scheduler can still finish cleanly: tasks were dropped from
+        # the policy's view, so the barrier must not hang on them.
+        # (They were never issued; groups.outstanding counts them, so
+        # finish would stall — this is exactly what the stall handler
+        # reports.)

@@ -1,0 +1,170 @@
+"""Unit tests for Local Queue History (paper section 3.4)."""
+
+import pytest
+
+from repro.runtime.policies import LocalQueueHistory
+from repro.runtime.policies.lqh import GroupHistory
+from repro.runtime.task import ExecutionKind, Task
+
+from ..conftest import make_scheduler, spawn_n
+
+A, X = ExecutionKind.ACCURATE, ExecutionKind.APPROXIMATE
+
+
+class TestGroupHistory:
+    def test_observe_updates_counts(self):
+        h = GroupHistory()
+        h.observe(50, A)
+        h.observe(50, X)
+        h.observe(10, X)
+        assert h.total == 3
+        assert h.counts[50] == 2 and h.counts[10] == 1
+        assert h.approx_counts[50] == 1
+
+    def test_cumulative_below(self):
+        h = GroupHistory()
+        for level in (10, 20, 30):
+            h.observe(level, A)
+        assert h.cumulative_below(25) == 2
+        assert h.cumulative_below(10) == 0
+        assert h.cumulative_below(101) == 3
+
+
+class TestClassifyRule:
+    """Direct tests of the paper's inequality via _classify."""
+
+    def classify(self, hist, level, ratio):
+        return LocalQueueHistory._classify(hist, level, ratio)
+
+    def test_ratio_one_always_accurate(self):
+        h = GroupHistory()
+        for _ in range(10):
+            kind = self.classify(h, 50, 1.0)
+            assert kind is A
+            h.observe(50, kind)
+
+    def test_ratio_zero_always_approximate(self):
+        h = GroupHistory()
+        for _ in range(10):
+            kind = self.classify(h, 50, 0.0)
+            assert kind is X
+            h.observe(50, kind)
+
+    def test_quantile_rule_above_threshold_accurate(self):
+        """A level wholly above the (1-R) quantile runs accurately:
+        the observations strictly below it already exhaust the
+        approximate budget (t_g(s) > (1-R_g) t_g(1.0))."""
+        h = GroupHistory()
+        for _ in range(70):
+            h.observe(10, X)
+        for _ in range(30):
+            h.observe(90, A)
+        # quota = 0.6 * 101 = 60.6 <= 70 below -> accurate
+        assert self.classify(h, 90, 0.4) is A
+
+    def test_quantile_rule_below_threshold_approximate(self):
+        h = GroupHistory()
+        for _ in range(40):
+            h.observe(10, X)
+        for _ in range(30):
+            h.observe(10, A)
+        for _ in range(30):
+            h.observe(90, A)
+        # Level 10 sits inside the bottom 60% and its within-level
+        # approximation credit (40 spent of 60.6 budget) is not yet
+        # exhausted -> approximate.
+        assert self.classify(h, 10, 0.4) is X
+
+    def test_uniform_level_converges_to_ratio(self):
+        """Within-level credit splits a single-level group to R_g."""
+        h = GroupHistory()
+        acc = 0
+        n = 1000
+        for _ in range(n):
+            kind = self.classify(h, 50, 0.6)
+            h.observe(50, kind)
+            acc += kind is A
+        assert acc / n == pytest.approx(0.6, abs=0.01)
+
+    @pytest.mark.parametrize("ratio", [0.2, 0.35, 0.5, 0.8])
+    def test_mixed_levels_converge(self, ratio):
+        h = GroupHistory()
+        acc = 0
+        n = 9000
+        for i in range(n):
+            level = (i % 9 + 1) * 10
+            kind = self.classify(h, level, ratio)
+            h.observe(level, kind)
+            acc += kind is A
+        assert acc / n == pytest.approx(ratio, abs=0.02)
+
+    def test_mixed_levels_respect_significance_in_steady_state(self):
+        """After warm-up, high levels run accurately, low levels not."""
+        h = GroupHistory()
+        for i in range(900):
+            level = (i % 9 + 1) * 10
+            h.observe(level, self.classify(h, level, 0.5))
+        # fresh decisions after warm-up:
+        assert self.classify(h, 90, 0.5) is A
+        assert self.classify(h, 10, 0.5) is X
+
+
+class TestLqhInScheduler:
+    def test_converges_with_many_tasks(self):
+        rt = make_scheduler(policy=LocalQueueHistory(), workers=4)
+        rt.init_group("g", ratio=0.5)
+        spawn_n(rt, 2000, label="g")
+        report = rt.finish()
+        assert report.accurate_tasks / 2000 == pytest.approx(0.5, abs=0.03)
+        assert report.total_inversion_pct() < 2.0
+
+    def test_undershoots_like_the_paper(self):
+        """Footnote 2: LQH approximates slightly more than requested."""
+        rt = make_scheduler(policy=LocalQueueHistory(), workers=8)
+        rt.init_group("g", ratio=0.8)
+        spawn_n(rt, 400, label="g")
+        report = rt.finish()
+        assert report.accurate_tasks / 400 <= 0.8 + 1e-9
+
+    def test_per_worker_histories_are_independent(self):
+        p = LocalQueueHistory()
+        p.make_worker_state(4)
+        h0 = p.history(0, "g")
+        h1 = p.history(1, "g")
+        h0.observe(50, A)
+        assert h1.total == 0
+
+    def test_histories_grow_on_demand(self):
+        p = LocalQueueHistory()
+        # no make_worker_state call (sequential debugging engine)
+        h = p.history(7, "g")
+        assert h.total == 0
+
+    def test_per_group_histories_are_independent(self):
+        p = LocalQueueHistory()
+        p.make_worker_state(1)
+        p.history(0, "a").observe(10, A)
+        assert p.history(0, "b").total == 0
+
+    def test_forced_values_bypass_history(self):
+        rt = make_scheduler(policy=LocalQueueHistory())
+        rt.init_group("g", ratio=0.0)
+        forced = spawn_n(rt, 5, label="g", sig=1.0)
+        rt.finish()
+        assert all(t.decision is A for t in forced)
+
+    def test_decide_overhead_is_histogram_update(self):
+        from repro.runtime.policies.base import PolicyOverheads
+
+        p = LocalQueueHistory()
+        t = Task(fn=lambda: None, significance=0.5)
+        assert p.decide_overhead(t) == PolicyOverheads.HISTOGRAM_UPDATE
+
+    def test_drop_semantics_without_approxfun(self):
+        rt = make_scheduler(policy=LocalQueueHistory())
+        rt.init_group("g", ratio=0.0)
+        tasks = spawn_n(rt, 6, label="g", sig=0.5, approx=False)
+        rt.finish()
+        assert all(
+            t.decision is ExecutionKind.DROPPED for t in tasks
+        )

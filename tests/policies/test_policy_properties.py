@@ -1,0 +1,145 @@
+"""Property-based tests (hypothesis) on the policy invariants.
+
+These pin down the contract all policies share, over arbitrary
+significance distributions and ratios:
+
+* every task receives exactly one decision;
+* GTB-MaxBuffer / oracle meet the quota exactly (ceil semantics) and
+  never invert significance order;
+* forced significance values (0.0 / 1.0) are always honoured;
+* the LQH classify rule reduces to the paper's inequality away from the
+  straddling level.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.policies import gtb_max_buffer
+from repro.runtime.policies.lqh import GroupHistory, LocalQueueHistory
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.task import ExecutionKind, TaskCost
+
+COST = TaskCost(1000.0, 100.0)
+
+sig_lists = st.lists(
+    st.floats(min_value=0.01, max_value=0.99), min_size=1, max_size=60
+)
+ratios = st.floats(min_value=0.0, max_value=1.0)
+
+
+def run_gtb_max(sigs, ratio):
+    rt = Scheduler(policy=gtb_max_buffer(), n_workers=4)
+    rt.init_group("g", ratio=ratio)
+    tasks = [
+        rt.spawn(
+            lambda: None,
+            significance=s,
+            approxfun=lambda: None,
+            label="g",
+            cost=COST,
+        )
+        for s in sigs
+    ]
+    rt.finish()
+    return tasks
+
+
+@settings(max_examples=60, deadline=None)
+@given(sig_lists, ratios)
+def test_gtb_max_quota_is_exact_ceiling(sigs, ratio):
+    tasks = run_gtb_max(sigs, ratio)
+    accurate = sum(
+        1 for t in tasks if t.decision is ExecutionKind.ACCURATE
+    )
+    assert accurate == math.ceil(ratio * len(sigs) - 1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sig_lists, ratios)
+def test_gtb_max_never_inverts(sigs, ratio):
+    tasks = run_gtb_max(sigs, ratio)
+    approx_sigs = [
+        t.significance
+        for t in tasks
+        if t.decision is not ExecutionKind.ACCURATE
+    ]
+    acc_sigs = [
+        t.significance
+        for t in tasks
+        if t.decision is ExecutionKind.ACCURATE
+    ]
+    if approx_sigs and acc_sigs:
+        assert max(approx_sigs) <= min(acc_sigs) + 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(sig_lists, ratios)
+def test_every_task_decided(sigs, ratio):
+    tasks = run_gtb_max(sigs, ratio)
+    assert all(t.decision is not None for t in tasks)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.sampled_from([0.0, 1.0]), min_size=1, max_size=30
+    ),
+    ratios,
+)
+def test_forced_values_always_honoured(sigs, ratio):
+    rt = Scheduler(policy=gtb_max_buffer(), n_workers=2)
+    rt.init_group("g", ratio=ratio)
+    tasks = [
+        rt.spawn(
+            lambda: None,
+            significance=s,
+            approxfun=lambda: None,
+            label="g",
+            cost=COST,
+        )
+        for s in sigs
+    ]
+    rt.finish()
+    for t in tasks:
+        if t.significance >= 1.0:
+            assert t.decision is ExecutionKind.ACCURATE
+        else:
+            assert t.decision is ExecutionKind.APPROXIMATE
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=100), min_size=1,
+             max_size=300),
+    st.floats(min_value=0.05, max_value=0.95),
+)
+def test_lqh_rule_matches_paper_inequality_off_straddle(levels, ratio):
+    """Where the level does not straddle the quota line, the decision is
+    exactly the paper's ``t_g(s) > (1-R_g) t_g(1.0)`` inequality."""
+    hist = GroupHistory()
+    for lv in levels:
+        quota = (1.0 - ratio) * (hist.total + 1)
+        below = hist.cumulative_below(lv)
+        whole_level = below + hist.counts[lv] + 1
+        kind = LocalQueueHistory._classify(hist, lv, ratio)
+        if below >= quota:
+            assert kind is ExecutionKind.ACCURATE
+        elif whole_level <= quota:
+            assert kind is ExecutionKind.APPROXIMATE
+        hist.observe(lv, kind)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(min_value=0.05, max_value=0.95))
+def test_lqh_long_run_ratio_convergence(ratio):
+    hist = GroupHistory()
+    acc = 0
+    n = 3000
+    for i in range(n):
+        level = (i * 37) % 101  # pseudo-uniform level stream
+        kind = LocalQueueHistory._classify(hist, level, ratio)
+        hist.observe(level, kind)
+        acc += kind is ExecutionKind.ACCURATE
+    assert abs(acc / n - ratio) < 0.03

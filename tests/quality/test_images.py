@@ -1,0 +1,98 @@
+"""Unit tests for image helpers (mosaics, PGM I/O, synthetic scenes)."""
+
+import numpy as np
+import pytest
+
+from repro.quality.images import (
+    quadrant_mosaic,
+    quadrant_psnr,
+    read_pgm,
+    synthetic_image,
+    write_pgm,
+)
+
+
+class TestSyntheticImage:
+    def test_shape_and_dtype(self):
+        img = synthetic_image(64, 48)
+        assert img.shape == (64, 48)
+        assert img.dtype == np.uint8
+
+    def test_deterministic(self):
+        assert np.array_equal(synthetic_image(32, 32), synthetic_image(32, 32))
+
+    def test_seed_changes_noise(self):
+        a = synthetic_image(32, 32, seed=1)
+        b = synthetic_image(32, 32, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_has_edges(self):
+        """The scene must exercise an edge detector: strong gradients."""
+        img = synthetic_image(64, 64).astype(np.int32)
+        grad = np.abs(np.diff(img, axis=0)).max()
+        assert grad > 30
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_image(4, 4)
+
+
+class TestQuadrantMosaic:
+    def test_each_quadrant_from_its_source(self):
+        shape = (8, 8)
+        quads = [np.full(shape, v, dtype=np.uint8) for v in (1, 2, 3, 4)]
+        m = quadrant_mosaic(quads)
+        assert m[0, 0] == 1 and m[0, 7] == 2
+        assert m[7, 0] == 3 and m[7, 7] == 4
+
+    def test_wrong_count_rejected(self):
+        with pytest.raises(ValueError):
+            quadrant_mosaic([np.zeros((4, 4))] * 3)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            quadrant_mosaic(
+                [np.zeros((4, 4))] * 3 + [np.zeros((6, 6))]
+            )
+
+    def test_quadrant_psnr_identifies_clean_quadrant(self):
+        ref = synthetic_image(32, 32)
+        noisy = np.clip(
+            ref.astype(int)
+            + np.random.default_rng(0).integers(-40, 40, ref.shape),
+            0,
+            255,
+        ).astype(np.uint8)
+        mosaic = quadrant_mosaic([ref, noisy, noisy, noisy])
+        psnrs = quadrant_psnr(ref, mosaic)
+        assert psnrs[0] == float("inf")
+        assert all(p < 30 for p in psnrs[1:])
+
+
+class TestPgmIO:
+    def test_roundtrip(self, tmp_path):
+        img = synthetic_image(16, 24)
+        p = write_pgm(tmp_path / "x.pgm", img)
+        back = read_pgm(p)
+        assert np.array_equal(back, img)
+
+    def test_header_format(self, tmp_path):
+        p = write_pgm(tmp_path / "x.pgm", np.zeros((4, 6), np.uint8))
+        data = p.read_bytes()
+        assert data.startswith(b"P5\n6 4\n255\n")
+
+    def test_non_2d_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_pgm(tmp_path / "x.pgm", np.zeros((2, 2, 3)))
+
+    def test_read_rejects_non_pgm(self, tmp_path):
+        f = tmp_path / "bad.pgm"
+        f.write_bytes(b"JFIF....")
+        with pytest.raises(ValueError):
+            read_pgm(f)
+
+    def test_values_clipped(self, tmp_path):
+        img = np.array([[300.0, -5.0]])
+        p = write_pgm(tmp_path / "c.pgm", img)
+        back = read_pgm(p)
+        assert back[0, 0] == 255 and back[0, 1] == 0

@@ -1,0 +1,157 @@
+"""Unit and property tests for the quality metrics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quality.metrics import (
+    QualityValue,
+    inverse_psnr,
+    mean_relative_error,
+    mse,
+    psnr,
+    relative_error,
+)
+
+images = hnp.arrays(
+    dtype=np.uint8, shape=st.tuples(
+        st.integers(2, 16), st.integers(2, 16)
+    )
+)
+
+
+class TestMse:
+    def test_identical_zero(self):
+        a = np.arange(12).reshape(3, 4)
+        assert mse(a, a) == 0.0
+
+    def test_known_value(self):
+        assert mse([0, 0], [3, 4]) == pytest.approx(12.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(3), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(0), np.zeros(0))
+
+
+class TestPsnr:
+    def test_identical_infinite(self):
+        a = np.full((4, 4), 7, dtype=np.uint8)
+        assert psnr(a, a) == math.inf
+
+    def test_known_value(self):
+        a = np.zeros((2, 2))
+        b = np.full((2, 2), 255.0)
+        assert psnr(a, b) == pytest.approx(0.0, abs=1e-9)
+
+    def test_peak_validated(self):
+        with pytest.raises(ValueError):
+            psnr(np.zeros(2), np.zeros(2), peak=0.0)
+
+    def test_monotone_in_noise(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 255, (16, 16)).astype(np.float64)
+        small = a + rng.normal(0, 1, a.shape)
+        big = a + rng.normal(0, 10, a.shape)
+        assert psnr(a, small) > psnr(a, big)
+
+    @settings(max_examples=40, deadline=None)
+    @given(images, images)
+    def test_symmetry(self, a, b):
+        if a.shape != b.shape:
+            return
+        assert psnr(a, b) == pytest.approx(psnr(b, a))
+
+
+class TestInversePsnr:
+    def test_identical_is_zero(self):
+        a = np.ones((3, 3))
+        assert inverse_psnr(a, a) == 0.0
+
+    def test_inverse_relationship(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 16.0)
+        assert inverse_psnr(a, b) == pytest.approx(1.0 / psnr(a, b))
+
+    def test_nonpositive_psnr_clamps_to_inf(self):
+        a = np.zeros((2, 2))
+        b = np.full((2, 2), 255.0)  # PSNR == 0 dB
+        assert inverse_psnr(a, b) == math.inf
+
+
+class TestRelativeError:
+    def test_identical_zero(self):
+        a = np.arange(5.0)
+        assert relative_error(a, a) == 0.0
+
+    def test_known_value(self):
+        assert relative_error([3.0, 4.0], [3.0, 5.0]) == pytest.approx(
+            1.0 / 5.0
+        )
+
+    def test_zero_reference_zero_test(self):
+        assert relative_error(np.zeros(3), np.zeros(3)) == 0.0
+
+    def test_zero_reference_nonzero_test(self):
+        assert relative_error(np.zeros(3), np.ones(3)) == math.inf
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            relative_error(np.zeros(2), np.zeros(3))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(1, 20),
+            elements=st.floats(-1e6, 1e6),
+        )
+    )
+    def test_nonnegative_and_zero_on_self(self, a):
+        assert relative_error(a, a) == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        hnp.arrays(
+            np.float64, st.integers(1, 20), elements=st.floats(1.0, 1e3)
+        ),
+        st.floats(min_value=1.001, max_value=3.0),
+    )
+    def test_scaling_grows_error(self, a, factor):
+        small = relative_error(a, a * 1.0005)
+        big = relative_error(a, a * factor)
+        assert big >= small
+
+
+class TestMeanRelativeError:
+    def test_elementwise_mean(self):
+        assert mean_relative_error([1.0, 2.0], [1.1, 2.2]) == (
+            pytest.approx(0.1)
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_relative_error(np.zeros(0), np.zeros(0))
+
+
+class TestQualityValue:
+    def test_from_psnr(self):
+        a = np.ones((4, 4))
+        q = QualityValue.from_psnr(a, a)
+        assert q.metric == "PSNR^-1" and q.value == 0.0
+
+    def test_from_relative_error_is_percent(self):
+        q = QualityValue.from_relative_error([3.0, 4.0], [3.0, 5.0])
+        assert q.metric == "Rel.Err(%)"
+        assert q.value == pytest.approx(20.0)
+
+    def test_repr(self):
+        q = QualityValue("Rel.Err(%)", 1.5)
+        assert "Rel.Err" in repr(q)

@@ -1,0 +1,73 @@
+"""Tests for the SSIM quality metric."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quality.images import synthetic_image
+from repro.quality.ssim import ssim
+
+
+class TestSsim:
+    def test_identical_images_score_one(self):
+        img = synthetic_image(32, 32)
+        assert ssim(img, img) == pytest.approx(1.0)
+
+    def test_inverted_image_scores_low(self):
+        img = synthetic_image(32, 32)
+        assert ssim(img, 255 - img) < 0.2
+
+    def test_monotone_in_noise(self):
+        rng = np.random.default_rng(0)
+        img = synthetic_image(64, 64).astype(np.float64)
+        mild = img + rng.normal(0, 5, img.shape)
+        harsh = img + rng.normal(0, 40, img.shape)
+        assert ssim(img, mild) > ssim(img, harsh)
+
+    def test_symmetry(self):
+        a = synthetic_image(32, 32, seed=1)
+        b = synthetic_image(32, 32, seed=2)
+        assert ssim(a, b) == pytest.approx(ssim(b, a))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((16, 16)), np.zeros((16, 17)))
+
+    def test_too_small_image(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((4, 4)), np.zeros((4, 4)))
+
+    def test_invalid_peak(self):
+        img = synthetic_image(16, 16)
+        with pytest.raises(ValueError):
+            ssim(img, img, peak=0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 256, (16, 16)).astype(np.float64)
+        b = rng.integers(0, 256, (16, 16)).astype(np.float64)
+        s = ssim(a, b)
+        assert -1.0 <= s <= 1.0
+
+    def test_tracks_approximation_quality(self):
+        """SSIM agrees with PSNR's ordering on Sobel approximation."""
+        from repro.kernels.sobel import (
+            sobel_reference,
+            sobel_row_accurate,
+            sobel_row_approx,
+        )
+
+        img = synthetic_image(32, 32)
+        ref = sobel_reference(img)
+        apx = np.zeros_like(img)
+        for i in range(1, 31):
+            sobel_row_approx(apx, img, i)
+        mixed = np.zeros_like(img)
+        for i in range(1, 31):
+            (sobel_row_accurate if i % 2 else sobel_row_approx)(
+                mixed, img, i
+            )
+        assert ssim(ref, mixed) > ssim(ref, apx)

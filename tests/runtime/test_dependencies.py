@@ -1,0 +1,186 @@
+"""Unit tests for OpenMP-4.0-style dependence tracking."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.dependencies import DependenceTracker
+from repro.runtime.task import Task, TaskState, ref
+
+
+def mk(ins=(), outs=()):
+    return Task(fn=lambda: None, ins=tuple(ins), outs=tuple(outs))
+
+
+@pytest.fixture
+def tracker():
+    return DependenceTracker()
+
+
+class TestBasicEdges:
+    def test_independent_tasks_are_ready(self, tracker):
+        a, b = mk(), mk()
+        assert tracker.register(a) and tracker.register(b)
+        assert tracker.stats.edges == 0
+        assert tracker.stats.roots == 2
+
+    def test_raw_dependence(self, tracker):
+        d = np.zeros(4)
+        w = mk(outs=[ref(d)])
+        r = mk(ins=[ref(d)])
+        assert tracker.register(w)
+        assert not tracker.register(r)
+        assert r.unmet_deps == 1
+        assert tracker.stats.raw_edges == 1
+
+    def test_war_dependence(self, tracker):
+        d = np.zeros(4)
+        r = mk(ins=[ref(d)])
+        w = mk(outs=[ref(d)])
+        tracker.register(r)
+        assert not tracker.register(w)
+        assert tracker.stats.war_edges == 1
+
+    def test_waw_dependence(self, tracker):
+        d = np.zeros(4)
+        w1 = mk(outs=[ref(d)])
+        w2 = mk(outs=[ref(d)])
+        tracker.register(w1)
+        assert not tracker.register(w2)
+        assert tracker.stats.waw_edges == 1
+
+    def test_multiple_readers_one_writer(self, tracker):
+        d = np.zeros(4)
+        w = mk(outs=[ref(d)])
+        readers = [mk(ins=[ref(d)]) for _ in range(3)]
+        tracker.register(w)
+        for r in readers:
+            assert not tracker.register(r)
+        assert len(w.successors) == 3
+
+    def test_writer_after_readers_waits_for_all(self, tracker):
+        d = np.zeros(4)
+        readers = [mk(ins=[ref(d)]) for _ in range(3)]
+        for r in readers:
+            tracker.register(r)
+        w = mk(outs=[ref(d)])
+        tracker.register(w)
+        assert w.unmet_deps == 3
+
+
+class TestRetire:
+    def test_retire_releases_ready_successors(self, tracker):
+        d = np.zeros(4)
+        w = mk(outs=[ref(d)])
+        r = mk(ins=[ref(d)])
+        tracker.register(w)
+        tracker.register(r)
+        w.state = TaskState.FINISHED
+        released = tracker.retire(w)
+        assert released == [r]
+        assert r.unmet_deps == 0
+
+    def test_retire_partial_release(self, tracker):
+        d1, d2 = np.zeros(2), np.zeros(2)
+        w1 = mk(outs=[ref(d1)])
+        w2 = mk(outs=[ref(d2)])
+        r = mk(ins=[ref(d1), ref(d2)])
+        tracker.register(w1)
+        tracker.register(w2)
+        tracker.register(r)
+        assert r.unmet_deps == 2
+        w1.state = TaskState.FINISHED
+        assert tracker.retire(w1) == []
+        w2.state = TaskState.FINISHED
+        assert tracker.retire(w2) == [r]
+
+    def test_finished_predecessor_creates_no_edge(self, tracker):
+        d = np.zeros(4)
+        w = mk(outs=[ref(d)])
+        tracker.register(w)
+        w.state = TaskState.FINISHED
+        tracker.retire(w)
+        r = mk(ins=[ref(d)])
+        assert tracker.register(r)
+        assert r.unmet_deps == 0
+
+
+class TestAliasing:
+    def test_views_alias(self, tracker):
+        a = np.zeros((4, 4))
+        w = mk(outs=[ref(a[0:2])])
+        r = mk(ins=[ref(a[2:4])])  # same base buffer
+        tracker.register(w)
+        assert not tracker.register(r)
+
+    def test_regions_do_not_alias(self, tracker):
+        a = np.zeros((4, 4))
+        w1 = mk(outs=[ref(a, region=0)])
+        w2 = mk(outs=[ref(a, region=1)])
+        tracker.register(w1)
+        assert tracker.register(w2)  # no WAW: disjoint regions
+
+    def test_chain_of_writers(self, tracker):
+        d = np.zeros(4)
+        tasks = [mk(outs=[ref(d)]) for _ in range(5)]
+        for t in tasks:
+            tracker.register(t)
+        # each writer depends only on the previous one
+        assert [t.unmet_deps for t in tasks] == [0, 1, 1, 1, 1]
+
+    def test_no_duplicate_edges(self, tracker):
+        d = np.zeros(4)
+        w = mk(outs=[ref(d)])
+        r = mk(ins=[ref(d), ref(d)])  # same dep listed twice
+        tracker.register(w)
+        tracker.register(r)
+        assert r.unmet_deps == 1
+
+    def test_self_dependence_ignored(self, tracker):
+        d = np.zeros(4)
+        t = mk(ins=[ref(d)], outs=[ref(d)])  # in+out of same object
+        assert tracker.register(t)
+        assert t.unmet_deps == 0
+
+
+class TestWaitersOn:
+    def test_waiters_on_object(self, tracker):
+        d = np.zeros(4)
+        w = mk(outs=[ref(d)])
+        tracker.register(w)
+        r = mk(ins=[ref(d)])
+        tracker.register(r)
+        waiters = tracker.waiters_on(ref(d))
+        assert w in waiters and r in waiters
+
+    def test_waiters_on_untracked_object_empty(self, tracker):
+        assert tracker.waiters_on(ref(np.zeros(1))) == []
+
+    def test_reset_clears_state(self, tracker):
+        d = np.zeros(4)
+        tracker.register(mk(outs=[ref(d)]))
+        tracker.reset()
+        r = mk(ins=[ref(d)])
+        assert tracker.register(r)
+
+
+class TestDiamond:
+    def test_diamond_dag(self, tracker):
+        """   a
+             / \\        a writes d1,d2; b reads d1, c reads d2;
+            b   c        both write into d3 halves (regions); e reads d3.
+             \\ /
+              e
+        """
+        d1, d2, d3 = np.zeros(2), np.zeros(2), np.zeros(4)
+        a = mk(outs=[ref(d1), ref(d2)])
+        b = mk(ins=[ref(d1)], outs=[ref(d3, region=0)])
+        c = mk(ins=[ref(d2)], outs=[ref(d3, region=1)])
+        e = mk(ins=[ref(d3, region=0), ref(d3, region=1)])
+        for t in (a, b, c, e):
+            tracker.register(t)
+        assert a.unmet_deps == 0
+        assert b.unmet_deps == 1 and c.unmet_deps == 1
+        assert e.unmet_deps == 2
+        a.state = TaskState.FINISHED
+        released = tracker.retire(a)
+        assert set(released) == {b, c}

@@ -1,0 +1,120 @@
+"""Unit tests for the work-sharing queue fabric."""
+
+import pytest
+
+from repro.runtime.errors import SchedulerError
+from repro.runtime.queues import WorkerQueues
+from repro.runtime.task import Task, TaskState
+
+
+def mk(i=0):
+    return Task(fn=lambda: None, args=(i,))
+
+
+class TestPush:
+    def test_round_robin_distribution(self):
+        q = WorkerQueues(3)
+        workers = [q.push(mk()) for _ in range(6)]
+        assert workers == [0, 1, 2, 0, 1, 2]
+
+    def test_explicit_worker(self):
+        q = WorkerQueues(3)
+        assert q.push(mk(), worker=2) == 2
+        assert q.depth(2) == 1
+
+    def test_push_sets_queued_state(self):
+        q = WorkerQueues(1)
+        t = mk()
+        q.push(t)
+        assert t.state is TaskState.QUEUED
+
+    def test_invalid_worker_rejected(self):
+        q = WorkerQueues(2)
+        with pytest.raises(SchedulerError):
+            q.push(mk(), worker=5)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(SchedulerError):
+            WorkerQueues(0)
+
+
+class TestPopAndSteal:
+    def test_pop_local_fifo(self):
+        q = WorkerQueues(1)
+        a, b = mk(1), mk(2)
+        q.push(a)
+        q.push(b)
+        assert q.pop_local(0) is a  # oldest first (paper section 3)
+        assert q.pop_local(0) is b
+
+    def test_pop_empty_returns_none(self):
+        q = WorkerQueues(2)
+        assert q.pop_local(0) is None
+
+    def test_steal_takes_oldest_of_victim(self):
+        q = WorkerQueues(2)
+        a, b = mk(1), mk(2)
+        q.push(a, worker=1)
+        q.push(b, worker=1)
+        assert q.steal(0) is a
+
+    def test_steal_scans_victims_after_thief(self):
+        q = WorkerQueues(4)
+        t = mk()
+        q.push(t, worker=3)
+        # thief 0 scans 1, 2, 3
+        assert q.steal(0) is t
+
+    def test_failed_steal_counted(self):
+        q = WorkerQueues(2)
+        assert q.steal(0) is None
+        assert q.stats.failed_steals == 1
+
+    def test_acquire_prefers_local(self):
+        q = WorkerQueues(2)
+        local, remote = mk(1), mk(2)
+        q.push(local, worker=0)
+        q.push(remote, worker=1)
+        assert q.acquire(0) is local
+
+    def test_acquire_falls_back_to_steal(self):
+        q = WorkerQueues(2)
+        remote = mk()
+        q.push(remote, worker=1)
+        assert q.acquire(0) is remote
+        assert q.stats.steals == 1
+
+    def test_acquire_updates_execution_stats(self):
+        q = WorkerQueues(2)
+        q.push(mk(), worker=0)
+        q.acquire(0)
+        assert q.stats.executed_per_worker[0] == 1
+
+
+class TestBookkeeping:
+    def test_len_counts_all_queues(self):
+        q = WorkerQueues(3)
+        for _ in range(5):
+            q.push(mk())
+        assert len(q) == 5
+
+    def test_is_empty(self):
+        q = WorkerQueues(2)
+        assert q.is_empty()
+        q.push(mk())
+        assert not q.is_empty()
+
+    def test_drain_returns_everything(self):
+        q = WorkerQueues(2)
+        tasks = [mk(i) for i in range(4)]
+        for t in tasks:
+            q.push(t)
+        out = q.drain()
+        assert set(out) == set(tasks)
+        assert q.is_empty()
+
+    def test_stats_pushed_counter(self):
+        q = WorkerQueues(2)
+        for _ in range(3):
+            q.push(mk())
+        assert q.stats.pushed == 3

@@ -1,0 +1,243 @@
+"""Integration-style unit tests for the Scheduler front door."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.errors import SchedulerError
+from repro.runtime.policies import (
+    GlobalTaskBuffering,
+    LocalQueueHistory,
+    SignificanceAgnostic,
+    gtb_max_buffer,
+)
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.task import ExecutionKind, TaskCost, ref
+
+from ..conftest import SMALL_COST, make_scheduler, spawn_n
+
+
+class TestSpawnBasics:
+    def test_results_available_after_finish(self):
+        rt = make_scheduler()
+        tasks = [
+            rt.spawn(lambda x: x * 2, i, significance=1.0, cost=SMALL_COST)
+            for i in range(5)
+        ]
+        rt.finish()
+        assert [t.result for t in tasks] == [0, 2, 4, 6, 8]
+
+    def test_spawn_after_finish_rejected(self):
+        rt = make_scheduler()
+        rt.finish()
+        with pytest.raises(SchedulerError):
+            rt.spawn(lambda: None)
+
+    def test_double_finish_rejected(self):
+        rt = make_scheduler()
+        rt.finish()
+        with pytest.raises(SchedulerError):
+            rt.finish()
+
+    def test_group_seq_assigned_in_spawn_order(self):
+        rt = make_scheduler()
+        ts = spawn_n(rt, 5, label="g")
+        assert [t.group_seq for t in ts] == list(range(5))
+        rt.finish()
+
+    def test_context_manager_finishes(self):
+        with make_scheduler() as rt:
+            spawn_n(rt, 3)
+        assert rt._finished
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(SchedulerError):
+            Scheduler(n_workers=0)
+
+
+class TestTaskwait:
+    def test_group_barrier_waits_only_that_group(self):
+        rt = make_scheduler(policy=SignificanceAgnostic())
+        a = spawn_n(rt, 4, label="a")
+        b = spawn_n(rt, 4, label="b")
+        rt.taskwait(label="a")
+        assert all(t.result is not None for t in a)
+        rt.finish()
+        assert all(t.result is not None for t in b)
+
+    def test_global_barrier_waits_everything(self):
+        rt = make_scheduler()
+        a = spawn_n(rt, 3, label="a")
+        b = spawn_n(rt, 3, label="b")
+        rt.taskwait()
+        assert all(t.result is not None for t in a + b)
+        rt.finish()
+
+    def test_taskwait_on_object(self):
+        rt = make_scheduler(policy=SignificanceAgnostic())
+        data = np.zeros(4)
+
+        def writer():
+            data[0] = 42.0
+
+        t = rt.spawn(writer, out=[ref(data)], cost=SMALL_COST)
+        rt.taskwait(on=data)
+        assert t.result is None and data[0] == 42.0
+        rt.finish()
+
+    def test_taskwait_ratio_sets_group_ratio(self):
+        rt = make_scheduler(policy=gtb_max_buffer())
+        spawn_n(rt, 10, label="g")
+        rt.taskwait(label="g", ratio=0.5)
+        g = rt.groups.get("g")
+        assert g.ratio == 0.5
+        assert g.accurate_count == 5
+        rt.finish()
+
+    def test_global_ratio_applies_to_all_groups(self):
+        rt = make_scheduler()
+        spawn_n(rt, 2, label="a")
+        spawn_n(rt, 2, label="b")
+        rt.taskwait(ratio=0.25)
+        assert rt.groups.get("a").ratio == 0.25
+        assert rt.groups.get("b").ratio == 0.25
+        rt.finish()
+
+    def test_barrier_increments_epoch(self):
+        rt = make_scheduler()
+        spawn_n(rt, 2, label="g")
+        rt.taskwait(label="g")
+        assert rt.groups.get("g").epoch == 1
+        rt.finish()
+
+    def test_taskwait_unknown_label_creates_empty_group(self):
+        rt = make_scheduler()
+        rt.taskwait(label="nothing")  # waits on an empty group: no-op
+        rt.finish()
+
+
+class TestDependenceExecution:
+    def test_program_order_for_dependent_tasks(self):
+        rt = make_scheduler(policy=SignificanceAgnostic())
+        log = []
+        d = np.zeros(1)
+
+        def writer(tag):
+            log.append(tag)
+
+        for tag in "abc":
+            rt.spawn(writer, tag, out=[ref(d)], cost=SMALL_COST)
+        rt.finish()
+        assert log == ["a", "b", "c"]
+
+    def test_independent_tasks_parallelize(self):
+        rt = make_scheduler(policy=SignificanceAgnostic(), workers=4)
+        spawn_n(rt, 8, sig=1.0)
+        report = rt.finish()
+        # 8 equal tasks on 4 workers: every worker executed some.
+        assert all(
+            n > 0 for n in report.queue_stats.executed_per_worker
+        )
+
+    def test_dependent_chain_through_buffering_policy(self):
+        """GTB buffers tasks; dependences must still be honoured."""
+        rt = make_scheduler(policy=GlobalTaskBuffering(2))
+        log = []
+        d = np.zeros(1)
+        for tag in "abcd":
+            rt.spawn(
+                lambda t: log.append(t),
+                tag,
+                significance=0.5,
+                approxfun=lambda t: log.append(t.upper()),
+                out=[ref(d)],
+                cost=SMALL_COST,
+            )
+        rt.taskwait(ratio=1.0)
+        assert [x.lower() for x in log] == ["a", "b", "c", "d"]
+        rt.finish()
+
+    def test_report_dep_stats(self):
+        rt = make_scheduler(policy=SignificanceAgnostic())
+        d = np.zeros(1)
+        rt.spawn(lambda: None, out=[ref(d)], cost=SMALL_COST)
+        rt.spawn(lambda: None, in_=[ref(d)], cost=SMALL_COST)
+        report = rt.finish()
+        assert report.dep_stats.raw_edges == 1
+
+
+class TestRunReport:
+    def test_report_task_counts(self):
+        rt = make_scheduler(policy=gtb_max_buffer())
+        rt.init_group("g", ratio=0.5)
+        spawn_n(rt, 10, label="g")
+        report = rt.finish()
+        assert report.tasks_total == 10
+        assert report.accurate_tasks == 5
+        assert report.approximate_tasks == 5
+
+    def test_report_dropped_counted(self):
+        rt = make_scheduler(policy=gtb_max_buffer())
+        rt.init_group("g", ratio=0.0)
+        spawn_n(rt, 4, label="g", approx=False)  # no approxfun -> drop
+        report = rt.finish()
+        assert report.dropped_tasks == 4
+
+    def test_energy_positive_and_consistent(self):
+        rt = make_scheduler()
+        spawn_n(rt, 10)
+        report = rt.finish()
+        assert report.energy_j > 0
+        assert report.energy.window_s == pytest.approx(
+            report.makespan_s
+        )
+
+    def test_makespan_positive(self):
+        rt = make_scheduler()
+        spawn_n(rt, 4)
+        assert rt.finish().makespan_s > 0
+
+    def test_summary_renders(self):
+        rt = make_scheduler()
+        spawn_n(rt, 3, label="g")
+        s = rt.finish().summary()
+        assert "group g" in s and "makespan" in s
+
+    def test_trace_present(self):
+        rt = make_scheduler()
+        spawn_n(rt, 3)
+        report = rt.finish()
+        assert report.trace is not None
+        assert len(report.trace.segments) == 3
+
+
+class TestEngines:
+    @pytest.mark.parametrize("engine", ["simulated", "sequential", "threaded"])
+    def test_results_identical_across_engines(self, engine):
+        rt = Scheduler(
+            policy=SignificanceAgnostic(), n_workers=2, engine=engine
+        )
+        tasks = [
+            rt.spawn(lambda x: x * x, i, cost=SMALL_COST) for i in range(6)
+        ]
+        rt.finish()
+        assert [t.result for t in tasks] == [0, 1, 4, 9, 16, 25]
+
+    def test_threaded_engine_respects_ratio(self):
+        rt = Scheduler(
+            policy=gtb_max_buffer(), n_workers=2, engine="threaded"
+        )
+        rt.init_group("g", ratio=0.5)
+        spawn_n(rt, 10, label="g")
+        rt.taskwait(label="g")
+        report = rt.finish()
+        assert report.accurate_tasks == 5
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SchedulerError):
+            Scheduler(engine="quantum")
+
+    def test_sequential_is_single_worker(self):
+        rt = Scheduler(policy=SignificanceAgnostic(), engine="sequential")
+        spawn_n(rt, 4)
+        report = rt.finish()
+        assert report.n_workers == 1

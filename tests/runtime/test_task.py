@@ -1,0 +1,189 @@
+"""Unit tests for the task descriptor layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.runtime.errors import (
+    CostModelError,
+    DependenceError,
+    SignificanceError,
+)
+from repro.runtime.task import (
+    SIGNIFICANCE_LEVELS,
+    DataRef,
+    ExecutionKind,
+    Task,
+    TaskCost,
+    TaskState,
+    quantize_significance,
+    ref,
+    refs,
+)
+
+
+class TestQuantizeSignificance:
+    def test_levels_constant_matches_paper(self):
+        assert SIGNIFICANCE_LEVELS == 101  # paper section 3.4
+
+    def test_endpoints(self):
+        assert quantize_significance(0.0) == 0
+        assert quantize_significance(1.0) == 100
+
+    def test_steps_of_001(self):
+        assert quantize_significance(0.5) == 50
+        assert quantize_significance(0.35) == 35
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, 2.0, -5.0])
+    def test_out_of_range_rejected(self, bad):
+        with pytest.raises(SignificanceError):
+            quantize_significance(bad)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_always_in_level_range(self, s):
+        assert 0 <= quantize_significance(s) <= 100
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_monotone(self, a, b):
+        if a <= b:
+            assert quantize_significance(a) <= quantize_significance(b)
+
+
+class TestTaskCost:
+    def test_for_kind(self):
+        c = TaskCost(accurate=100.0, approximate=10.0)
+        assert c.for_kind(ExecutionKind.ACCURATE) == 100.0
+        assert c.for_kind(ExecutionKind.APPROXIMATE) == 10.0
+        assert c.for_kind(ExecutionKind.DROPPED) == 0.0
+
+    def test_default_approximate_is_free(self):
+        assert TaskCost(5.0).approximate == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(CostModelError):
+            TaskCost(-1.0)
+        with pytest.raises(CostModelError):
+            TaskCost(1.0, -0.5)
+
+    def test_scaled(self):
+        c = TaskCost(100.0, 10.0).scaled(2.0)
+        assert c.accurate == 200.0 and c.approximate == 20.0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            TaskCost(1.0).accurate = 2.0  # type: ignore[misc]
+
+
+class TestDataRef:
+    def test_identity_same_object(self):
+        a = np.zeros(4)
+        assert ref(a) == ref(a)
+
+    def test_distinct_objects_differ(self):
+        assert ref(np.zeros(4)) != ref(np.zeros(4)) or True  # ids may
+        # collide after GC; compare live objects instead:
+        a, b = np.zeros(4), np.zeros(4)
+        assert ref(a) != ref(b)
+
+    def test_view_aliases_base(self):
+        a = np.zeros((4, 4))
+        v = a[1:3, :]
+        assert ref(v).key == ref(a).key
+
+    def test_view_of_view_aliases_base(self):
+        a = np.zeros(16)
+        v = a[2:12][1:5]
+        assert ref(v).key == ref(a).key
+
+    def test_region_distinguishes(self):
+        a = np.zeros(8)
+        assert ref(a, region=1) != ref(a, region=2)
+        assert ref(a, region=1) == ref(a, region=1)
+
+    def test_region_type_checked(self):
+        with pytest.raises(DependenceError):
+            ref(np.zeros(2), region=[1, 2])  # unhashable region
+
+    def test_ref_of_ref_is_idempotent(self):
+        a = np.zeros(2)
+        r = ref(a, name="a")
+        assert ref(r) is r
+
+    def test_ref_of_ref_with_new_region(self):
+        a = np.zeros(2)
+        r = ref(a)
+        r2 = ref(r, region=3)
+        assert r2.key == r.key and r2.region == 3
+
+    def test_refs_vector_form(self):
+        a, b = np.zeros(2), np.ones(2)
+        rs = refs(a, b)
+        assert len(rs) == 2 and all(isinstance(r, DataRef) for r in rs)
+
+
+class TestTask:
+    def test_significance_validated(self):
+        with pytest.raises(SignificanceError):
+            Task(fn=lambda: None, significance=1.5)
+
+    def test_fn_must_be_callable(self):
+        with pytest.raises(TypeError):
+            Task(fn=42)  # type: ignore[arg-type]
+
+    def test_approxfun_must_be_callable(self):
+        with pytest.raises(TypeError):
+            Task(fn=lambda: None, approx_fn=3)  # type: ignore[arg-type]
+
+    def test_droppable_iff_no_approxfun(self):
+        assert Task(fn=lambda: None).droppable
+        assert not Task(fn=lambda: None, approx_fn=lambda: None).droppable
+
+    def test_execute_accurate(self):
+        t = Task(fn=lambda x: x + 1, args=(41,))
+        assert t.execute(ExecutionKind.ACCURATE) == 42
+        assert t.decision is ExecutionKind.ACCURATE
+        assert t.result == 42
+
+    def test_execute_approximate(self):
+        t = Task(
+            fn=lambda x: x + 1, args=(41,), approx_fn=lambda x: x - 1
+        )
+        assert t.execute(ExecutionKind.APPROXIMATE) == 40
+
+    def test_execute_dropped_runs_nothing(self):
+        ran = []
+        t = Task(fn=lambda: ran.append(1))
+        assert t.execute(ExecutionKind.DROPPED) is None
+        assert not ran and t.result is None
+
+    def test_kwargs_forwarded(self):
+        t = Task(fn=lambda x, y=0: x + y, args=(1,), kwargs={"y": 2})
+        assert t.execute(ExecutionKind.ACCURATE) == 3
+
+    def test_level_quantization(self):
+        assert Task(fn=lambda: None, significance=0.35).level == 35
+
+    def test_work_for_without_cost_is_zero(self):
+        t = Task(fn=lambda: None)
+        assert t.work_for(ExecutionKind.ACCURATE) == 0.0
+
+    def test_work_for_with_cost(self):
+        t = Task(fn=lambda: None, cost=TaskCost(7.0, 3.0))
+        assert t.work_for(ExecutionKind.ACCURATE) == 7.0
+        assert t.work_for(ExecutionKind.APPROXIMATE) == 3.0
+        assert t.work_for(ExecutionKind.DROPPED) == 0.0
+
+    def test_unique_increasing_tids(self):
+        a = Task(fn=lambda: None)
+        b = Task(fn=lambda: None)
+        assert b.tid > a.tid
+
+    def test_initial_state(self):
+        t = Task(fn=lambda: None)
+        assert t.state is TaskState.CREATED
+        assert t.decision is None
+        assert t.worker == -1

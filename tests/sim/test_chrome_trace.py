@@ -1,0 +1,63 @@
+"""Tests for the Chrome trace-event exporter."""
+
+import json
+
+from repro.runtime.task import ExecutionKind
+from repro.sim.chrome_trace import to_chrome_trace, write_chrome_trace
+from repro.sim.trace import ExecutionTrace, Segment
+
+
+def sample_trace() -> ExecutionTrace:
+    tr = ExecutionTrace(2)
+    tr.record(Segment(0, 0.0, 1e-3, 1, ExecutionKind.ACCURATE, "g"))
+    tr.record(Segment(1, 0.0, 5e-4, 2, ExecutionKind.APPROXIMATE, "g"))
+    tr.record(Segment(1, 5e-4, 5e-4, 3, ExecutionKind.DROPPED, None))
+    return tr
+
+
+class TestChromeTrace:
+    def test_thread_metadata_per_worker(self):
+        doc = to_chrome_trace(sample_trace())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(meta) == 2
+        assert meta[0]["args"]["name"] == "worker-0"
+
+    def test_complete_events_for_tasks(self):
+        doc = to_chrome_trace(sample_trace())
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 2
+        span = next(s for s in spans if s["args"]["tid"] == 1)
+        assert span["ts"] == 0.0
+        assert span["dur"] == 1000.0  # 1 ms in microseconds
+        assert span["cat"] == "accurate"
+        assert "[g]" in span["name"]
+
+    def test_zero_duration_becomes_instant(self):
+        doc = to_chrome_trace(sample_trace())
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["cat"] == "dropped"
+
+    def test_other_data(self):
+        doc = to_chrome_trace(sample_trace())
+        assert doc["otherData"]["workers"] == 2
+        assert doc["otherData"]["makespan_s"] == 1e-3
+
+    def test_write_roundtrip(self, tmp_path):
+        p = write_chrome_trace(sample_trace(), tmp_path / "t.json")
+        loaded = json.loads(p.read_text())
+        assert loaded["traceEvents"]
+
+    def test_real_run_exports(self, tmp_path):
+        from repro.runtime.scheduler import Scheduler
+        from repro.runtime.task import TaskCost
+
+        rt = Scheduler(n_workers=2)
+        for i in range(6):
+            rt.spawn(lambda: None, cost=TaskCost(1000.0))
+        rep = rt.finish()
+        assert rep.trace is not None
+        p = write_chrome_trace(rep.trace, tmp_path / "run.json")
+        doc = json.loads(p.read_text())
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 6

@@ -1,0 +1,106 @@
+"""Unit tests for the virtual clock and deterministic event queue."""
+
+import pytest
+
+from repro.runtime.errors import SchedulerError
+from repro.sim.clock import VirtualClock
+from repro.sim.events import EventQueue
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SchedulerError):
+            VirtualClock(-1.0)
+
+    def test_advance_to(self):
+        c = VirtualClock()
+        assert c.advance_to(2.5) == 2.5
+        assert c.now == 2.5
+
+    def test_advance_to_past_rejected(self):
+        c = VirtualClock(3.0)
+        with pytest.raises(SchedulerError):
+            c.advance_to(1.0)
+
+    def test_advance_to_same_time_ok(self):
+        c = VirtualClock(3.0)
+        assert c.advance_to(3.0) == 3.0
+
+    def test_advance_by(self):
+        c = VirtualClock(1.0)
+        assert c.advance_by(0.5) == 1.5
+
+    def test_advance_by_negative_rejected(self):
+        with pytest.raises(SchedulerError):
+            VirtualClock().advance_by(-0.1)
+
+    def test_reset(self):
+        c = VirtualClock(9.0)
+        c.reset()
+        assert c.now == 0.0
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        fired = []
+        q.push(3.0, lambda t: fired.append("c"))
+        q.push(1.0, lambda t: fired.append("a"))
+        q.push(2.0, lambda t: fired.append("b"))
+        while q:
+            ev = q.pop()
+            ev.action(ev.time)
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_insertion_order(self):
+        q = EventQueue()
+        fired = []
+        for tag in "abcde":
+            q.push(1.0, lambda t, tag=tag: fired.append(tag))
+        while q:
+            ev = q.pop()
+            ev.action(ev.time)
+        assert fired == list("abcde")
+
+    def test_cannot_schedule_into_processed_past(self):
+        q = EventQueue()
+        q.push(5.0, lambda t: None)
+        q.pop()
+        with pytest.raises(SchedulerError):
+            q.push(4.0, lambda t: None)
+
+    def test_scheduling_at_last_pop_time_ok(self):
+        q = EventQueue()
+        q.push(5.0, lambda t: None)
+        q.pop()
+        q.push(5.0, lambda t: None)  # same instant: allowed
+        assert len(q) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SchedulerError):
+            EventQueue().pop()
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(2.0, lambda t: None)
+        q.push(1.0, lambda t: None)
+        assert q.peek_time() == 1.0
+
+    def test_clear(self):
+        q = EventQueue()
+        q.push(1.0, lambda t: None)
+        q.clear()
+        assert not q and q.peek_time() is None
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert len(q) == 0 and not q
+        q.push(1.0, lambda t: None)
+        assert len(q) == 1 and q

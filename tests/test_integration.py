@@ -1,0 +1,180 @@
+"""Cross-module integration tests: the paper's claims, end to end.
+
+Each test asserts a *shape* from the paper's evaluation on shrunken
+workloads — who wins, what degrades gracefully, what the knob does.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Runtime,
+    TaskCost,
+    sig_task,
+    taskwait,
+)
+from repro.harness.experiment import ExperimentCell, run_cell
+from repro.kernels.base import Degree, get_benchmark
+from repro.runtime.policies import (
+    GlobalTaskBuffering,
+    LocalQueueHistory,
+    SignificanceAgnostic,
+    gtb_max_buffer,
+)
+from repro.runtime.scheduler import Scheduler
+
+
+class TestHeadlineClaims:
+    """Section 4.2's qualitative results, at test scale."""
+
+    def test_energy_decreases_with_aggressiveness_sobel(self):
+        energies = []
+        for degree in (Degree.MILD, Degree.MEDIUM, Degree.AGGRESSIVE):
+            res = run_cell(
+                ExperimentCell("Sobel", "policy:gtb", degree, 8, True)
+            )
+            energies.append(res.energy_j)
+        assert energies[0] > energies[1] > energies[2]
+
+    def test_approximation_beats_accurate_in_time_and_energy(self):
+        acc = run_cell(ExperimentCell("DCT", "accurate", None, 8, True))
+        med = run_cell(
+            ExperimentCell("DCT", "policy:gtb", Degree.MEDIUM, 8, True)
+        )
+        assert med.makespan_s < acc.makespan_s
+        assert med.energy_j < acc.energy_j
+
+    def test_quality_degrades_gracefully_not_catastrophically(self):
+        for name in ("Kmeans", "Jacobi"):
+            res = run_cell(
+                ExperimentCell(
+                    name, "policy:gtb", Degree.AGGRESSIVE, 8, True
+                )
+            )
+            assert res.quality.value < 10.0  # percent
+
+    def test_sobel_perforation_fast_but_ugly(self):
+        ours = run_cell(
+            ExperimentCell("Sobel", "policy:gtb", Degree.MEDIUM, 8, True)
+        )
+        perf = run_cell(
+            ExperimentCell("Sobel", "perforated", Degree.MEDIUM, 8, True)
+        )
+        assert perf.makespan_s <= ours.makespan_s  # perforation faster
+        assert perf.quality.value > ours.quality.value  # but worse
+
+    def test_mc_perforation_quality_collapse(self):
+        """Dropped MC points keep zeros: relative error explodes
+        versus the significance-aware runs (paper Figure 2, MC row)."""
+        ours = run_cell(
+            ExperimentCell("MC", "policy:gtb", Degree.AGGRESSIVE, 8, True)
+        )
+        perf = run_cell(
+            ExperimentCell("MC", "perforated", Degree.AGGRESSIVE, 8, True)
+        )
+        assert perf.quality.value > 2 * ours.quality.value
+
+
+class TestKnobFlexibility:
+    """'one can explore different points in the quality/energy space
+    ... simply by specifying the percentage of tasks' (section 1)."""
+
+    def test_ratio_sweep_monotone_energy(self):
+        bench = get_benchmark("Sobel", small=True)
+        img = bench.build_input()
+        energies = []
+        for ratio in (1.0, 0.75, 0.5, 0.25, 0.0):
+            rt = Scheduler(policy=gtb_max_buffer(), n_workers=8)
+            bench.run_tasks(rt, img, ratio)
+            energies.append(rt.finish().energy_j)
+        assert all(a >= b for a, b in zip(energies, energies[1:]))
+
+    def test_no_code_changes_between_policies(self):
+        """The same program runs under every policy unmodified."""
+        bench = get_benchmark("DCT", small=True)
+        img = bench.build_input()
+        outputs = []
+        for policy in (
+            SignificanceAgnostic(),
+            GlobalTaskBuffering(16),
+            gtb_max_buffer(),
+            LocalQueueHistory(),
+        ):
+            rt = Scheduler(policy=policy, n_workers=8)
+            outputs.append(bench.run_tasks(rt, img, 0.4))
+            rt.finish()
+        assert all(o.shape == outputs[0].shape for o in outputs)
+        # The agnostic run is bit-exact against the plain reference.
+        assert np.array_equal(outputs[0], bench.run_reference(img))
+
+
+class TestProgrammingModelEndToEnd:
+    def test_mixed_groups_and_barriers(self):
+        log = []
+
+        @sig_task(label="stage1", cost=TaskCost(5000.0, 500.0),
+                  approxfun=lambda i: log.append(("s1~", i)))
+        def stage1(i):
+            log.append(("s1", i))
+
+        @sig_task(label="stage2", cost=TaskCost(5000.0, 500.0),
+                  approxfun=lambda i: log.append(("s2~", i)))
+        def stage2(i):
+            log.append(("s2", i))
+
+        with Runtime(policy=gtb_max_buffer(), n_workers=4) as rt:
+            rt.init_group("stage1", ratio=1.0)
+            rt.init_group("stage2", ratio=0.5)
+            for i in range(8):
+                stage1(i, significance=0.5)
+            taskwait(label="stage1")
+            s1_done = len(log)
+            for i in range(8):
+                stage2(i, significance=0.5)
+            taskwait(label="stage2")
+
+        assert s1_done == 8
+        assert sum(1 for e in log if e[0] == "s1") == 8
+        assert sum(1 for e in log if e[0] == "s2") == 4
+        assert sum(1 for e in log if e[0] == "s2~") == 4
+
+    def test_interactive_ratio_change(self):
+        """Ratio can change per invocation of the same kernel."""
+
+        @sig_task(label="k", cost=TaskCost(1000.0, 100.0),
+                  approxfun=lambda x: -x)
+        def kernel(x):
+            return x
+
+        with Runtime(policy=gtb_max_buffer(), n_workers=2) as rt:
+            for i in range(4):
+                kernel(i, significance=0.5)
+            taskwait(label="k", ratio=1.0)
+            g = rt.groups.get("k")
+            first = g.accurate_count
+            for i in range(4):
+                kernel(i, significance=0.5)
+            taskwait(label="k", ratio=0.0)
+            second = g.accurate_count - first
+        assert first == 4 and second == 0
+
+    def test_report_totals_consistent(self):
+        with Runtime(policy=GlobalTaskBuffering(4), n_workers=4) as rt:
+            rt.init_group("g", ratio=0.5)
+
+            @sig_task(label="g", cost=TaskCost(1000.0, 100.0),
+                      approxfun=lambda i: None)
+            def f(i):
+                return i
+
+            for i in range(20):
+                f(i, significance=(i % 9 + 1) / 10.0)
+            taskwait(label="g")
+        rep = rt.report
+        assert rep is not None
+        assert (
+            rep.accurate_tasks
+            + rep.approximate_tasks
+            + rep.dropped_tasks
+            == rep.tasks_total
+        )

@@ -1,0 +1,131 @@
+"""Tests for the Green-style QoS tuner."""
+
+import pytest
+
+from repro.tuning import CalibrationPoint, QosError, QosTuner
+
+
+def linear_probe(ratio: float) -> tuple[float, float]:
+    """Quality loss falls, energy rises, with the accurate ratio."""
+    return (1.0 - ratio) * 10.0, 1.0 + 9.0 * ratio
+
+
+class TestCalibration:
+    def test_chooses_cheapest_feasible(self):
+        tuner = QosTuner(
+            probe=linear_probe,
+            target_quality_loss=5.0,
+            grid=(0.0, 0.25, 0.5, 0.75, 1.0),
+        )
+        chosen = tuner.calibrate()
+        # loss(0.5) = 5.0 meets the target and is the cheapest such.
+        assert chosen.ratio == 0.5
+        assert tuner.ratio == 0.5
+
+    def test_unsatisfiable_target(self):
+        tuner = QosTuner(
+            probe=lambda r: (3.0, 1.0),  # constant loss 3
+            target_quality_loss=1.0,
+        )
+        with pytest.raises(QosError):
+            tuner.calibrate()
+
+    def test_zero_target_needs_accurate(self):
+        tuner = QosTuner(probe=linear_probe, target_quality_loss=0.0)
+        assert tuner.calibrate().ratio == 1.0
+
+    def test_negative_probe_rejected(self):
+        tuner = QosTuner(
+            probe=lambda r: (-1.0, 1.0), target_quality_loss=1.0
+        )
+        with pytest.raises(QosError):
+            tuner.calibrate()
+
+    def test_invalid_config(self):
+        with pytest.raises(QosError):
+            QosTuner(probe=linear_probe, target_quality_loss=-1.0)
+        with pytest.raises(QosError):
+            QosTuner(probe=linear_probe, target_quality_loss=1.0, grid=())
+        with pytest.raises(QosError):
+            QosTuner(
+                probe=linear_probe,
+                target_quality_loss=1.0,
+                grid=(0.5, 1.5),
+            )
+
+    def test_ratio_before_calibrate_raises(self):
+        tuner = QosTuner(probe=linear_probe, target_quality_loss=1.0)
+        with pytest.raises(QosError):
+            _ = tuner.ratio
+
+
+class TestMonitoring:
+    def make(self):
+        tuner = QosTuner(
+            probe=linear_probe,
+            target_quality_loss=5.0,
+            violation_budget=0.2,
+        )
+        tuner.calibrate()
+        return tuner
+
+    def test_no_recalibration_when_clean(self):
+        tuner = self.make()
+        assert not any(tuner.observe(1.0) for _ in range(20))
+        assert tuner.violation_rate == 0.0
+
+    def test_recalibration_on_sustained_violations(self):
+        tuner = self.make()
+        fired = [tuner.observe(9.0) for _ in range(10)]
+        assert fired[-1]  # all violations -> trigger
+        assert tuner.violation_rate == 1.0
+
+    def test_needs_minimum_evidence(self):
+        tuner = self.make()
+        assert not tuner.observe(9.0)  # single violation: no trigger
+
+    def test_observe_before_calibrate(self):
+        tuner = QosTuner(probe=linear_probe, target_quality_loss=5.0)
+        with pytest.raises(QosError):
+            tuner.observe(1.0)
+
+
+class TestFrontier:
+    def test_pareto_frontier_sorted_and_dominating(self):
+        tuner = QosTuner(probe=linear_probe, target_quality_loss=5.0)
+        tuner.calibrate()
+        front = tuner.frontier()
+        energies = [p.energy_j for p in front]
+        losses = [p.quality_loss for p in front]
+        assert energies == sorted(energies)
+        assert losses == sorted(losses, reverse=True)
+
+
+class TestEndToEndWithRuntime:
+    def test_tunes_real_sobel(self):
+        """Drive the tuner with actual runtime measurements."""
+        from repro.kernels.sobel import SobelBenchmark
+        from repro.runtime.policies import gtb_max_buffer
+        from repro.runtime.scheduler import Scheduler
+
+        bench = SobelBenchmark(small=True)
+        img = bench.build_input()
+        ref = bench.run_reference(img)
+
+        def probe(ratio: float) -> tuple[float, float]:
+            rt = Scheduler(policy=gtb_max_buffer(), n_workers=8)
+            out = bench.run_tasks(rt, img, ratio)
+            rep = rt.finish()
+            return bench.quality(ref, out).value, rep.energy_j
+
+        tuner = QosTuner(
+            probe=probe,
+            target_quality_loss=0.05,  # PSNR^-1 <= 0.05 (PSNR >= 20dB)
+            grid=(0.0, 0.3, 0.6, 1.0),
+        )
+        chosen = tuner.calibrate()
+        assert chosen.quality_loss <= 0.05
+        # The tuner must pick something cheaper than fully accurate
+        # whenever a cheaper feasible point exists.
+        full = next(p for p in tuner.points if p.ratio == 1.0)
+        assert chosen.energy_j <= full.energy_j
