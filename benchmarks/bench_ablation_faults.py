@@ -13,10 +13,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.faults import FaultModel, faulty_scheduler
+from repro import Scheduler
 from repro.kernels.sobel import SobelBenchmark
 from repro.quality.metrics import psnr
-from repro.runtime.policies import SignificanceAgnostic
 
 from conftest import SMALL, WORKERS
 
@@ -25,14 +24,13 @@ def run_sobel_faulty(fault_rate: float, protect_threshold: float):
     bench = SobelBenchmark(small=SMALL)
     img = bench.build_input()
     reference = bench.run_reference(img)
-    model = FaultModel.split_machine(
-        WORKERS, unreliable_fraction=0.5, fault_rate=fault_rate, seed=11
-    )
-    rt = faulty_scheduler(
-        SignificanceAgnostic(),
+    rt = Scheduler(
+        policy="accurate",
         n_workers=WORKERS,
-        fault_model=model,
-        protect_threshold=protect_threshold,
+        engine=(
+            f"faulty:unreliable_fraction=0.5,fault_rate={fault_rate},"
+            f"seed=11,protect_threshold={protect_threshold}"
+        ),
     )
     out = bench.run_tasks(rt, img, 1.0)
     report = rt.finish()

@@ -19,7 +19,6 @@ import pytest
 from repro.energy.dvfs import DvfsPlan, replay_with_dvfs
 from repro.harness.experiment import ExperimentCell, run_cell
 from repro.kernels.base import Degree, get_benchmark
-from repro.runtime.policies import GlobalTaskBuffering
 from repro.runtime.scheduler import Scheduler
 
 from conftest import SMALL, WORKERS
@@ -31,13 +30,15 @@ def test_ablation_gtb_buffer_size(benchmark, buffer_size):
     """All GTB window sizes land within ~15% of each other (full size),
     echoing the paper's 'comparable with each other' observation."""
     benchmark.group = "ablation-gtb-buffer"
+    policy = (
+        "gtb-max" if buffer_size is None
+        else f"gtb:buffer_size={buffer_size}"
+    )
 
     def run():
         bench = get_benchmark("Sobel", small=SMALL)
         img = bench.build_input()
-        rt = Scheduler(
-            policy=GlobalTaskBuffering(buffer_size), n_workers=WORKERS
-        )
+        rt = Scheduler(policy=policy, n_workers=WORKERS)
         bench.run_tasks(rt, img, 0.3)
         return rt.finish()
 

@@ -17,7 +17,6 @@ import numpy as np
 
 from repro import Runtime
 from repro.kernels.fluidanimate import FluidanimateBenchmark
-from repro.runtime.policies import LocalQueueHistory
 
 
 def main() -> None:
@@ -31,7 +30,7 @@ def main() -> None:
     )
     base_energy = None
     for fraction in (1.0, 0.5, 0.25, 0.125):
-        rt = Runtime(policy=LocalQueueHistory(), n_workers=16)
+        rt = Runtime(policy="lqh", n_workers=16)
         out = bench.run_tasks(rt, state0, fraction)
         rep = rt.finish()
         if base_energy is None:

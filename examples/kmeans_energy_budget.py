@@ -8,59 +8,65 @@ each invocation".  This example exploits that: given an energy budget
 accurate-task ratio that fits, then report the quality actually
 obtained — a controller a production system could run online.
 
+Each probe is a declarative :class:`repro.ExperimentSpec`, so the
+controller is a few lines over :func:`repro.run` and every probed
+configuration is serializable for provenance.
+
 Run:  python examples/kmeans_energy_budget.py [budget-fraction]
 """
 
 import sys
 
-from repro import Runtime
-from repro.kernels.kmeans import KmeansBenchmark
-from repro.runtime.policies import GlobalTaskBuffering
+import repro
 
 
-def measure(bench: KmeansBenchmark, inputs, ratio: float):
-    rt = Runtime(policy=GlobalTaskBuffering(32), n_workers=16)
-    out = bench.run_tasks(rt, inputs, ratio)
-    return rt.finish(), out
+def measure(
+    base: repro.ExperimentSpec, ratio: float | None
+) -> repro.ExperimentResult:
+    """One probe of the trade-off space (ratio None = fully accurate)."""
+    return repro.run(base.replace(param=ratio))[0]
 
 
 def main() -> None:
     budget_fraction = float(sys.argv[1]) if len(sys.argv) > 1 else 0.75
 
-    bench = KmeansBenchmark(small=True)
-    inputs = bench.build_input()
-    reference = bench.run_reference(inputs)
+    base = repro.ExperimentSpec(
+        workload="kmeans",
+        small=True,
+        config=repro.RuntimeConfig(
+            policy="gtb:buffer_size=32", n_workers=16
+        ),
+    )
 
-    accurate_rep, _ = measure(bench, inputs, 1.0)
-    budget_j = budget_fraction * accurate_rep.energy_j
+    accurate = measure(base, None)
+    budget_j = budget_fraction * accurate.energy_j
     print(
-        f"accurate run: {accurate_rep.energy_j:.5f} J -> budget "
+        f"accurate run: {accurate.energy_j:.5f} J -> budget "
         f"{budget_j:.5f} J ({budget_fraction:.0%})"
     )
 
     lo, hi = 0.0, 1.0
-    best_ratio, best_out = 0.0, None
+    best, best_ratio = None, 0.0
     for _ in range(8):  # 2^-8 ratio resolution
         mid = (lo + hi) / 2
-        rep, out = measure(bench, inputs, mid)
-        fits = rep.energy_j <= budget_j
+        res = measure(base, mid)
+        fits = res.energy_j <= budget_j
         print(
-            f"  ratio={mid:5.3f} energy={rep.energy_j:.5f} J "
+            f"  ratio={mid:5.3f} energy={res.energy_j:.5f} J "
             f"{'fits' if fits else 'over budget'}"
         )
         if fits:
-            best_ratio, best_out = mid, out
+            best, best_ratio = res, mid
             lo = mid
         else:
             hi = mid
 
-    if best_out is None:
+    if best is None:
         print("even ratio=0 exceeds the budget; nothing to report")
         return
-    q = bench.quality(reference, best_out)
     print(
         f"\nchosen ratio {best_ratio:.3f}: inertia deviation "
-        f"{q.value:.4f}% from the fully accurate clustering"
+        f"{best.quality_value:.4f}% from the fully accurate clustering"
     )
 
 

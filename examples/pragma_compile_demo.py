@@ -22,7 +22,6 @@ from repro.kernels.sobel import (
 )
 from repro.quality.images import synthetic_image
 from repro.quality.metrics import psnr
-from repro.runtime.policies import gtb_max_buffer
 
 
 @pragma_compile
@@ -52,7 +51,7 @@ def main() -> None:
 
     img = synthetic_image(128, 128)
     res = np.zeros_like(img)
-    with Runtime(policy=gtb_max_buffer(), n_workers=16) as rt:
+    with Runtime(policy="gtb-max", n_workers=16) as rt:
         sobel_listing1(img, res)
     rep = rt.report
     g = rep.groups["sobel"]

@@ -10,12 +10,6 @@ Run:  python examples/quickstart.py
 """
 
 from repro import Runtime, TaskCost, sig_task, taskwait
-from repro.runtime.policies import (
-    GlobalTaskBuffering,
-    LocalQueueHistory,
-    SignificanceAgnostic,
-    gtb_max_buffer,
-)
 
 
 # The accurate body: an "expensive" scoring function.
@@ -39,7 +33,9 @@ def score(record_id: float) -> float:
     return acc
 
 
-def run(policy, ratio: float):
+def run(policy: str, ratio: float):
+    # Policies are addressed by registry spec strings; programmatic
+    # instances (GlobalTaskBuffering(32), ...) work interchangeably.
     with Runtime(policy=policy, n_workers=16) as rt:
         rt.init_group("scoring", ratio=ratio)
         for i in range(240):
@@ -53,16 +49,16 @@ def run(policy, ratio: float):
 def main() -> None:
     ratio = 0.30  # execute at least the 30% most significant accurately
     print(f"target accurate ratio: {ratio:.0%}\n")
-    baseline = run(SignificanceAgnostic(), ratio)
+    baseline = run("accurate", ratio)
     print(
         f"{'policy':<34} {'time':>10} {'energy':>9} "
         f"{'accurate':>8} {'vs baseline':>11}"
     )
     for policy in (
-        SignificanceAgnostic(),
-        GlobalTaskBuffering(buffer_size=32),
-        gtb_max_buffer(),
-        LocalQueueHistory(),
+        "accurate",
+        "gtb:buffer_size=32",
+        "gtb-max",
+        "lqh",
     ):
         rep = run(policy, ratio)
         saving = 1.0 - rep.energy_j / baseline.energy_j

@@ -15,7 +15,6 @@ from repro import Runtime
 from repro.harness.figures import fig1_sobel_approximation
 from repro.kernels.sobel import SobelBenchmark
 from repro.quality.metrics import psnr
-from repro.runtime.policies import LocalQueueHistory
 
 
 def main() -> None:
@@ -27,7 +26,7 @@ def main() -> None:
     print("ratio   PSNR(dB)   time(ms)   energy(J)  acc/approx")
     last_report = None
     for ratio in (1.0, 0.8, 0.5, 0.3, 0.0):
-        rt = Runtime(policy=LocalQueueHistory(), n_workers=16)
+        rt = Runtime(policy="lqh", n_workers=16)
         out = bench.run_tasks(rt, img, ratio)
         rep = rt.finish()
         last_report = rep

@@ -12,10 +12,9 @@ the full-protection cost.
 Run:  python examples/unreliable_hardware.py
 """
 
-from repro.faults import FaultModel, faulty_scheduler
+from repro import Scheduler
 from repro.kernels.sobel import SobelBenchmark
 from repro.quality.metrics import psnr
-from repro.runtime.policies import SignificanceAgnostic
 
 
 def main() -> None:
@@ -23,20 +22,21 @@ def main() -> None:
     bench.height = bench.width = 128
     img = bench.build_input()
     reference = bench.run_reference(img)
-    model = FaultModel.split_machine(
-        16, unreliable_fraction=0.5, fault_rate=0.08, seed=3
-    )
 
     print(
         f"{'protect >= sig':>15} {'PSNR (dB)':>10} {'faults':>7} "
         f"{'recovered':>9} {'time (ms)':>10}"
     )
     for threshold in (1.0, 0.7, 0.4, 0.0):
-        rt = faulty_scheduler(
-            SignificanceAgnostic(),
+        # The unreliable machine is just an engine spec: the registry
+        # rebuilds the same seeded ERSA-style split for every run.
+        rt = Scheduler(
+            policy="accurate",
             n_workers=16,
-            fault_model=model,
-            protect_threshold=threshold,
+            engine=(
+                "faulty:unreliable_fraction=0.5,fault_rate=0.08,"
+                f"seed=3,protect_threshold={threshold}"
+            ),
         )
         out = bench.run_tasks(rt, img, 1.0)
         report = rt.finish()

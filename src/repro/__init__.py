@@ -4,24 +4,36 @@ A production-quality Python reproduction of *"A Programming Model and
 Runtime System for Significance-Aware Energy-Efficient Computing"*
 (Vassiliadis et al., PPoPP 2015).
 
-Quickstart::
+Quickstart (see README.md for the full tour)::
 
     from repro import Runtime, sig_task, taskwait, TaskCost
-    from repro.runtime.policies import GlobalTaskBuffering
 
     @sig_task(label="work", approxfun=lambda x: x, cost=TaskCost(1e6, 1e5))
     def heavy(x):
         return x * x
 
-    with Runtime(policy=GlobalTaskBuffering(16), n_workers=16) as rt:
+    with Runtime(policy="gtb:buffer_size=16", n_workers=16) as rt:
         rt.init_group("work", ratio=0.5)
         for i in range(100):
             heavy(i, significance=(i % 9 + 1) / 10)
         taskwait(label="work")
     print(rt.report.summary())
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-versus-measured reproduction results.
+Batch experiments are declarative::
+
+    import repro
+
+    spec = repro.ExperimentSpec(
+        workload="sobel", param=0.5, small=True,
+        config=repro.RuntimeConfig(policy="gtb", n_workers=16),
+    )
+    results = repro.run(spec.sweep(policy=["gtb", "lqh"]))
+    print(results.table())
+
+Components (policies, engines, cost models, machine models) live in
+:mod:`repro.registry` and are addressable by serializable spec strings
+(``"gtb:buffer_size=16"``, ``"threaded"``); register your own with
+``@repro.register("policy", "my-policy")``.
 """
 
 from .api import (
@@ -36,7 +48,9 @@ from .api import (
     sig_task,
     taskwait,
 )
+from .config import RuntimeConfig
 from .energy import XEON_E5_2650, EnergyReport, MachineModel
+from .registry import available, register, resolve
 from .runtime import (
     ExecutionKind,
     ReproError,
@@ -52,8 +66,10 @@ from .runtime.policies import (
     gtb_max_buffer,
     make_policy,
 )
+from . import faults as _faults  # noqa: F401  (registers the faulty engine)
+from .experiment import ExperimentResult, ExperimentSpec, ResultSet, run
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -68,6 +84,16 @@ __all__ = [
     "refs",
     "DataRef",
     "TaskCost",
+    # configuration / registry front door
+    "RuntimeConfig",
+    "register",
+    "resolve",
+    "available",
+    # declarative experiments
+    "ExperimentSpec",
+    "ExperimentResult",
+    "ResultSet",
+    "run",
     # runtime
     "Scheduler",
     "Task",

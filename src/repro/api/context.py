@@ -29,7 +29,11 @@ _current: contextvars.ContextVar["Runtime | None"] = contextvars.ContextVar(
 class Runtime(Scheduler):
     """A scheduler that installs itself as the ambient runtime.
 
-    >>> with Runtime(policy=LocalQueueHistory(), n_workers=16) as rt:
+    Accepts the same fronts as :class:`~repro.runtime.scheduler
+    .Scheduler`: a :class:`~repro.config.RuntimeConfig`, registry spec
+    strings (``policy="gtb:buffer_size=16"``), or component instances.
+
+    >>> with Runtime(policy="lqh", n_workers=16) as rt:
     ...     rt.init_group("sobel", ratio=0.35)
     ...     for i in range(1, h - 1):
     ...         sobel_row(res, img, i, significance=(i % 9 + 1) / 10)

@@ -1,0 +1,183 @@
+"""Declarative runtime configuration: one frozen value object per run.
+
+:class:`RuntimeConfig` captures everything :class:`~repro.runtime
+.scheduler.Scheduler` needs — policy, worker count, machine model, cost
+model, engine — as plain data.  Components are given either as registry
+spec strings (``"gtb:buffer_size=16"``, ``"threaded"``; see
+:mod:`repro.registry`) or as programmatic instances; spec-only configs
+round-trip losslessly through :meth:`to_dict` / :meth:`from_dict`, which
+is what makes :class:`~repro.experiment.ExperimentSpec` sweeps
+serializable and process-parallelizable.
+
+    >>> cfg = RuntimeConfig(policy="gtb:buffer_size=16", n_workers=8)
+    >>> RuntimeConfig.from_dict(cfg.to_dict()) == cfg
+    True
+    >>> Scheduler(cfg)          # or Runtime(cfg), or Scheduler(policy=...)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Any, Callable
+
+from .registry import parse_spec, registry_for, resolve
+from .runtime.errors import ConfigError, RegistryError
+
+__all__ = ["RuntimeConfig", "component_name"]
+
+
+def component_name(value: Any, default: str) -> str:
+    """Display name of a config component: the spec string itself,
+    ``describe()`` on instances that have it, else the type name."""
+    if value is None:
+        return default
+    if isinstance(value, str):
+        return value
+    describe = getattr(value, "describe", None)
+    return describe() if callable(describe) else type(value).__name__
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Frozen description of one runtime instantiation.
+
+    Parameters
+    ----------
+    policy:
+        Significance policy spec or :class:`~repro.runtime.policies.base
+        .Policy` instance.  Default: the significance-agnostic baseline.
+    n_workers:
+        Worker cores; the paper's evaluation uses 16.
+    machine:
+        Machine model spec/instance.  ``None`` (default) and spec
+        strings are resized to ``n_workers`` cores; explicit instances
+        are used as-is.
+    cost_model:
+        Task-duration strategy spec/instance (default ``"hybrid"``).
+    engine:
+        Execution backend spec/instance: ``"simulated"`` (default),
+        ``"threaded"``, or ``"sequential"``.
+    """
+
+    policy: Any = "accurate"
+    n_workers: int = 16
+    machine: Any = None
+    cost_model: Any = "hybrid"
+    engine: Any = "simulated"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.n_workers, int) or self.n_workers < 1:
+            raise ConfigError(
+                f"n_workers must be an int >= 1, got {self.n_workers!r}"
+            )
+        # Fail fast on unparseable/unknown spec strings: a config is a
+        # value object and should be invalid at construction, not at
+        # scheduler start.
+        for kind, value in (
+            ("policy", self.policy),
+            ("machine", self.machine),
+            ("cost-model", self.cost_model),
+            ("engine", self.engine),
+        ):
+            if isinstance(value, str):
+                try:
+                    name, _ = parse_spec(value)
+                    registry_for(kind).factory(name)
+                except RegistryError as exc:
+                    raise ConfigError(f"invalid {kind} spec: {exc}") from exc
+
+    # -- derivation ------------------------------------------------------
+    def replace(self, **changes: Any) -> "RuntimeConfig":
+        """A copy with ``changes`` applied (validation re-runs)."""
+        return replace(self, **changes)
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form; requires every component to be a spec string.
+
+        Programmatic instances cannot be serialized — pass registry
+        specs (``policy="gtb:buffer_size=16"``) where round-tripping
+        matters (JSON configs, process-parallel sweeps).
+        """
+        out: dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name != "n_workers" and not (
+                value is None or isinstance(value, str)
+            ):
+                raise ConfigError(
+                    f"RuntimeConfig.{f.name} holds a programmatic "
+                    f"{type(value).__name__} instance; only registry "
+                    "spec strings serialize"
+                )
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RuntimeConfig":
+        """Inverse of :meth:`to_dict`; unknown keys raise."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown RuntimeConfig keys {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        return cls(**data)
+
+    # -- component builders ----------------------------------------------
+    def build_policy(self):
+        """A fresh policy instance (specs) or the given one (instances)."""
+        return resolve("policy", self.policy)
+
+    def build_machine(self):
+        """The machine model, sized to ``n_workers`` unless given as an
+        explicit instance."""
+        if self.machine is None:
+            from .energy.machine_model import XEON_E5_2650
+
+            return XEON_E5_2650.with_workers(self.n_workers)
+        machine = resolve("machine", self.machine)
+        if isinstance(self.machine, str):
+            machine = machine.with_workers(self.n_workers)
+        return machine
+
+    def build_cost_model(self):
+        return resolve("cost-model", self.cost_model)
+
+    def build_engine(
+        self,
+        machine,
+        cost_model,
+        policy,
+        on_task_finished: Callable,
+        stall_handler: Callable | None = None,
+    ):
+        """The execution engine, wired to the scheduler's callbacks.
+
+        Engines need live callbacks, so unlike the other components they
+        are always built here rather than by :func:`~repro.registry
+        .resolve`.
+        """
+        if not isinstance(self.engine, str):
+            return self.engine
+        name, kwargs = parse_spec(self.engine)
+        factory = registry_for("engine").factory(name)
+        return factory(
+            self.n_workers,
+            machine,
+            cost_model,
+            policy,
+            on_task_finished,
+            stall_handler,
+            **kwargs,
+        )
+
+    # -- description -----------------------------------------------------
+    def describe(self) -> str:
+        """Compact human-readable summary for tables and logs."""
+        return (
+            f"policy={component_name(self.policy, 'accurate')} "
+            f"workers={self.n_workers} "
+            f"engine={component_name(self.engine, 'simulated')}"
+        )

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import abc
 
+from ..registry import register
 from ..runtime.errors import CostModelError
 from ..runtime.task import ExecutionKind, Task
 from .machine_model import MachineModel
@@ -45,6 +46,7 @@ class CostModel(abc.ABC):
         """Virtual seconds the task occupies one core."""
 
 
+@register("cost-model", "analytic")
 class AnalyticCost(CostModel):
     """Deterministic durations from per-task work-unit annotations."""
 
@@ -68,6 +70,7 @@ class AnalyticCost(CostModel):
         return machine.duration_of(task.cost.for_kind(kind))
 
 
+@register("cost-model", "measured")
 class MeasuredCost(CostModel):
     """Durations from measured host wall time, optionally rescaled."""
 
@@ -94,6 +97,7 @@ class MeasuredCost(CostModel):
         return measured_wall * self.scale
 
 
+@register("cost-model", "hybrid")
 class HybridCost(CostModel):
     """Analytic when annotated, measured otherwise (engine default)."""
 

@@ -24,10 +24,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from ..registry import register
 from ..runtime.errors import EnergyModelError
 from ..sim.topology import Topology
 
-__all__ = ["MachineModel", "XEON_E5_2650"]
+__all__ = ["MachineModel", "XEON_E5_2650", "make_machine"]
 
 
 @dataclass(frozen=True)
@@ -133,3 +134,14 @@ class MachineModel:
 
 #: The paper's testbed, as a model instance.
 XEON_E5_2650 = MachineModel()
+
+
+@register("machine", "xeon-e5-2650", "xeon", "default")
+def make_machine(**overrides) -> MachineModel:
+    """Registry factory: the testbed model with field overrides.
+
+    Spec kwargs map onto :class:`MachineModel` fields, so e.g.
+    ``machine="xeon:frequency_ghz=2.5,core_active_w=11.0"`` describes a
+    what-if testbed while remaining a serializable string.
+    """
+    return replace(XEON_E5_2650, **overrides) if overrides else XEON_E5_2650

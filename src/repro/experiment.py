@@ -1,0 +1,423 @@
+"""Declarative experiments: ``repro.run(ExperimentSpec(...))``.
+
+The front door for batch execution.  An :class:`ExperimentSpec` captures
+*what to run* — workload, knob value, runtime configuration, repeats —
+as plain, JSON-round-trippable data; :func:`run` executes one spec or a
+list of them (optionally fanning out across processes) and returns a
+:class:`ResultSet` whose rows feed the harness tables and exporters.
+
+    >>> import repro
+    >>> spec = repro.ExperimentSpec(
+    ...     workload="sobel", param=0.5, small=True,
+    ...     config=repro.RuntimeConfig(policy="gtb:buffer_size=16"),
+    ... )
+    >>> rs = repro.run(spec.sweep(policy=["gtb", "lqh"], n_workers=[4, 16]))
+    >>> print(rs.table())
+
+Because specs serialize, sweeps parallelize with ``run(..., parallel=4)``
+(component instances cannot cross process boundaries — use registry
+spec strings) and persist alongside their results for provenance.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator
+
+from .config import RuntimeConfig, component_name
+from .runtime.errors import ConfigError
+from .runtime.stats import RunReport
+
+__all__ = ["ExperimentSpec", "ExperimentResult", "ResultSet", "run", "run_one"]
+
+#: Execution modes an ExperimentSpec supports (cf. the harness cells).
+MODES = ("tasks", "perforated", "overhead")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment as plain data.
+
+    Parameters
+    ----------
+    workload:
+        Registered benchmark name (``"sobel"``, ``"kmeans"``, ...; see
+        :func:`repro.kernels.base.benchmark_names`).
+    param:
+        The Table 1 knob (accurate-task ratio, Jacobi's tolerance);
+        ``None`` means the workload's native (fully accurate) value.
+    mode:
+        ``"tasks"`` (significance runtime, default), ``"perforated"``
+        (loop-perforation baseline), or ``"overhead"`` (the Figure 4
+        probe: uniform significance, ratio 1.0).
+    config:
+        The :class:`~repro.config.RuntimeConfig` to run under.
+    repeats:
+        Number of executions; repeat ``r`` runs with ``seed + r``.
+    seed:
+        Base workload seed.
+    small:
+        Shrunken workload (seconds instead of minutes).
+    """
+
+    workload: str
+    param: float | None = None
+    mode: str = "tasks"
+    config: RuntimeConfig = field(default_factory=RuntimeConfig)
+    repeats: int = 1
+    seed: int = 2015
+    small: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.workload, str) or not self.workload:
+            raise ConfigError(
+                f"workload must be a benchmark name, got {self.workload!r}"
+            )
+        if self.mode not in MODES:
+            raise ConfigError(
+                f"unknown mode {self.mode!r}; expected one of {MODES}"
+            )
+        if not isinstance(self.repeats, int) or self.repeats < 1:
+            raise ConfigError(
+                f"repeats must be an int >= 1, got {self.repeats!r}"
+            )
+        if not isinstance(self.config, RuntimeConfig):
+            raise ConfigError(
+                f"config must be a RuntimeConfig, got "
+                f"{type(self.config).__name__}"
+            )
+
+    # -- derivation ------------------------------------------------------
+    def replace(self, **changes: Any) -> "ExperimentSpec":
+        return replace(self, **changes)
+
+    def sweep(self, **axes: Iterable[Any]) -> list["ExperimentSpec"]:
+        """Cross-product expansion over spec and/or config fields.
+
+        Axis names may be :class:`ExperimentSpec` fields (``param``,
+        ``seed``, ...) or :class:`~repro.config.RuntimeConfig` fields
+        (``policy``, ``n_workers``, ``engine``, ...); values are
+        iterables of settings.  Returns one spec per combination, in
+        row-major order of the given axes.
+
+        >>> spec.sweep(policy=["gtb", "lqh"], n_workers=[4, 16])  # 4 specs
+        """
+        cfg_fields = {f.name for f in fields(RuntimeConfig)}
+        spec_fields = {f.name for f in fields(ExperimentSpec)} - {"config"}
+        keys = list(axes)
+        for key in keys:
+            if key not in cfg_fields and key not in spec_fields:
+                raise ConfigError(
+                    f"unknown sweep axis {key!r}; expected an "
+                    f"ExperimentSpec field {sorted(spec_fields)} or a "
+                    f"RuntimeConfig field {sorted(cfg_fields)}"
+                )
+        values = []
+        for key in keys:
+            axis = list(axes[key])
+            if not axis:
+                raise ConfigError(f"sweep axis {key!r} is empty")
+            values.append(axis)
+
+        specs: list[ExperimentSpec] = []
+        for combo in itertools.product(*values):
+            cfg_changes: dict[str, Any] = {}
+            spec_changes: dict[str, Any] = {}
+            for key, value in zip(keys, combo):
+                target = cfg_changes if key in cfg_fields else spec_changes
+                target[key] = value
+            if cfg_changes:
+                spec_changes["config"] = self.config.replace(**cfg_changes)
+            specs.append(self.replace(**spec_changes))
+        return specs
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form (requires a spec-string-only config)."""
+        return {
+            "workload": self.workload,
+            "param": self.param,
+            "mode": self.mode,
+            "config": self.config.to_dict(),
+            "repeats": self.repeats,
+            "seed": self.seed,
+            "small": self.small,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ExperimentSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown ExperimentSpec keys {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        payload = dict(data)
+        if isinstance(payload.get("config"), dict):
+            payload["config"] = RuntimeConfig.from_dict(payload["config"])
+        return cls(**payload)
+
+
+@dataclass
+class ExperimentResult:
+    """Measured outcome of one (spec, repeat) execution."""
+
+    spec: ExperimentSpec
+    repeat: int
+    seed: int
+    makespan_s: float
+    energy_j: float
+    quality_metric: str
+    quality_value: float
+    tasks_total: int
+    accurate: int
+    approximate: int
+    dropped: int
+    report: RunReport | None = field(default=None, repr=False)
+    output: Any = field(default=None, repr=False)
+
+    def to_row(self) -> dict[str, Any]:
+        """Flat dictionary row for tables/CSV/JSON."""
+        cfg = self.spec.config
+        return {
+            "workload": self.spec.workload,
+            "mode": self.spec.mode,
+            "param": self.spec.param,
+            "policy": component_name(cfg.policy, "accurate"),
+            "engine": component_name(cfg.engine, "simulated"),
+            "n_workers": cfg.n_workers,
+            "small": self.spec.small,
+            "repeat": self.repeat,
+            "seed": self.seed,
+            "makespan_s": self.makespan_s,
+            "energy_j": self.energy_j,
+            "quality_metric": self.quality_metric,
+            "quality_value": self.quality_value,
+            "tasks_total": self.tasks_total,
+            "accurate": self.accurate,
+            "approximate": self.approximate,
+            "dropped": self.dropped,
+        }
+
+
+class ResultSet:
+    """Ordered collection of :class:`ExperimentResult` rows.
+
+    The contract with the harness: :meth:`to_rows` yields the flat
+    dictionaries its exporters and tables consume.
+    """
+
+    def __init__(self, results: Iterable[ExperimentResult]) -> None:
+        self.results: list[ExperimentResult] = list(results)
+
+    # -- container protocol ---------------------------------------------
+    def __iter__(self) -> Iterator[ExperimentResult]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return ResultSet(self.results[index])
+        return self.results[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ResultSet: {len(self.results)} results>"
+
+    # -- transforms ------------------------------------------------------
+    def filter(
+        self,
+        predicate: Callable[[ExperimentResult], bool] | None = None,
+        **eq: Any,
+    ) -> "ResultSet":
+        """Subset by a predicate and/or row-field equality tests."""
+
+        def keep(res: ExperimentResult) -> bool:
+            if predicate is not None and not predicate(res):
+                return False
+            row = res.to_row()
+            return all(row.get(k) == v for k, v in eq.items())
+
+        return ResultSet(r for r in self.results if keep(r))
+
+    def best(self, key: str = "energy_j") -> ExperimentResult:
+        """The result minimizing a row field (ties: first)."""
+        if not self.results:
+            raise ValueError("empty ResultSet has no best result")
+        return min(self.results, key=lambda r: r.to_row()[key])
+
+    # -- export ----------------------------------------------------------
+    def to_rows(self) -> list[dict[str, Any]]:
+        return [r.to_row() for r in self.results]
+
+    def to_json(self, path: str | Path | None = None) -> str:
+        text = json.dumps(self.to_rows(), indent=2, sort_keys=True)
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    def table(self) -> str:
+        """Aligned ASCII table (same renderer as the harness)."""
+        from .harness.report import format_table
+
+        headers = [
+            "workload", "mode", "policy", "engine", "workers", "param",
+            "rep", "time (s)", "energy (J)", "quality", "acc/apx/drop",
+        ]
+        rows = []
+        for row in self.to_rows():
+            rows.append(
+                [
+                    row["workload"],
+                    row["mode"],
+                    row["policy"],
+                    row["engine"],
+                    row["n_workers"],
+                    "native" if row["param"] is None else row["param"],
+                    row["repeat"],
+                    row["makespan_s"],
+                    row["energy_j"],
+                    f"{row['quality_metric']}={row['quality_value']:.4g}",
+                    f"{row['accurate']}/{row['approximate']}"
+                    f"/{row['dropped']}",
+                ]
+            )
+        return format_table(headers, rows)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _execute(
+    spec: ExperimentSpec,
+    repeat: int,
+    seed: int,
+    keep_output: bool = False,
+) -> ExperimentResult:
+    """Run one (spec, repeat) cell in-process."""
+    from .harness.experiment import NATIVE_PARAMS, reference_output
+    from .kernels.base import get_benchmark
+    from .runtime.scheduler import Scheduler
+
+    bench = get_benchmark(spec.workload, small=spec.small)
+    inputs = bench.build_input(seed)
+    reference = reference_output(bench, seed)
+    param = (
+        spec.param
+        if spec.param is not None
+        else NATIVE_PARAMS[bench.name.lower()]
+    )
+
+    sched = Scheduler(config=spec.config)
+    if spec.mode == "perforated":
+        output = bench.run_perforated(sched, inputs, param)
+    elif spec.mode == "overhead":
+        output = bench.run_overhead_probe(sched, inputs)
+    else:
+        output = bench.run_tasks(sched, inputs, param)
+    report = sched.finish()
+    quality = bench.quality(reference, output)
+
+    return ExperimentResult(
+        spec=spec,
+        repeat=repeat,
+        seed=seed,
+        makespan_s=report.makespan_s,
+        energy_j=report.energy_j,
+        quality_metric=quality.metric,
+        quality_value=quality.value,
+        tasks_total=report.tasks_total,
+        accurate=report.accurate_tasks,
+        approximate=report.approximate_tasks,
+        dropped=report.dropped_tasks,
+        report=report,
+        output=output if keep_output else None,
+    )
+
+
+def _run_payload(payload: tuple[dict, int, int]) -> dict[str, Any]:
+    """Process-pool worker: execute a serialized spec, return its row."""
+    spec_dict, repeat, seed = payload
+    result = _execute(ExperimentSpec.from_dict(spec_dict), repeat, seed)
+    return result.to_row()
+
+
+def run_one(
+    spec: ExperimentSpec,
+    *,
+    repeat: int = 0,
+    seed: int | None = None,
+    keep_output: bool = False,
+) -> ExperimentResult:
+    """Execute a single (spec, repeat) cell in-process.
+
+    The harness builds its per-cell measurements on this; :func:`run`
+    is the batch front end.
+    """
+    return _execute(
+        spec,
+        repeat,
+        spec.seed + repeat if seed is None else seed,
+        keep_output=keep_output,
+    )
+
+
+def run(
+    spec: ExperimentSpec | Iterable[ExperimentSpec],
+    *,
+    parallel: int | None = None,
+    keep_output: bool = False,
+) -> ResultSet:
+    """Execute one spec or a sweep; return a :class:`ResultSet`.
+
+    ``parallel=N`` fans the (spec × repeat) jobs out over ``N`` worker
+    processes — every config must then use registry spec strings (so it
+    serializes), and the returned results carry flat measurements only
+    (``report``/``output`` are ``None``).  In-process runs keep the full
+    :class:`~repro.runtime.stats.RunReport` per result.
+    """
+    specs = (
+        [spec] if isinstance(spec, ExperimentSpec) else list(spec)
+    )
+    for s in specs:
+        if not isinstance(s, ExperimentSpec):
+            raise ConfigError(
+                f"run() expects ExperimentSpec(s), got {type(s).__name__}"
+            )
+    jobs = [
+        (s, r, s.seed + r) for s in specs for r in range(s.repeats)
+    ]
+
+    if parallel is not None and parallel > 1 and len(jobs) > 1:
+        payloads = [(s.to_dict(), r, seed) for s, r, seed in jobs]
+        with ProcessPoolExecutor(max_workers=parallel) as pool:
+            rows = list(pool.map(_run_payload, payloads))
+        results = []
+        for (s, r, seed), row in zip(jobs, rows):
+            results.append(
+                ExperimentResult(
+                    spec=s,
+                    repeat=r,
+                    seed=seed,
+                    makespan_s=row["makespan_s"],
+                    energy_j=row["energy_j"],
+                    quality_metric=row["quality_metric"],
+                    quality_value=row["quality_value"],
+                    tasks_total=row["tasks_total"],
+                    accurate=row["accurate"],
+                    approximate=row["approximate"],
+                    dropped=row["dropped"],
+                )
+            )
+        return ResultSet(results)
+
+    return ResultSet(
+        _execute(s, r, seed, keep_output=keep_output)
+        for s, r, seed in jobs
+    )

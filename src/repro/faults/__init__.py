@@ -9,6 +9,7 @@ programming model.
 from .engine import (
     FaultAwareEngine,
     FaultySimulatedMachine,
+    faulty_engine,
     faulty_scheduler,
 )
 from .model import FaultLog, FaultModel, FaultRecord
@@ -19,5 +20,6 @@ __all__ = [
     "FaultLog",
     "FaultySimulatedMachine",
     "FaultAwareEngine",
+    "faulty_engine",
     "faulty_scheduler",
 ]

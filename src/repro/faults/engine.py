@@ -19,13 +19,19 @@ from __future__ import annotations
 import time as _time
 from typing import Callable
 
+from ..registry import register, resolve
 from ..runtime.errors import SchedulerError
 from ..runtime.task import ExecutionKind, Task, TaskState
 from ..sim.machine import SimulatedMachine
 from ..runtime.engine import SimulatedEngine
 from .model import FaultLog, FaultModel, FaultRecord
 
-__all__ = ["FaultySimulatedMachine", "FaultAwareEngine"]
+__all__ = [
+    "FaultySimulatedMachine",
+    "FaultAwareEngine",
+    "faulty_engine",
+    "faulty_scheduler",
+]
 
 #: Give up re-executing after this many faulty attempts (prevents the
 #: pathological fault_rate=1.0 configuration from hanging).
@@ -157,6 +163,40 @@ class FaultAwareEngine(SimulatedEngine):
         return self.machine.fault_log  # type: ignore[attr-defined]
 
 
+@register("engine", "faulty", "unreliable")
+def faulty_engine(
+    n_workers: int,
+    machine_model,
+    cost_model,
+    policy,
+    on_task_finished: Callable[[Task, float], None],
+    stall_handler: Callable[[], bool] | None = None,
+    *,
+    unreliable_fraction: float = 0.5,
+    fault_rate: float = 0.05,
+    seed: int = 0,
+    protect_threshold: float = 1.0,
+) -> "FaultAwareEngine":
+    """Registry factory: an ERSA-style split machine from scalar knobs.
+
+    Makes the unreliable-hardware scenario a plain engine spec, e.g.
+    ``engine="faulty:fault_rate=0.08,protect_threshold=0.7"``.
+    """
+    model = FaultModel.split_machine(
+        n_workers, unreliable_fraction, fault_rate, seed
+    )
+    return FaultAwareEngine.build(
+        n_workers,
+        machine_model,
+        cost_model,
+        policy,
+        on_task_finished,
+        stall_handler,
+        fault_model=model,
+        protect_threshold=protect_threshold,
+    )
+
+
 def faulty_scheduler(
     policy,
     n_workers: int = 16,
@@ -170,6 +210,7 @@ def faulty_scheduler(
     from ..energy.machine_model import XEON_E5_2650
     from ..runtime.scheduler import Scheduler
 
+    policy = resolve("policy", policy)
     machine_model = (
         machine if machine is not None
         else XEON_E5_2650.with_workers(n_workers)

@@ -9,6 +9,8 @@ Command line::
     python -m repro.harness fig3 [--small] [--out results/]
     python -m repro.harness fig4 [--small]
     python -m repro.harness all  [--small] [--out results/]
+    python -m repro.harness sweep --workload sobel --policy gtb \\
+        --policy lqh [--param R ...] [--parallel N] [--json rows.json]
 """
 
 from .experiment import (

@@ -1,4 +1,12 @@
-"""CLI entry point: ``python -m repro.harness <experiment>``."""
+"""CLI entry point: ``python -m repro.harness <experiment>``.
+
+Besides the paper's tables and figures, ``sweep`` runs declarative
+experiment grids through :func:`repro.run`::
+
+    python -m repro.harness sweep --workload sobel --small \\
+        --policy gtb:buffer_size=16 --policy lqh --param 0.3 --param 0.8 \\
+        --parallel 4 --json results.json
+"""
 
 from __future__ import annotations
 
@@ -7,6 +15,8 @@ import sys
 import time
 from pathlib import Path
 
+from ..config import RuntimeConfig
+from ..experiment import ExperimentSpec, run
 from ..kernels.base import benchmark_names
 from .figures import (
     fig1_sobel_approximation,
@@ -17,6 +27,35 @@ from .figures import (
 from .tables import table1, table2_policy_accuracy
 
 
+def _run_sweep(args) -> int:
+    """The ``sweep`` subcommand: an ExperimentSpec grid to a ResultSet."""
+    base = ExperimentSpec(
+        workload=(args.workload or ["sobel"])[0],
+        mode=args.mode,
+        config=RuntimeConfig(
+            policy=(args.policy or ["accurate"])[0],
+            n_workers=args.workers,
+            engine=args.engine,
+        ),
+        repeats=args.repeats,
+        small=args.small,
+    )
+    axes = {}
+    if args.workload and len(args.workload) > 1:
+        axes["workload"] = args.workload
+    if args.policy and len(args.policy) > 1:
+        axes["policy"] = args.policy
+    if args.param:
+        axes["param"] = args.param
+    specs = base.sweep(**axes) if axes else [base]
+    results = run(specs, parallel=args.parallel)
+    print(results.table())
+    if args.json:
+        results.to_json(args.json)
+        print(f"rows written to {args.json}", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
@@ -24,7 +63,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=["table1", "table2", "fig1", "fig2", "fig3", "fig4", "all"],
+        choices=[
+            "table1", "table2", "fig1", "fig2", "fig3", "fig4", "all",
+            "sweep",
+        ],
     )
     parser.add_argument(
         "--small",
@@ -42,7 +84,52 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--out", default=None, help="directory for PGM outputs (fig1/fig3)"
     )
+    parser.add_argument(
+        "--workload",
+        action="append",
+        default=None,
+        help="sweep: benchmark name (repeatable)",
+    )
+    parser.add_argument(
+        "--policy",
+        action="append",
+        default=None,
+        help="sweep: policy spec, e.g. gtb:buffer_size=16 (repeatable)",
+    )
+    parser.add_argument(
+        "--param",
+        action="append",
+        type=float,
+        default=None,
+        help="sweep: knob value (repeatable; default: native)",
+    )
+    parser.add_argument(
+        "--mode",
+        default="tasks",
+        choices=["tasks", "perforated", "overhead"],
+        help="sweep: execution mode",
+    )
+    parser.add_argument(
+        "--engine",
+        default="simulated",
+        help="sweep: engine spec (simulated/threaded/sequential/...)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=1, help="sweep: repeats per cell"
+    )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        help="sweep: process-parallel fan-out width",
+    )
+    parser.add_argument(
+        "--json", default=None, help="sweep: write result rows to this file"
+    )
     args = parser.parse_args(argv)
+
+    if args.experiment == "sweep":
+        return _run_sweep(args)
 
     out_dir = None
     if args.out:

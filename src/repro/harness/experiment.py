@@ -8,8 +8,8 @@ policy-accuracy statistics of Table 2.
 Execution modes:
 
 * ``policy:<spec>`` — the significance runtime under GTB / GTB-MaxBuffer
-  / LQH / oracle (spec strings of
-  :func:`repro.runtime.policies.make_policy`);
+  / LQH / oracle (any ``"policy"`` spec of :mod:`repro.registry`, e.g.
+  ``policy:gtb:buffer_size=8``);
 * ``accurate``      — the fully accurate reference on the
   significance-agnostic runtime (Figure 2's "accurate execution" line);
 * ``perforated``    — the loop-perforation baseline (Figure 2's
@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..config import RuntimeConfig
+from ..experiment import ExperimentSpec, run_one
 from ..kernels.base import (
     Benchmark,
     Degree,
@@ -28,8 +30,6 @@ from ..kernels.base import (
     get_benchmark,
 )
 from ..quality.metrics import QualityValue
-from ..runtime.policies import SignificanceAgnostic, make_policy
-from ..runtime.scheduler import Scheduler
 from ..runtime.stats import RunReport
 
 __all__ = [
@@ -68,6 +68,41 @@ class ExperimentCell:
         d = self.degree.value if self.degree else "native"
         return f"{self.benchmark}/{self.mode}/{d}"
 
+    # -- new-API bridges ---------------------------------------------------
+    def policy_spec(self) -> str:
+        """The registry policy spec this cell's mode denotes."""
+        if self.mode in ("accurate", "perforated"):
+            return "accurate"
+        if self.mode.startswith("policy:"):
+            spec = self.mode.split(":", 1)[1]
+            if spec == "gtb":
+                return f"gtb:buffer_size={self.gtb_buffer}"
+            return spec
+        raise ValueError(f"unknown experiment mode {self.mode!r}")
+
+    def runtime_config(self) -> RuntimeConfig:
+        return RuntimeConfig(
+            policy=self.policy_spec(), n_workers=self.n_workers
+        )
+
+    def to_spec(self) -> ExperimentSpec:
+        """This cell as a declarative :class:`ExperimentSpec`."""
+        if self.mode == "accurate":
+            param = None  # run_one substitutes the native knob
+        else:
+            if self.degree is None:
+                raise ValueError(f"mode {self.mode!r} requires a degree")
+            bench = get_benchmark(self.benchmark, small=self.small)
+            param = bench.degree_param(self.degree)
+        return ExperimentSpec(
+            workload=self.benchmark,
+            param=param,
+            mode="perforated" if self.mode == "perforated" else "tasks",
+            config=self.runtime_config(),
+            seed=self.seed,
+            small=self.small,
+        )
+
 
 @dataclass
 class CellResult:
@@ -83,26 +118,6 @@ class CellResult:
     @property
     def label(self) -> str:
         return self.cell.describe()
-
-
-def _build_policy(cell: ExperimentCell):
-    mode = cell.mode
-    if mode == "accurate" or mode == "perforated":
-        return SignificanceAgnostic()
-    if mode.startswith("policy:"):
-        spec = mode.split(":", 1)[1]
-        if spec == "gtb":
-            return make_policy("gtb", buffer_size=cell.gtb_buffer)
-        return make_policy(spec)
-    raise ValueError(f"unknown experiment mode {mode!r}")
-
-
-def _param_for(bench: Benchmark, cell: ExperimentCell) -> float:
-    if cell.mode == "accurate":
-        return NATIVE_PARAMS[bench.name.lower()]
-    if cell.degree is None:
-        raise ValueError(f"mode {cell.mode!r} requires a degree")
-    return bench.degree_param(cell.degree)
 
 
 _REFERENCE_CACHE: dict[tuple, Any] = {}
@@ -125,30 +140,21 @@ def reference_output(bench: Benchmark, seed: int) -> Any:
 def run_cell(cell: ExperimentCell, keep_output: bool = False) -> CellResult:
     """Execute one experiment cell and measure time/energy/quality.
 
+    A thin bridge onto :func:`repro.experiment.run_one`: the cell is
+    translated to an :class:`~repro.experiment.ExperimentSpec` and the
+    flat measurements come back as a :class:`CellResult`.
+
     Raises :class:`PerforationNotApplicable` for perforated cells of
     benchmarks where the baseline cannot be built (Fluidanimate).
     """
-    bench = get_benchmark(cell.benchmark, small=cell.small)
-    inputs = bench.build_input(cell.seed)
-    reference = reference_output(bench, cell.seed)
-    param = _param_for(bench, cell)
-
-    policy = _build_policy(cell)
-    rt = Scheduler(policy=policy, n_workers=cell.n_workers)
-    if cell.mode == "perforated":
-        if not bench.perforation_applicable:
-            raise PerforationNotApplicable(bench.name)
-        output = bench.run_perforated(rt, inputs, param)
-    else:
-        output = bench.run_tasks(rt, inputs, param)
-    report = rt.finish()
-
-    quality = bench.quality(reference, output)
+    res = run_one(
+        cell.to_spec(), seed=cell.seed, keep_output=keep_output
+    )
     return CellResult(
         cell=cell,
-        makespan_s=report.makespan_s,
-        energy_j=report.energy_j,
-        quality=quality,
-        report=report,
-        output=output if keep_output else None,
+        makespan_s=res.makespan_s,
+        energy_j=res.energy_j,
+        quality=QualityValue(res.quality_metric, res.quality_value),
+        report=res.report,
+        output=res.output,
     )

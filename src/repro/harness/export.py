@@ -18,6 +18,7 @@ import math
 from pathlib import Path
 from typing import Any
 
+from ..experiment import ResultSet
 from .figures import Fig2Data, Fig4Data, QuadrantFigure
 from .tables import Table2Data
 
@@ -26,6 +27,7 @@ __all__ = [
     "fig4_to_rows",
     "table2_to_rows",
     "quadrants_to_rows",
+    "resultset_to_rows",
     "to_dict",
     "write_json",
     "write_csv",
@@ -103,11 +105,19 @@ def quadrants_to_rows(fig: QuadrantFigure) -> list[dict]:
     ]
 
 
+def resultset_to_rows(rs: ResultSet) -> list[dict]:
+    """Rows of a :class:`~repro.experiment.ResultSet` (already flat)."""
+    return [
+        {k: _clean(v) for k, v in row.items()} for row in rs.to_rows()
+    ]
+
+
 _CONVERTERS = {
     Fig2Data: fig2_to_rows,
     Fig4Data: fig4_to_rows,
     Table2Data: table2_to_rows,
     QuadrantFigure: quadrants_to_rows,
+    ResultSet: resultset_to_rows,
 }
 
 

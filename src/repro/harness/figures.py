@@ -21,7 +21,6 @@ from ..quality.images import (
     synthetic_image,
     write_pgm,
 )
-from ..runtime.policies import make_policy
 from ..runtime.scheduler import Scheduler
 from .experiment import CellResult, ExperimentCell, run_cell
 from .report import bar_chart, format_table
@@ -216,12 +215,12 @@ def fig4_overhead(
 
 def _run_native(cell: ExperimentCell) -> CellResult:
     """Run a policy cell at the benchmark's native (all-accurate) knob."""
-    from .experiment import _build_policy, reference_output
+    from .experiment import reference_output
 
     bench = get_benchmark(cell.benchmark, small=cell.small)
     inputs = bench.build_input(cell.seed)
     reference = reference_output(bench, cell.seed)
-    rt = Scheduler(policy=_build_policy(cell), n_workers=cell.n_workers)
+    rt = Scheduler(cell.runtime_config())
     output = bench.run_overhead_probe(rt, inputs)
     report = rt.finish()
     return CellResult(
@@ -267,7 +266,7 @@ def _sobel_with_ratio(
 ) -> np.ndarray:
     bench = get_benchmark("Sobel", small=img.shape[0] < 256)
     bench.height, bench.width = img.shape
-    rt = Scheduler(policy=make_policy("gtb-max"), n_workers=n_workers)
+    rt = Scheduler(policy="gtb-max", n_workers=n_workers)
     return bench.run_tasks(rt, img, ratio)
 
 

@@ -1,0 +1,224 @@
+"""Pluggable component registries: the spine of the public API.
+
+Every swappable piece of the runtime — significance policies, execution
+engines, cost models, machine models — registers itself in a named
+family and becomes resolvable from a plain string *spec*::
+
+    @register("policy", "gtb")
+    class GlobalTaskBuffering(Policy): ...
+
+    resolve("policy", "gtb")                    # default construction
+    resolve("policy", "gtb:buffer_size=16")     # inline kwargs
+    resolve("policy", GlobalTaskBuffering(16))  # instances pass through
+
+Spec grammar: ``name`` or ``name:key=value,key=value``.  Values are
+parsed as Python literals (``16``, ``0.5``, ``'s'``, ``true``/``false``,
+``none``); anything that does not parse stays a string.  Unknown names
+raise :class:`~repro.runtime.errors.RegistryError` listing the known
+names; unknown kwargs propagate as the factory's ``TypeError`` —
+components never silently discard configuration.
+
+Because specs are strings, every component choice is serializable:
+:class:`~repro.config.RuntimeConfig` and
+:class:`~repro.experiment.ExperimentSpec` round-trip through JSON and
+cross process boundaries for parallel sweeps.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Callable
+
+from .runtime.errors import RegistryError
+
+__all__ = [
+    "Registry",
+    "register",
+    "resolve",
+    "parse_spec",
+    "format_spec",
+    "available",
+    "registry_for",
+]
+
+
+def _parse_value(text: str) -> Any:
+    low = text.lower()
+    if low in ("true", "false"):
+        return low == "true"
+    if low in ("none", "null"):
+        return None
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def _split_top_level(text: str) -> list[str]:
+    """Split on commas that sit outside quotes and brackets, so literal
+    values like ``tag='a,b'`` or ``dims=(2,8)`` survive parsing."""
+    parts: list[str] = []
+    depth = 0
+    quote: str | None = None
+    start = 0
+    for i, ch in enumerate(text):
+        if quote is not None:
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+        elif ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            parts.append(text[start:i])
+            start = i + 1
+    parts.append(text[start:])
+    return parts
+
+
+def parse_spec(spec: str) -> tuple[str, dict[str, Any]]:
+    """Split ``"name:key=value,..."`` into ``(name, kwargs)``.
+
+    >>> parse_spec("gtb:buffer_size=16,drop=true")
+    ('gtb', {'buffer_size': 16, 'drop': True})
+    """
+    if not isinstance(spec, str):
+        raise RegistryError(f"spec must be a string, got {type(spec).__name__}")
+    name, sep, rest = spec.partition(":")
+    name = name.strip()
+    if not name:
+        raise RegistryError(f"empty component name in spec {spec!r}")
+    kwargs: dict[str, Any] = {}
+    if sep:
+        if not rest.strip():
+            raise RegistryError(
+                f"malformed spec {spec!r}: nothing after ':'"
+            )
+        for part in _split_top_level(rest):
+            key, eq, value = part.partition("=")
+            key = key.strip()
+            if not eq or not key.isidentifier():
+                raise RegistryError(
+                    f"malformed spec {spec!r}: expected key=value, "
+                    f"got {part.strip()!r}"
+                )
+            kwargs[key] = _parse_value(value.strip())
+    return name, kwargs
+
+
+def format_spec(name: str, kwargs: dict[str, Any] | None = None) -> str:
+    """Inverse of :func:`parse_spec` (for round-tripping configs)."""
+    if not kwargs:
+        return name
+    return name + ":" + ",".join(f"{k}={v!r}" for k, v in kwargs.items())
+
+
+class Registry:
+    """One named family of components (``policy``, ``engine``, ...)."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._factories: dict[str, Callable[..., Any]] = {}
+        self._canonical: dict[str, str] = {}  # normalized alias -> name
+
+    @staticmethod
+    def _norm(name: str) -> str:
+        return name.strip().lower().replace("_", "-")
+
+    # -- registration ---------------------------------------------------
+    def register(
+        self, name: str, *aliases: str
+    ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+        """Decorator registering a class or factory under ``name``.
+
+        ``aliases`` resolve to the same factory; re-registering the same
+        object is a no-op (module reloads), a different one is an error.
+        """
+
+        def deco(factory: Callable[..., Any]) -> Callable[..., Any]:
+            for alias in (name, *aliases):
+                key = self._norm(alias)
+                prior = self._canonical.get(key)
+                if prior is not None and self._factories[prior] is not factory:
+                    raise RegistryError(
+                        f"duplicate {self.kind} name {alias!r} "
+                        f"(already registered to "
+                        f"{self._factories[prior]!r})"
+                    )
+                self._canonical[key] = self._norm(name)
+            self._factories[self._norm(name)] = factory
+            return factory
+
+        return deco
+
+    # -- lookup ---------------------------------------------------------
+    def names(self) -> list[str]:
+        """Canonical names in registration order."""
+        return list(self._factories)
+
+    def factory(self, name: str) -> Callable[..., Any]:
+        key = self._canonical.get(self._norm(name))
+        if key is None:
+            raise RegistryError(
+                f"unknown {self.kind} {name!r}; "
+                f"known: {', '.join(self.names()) or '(none registered)'}"
+            )
+        return self._factories[key]
+
+    def create(self, spec: str, /, **overrides: Any) -> Any:
+        """Build a component from a spec string plus keyword overrides."""
+        name, kwargs = parse_spec(spec)
+        kwargs.update(overrides)
+        return self.factory(name)(**kwargs)
+
+    def __contains__(self, name: str) -> bool:
+        return self._norm(name) in self._canonical
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Registry {self.kind}: {', '.join(self.names())}>"
+
+
+_registries: dict[str, Registry] = {}
+
+
+def registry_for(kind: str) -> Registry:
+    """The (auto-created) registry of one component family."""
+    try:
+        return _registries[kind]
+    except KeyError:
+        reg = _registries[kind] = Registry(kind)
+        return reg
+
+
+def register(
+    kind: str, name: str, *aliases: str
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """``@register("policy", "gtb", "gtb32")`` — module-level decorator."""
+    return registry_for(kind).register(name, *aliases)
+
+
+def resolve(kind: str, spec: Any, /, **overrides: Any) -> Any:
+    """Turn a spec (or an already-built instance) into a component.
+
+    Non-string ``spec`` values are assumed to be programmatic instances
+    and returned untouched — passing ``overrides`` alongside an instance
+    is an error, since they could not be applied.
+    """
+    if not isinstance(spec, str):
+        if overrides:
+            raise RegistryError(
+                f"cannot apply kwargs {sorted(overrides)} to an "
+                f"already-built {kind} instance "
+                f"({type(spec).__name__})"
+            )
+        return spec
+    return registry_for(kind).create(spec, **overrides)
+
+
+def available(kind: str | None = None) -> dict[str, list[str]] | list[str]:
+    """Registered names — of one kind, or all kinds when ``None``."""
+    if kind is not None:
+        return registry_for(kind).names()
+    return {k: reg.names() for k, reg in _registries.items()}

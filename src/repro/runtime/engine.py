@@ -26,8 +26,10 @@ from __future__ import annotations
 import abc
 import threading
 import time as _time
+import warnings
 from typing import TYPE_CHECKING, Callable
 
+from ..registry import register
 from ..sim.machine import SimulatedMachine
 from ..sim.trace import ExecutionTrace, Segment
 from .errors import SchedulerError
@@ -39,7 +41,13 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..energy.machine_model import MachineModel
     from ..runtime.policies.base import Policy
 
-__all__ = ["Engine", "SimulatedEngine", "ThreadedEngine", "make_engine"]
+__all__ = [
+    "Engine",
+    "SimulatedEngine",
+    "ThreadedEngine",
+    "sequential_engine",
+    "make_engine",
+]
 
 
 class Engine(abc.ABC):
@@ -77,6 +85,7 @@ class Engine(abc.ABC):
     def queue_stats(self): ...
 
 
+@register("engine", "simulated", "sim")
 class SimulatedEngine(Engine):
     """Virtual-time engine over :class:`SimulatedMachine`."""
 
@@ -130,6 +139,7 @@ class SimulatedEngine(Engine):
         return self.machine.trace
 
 
+@register("engine", "threaded", "threads")
 class ThreadedEngine(Engine):
     """Real-thread engine sharing the queue fabric and policies.
 
@@ -281,6 +291,21 @@ class ThreadedEngine(Engine):
         return self.queues.stats
 
 
+@register("engine", "sequential", "serial")
+def sequential_engine(
+    n_workers: int,
+    machine_model: "MachineModel",
+    cost_model: "CostModel",
+    policy: "Policy",
+    on_task_finished: Callable[[Task, float], None],
+    stall_handler: Callable[[], bool] | None = None,
+) -> SimulatedEngine:
+    """Reference semantics: a one-worker :class:`SimulatedEngine`."""
+    return SimulatedEngine(
+        1, machine_model, cost_model, policy, on_task_finished, stall_handler
+    )
+
+
 def make_engine(
     kind: str,
     n_workers: int,
@@ -290,15 +315,25 @@ def make_engine(
     on_task_finished: Callable[[Task, float], None],
     stall_handler: Callable[[], bool] | None = None,
 ) -> Engine:
-    """Engine factory: ``simulated`` (default), ``threaded``,
-    ``sequential`` (one simulated worker)."""
-    key = kind.strip().lower()
-    if key == "sequential":
-        key, n_workers = "simulated", 1
-    cls = {"simulated": SimulatedEngine, "threaded": ThreadedEngine}.get(key)
-    if cls is None:
-        raise SchedulerError(f"unknown engine kind {kind!r}")
-    return cls(
+    """Deprecated: engines now live in the ``"engine"`` registry; use
+    :class:`~repro.config.RuntimeConfig` / ``Scheduler(engine=...)``.
+
+    Kinds: ``simulated`` (default), ``threaded``, ``sequential`` (one
+    simulated worker)."""
+    warnings.warn(
+        "make_engine() is deprecated; pass the engine spec to "
+        "Scheduler/RuntimeConfig or use repro.registry instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..registry import registry_for
+    from .errors import RegistryError
+
+    try:
+        factory = registry_for("engine").factory(kind)
+    except RegistryError as exc:
+        raise SchedulerError(f"unknown engine kind {kind!r}") from exc
+    return factory(
         n_workers,
         machine_model,
         cost_model,

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 __all__ = [
     "ReproError",
+    "RegistryError",
+    "ConfigError",
     "SignificanceError",
     "RatioError",
     "GroupError",
@@ -26,6 +28,18 @@ __all__ = [
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro runtime."""
+
+
+class RegistryError(ReproError, ValueError):
+    """A component spec could not be parsed or resolved by the registry."""
+
+
+class SchedulerError(ReproError):
+    """The scheduler was driven through an illegal state transition."""
+
+
+class ConfigError(SchedulerError, ValueError):
+    """A :class:`~repro.config.RuntimeConfig` carries invalid values."""
 
 
 class SignificanceError(ReproError, ValueError):
@@ -52,10 +66,6 @@ class GroupError(ReproError):
 
 class DependenceError(ReproError):
     """Invalid dataflow clause (e.g. unhashable handle, self-dependence cycle)."""
-
-
-class SchedulerError(ReproError):
-    """The scheduler was driven through an illegal state transition."""
 
 
 class PolicyError(ReproError):

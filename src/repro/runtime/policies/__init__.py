@@ -11,6 +11,9 @@ Policy                    Paper reference
 ========================  =====================================================
 """
 
+import warnings
+
+from ...registry import resolve
 from .agnostic import SignificanceAgnostic
 from .base import Policy, PolicyOverheads, resolve_drop
 from .gtb import GlobalTaskBuffering, gtb_max_buffer
@@ -32,20 +35,17 @@ __all__ = [
 
 
 def make_policy(spec: str, **kwargs) -> Policy:
-    """Build a policy from a short name used in the CLI/benchmarks.
+    """Deprecated: use :func:`repro.registry.resolve` (``"policy"``) or
+    pass the spec string straight to ``Runtime``/``Scheduler``.
 
     Accepts: ``gtb`` (optionally ``buffer_size=``), ``gtb-max``, ``lqh``,
-    ``accurate``/``agnostic``, ``oracle``.
+    ``accurate``/``agnostic``, ``oracle``.  Unlike the old string
+    switch, unknown kwargs now raise instead of being silently dropped.
     """
-    key = spec.strip().lower()
-    if key == "gtb":
-        return GlobalTaskBuffering(**kwargs)
-    if key in ("gtb-max", "gtb_max", "gtbmax", "max-buffer", "gtb-mb"):
-        return GlobalTaskBuffering(buffer_size=None)
-    if key == "lqh":
-        return LocalQueueHistory()
-    if key in ("accurate", "agnostic", "none"):
-        return SignificanceAgnostic()
-    if key == "oracle":
-        return OraclePolicy()
-    raise ValueError(f"unknown policy spec {spec!r}")
+    warnings.warn(
+        "make_policy() is deprecated; use repro.registry.resolve"
+        "('policy', spec) or pass the spec string to Runtime(policy=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return resolve("policy", spec, **kwargs)

@@ -14,12 +14,14 @@ remains on the master.
 
 from __future__ import annotations
 
+from ...registry import register
 from ..task import ExecutionKind, Task
 from .base import Policy, PolicyOverheads
 
 __all__ = ["SignificanceAgnostic"]
 
 
+@register("policy", "accurate", "agnostic", "none")
 class SignificanceAgnostic(Policy):
     """Run everything accurately, with no significance code paths."""
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 import math
 from collections import defaultdict
 
+from ...registry import register
 from ..errors import PolicyError
 from ..task import ExecutionKind, Task, TaskState
 from .base import Policy, PolicyOverheads, resolve_drop
@@ -35,6 +36,7 @@ from .base import Policy, PolicyOverheads, resolve_drop
 __all__ = ["GlobalTaskBuffering", "gtb_max_buffer"]
 
 
+@register("policy", "gtb")
 class GlobalTaskBuffering(Policy):
     """Buffer-and-sort policy choosing task accuracy globally (per group).
 
@@ -150,6 +152,7 @@ class GlobalTaskBuffering(Policy):
         return f"{self.name}(B={b})"
 
 
+@register("policy", "gtb-max", "gtbmax", "max-buffer", "gtb-mb")
 def gtb_max_buffer() -> GlobalTaskBuffering:
     """The paper's *Max Buffer* GTB: flush only at synchronization barriers."""
     return GlobalTaskBuffering(buffer_size=None)

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ...registry import register
 from ..task import (
     SIGNIFICANCE_LEVELS,
     ExecutionKind,
@@ -71,6 +72,7 @@ class GroupHistory:
             self.approx_counts[level] += 1
 
 
+@register("policy", "lqh")
 class LocalQueueHistory(Policy):
     """History-driven worker-local accurate/approximate decisions."""
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 import math
 from collections import defaultdict
 
+from ...registry import register
 from ..errors import PolicyError
 from ..task import ExecutionKind, Task, TaskState
 from .base import Policy, PolicyOverheads, resolve_drop
@@ -26,6 +27,7 @@ from .base import Policy, PolicyOverheads, resolve_drop
 __all__ = ["OraclePolicy"]
 
 
+@register("policy", "oracle")
 class OraclePolicy(Policy):
     """Exact top-``R_g`` selection with zero runtime overhead."""
 

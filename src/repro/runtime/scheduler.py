@@ -17,17 +17,18 @@ A scheduler instance executes one program run and then yields a
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable
 
-from ..energy.cost import CostModel, HybridCost
-from ..energy.machine_model import XEON_E5_2650, MachineModel
+from ..config import RuntimeConfig
+from ..energy.cost import CostModel
+from ..energy.machine_model import MachineModel
 from ..energy.meter import EnergyReport
 from .dependencies import DependenceTracker
-from .engine import Engine, make_engine
+from .engine import Engine
 from .errors import SchedulerError
 from .groups import GroupRegistry
 from .policies.base import Policy
-from .policies.agnostic import SignificanceAgnostic
 from .stats import GroupSummary, RunReport
 from .task import DataRef, Task, TaskCost, TaskState, ref
 
@@ -39,56 +40,88 @@ class Scheduler:
 
     Parameters
     ----------
+    config:
+        A :class:`~repro.config.RuntimeConfig` describing the whole
+        instantiation.  The remaining keywords are per-field overrides
+        (and work standalone, building an implicit config), so
+        ``Scheduler(policy="gtb:buffer_size=16", engine="threaded")``
+        and ``Scheduler(RuntimeConfig(...))`` are equivalent fronts.
     policy:
-        Accurate/approximate decision policy; defaults to the
-        significance-agnostic baseline (everything accurate).
+        Accurate/approximate decision policy — a registry spec string
+        (``"gtb"``, ``"gtb:buffer_size=16"``, ``"lqh"``, ``"oracle"``)
+        or a :class:`Policy` instance; defaults to the significance-
+        agnostic baseline (everything accurate).
     n_workers:
         Worker cores; the paper's evaluation uses 16.
     machine:
-        Machine performance/power model; defaults to the Xeon E5-2650
-        model resized to ``n_workers`` cores.
+        Machine performance/power model spec or instance; defaults to
+        the Xeon E5-2650 model resized to ``n_workers`` cores.
     cost_model:
-        Task-duration strategy (default :class:`HybridCost`: analytic
-        when tasks carry costs, measured wall time otherwise).
+        Task-duration strategy spec or instance (default ``"hybrid"``:
+        analytic when tasks carry costs, measured wall time otherwise).
     engine:
-        ``"simulated"`` (default), ``"threaded"``, or ``"sequential"``.
+        ``"simulated"`` (default), ``"threaded"``, ``"sequential"``, or
+        an :class:`Engine` instance.
     """
 
     def __init__(
         self,
-        policy: Policy | None = None,
-        n_workers: int = 16,
-        machine: MachineModel | None = None,
-        cost_model: CostModel | None = None,
-        engine: str | Engine = "simulated",
+        config: RuntimeConfig | Policy | None = None,
+        n_workers: int | None = None,
+        machine: MachineModel | str | None = None,
+        cost_model: CostModel | str | None = None,
+        engine: str | Engine | None = None,
+        policy: Policy | str | None = None,
     ) -> None:
-        if n_workers < 1:
-            raise SchedulerError(f"n_workers must be >= 1, got {n_workers}")
-        self.policy = policy if policy is not None else SignificanceAgnostic()
-        self.machine_model = (
-            machine
-            if machine is not None
-            else XEON_E5_2650.with_workers(n_workers)
-        )
-        self.cost_model = cost_model if cost_model is not None else HybridCost()
+        if config is not None and not isinstance(config, RuntimeConfig):
+            # Compat shim: the first parameter used to be the policy
+            # (``Scheduler(GlobalTaskBuffering(16), 8)``).
+            if policy is not None:
+                raise SchedulerError(
+                    "got two policies: a positional one (legacy) and "
+                    "policy=; pass a RuntimeConfig or policy=, not both"
+                )
+            warnings.warn(
+                "passing the policy as the first positional argument is "
+                "deprecated; use Scheduler(policy=...) or a RuntimeConfig",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            policy, config = config, None
+
+        cfg = config if config is not None else RuntimeConfig()
+        overrides = {
+            name: value
+            for name, value in (
+                ("policy", policy),
+                ("n_workers", n_workers),
+                ("machine", machine),
+                ("cost_model", cost_model),
+                ("engine", engine),
+            )
+            if value is not None
+        }
+        if overrides:
+            cfg = cfg.replace(**overrides)
+        self.config = cfg
+
+        self.policy = cfg.build_policy()
+        self.machine_model = cfg.build_machine()
+        self.cost_model = cfg.build_cost_model()
         self.groups = GroupRegistry()
         self.deps = DependenceTracker()
         self._tasks: list[Task] = []
         self._finished = False
+        self.report: RunReport | None = None
 
         self.policy.attach(self)
-        if isinstance(engine, Engine):
-            self.engine: Engine = engine
-        else:
-            self.engine = make_engine(
-                engine,
-                n_workers,
-                self.machine_model,
-                self.cost_model,
-                self.policy,
-                self._on_task_finished,
-                self._on_stall,
-            )
+        self.engine: Engine = cfg.build_engine(
+            self.machine_model,
+            self.cost_model,
+            self.policy,
+            self._on_task_finished,
+            self._on_stall,
+        )
 
     # ------------------------------------------------------------------
     # Program-facing operations (the pragma lowerings)
@@ -263,7 +296,7 @@ class Scheduler:
         by_kind[ExecutionKind.DROPPED] = sum(
             g.dropped_count for g in self.groups
         )
-        return RunReport(
+        self.report = RunReport(
             policy=self.policy.describe(),
             n_workers=self.engine.n_workers,
             makespan_s=makespan,
@@ -278,11 +311,14 @@ class Scheduler:
             host_seconds=trace.host_seconds,
             trace=trace,
         )
+        return self.report
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "Scheduler":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
+        # Like Runtime.__exit__, keep the run's outcome on self.report
+        # rather than dropping the return value of finish().
         if exc_type is None and not self._finished:
             self.finish()

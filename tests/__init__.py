@@ -1,0 +1,1 @@
+"""The repro test suite (importable package: shared fixtures live in conftest.py)."""

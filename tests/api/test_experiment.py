@@ -1,0 +1,168 @@
+"""Unit tests for ExperimentSpec / run / ResultSet (the batch front door)."""
+
+import json
+
+import pytest
+
+import repro
+from repro import ExperimentSpec, ResultSet, RuntimeConfig
+from repro.runtime.errors import ConfigError
+
+SMALL_CFG = RuntimeConfig(policy="gtb:buffer_size=16", n_workers=4)
+
+
+def sobel_spec(**kw) -> ExperimentSpec:
+    base = dict(
+        workload="sobel", param=0.5, small=True, config=SMALL_CFG
+    )
+    base.update(kw)
+    return ExperimentSpec(**base)
+
+
+class TestExperimentSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ExperimentSpec(workload="")
+        with pytest.raises(ConfigError):
+            sobel_spec(mode="warp")
+        with pytest.raises(ConfigError):
+            sobel_spec(repeats=0)
+        with pytest.raises(ConfigError):
+            ExperimentSpec(workload="sobel", config="gtb")
+
+    def test_dict_round_trip(self):
+        spec = sobel_spec(repeats=3, seed=7)
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self):
+        spec = sobel_spec()
+        text = json.dumps(spec.to_dict())
+        assert ExperimentSpec.from_dict(json.loads(text)) == spec
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigError, match="unknown ExperimentSpec"):
+            ExperimentSpec.from_dict({"workload": "sobel", "x": 1})
+
+    def test_sweep_cross_product(self):
+        specs = sobel_spec().sweep(
+            policy=["gtb", "lqh"], n_workers=[2, 4], param=[0.3, 0.8]
+        )
+        assert len(specs) == 8
+        combos = {
+            (s.config.policy, s.config.n_workers, s.param)
+            for s in specs
+        }
+        assert ("gtb", 2, 0.3) in combos
+        assert ("lqh", 4, 0.8) in combos
+        # Row-major order of the given axes: first axis varies slowest.
+        assert [s.config.policy for s in specs[:4]] == ["gtb"] * 4
+
+    def test_sweep_spec_vs_config_axis_routing(self):
+        specs = sobel_spec().sweep(seed=[1, 2], engine=["simulated"])
+        assert {s.seed for s in specs} == {1, 2}
+        assert all(s.config.engine == "simulated" for s in specs)
+        # Un-swept fields are preserved.
+        assert all(s.config.policy == SMALL_CFG.policy for s in specs)
+
+    def test_sweep_unknown_axis(self):
+        with pytest.raises(ConfigError, match="unknown sweep axis"):
+            sobel_spec().sweep(turbo=[1, 2])
+
+    def test_sweep_empty_axis(self):
+        with pytest.raises(ConfigError, match="empty"):
+            sobel_spec().sweep(policy=[])
+
+
+class TestRun:
+    def test_single_spec(self):
+        rs = repro.run(sobel_spec())
+        assert isinstance(rs, ResultSet)
+        assert len(rs) == 1
+        res = rs[0]
+        assert res.makespan_s > 0
+        assert res.energy_j > 0
+        assert res.tasks_total == (
+            res.accurate + res.approximate + res.dropped
+        )
+        assert res.report is not None
+
+    def test_native_param_default(self):
+        res = repro.run(sobel_spec(param=None))[0]
+        # Native knob = ratio 1.0: even under GTB everything is accurate.
+        assert res.approximate == 0
+        assert res.accurate == res.tasks_total
+
+    def test_repeats_vary_seed(self):
+        rs = repro.run(sobel_spec(repeats=2))
+        assert [r.seed for r in rs] == [2015, 2016]
+
+    def test_rows_and_json(self):
+        rs = repro.run(sobel_spec())
+        rows = rs.to_rows()
+        assert rows[0]["workload"] == "sobel"
+        assert rows[0]["policy"] == "gtb:buffer_size=16"
+        assert json.loads(rs.to_json()) == json.loads(
+            json.dumps(rows)
+        )
+
+    def test_table_renders(self):
+        table = repro.run(sobel_spec()).table()
+        assert "sobel" in table and "gtb:buffer_size=16" in table
+
+    def test_filter_and_best(self):
+        rs = repro.run(sobel_spec().sweep(policy=["gtb", "lqh"]))
+        gtb_only = rs.filter(policy="gtb")
+        assert len(gtb_only) == 1
+        assert gtb_only[0].to_row()["policy"] == "gtb"
+        best = rs.best("energy_j")
+        assert best.energy_j == min(r.energy_j for r in rs)
+
+    def test_parallel_matches_serial(self):
+        specs = sobel_spec().sweep(policy=["gtb", "lqh"])
+        serial = repro.run(specs)
+        fanned = repro.run(specs, parallel=2)
+        assert [r.energy_j for r in serial] == [
+            r.energy_j for r in fanned
+        ]
+        # Parallel rows are flat: no report objects cross processes.
+        assert all(r.report is None for r in fanned)
+
+    def test_parallel_requires_serializable_config(self):
+        from repro.runtime.policies import LocalQueueHistory
+
+        spec = sobel_spec(
+            config=RuntimeConfig(
+                policy=LocalQueueHistory(), n_workers=2
+            )
+        )
+        with pytest.raises(ConfigError):
+            repro.run([spec, spec], parallel=2)
+
+    def test_rejects_non_specs(self):
+        with pytest.raises(ConfigError):
+            repro.run(["sobel"])
+
+    def test_harness_export_consumes_resultset(self, tmp_path):
+        from repro.harness.export import write_csv, write_json
+
+        rs = repro.run(sobel_spec())
+        path = write_json(rs, tmp_path / "rows.json")
+        assert json.loads(path.read_text())[0]["workload"] == "sobel"
+        csv_path = write_csv(rs, tmp_path / "rows.csv")
+        assert "energy_j" in csv_path.read_text().splitlines()[0]
+
+
+class TestHarnessBridge:
+    def test_run_cell_equals_run_one(self):
+        """The legacy cell API and the new spec API agree exactly."""
+        from repro.harness.experiment import ExperimentCell, run_cell
+        from repro.kernels.base import Degree
+
+        cell = ExperimentCell(
+            "Sobel", "policy:gtb", Degree.MEDIUM, n_workers=4, small=True
+        )
+        old = run_cell(cell)
+        new = repro.run(cell.to_spec())[0]
+        assert old.makespan_s == new.makespan_s
+        assert old.energy_j == new.energy_j
+        assert old.quality.value == new.quality_value

@@ -62,7 +62,10 @@ class TestOracle:
         assert accurate == {6, 7}
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestMakePolicy:
+    """The deprecated shim keeps resolving every historical spec."""
+
     @pytest.mark.parametrize("spec,cls_name", [
         ("gtb", "GlobalTaskBuffering"),
         ("gtb-max", "GlobalTaskBuffering"),

@@ -16,7 +16,6 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.runtime.policies import make_policy
 from repro.runtime.scheduler import Scheduler
 from repro.runtime.task import TaskCost, TaskState, ref
 
@@ -39,7 +38,7 @@ policy_specs = st.sampled_from(["gtb", "gtb-max", "lqh", "agnostic"])
 
 def run_program(specs, policy_spec, workers=3):
     """Execute the random program; log write order per object."""
-    rt = Scheduler(policy=make_policy(policy_spec), n_workers=workers)
+    rt = Scheduler(policy=policy_spec, n_workers=workers)
     objects = [np.zeros(1) for _ in range(6)]
     observed: list[tuple[int, int, tuple[float, ...]]] = []
     tasks = []
