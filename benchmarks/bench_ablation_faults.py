@@ -10,7 +10,6 @@ trade-off: output quality recovered versus re-execution time paid.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro import Scheduler

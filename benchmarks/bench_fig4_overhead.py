@@ -8,7 +8,6 @@ in the worst case (DCT under the GTB Max Buffer policy)".
 
 from __future__ import annotations
 
-import pytest
 
 from repro.harness.figures import POLICY_MODES, fig4_overhead
 

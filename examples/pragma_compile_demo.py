@@ -18,7 +18,7 @@ from repro.compiler import lower_source, pragma_compile
 from repro.kernels.sobel import (
     sobel_reference,
     sobel_row_accurate,
-    sobel_row_approx,
+    sobel_row_approx,  # noqa: F401  (resolved by the compiled pragma source)
 )
 from repro.quality.images import synthetic_image
 from repro.quality.metrics import psnr

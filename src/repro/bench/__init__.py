@@ -1,0 +1,45 @@
+"""``repro.bench`` — the performance-tracking subsystem.
+
+Measures scheduler throughput, spawn overhead and end-to-end cell
+latency; emits the machine-readable ``BENCH_runtime.json`` trajectory
+artifact; and gates CI on regressions against a committed baseline.
+Front doors: :func:`run_bench` (Python) and
+``python -m repro.harness bench`` (CLI).
+"""
+
+from .report import (
+    DEFAULT_TOLERANCE,
+    SCHEMA,
+    BaselineComparison,
+    BenchReport,
+    Metric,
+    MetricComparison,
+    compare_to_baseline,
+    format_metrics_table,
+    load_report,
+    merge_metrics,
+)
+from .runner import BenchConfig, run_bench
+from .timers import BenchSample, TimerFn, default_timer, sample
+from .workloads import WORKLOADS, calibrate
+
+__all__ = [
+    "SCHEMA",
+    "DEFAULT_TOLERANCE",
+    "Metric",
+    "MetricComparison",
+    "BaselineComparison",
+    "BenchReport",
+    "BenchConfig",
+    "BenchSample",
+    "TimerFn",
+    "WORKLOADS",
+    "calibrate",
+    "compare_to_baseline",
+    "default_timer",
+    "format_metrics_table",
+    "load_report",
+    "merge_metrics",
+    "run_bench",
+    "sample",
+]

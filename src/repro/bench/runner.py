@@ -1,0 +1,97 @@
+"""The bench runner: measure, normalize, compare, emit stable JSON.
+
+``run_bench()`` is what the harness CLI's ``bench`` subcommand calls; it
+is equally usable from Python::
+
+    from repro.bench import BenchConfig, run_bench
+    report = run_bench(BenchConfig(small=True))
+    print(report.to_json())
+
+The runner is deliberately deterministic in structure: workloads run in
+registry order, metrics are merged with duplicate detection, and the
+emitted JSON has sorted keys — so two runs of the same tree differ only
+in measured values, keeping ``BENCH_runtime.json`` diffs reviewable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..runtime.errors import ConfigError
+from .report import (
+    DEFAULT_TOLERANCE,
+    BenchReport,
+    compare_to_baseline,
+    load_report,
+    merge_metrics,
+)
+from .timers import TimerFn, default_timer
+from .workloads import N_WORKERS, WORKLOADS, calibrate
+
+__all__ = ["BenchConfig", "run_bench"]
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """What to measure and what to compare against."""
+
+    #: Shrunken workloads (CI smoke mode; ``REPRO_BENCH_SMALL=1``).
+    small: bool = False
+    #: Timing repeats per probe (best-of aggregation; 5 rides out
+    #: transient host-load spikes that best-of-3 was seen to admit).
+    repeats: int = 5
+    #: Subset of workload names to run (default: all, registry order).
+    workloads: tuple[str, ...] = ()
+    #: Baselines to compare against: label -> report path.
+    baselines: dict[str, Path] = field(default_factory=dict)
+    #: Fractional tolerance band for regression verdicts.
+    tolerance: float = DEFAULT_TOLERANCE
+    #: Injectable clock (tests pass deterministic fakes).
+    timer: TimerFn = default_timer
+
+    def __post_init__(self) -> None:
+        if self.repeats < 1:
+            raise ConfigError(
+                f"bench repeats must be >= 1, got {self.repeats}"
+            )
+        unknown = set(self.workloads) - set(WORKLOADS)
+        if unknown:
+            raise ConfigError(
+                f"unknown bench workloads {sorted(unknown)}; "
+                f"available: {sorted(WORKLOADS)}"
+            )
+
+
+def run_bench(config: BenchConfig | None = None) -> BenchReport:
+    """Run the configured microbenchmarks; return the full report.
+
+    Comparison failures do not raise — CI inspects
+    ``report.comparisons[...].ok`` (via the CLI's exit code) so the
+    report file is always written, even for regressing runs.
+    """
+    config = config or BenchConfig()
+    selected = config.workloads or tuple(WORKLOADS)
+
+    calib_ops_per_s = calibrate(timer=config.timer, repeats=config.repeats)
+    parts = []
+    for name in selected:
+        fn = WORKLOADS[name]
+        parts.append(
+            fn(config.small, config.repeats, config.timer, calib_ops_per_s)
+        )
+    report = BenchReport(
+        small=config.small,
+        repeats=config.repeats,
+        n_workers=N_WORKERS,
+        calibration_ops_per_s=calib_ops_per_s,
+        metrics=merge_metrics(parts),
+    )
+    for label, path in sorted(config.baselines.items()):
+        report.comparisons[label] = compare_to_baseline(
+            report.metrics,
+            load_report(path),
+            tolerance=config.tolerance,
+            label=label,
+        )
+    return report

@@ -1,0 +1,77 @@
+"""Timing primitives for the performance-tracking subsystem.
+
+Every measurement in :mod:`repro.bench` flows through an injectable
+*timer* — any zero-argument callable returning seconds as a float.  The
+default is :func:`time.perf_counter`; tests inject scripted fake timers
+so the whole pipeline (sampling, statistics, baseline comparison, JSON
+export) is exercised deterministically, without ever sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["TimerFn", "BenchSample", "sample", "default_timer"]
+
+#: A clock: zero-argument callable returning monotonically increasing
+#: seconds.  ``time.perf_counter`` in production; a fake in tests.
+TimerFn = Callable[[], float]
+
+#: The production clock.
+default_timer: TimerFn = time.perf_counter
+
+
+@dataclass(frozen=True)
+class BenchSample:
+    """Aggregated timings of one benchmarked callable.
+
+    ``best_s`` is the headline number: the minimum over repeats is the
+    closest observable to the true cost of the code under test (noise on
+    a shared host is strictly additive).  ``mean_s`` is kept for
+    dispersion diagnostics.
+    """
+
+    best_s: float
+    mean_s: float
+    repeats: int
+
+    def __post_init__(self) -> None:
+        if self.repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {self.repeats}")
+        if self.best_s < 0 or self.mean_s < 0:
+            raise ValueError(f"negative timing in {self!r}")
+
+
+def sample(
+    fn: Callable[[], object],
+    repeats: int = 3,
+    timer: TimerFn = default_timer,
+    setup: Callable[[], object] | None = None,
+) -> BenchSample:
+    """Time ``fn()`` ``repeats`` times; return best/mean wall seconds.
+
+    ``setup`` runs before each repeat, outside the timed region (used to
+    build fresh scheduler state so repeats do not accumulate tasks).
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    times: list[float] = []
+    for _ in range(repeats):
+        if setup is not None:
+            setup()
+        t0 = timer()
+        fn()
+        t1 = timer()
+        dt = t1 - t0
+        if dt < 0:
+            raise ValueError(
+                f"timer went backwards: {t1} < {t0} (broken timer injection?)"
+            )
+        times.append(dt)
+    return BenchSample(
+        best_s=min(times),
+        mean_s=sum(times) / len(times),
+        repeats=repeats,
+    )

@@ -1,0 +1,199 @@
+"""The microbenchmark workloads behind ``python -m repro.harness bench``.
+
+Three probes, matching the three costs the paper's evaluation cares
+about (section 4.2 / Figure 4):
+
+* **scheduler_throughput** — tasks dispatched end-to-end per second
+  through the full runtime (spawn → policy → queues → simulated
+  execution → dependence retirement), per policy.  This is the hot path
+  the ISSUE's 1.5× target is measured on.
+* **spawn_overhead** — master-side cost of ``Scheduler.spawn`` alone
+  (task descriptor + dependence registration + enqueue event), the
+  analogue of the paper's task-creation overhead.
+* **end_to_end** — wall latency of one complete small experiment cell
+  through :class:`repro.ExperimentSpec` (build inputs, run Sobel under
+  GTB, quality + energy reporting).
+
+Every probe reports an absolute metric (host wall time — informational)
+and a twin normalized against the calibration loop (work per abstract
+calibration op — ``gated`` and compared across hosts by CI).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..config import RuntimeConfig
+from ..experiment import ExperimentSpec, run_one
+from ..runtime.scheduler import Scheduler
+from ..runtime.task import TaskCost
+from .report import Metric
+from .timers import BenchSample, TimerFn, default_timer, sample
+
+__all__ = [
+    "WORKLOADS",
+    "calibrate",
+    "bench_scheduler_throughput",
+    "bench_spawn_overhead",
+    "bench_end_to_end",
+]
+
+#: Simulated worker cores used by the runtime microbenchmarks (the
+#: paper's testbed width).
+N_WORKERS = 16
+
+#: Iterations of the calibration kernel (integer ops; fixed so the
+#: normalized metrics of two runs are directly comparable).
+CALIBRATION_OPS = 200_000
+
+#: Policies the throughput probe exercises, keyed by metric label.
+THROUGHPUT_POLICIES: dict[str, str] = {
+    "accurate": "accurate",
+    "gtb": "gtb:buffer_size=32",
+    "lqh": "lqh",
+}
+
+
+def _noop() -> None:
+    return None
+
+
+def _calibration_kernel(n: int) -> int:
+    """Fixed pure-Python integer loop: the cross-host yardstick."""
+    x = 0
+    for i in range(n):
+        x += i & 7
+    return x
+
+
+def calibrate(timer: TimerFn = default_timer, repeats: int = 3) -> float:
+    """Calibration-loop throughput (ops/s) on this host, best of N."""
+    s = sample(
+        lambda: _calibration_kernel(CALIBRATION_OPS),
+        repeats=repeats,
+        timer=timer,
+    )
+    return CALIBRATION_OPS / max(s.best_s, 1e-12)
+
+
+def _dispatch_n_tasks(policy: str, n_tasks: int, ratio: float) -> Scheduler:
+    """Spawn + fully execute ``n_tasks`` trivial tasks under ``policy``."""
+    sched = Scheduler(policy=policy, n_workers=N_WORKERS)
+    sched.init_group("bench", ratio)
+    cost = TaskCost(2000.0, 400.0)
+    spawn = sched.spawn
+    for i in range(n_tasks):
+        spawn(
+            _noop,
+            significance=(i % 101) / 100.0,
+            approxfun=_noop,
+            label="bench",
+            cost=cost,
+        )
+    sched.finish()
+    return sched
+
+
+def bench_scheduler_throughput(
+    small: bool,
+    repeats: int,
+    timer: TimerFn,
+    calib_ops_per_s: float,
+) -> dict[str, Metric]:
+    n_tasks = 600 if small else 4000
+    metrics: dict[str, Metric] = {}
+    for label, spec in THROUGHPUT_POLICIES.items():
+        s = sample(
+            lambda spec=spec: _dispatch_n_tasks(spec, n_tasks, ratio=0.7),
+            repeats=repeats,
+            timer=timer,
+        )
+        tasks_per_s = n_tasks / max(s.best_s, 1e-12)
+        metrics[f"scheduler_throughput.{label}.tasks_per_s"] = Metric(
+            tasks_per_s, "tasks/s", higher_is_better=True
+        )
+        # Tasks dispatched per million calibration ops: host-portable.
+        metrics[f"scheduler_throughput.{label}.tasks_per_mop"] = Metric(
+            tasks_per_s / max(calib_ops_per_s, 1e-12) * 1e6,
+            "tasks/Mop",
+            higher_is_better=True,
+            gated=True,
+        )
+    return metrics
+
+
+def bench_spawn_overhead(
+    small: bool,
+    repeats: int,
+    timer: TimerFn,
+    calib_ops_per_s: float,
+) -> dict[str, Metric]:
+    n_tasks = 400 if small else 3000
+    cost = TaskCost(2000.0)
+    box: dict[str, Scheduler] = {}
+
+    def setup() -> None:
+        box["sched"] = Scheduler(policy="accurate", n_workers=N_WORKERS)
+
+    def spawn_loop() -> None:
+        spawn = box["sched"].spawn
+        for i in range(n_tasks):
+            spawn(_noop, significance=(i % 101) / 100.0, cost=cost)
+
+    s: BenchSample = sample(
+        spawn_loop, repeats=repeats, timer=timer, setup=setup
+    )
+    us_per_task = s.best_s / n_tasks * 1e6
+    return {
+        "spawn_overhead.us_per_task": Metric(
+            us_per_task, "us/task", higher_is_better=False
+        ),
+        # Calibration kops of master work per spawned task.
+        "spawn_overhead.kop_per_task": Metric(
+            (s.best_s / n_tasks) * calib_ops_per_s / 1e3,
+            "kop/task",
+            higher_is_better=False,
+            gated=True,
+        ),
+    }
+
+
+def bench_end_to_end(
+    small: bool,
+    repeats: int,
+    timer: TimerFn,
+    calib_ops_per_s: float,
+) -> dict[str, Metric]:
+    # The cell is always the shrunken Sobel workload: end-to-end latency
+    # is about runtime plumbing, not kernel arithmetic.
+    config = RuntimeConfig(policy="gtb:buffer_size=32", n_workers=N_WORKERS)
+    spec = ExperimentSpec(
+        workload="sobel",
+        param=0.7,
+        config=config,
+        small=True,
+    )
+    s = sample(lambda: run_one(spec), repeats=repeats, timer=timer)
+    return {
+        "end_to_end.sobel_gtb_s": Metric(
+            s.best_s, "s", higher_is_better=False
+        ),
+        "end_to_end.sobel_gtb_mop": Metric(
+            s.best_s * calib_ops_per_s / 1e6,
+            "Mop",
+            higher_is_better=False,
+            gated=True,
+        ),
+    }
+
+
+#: Signature every bench workload satisfies:
+#: ``fn(small, repeats, timer, calib_ops_per_s) -> {name: Metric}``.
+WorkloadFn = Callable[[bool, int, TimerFn, float], dict[str, Metric]]
+
+#: Registry of bench workloads, in report order.
+WORKLOADS: dict[str, WorkloadFn] = {
+    "scheduler_throughput": bench_scheduler_throughput,
+    "spawn_overhead": bench_spawn_overhead,
+    "end_to_end": bench_end_to_end,
+}

@@ -35,6 +35,13 @@ class CostModel(abc.ABC):
     #: Whether the engine must measure host wall time around the body.
     needs_measurement: bool = False
 
+    def wants_measurement(self, task: Task) -> bool:
+        """Whether :meth:`duration` will use ``measured_wall`` for this
+        task.  Engines skip the two ``perf_counter`` reads around the
+        task body when this is False — noticeable for fine-grained task
+        streams under the analytic/hybrid models."""
+        return self.needs_measurement
+
     @abc.abstractmethod
     def duration(
         self,
@@ -52,6 +59,13 @@ class AnalyticCost(CostModel):
 
     needs_measurement = False
 
+    def __init__(self) -> None:
+        # Cache of the last machine's inverse throughput: converting
+        # work units to seconds is one multiply instead of a method
+        # call + division per task (the machine never changes mid-run).
+        self._machine: MachineModel | None = None
+        self._inv_ops = 0.0
+
     def duration(
         self,
         task: Task,
@@ -61,13 +75,22 @@ class AnalyticCost(CostModel):
     ) -> float:
         if kind is ExecutionKind.DROPPED:
             return 0.0
-        if task.cost is None:
+        cost = task.cost
+        if cost is None:
             raise CostModelError(
                 f"AnalyticCost requires a TaskCost on task {task.tid} "
                 f"({getattr(task.fn, '__name__', '?')}); attach cost= or "
                 "use HybridCost/MeasuredCost"
             )
-        return machine.duration_of(task.cost.for_kind(kind))
+        if machine is not self._machine:
+            self._machine = machine
+            self._inv_ops = 1.0 / machine.ops_per_second
+        work = (
+            cost.accurate
+            if kind is ExecutionKind.ACCURATE
+            else cost.approximate
+        )
+        return work * self._inv_ops
 
 
 @register("cost-model", "measured")
@@ -106,6 +129,11 @@ class HybridCost(CostModel):
     def __init__(self, scale: float = 1.0) -> None:
         self._analytic = AnalyticCost()
         self._measured = MeasuredCost(scale)
+
+    def wants_measurement(self, task: Task) -> bool:
+        # Annotated tasks take the analytic path; measuring them would
+        # be wasted perf_counter traffic.
+        return task.cost is None
 
     def duration(
         self,

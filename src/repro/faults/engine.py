@@ -21,7 +21,7 @@ from typing import Callable
 
 from ..registry import register, resolve
 from ..runtime.errors import SchedulerError
-from ..runtime.task import ExecutionKind, Task, TaskState
+from ..runtime.task import Task, TaskState
 from ..sim.machine import SimulatedMachine
 from ..runtime.engine import SimulatedEngine
 from .model import FaultLog, FaultModel, FaultRecord
@@ -60,7 +60,9 @@ class FaultySimulatedMachine(SimulatedMachine):
 
     def _start_task(self, worker: int, task: Task, now: float) -> None:
         kind = self.policy.decide(task, worker)
-        overhead = self.policy.decide_overhead(task)
+        overhead = self.policy.decide_overhead_const
+        if overhead is None:
+            overhead = self.policy.decide_overhead(task)
 
         task.state = TaskState.RUNNING
         task.worker = worker
@@ -109,14 +111,11 @@ class FaultySimulatedMachine(SimulatedMachine):
         base = self.cost_model.duration(
             task, kind, self.machine_model, measured_wall=host_dt
         )
-        duration = base * attempts + self.machine_model.duration_of(
-            overhead
-        )
+        duration = base * attempts + overhead * self._inv_ops
         self.busy[worker] = True
+        self._idle.discard(worker)
         self.events.push(
-            now + duration,
-            lambda t, w=worker, task=task: self._finish_task(w, task, t),
-            tag="finish",
+            now + duration, self._finish_task, tag="finish", payload=task
         )
 
 

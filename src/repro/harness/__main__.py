@@ -6,11 +6,19 @@ experiment grids through :func:`repro.run`::
     python -m repro.harness sweep --workload sobel --small \\
         --policy gtb:buffer_size=16 --policy lqh --param 0.3 --param 0.8 \\
         --parallel 4 --json results.json
+
+and ``bench`` runs the :mod:`repro.bench` performance probes, writing
+the ``BENCH_runtime.json`` trajectory artifact and (optionally) gating
+on a committed baseline::
+
+    python -m repro.harness bench --json BENCH_runtime.json \\
+        --baseline benchmarks/baselines/bench_baseline.json
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -27,6 +35,100 @@ from .figures import (
 from .tables import table1, table2_policy_accuracy
 
 
+#: Default locations for the bench artifact and its baselines.  Gating
+#: baselines are per workload size: comparing a small run against
+#: full-size numbers would produce bogus verdicts (the end-to-end and
+#: throughput metrics differ by well over the tolerance across sizes).
+BENCH_OUTPUT = "BENCH_runtime.json"
+BENCH_BASELINE = "benchmarks/baselines/bench_baseline.json"
+BENCH_BASELINE_SMALL = "benchmarks/baselines/bench_baseline_small.json"
+BENCH_SEED_BASELINE = "benchmarks/baselines/bench_seed.json"
+
+
+def _baseline_size_mismatch(path: Path, small: bool) -> bool:
+    """Whether a baseline report was recorded at the other size."""
+    import json
+
+    try:
+        config = json.loads(path.read_text()).get("config", {})
+    except (OSError, json.JSONDecodeError):
+        return False  # unreadable files fail later, with a better error
+    recorded = config.get("small")
+    return recorded is not None and bool(recorded) is not small
+
+
+def _run_bench(args) -> int:
+    """The ``bench`` subcommand: measure, write JSON, gate on baselines."""
+    from ..bench import BenchConfig, format_metrics_table, run_bench
+    from ..runtime.errors import ConfigError
+
+    small = args.small or bool(
+        int(os.environ.get("REPRO_BENCH_SMALL", "0") or "0")
+    )
+    default_gate = BENCH_BASELINE_SMALL if small else BENCH_BASELINE
+    baselines: dict[str, Path] = {}
+    baseline = args.baseline or (
+        default_gate if Path(default_gate).exists() else None
+    )
+    if baseline and not args.no_baseline:
+        gate_path = Path(baseline)
+        if _baseline_size_mismatch(gate_path, small):
+            raise ConfigError(
+                f"gating baseline {gate_path} was recorded at the other "
+                f"workload size (current run: small={small}); pass a "
+                "size-matched baseline or --no-baseline"
+            )
+        baselines["baseline"] = gate_path
+    seed = args.seed_baseline or (
+        BENCH_SEED_BASELINE if Path(BENCH_SEED_BASELINE).exists() else None
+    )
+    if seed:
+        seed_path = Path(seed)
+        if _baseline_size_mismatch(seed_path, small):
+            # Informational only -> warn instead of failing the run.
+            print(
+                f"note: seed reference {seed_path} was recorded at the "
+                "other workload size; skipping the seed comparison",
+                file=sys.stderr,
+            )
+        else:
+            baselines["seed"] = seed_path
+
+    config = BenchConfig(
+        small=small,
+        repeats=args.repeats if args.repeats is not None else 5,
+        workloads=tuple(args.bench_workload or ()),
+        baselines=baselines,
+        tolerance=args.tolerance,
+    )
+    report = run_bench(config)
+    out = report.write(args.json or BENCH_OUTPUT)
+
+    print(format_metrics_table(report.metrics))
+    for comparison in report.comparisons.values():
+        print()
+        print(comparison.summary())
+    print(f"\nbench report written to {out}", file=sys.stderr)
+
+    if args.update_baseline:
+        # Gating baselines carry measurements of *this* tree; refresh on
+        # demand (e.g. after a deliberate perf change), never silently.
+        # The default target matches the run's size, so a small run can
+        # never clobber the full-size baseline by accident.
+        target = Path(args.baseline or default_gate)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        report.write(target)
+        print(f"baseline updated: {target}", file=sys.stderr)
+
+    gate = report.comparisons.get("baseline")
+    if gate is not None and not gate.ok:
+        names = ", ".join(m.name for m in gate.regressions)
+        print(f"PERF REGRESSION (> {gate.tolerance:.0%}): {names}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_sweep(args) -> int:
     """The ``sweep`` subcommand: an ExperimentSpec grid to a ResultSet."""
     base = ExperimentSpec(
@@ -37,7 +139,7 @@ def _run_sweep(args) -> int:
             n_workers=args.workers,
             engine=args.engine,
         ),
-        repeats=args.repeats,
+        repeats=args.repeats if args.repeats is not None else 1,
         small=args.small,
     )
     axes = {}
@@ -65,7 +167,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         choices=[
             "table1", "table2", "fig1", "fig2", "fig3", "fig4", "all",
-            "sweep",
+            "sweep", "bench",
         ],
     )
     parser.add_argument(
@@ -115,7 +217,11 @@ def main(argv: list[str] | None = None) -> int:
         help="sweep: engine spec (simulated/threaded/sequential/...)",
     )
     parser.add_argument(
-        "--repeats", type=int, default=1, help="sweep: repeats per cell"
+        "--repeats",
+        type=int,
+        default=None,
+        help="sweep: repeats per cell (default 1); bench: timing repeats "
+        "per probe (default 5)",
     )
     parser.add_argument(
         "--parallel",
@@ -124,12 +230,54 @@ def main(argv: list[str] | None = None) -> int:
         help="sweep: process-parallel fan-out width",
     )
     parser.add_argument(
-        "--json", default=None, help="sweep: write result rows to this file"
+        "--json",
+        default=None,
+        help="sweep: write result rows to this file; "
+        "bench: report path (default BENCH_runtime.json)",
+    )
+    parser.add_argument(
+        "--bench-workload",
+        action="append",
+        default=None,
+        help="bench: restrict to one probe (repeatable; "
+        "scheduler_throughput/spawn_overhead/end_to_end)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="bench: gating baseline report (default: the size-matched "
+        f"committed baseline, {BENCH_BASELINE} or "
+        f"{BENCH_BASELINE_SMALL}, when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="bench: skip baseline gating even if a baseline exists",
+    )
+    parser.add_argument(
+        "--seed-baseline",
+        default=None,
+        help="bench: informational pre-PR reference report "
+        f"(default {BENCH_SEED_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="bench: fractional regression tolerance (default 0.25)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="bench: rewrite the active gating baseline (--baseline or "
+        "the size-matched default) from this run",
     )
     args = parser.parse_args(argv)
 
     if args.experiment == "sweep":
         return _run_sweep(args)
+    if args.experiment == "bench":
+        return _run_bench(args)
 
     out_dir = None
     if args.out:

@@ -89,7 +89,13 @@ class DependenceTracker:
     # ------------------------------------------------------------------
     def register(self, task: Task) -> bool:
         """Record a task's clauses; return True when it is ready to issue."""
-        self.stats.tasks += 1
+        stats = self.stats
+        stats.tasks += 1
+        if not task.ins and not task.outs:
+            # Clause-free task: ready by construction.  The common case
+            # for data-parallel kernels, so skip the protocol entirely.
+            stats.roots += 1
+            return True
 
         for d in task.ins:
             state = self._state_for(d)

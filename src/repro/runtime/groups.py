@@ -36,7 +36,7 @@ def _check_ratio(ratio: float) -> float:
     return float(ratio)
 
 
-@dataclass
+@dataclass(slots=True)
 class _DecisionRecord:
     """Immutable trace entry for one executed task."""
 

@@ -27,6 +27,9 @@ class SignificanceAgnostic(Policy):
 
     name = "accurate"
 
+    spawn_overhead_const = PolicyOverheads.SPAWN_BASE
+    decide_overhead_const = 0.0
+
     def decide(self, task: Task, worker: int) -> ExecutionKind:
         return ExecutionKind.ACCURATE
 

@@ -76,6 +76,32 @@ class Policy(abc.ABC):
     #: Short identifier used in reports/figures (e.g. ``"GTB"``).
     name: str = "policy"
 
+    #: Precomputed decision table for the overhead model: when a policy's
+    #: per-task overhead is a constant (true for every built-in policy),
+    #: it declares the constant here and the scheduler/engine charge it
+    #: directly instead of calling :meth:`spawn_overhead` /
+    #: :meth:`decide_overhead` once per task on the hot path.  ``None``
+    #: (the conservative default for subclasses) means "call the method".
+    spawn_overhead_const: float | None = None
+    decide_overhead_const: float | None = None
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        """Keep the overhead constants honest across subclassing.
+
+        A subclass that overrides :meth:`spawn_overhead` /
+        :meth:`decide_overhead` without re-declaring the matching
+        ``*_const`` would otherwise inherit a constant from its parent
+        (e.g. ``GlobalTaskBuffering``) and the engines would silently
+        skip the override.  Overriding the method resets the inherited
+        constant to ``None`` unless the subclass sets it explicitly.
+        """
+        super().__init_subclass__(**kwargs)
+        own = cls.__dict__
+        if "spawn_overhead" in own and "spawn_overhead_const" not in own:
+            cls.spawn_overhead_const = None
+        if "decide_overhead" in own and "decide_overhead_const" not in own:
+            cls.decide_overhead_const = None
+
     def __init__(self) -> None:
         self._scheduler: "Scheduler | None" = None
 

@@ -48,6 +48,11 @@ class GlobalTaskBuffering(Policy):
         paper's *Max Buffer* configuration).
     """
 
+    spawn_overhead_const = (
+        PolicyOverheads.SPAWN_BASE + PolicyOverheads.BUFFER_APPEND
+    )
+    decide_overhead_const = PolicyOverheads.STAMP_READ
+
     def __init__(self, buffer_size: int | None = 32) -> None:
         super().__init__()
         if buffer_size is not None and buffer_size < 1:

@@ -47,7 +47,14 @@ __all__ = ["LocalQueueHistory", "GroupHistory"]
 
 @dataclass
 class GroupHistory:
-    """Per-worker, per-group execution history (the ``t_g`` statistics)."""
+    """Per-worker, per-group execution history (the ``t_g`` statistics).
+
+    ``counts``/``approx_counts`` are the readable histograms; a Fenwick
+    tree shadows ``counts`` so the quantile query of every decision
+    (:meth:`cumulative_below`) costs O(log L) instead of O(L) over the
+    101 levels.  Mutate the histogram through :meth:`observe` only —
+    writing ``counts`` directly would desynchronize the tree.
+    """
 
     #: counts[s] = number of tasks executed so far at discrete level s.
     counts: list[int] = field(
@@ -58,10 +65,23 @@ class GroupHistory:
         default_factory=lambda: [0] * SIGNIFICANCE_LEVELS
     )
     total: int = 0
+    #: Fenwick (binary indexed) tree over ``counts``, 1-based.
+    _tree: list[int] = field(
+        default_factory=lambda: [0] * (SIGNIFICANCE_LEVELS + 1),
+        repr=False,
+    )
 
     def cumulative_below(self, level: int) -> int:
         """``t_g(level - 1)``: tasks observed strictly below ``level``."""
-        return sum(self.counts[:level])
+        i = level if level < SIGNIFICANCE_LEVELS else SIGNIFICANCE_LEVELS
+        if i <= 0:
+            return 0
+        tree = self._tree
+        out = 0
+        while i > 0:
+            out += tree[i]
+            i -= i & -i
+        return out
 
     def observe(self, level: int, kind: ExecutionKind) -> None:
         """Update statistics after a decision ("updated for every
@@ -70,6 +90,11 @@ class GroupHistory:
         self.total += 1
         if kind is not ExecutionKind.ACCURATE:
             self.approx_counts[level] += 1
+        i = level + 1
+        tree = self._tree
+        while i <= SIGNIFICANCE_LEVELS:
+            tree[i] += 1
+            i += i & -i
 
 
 @register("policy", "lqh")
@@ -77,6 +102,9 @@ class LocalQueueHistory(Policy):
     """History-driven worker-local accurate/approximate decisions."""
 
     name = "LQH"
+
+    spawn_overhead_const = PolicyOverheads.SPAWN_BASE
+    decide_overhead_const = PolicyOverheads.HISTOGRAM_UPDATE
 
     def __init__(self) -> None:
         super().__init__()

@@ -33,6 +33,9 @@ class OraclePolicy(Policy):
 
     name = "oracle"
 
+    spawn_overhead_const = PolicyOverheads.SPAWN_BASE
+    decide_overhead_const = 0.0
+
     def __init__(self) -> None:
         super().__init__()
         self._pending: dict[str | None, list[Task]] = defaultdict(list)

@@ -16,7 +16,17 @@ tasks from other worker's queues."
   the oldest task from the first non-empty victim queue.
 
 The implementation is engine-agnostic: the simulated engine drives it
-under virtual time, the threaded engine under a lock.
+under virtual time, the threaded engine under a lock.  It sits on every
+task's dispatch path, so the class is slotted, the round-robin pointer
+avoids a modulo per push, and the fabric keeps a live element count
+(``len`` is O(1), polled per scheduling step by the threaded engine).
+
+Invariants (exercised by ``tests/runtime/test_queues.py``):
+
+* ``len(fabric)`` equals the sum of all per-worker depths at all times;
+* every task leaves by exactly one of ``pop_local``/``steal``/``drain``;
+* ``stats.pushed == stats.popped_local + stats.steals + len(fabric) +
+  len(drained)`` over any operation sequence.
 """
 
 from __future__ import annotations
@@ -45,6 +55,8 @@ class QueueStats:
 class WorkerQueues:
     """The work-sharing queue fabric shared by all execution engines."""
 
+    __slots__ = ("n_workers", "stats", "_queues", "_rr_next", "_size")
+
     def __init__(self, n_workers: int) -> None:
         if n_workers < 1:
             raise SchedulerError(
@@ -53,34 +65,42 @@ class WorkerQueues:
         self.n_workers = n_workers
         self._queues: list[deque[Task]] = [deque() for _ in range(n_workers)]
         self._rr_next = 0
+        self._size = 0
         self.stats = QueueStats(
             executed_per_worker=[0 for _ in range(n_workers)]
         )
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return sum(len(q) for q in self._queues)
+        return self._size
 
     def depth(self, worker: int) -> int:
         return len(self._queues[worker])
 
     def is_empty(self) -> bool:
-        return all(not q for q in self._queues)
+        return self._size == 0
 
     # ------------------------------------------------------------------
     def select_worker(self) -> int:
         """Round-robin choice for the next issued task (master side)."""
         w = self._rr_next
-        self._rr_next = (self._rr_next + 1) % self.n_workers
+        nxt = w + 1
+        self._rr_next = nxt if nxt < self.n_workers else 0
         return w
 
     def push(self, task: Task, worker: int | None = None) -> int:
         """Issue a ready task to a worker queue; returns the worker id."""
-        w = self.select_worker() if worker is None else worker
-        if not 0 <= w < self.n_workers:
-            raise SchedulerError(f"worker {w} out of range")
+        if worker is None:
+            w = self._rr_next
+            nxt = w + 1
+            self._rr_next = nxt if nxt < self.n_workers else 0
+        else:
+            w = worker
+            if not 0 <= w < self.n_workers:
+                raise SchedulerError(f"worker {w} out of range")
         task.state = TaskState.QUEUED
         self._queues[w].append(task)
+        self._size += 1
         self.stats.pushed += 1
         return w
 
@@ -89,6 +109,7 @@ class WorkerQueues:
         q = self._queues[worker]
         if not q:
             return None
+        self._size -= 1
         self.stats.popped_local += 1
         return q.popleft()
 
@@ -98,12 +119,18 @@ class WorkerQueues:
         Victims are scanned round-robin starting after the thief, so steal
         pressure spreads instead of hammering worker 0.
         """
-        for off in range(1, self.n_workers):
-            victim = (thief + off) % self.n_workers
-            q = self._queues[victim]
-            if q:
-                self.stats.steals += 1
-                return q.popleft()
+        if self._size:
+            queues = self._queues
+            n = self.n_workers
+            for off in range(1, n):
+                victim = thief + off
+                if victim >= n:
+                    victim -= n
+                q = queues[victim]
+                if q:
+                    self._size -= 1
+                    self.stats.steals += 1
+                    return q.popleft()
         self.stats.failed_steals += 1
         return None
 
@@ -123,4 +150,5 @@ class WorkerQueues:
         for q in self._queues:
             out.extend(q)
             q.clear()
+        self._size = 0
         return out

@@ -30,9 +30,12 @@ from .errors import SchedulerError
 from .groups import GroupRegistry
 from .policies.base import Policy
 from .stats import GroupSummary, RunReport
-from .task import DataRef, Task, TaskCost, TaskState, ref
+from .task import Task, TaskCost, TaskState, ref
 
 __all__ = ["Scheduler"]
+
+#: Sentinel distinguishing "no group cached" from the valid label None.
+_NO_GROUP = object()
 
 
 class Scheduler:
@@ -113,6 +116,23 @@ class Scheduler:
         self._tasks: list[Task] = []
         self._finished = False
         self.report: RunReport | None = None
+        #: O(1) material for the global barrier predicate (evaluated
+        #: once per simulation event).  Two counters rather than one so
+        #: each has a single writer — ``_spawned_total`` is only ever
+        #: touched by the master thread (spawn), ``_completed_total``
+        #: only by the execution side (_on_task_finished, which the
+        #: threaded engine serializes under its lock) — keeping the
+        #: ThreadedEngine free of read-modify-write races.
+        self._spawned_total = 0
+        self._completed_total = 0
+        # Spawn-path decision tables: the policy's constant per-spawn
+        # overhead (None -> per-task method call) and a one-entry group
+        # lookup cache (task streams overwhelmingly repeat labels).
+        # The cache is master-thread-only state: spawn() is its sole
+        # user; worker-side callbacks go through the registry directly.
+        self._spawn_overhead_const = self.policy.spawn_overhead_const
+        self._group_label: Any = _NO_GROUP
+        self._group_rec = None
 
         self.policy.attach(self)
         self.engine: Engine = cfg.build_engine(
@@ -129,6 +149,19 @@ class Scheduler:
     def init_group(self, label: str, ratio: float = 1.0):
         """``tpc_init_group``: create a group and set its accurate ratio."""
         return self.groups.init_group(label, ratio)
+
+    def _group_for(self, label: str | None):
+        """Group lookup through the one-entry spawn cache.
+
+        Master-thread only (see ``__init__``): calling this from an
+        engine callback would race the cache under the threaded engine.
+        """
+        if label == self._group_label:
+            return self._group_rec
+        rec = self.groups.get(label)
+        self._group_label = label
+        self._group_rec = rec
+        return rec
 
     def spawn(
         self,
@@ -157,16 +190,21 @@ class Scheduler:
             significance=significance,
             approx_fn=approxfun,
             group=label,
-            ins=tuple(ref(o) for o in in_),
-            outs=tuple(ref(o) for o in out),
+            ins=tuple(ref(o) for o in in_) if in_ else (),
+            outs=tuple(ref(o) for o in out) if out else (),
             cost=cost,
         )
-        group = self.groups.get(label)
+        group = self._group_for(label)
         task.group_seq = group.spawned
         group.spawned += 1
+        self._spawned_total += 1
 
-        task.t_created = self.engine.master_time
-        self.engine.master_charge(self.policy.spawn_overhead(task))
+        engine = self.engine
+        task.t_created = engine.master_time
+        overhead = self._spawn_overhead_const
+        engine.master_charge(
+            self.policy.spawn_overhead(task) if overhead is None else overhead
+        )
         self.deps.register(task)
         self._tasks.append(task)
 
@@ -203,18 +241,29 @@ class Scheduler:
             # the tasks currently known to touch it.
             self.policy.on_barrier(None)
             waiters = list(self.deps.waiters_on(ref(on)))
-            predicate = lambda: all(
-                t.state is TaskState.FINISHED for t in waiters
-            )
+
+            def predicate() -> bool:
+                return all(
+                    t.state is TaskState.FINISHED for t in waiters
+                )
+
             desc = f"taskwait on({ref(on)!r})"
         elif label is not None:
             self.policy.on_barrier(label)
             group = self.groups.get(label)
-            predicate = lambda: group.outstanding == 0
+
+            def predicate() -> bool:
+                return group.outstanding == 0
+
             desc = f"taskwait label({label})"
         else:
             self.policy.on_barrier(None)
-            predicate = lambda: self.groups.outstanding() == 0
+
+            def predicate() -> bool:
+                # O(1) equivalent of ``groups.outstanding() == 0``:
+                # every spawn/finish maintains the two counters.
+                return self._completed_total == self._spawned_total
+
             desc = "taskwait (global)"
 
         self.engine.master_charge(self.policy.barrier_overhead(label))
@@ -254,11 +303,15 @@ class Scheduler:
     # Engine callbacks
     # ------------------------------------------------------------------
     def _on_task_finished(self, task: Task, now: float) -> None:
+        # No _group_for here: this callback runs on worker threads under
+        # the threaded engine, and the spawn cache is master-only state.
         self.groups.get(task.group).record(task)
-        for succ in self.deps.retire(task):
-            if succ.state is TaskState.PENDING:
-                self.engine.enqueue(succ, at=now)
-            # BUFFERED successors stay with the policy until flushed.
+        self._completed_total += 1
+        if task.successors:
+            for succ in self.deps.retire(task):
+                if succ.state is TaskState.PENDING:
+                    self.engine.enqueue(succ, at=now)
+                # BUFFERED successors stay with the policy until flushed.
 
     def _on_stall(self) -> bool:
         """Last-resort unblocking: flush every policy buffer.

@@ -184,7 +184,7 @@ def refs(*objs: Any) -> tuple[DataRef, ...]:
 _task_counter = itertools.count()
 
 
-@dataclass(eq=False)  # identity equality: tasks are unique entities
+@dataclass(eq=False, slots=True)  # identity equality: tasks are unique
 class Task:
     """One schedulable task instance.
 
@@ -193,6 +193,10 @@ class Task:
     buffering policy, the per-worker queues and finally a worker, which
     executes either ``fn`` or ``approx_fn`` depending on the policy
     decision.
+
+    The class is slotted: a run materializes one descriptor per task, so
+    per-instance ``__dict__`` overhead was a measurable share of spawn
+    cost on fine-grained task streams (see ``repro.bench``).
     """
 
     fn: Callable[..., Any]
@@ -223,6 +227,8 @@ class Task:
     unmet_deps: int = 0
     #: Tasks that must be notified when this one finishes.
     successors: list["Task"] = field(default_factory=list)
+    #: Memoized discrete significance level (computed on first use).
+    _level: int = field(default=-1, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.significance <= 1.0:
@@ -237,8 +243,17 @@ class Task:
     # --- convenience -------------------------------------------------
     @property
     def level(self) -> int:
-        """Discrete significance level in ``[0, 100]`` (paper section 3.4)."""
-        return quantize_significance(self.significance)
+        """Discrete significance level in ``[0, 100]`` (paper section 3.4).
+
+        Computed once and memoized: history policies read it on every
+        decision, and significance is validated immutable-in-practice
+        (set at spawn, never rewritten by the runtime).
+        """
+        level = self._level
+        if level < 0:
+            level = quantize_significance(self.significance)
+            self._level = level
+        return level
 
     @property
     def droppable(self) -> bool:

@@ -48,6 +48,18 @@ class VirtualClock:
         self._now += dt
         return self._now
 
+    def advance_unchecked(self, t: float) -> None:
+        """Trusting fast path for callers that already guarantee order.
+
+        The simulated machine's event loop pops events in nondecreasing
+        time order (the :class:`~repro.sim.events.EventQueue` enforces
+        monotone pops), so re-checking monotonicity per event would only
+        duplicate that guarantee on the hottest loop in the simulator.
+        Anyone else should use :meth:`advance_to`.
+        """
+        if t > self._now:
+            self._now = t
+
     def reset(self) -> None:
         self._now = 0.0
 

@@ -5,37 +5,54 @@ number is a global tie-breaker, so two events scheduled for the same
 virtual instant always fire in insertion order — this is what makes whole
 simulation runs bit-reproducible regardless of hash seeds or dict
 ordering.
+
+Performance note: :class:`Event` is a :class:`typing.NamedTuple` rather
+than a dataclass so heap ordering is plain C-level tuple comparison —
+``(time, seq)`` decides before the callable is ever looked at (``seq``
+is unique, so comparison never reaches the non-orderable fields).  Event
+ordering used to dominate simulated-run profiles; see ``repro.bench``.
+
+The queue never *invokes* ``action`` itself — the driver popping events
+owns the calling convention.  :class:`~repro.sim.machine.SimulatedMachine`
+pushes two-argument bound methods and calls ``action(payload, time)``
+(operand in the payload, no per-event closure); a standalone driver is
+free to push one-argument callables and call ``action(time)``.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable
+from heapq import heappop, heappush
+from typing import Any, Callable, NamedTuple
 
 from ..runtime.errors import SchedulerError
 
 __all__ = ["Event", "EventQueue"]
 
 
-@dataclass(order=True)
-class Event:
-    """One scheduled occurrence; ordering is (time, seq)."""
+class Event(NamedTuple):
+    """One scheduled occurrence; ordering is (time, seq).
+
+    ``action``'s signature is a contract between whoever pushes the
+    event and whoever pops it (see module docstring); the queue only
+    stores it.
+    """
 
     time: float
     seq: int
-    action: Callable[[float], None] = field(compare=False)
-    tag: str = field(default="", compare=False)
-    payload: Any = field(default=None, compare=False)
+    action: Callable[..., None]
+    tag: str = ""
+    payload: Any = None
 
 
 class EventQueue:
     """Min-heap of :class:`Event` with monotone pop times."""
 
+    __slots__ = ("_heap", "_next_seq", "_last_pop")
+
     def __init__(self) -> None:
         self._heap: list[Event] = []
-        self._seq = itertools.count()
+        self._next_seq = itertools.count().__next__
         self._last_pop = 0.0
 
     def __len__(self) -> int:
@@ -47,11 +64,11 @@ class EventQueue:
     def push(
         self,
         time: float,
-        action: Callable[[float], None],
+        action: Callable[..., None],
         tag: str = "",
         payload: Any = None,
     ) -> Event:
-        """Schedule ``action(time)`` at virtual ``time``.
+        """Schedule ``action`` to fire at virtual ``time``.
 
         Events may only be scheduled at or after the time of the last pop
         — scheduling into the already-processed past would make the
@@ -62,14 +79,14 @@ class EventQueue:
                 f"event {tag!r} scheduled at {time} before already-"
                 f"processed time {self._last_pop}"
             )
-        ev = Event(time, next(self._seq), action, tag, payload)
-        heapq.heappush(self._heap, ev)
+        ev = Event(time, self._next_seq(), action, tag, payload)
+        heappush(self._heap, ev)
         return ev
 
     def pop(self) -> Event:
         if not self._heap:
             raise SchedulerError("pop from empty event queue")
-        ev = heapq.heappop(self._heap)
+        ev = heappop(self._heap)
         self._last_pop = ev.time
         return ev
 

@@ -17,6 +17,19 @@ code from :mod:`repro.runtime`; only the passage of time is virtual:
 Scheduling discipline (paper section 3): tasks are distributed round-
 robin to per-worker FIFO queues; workers take the oldest task from their
 own queue and steal the oldest task from a victim when empty.
+
+Hot-path design (measured by ``repro.bench``; the event loop dominates
+simulated runs):
+
+* machine events carry their operand in the event ``payload`` and a
+  two-argument bound-method ``action(payload, now)`` — no per-event
+  closure allocation;
+* wake-ups are *coalesced*: only idle workers are woken, at most one
+  pending ``tryrun`` event per worker (``_wake_pending``), instead of
+  one event per (enqueue × worker);
+* host wall-clock measurement around task bodies is skipped whenever
+  the cost model declares it unnecessary
+  (:meth:`~repro.energy.cost.CostModel.wants_measurement`).
 """
 
 from __future__ import annotations
@@ -41,6 +54,27 @@ __all__ = ["SimulatedMachine"]
 
 class SimulatedMachine:
     """Event-driven execution of the task stream on N virtual cores."""
+
+    __slots__ = (
+        "machine_model",
+        "cost_model",
+        "policy",
+        "on_task_finished",
+        "stall_handler",
+        "clock",
+        "events",
+        "queues",
+        "trace",
+        "busy",
+        "master_time",
+        "_idle",
+        "_wake_pending",
+        "_inv_ops",
+        "_decide",
+        "_decide_overhead",
+        "_decide_overhead_const",
+        "_wants_measurement",
+    )
 
     def __init__(
         self,
@@ -69,13 +103,26 @@ class SimulatedMachine:
         self.busy: list[bool] = [False] * n_workers
         #: The master thread's private timeline (spawning, buffering).
         self.master_time = 0.0
+        #: Workers with no task in flight (wake candidates on enqueue).
+        self._idle: set[int] = set(range(n_workers))
+        #: Per-worker "a tryrun event is already queued" latch.
+        self._wake_pending: list[bool] = [False] * n_workers
+
+        # Precomputed hot-path constants: work-units -> seconds factor,
+        # the policy's decision table (bound methods + constant
+        # overheads) and the cost model's measurement requirement.
+        self._inv_ops = 1.0 / machine_model.ops_per_second
+        self._decide = policy.decide
+        self._decide_overhead = policy.decide_overhead
+        self._decide_overhead_const = policy.decide_overhead_const
+        self._wants_measurement = cost_model.wants_measurement
 
         policy.make_worker_state(n_workers)
 
     # -- master-side operations ---------------------------------------
     def master_charge(self, work_units: float) -> None:
         """Advance the master timeline by ``work_units`` of bookkeeping."""
-        dt = self.machine_model.duration_of(work_units)
+        dt = work_units * self._inv_ops
         self.master_time += dt
         self.trace.master_busy += dt
 
@@ -86,22 +133,25 @@ class SimulatedMachine:
         dependence-released tasks pass their releaser's finish time.
         """
         t = self.master_time if at is None else at
-        self.events.push(t, lambda now, task=task: self._do_enqueue(task, now), tag="enqueue")
+        self.events.push(t, self._do_enqueue, tag="enqueue", payload=task)
 
     def _do_enqueue(self, task: Task, now: float) -> None:
         task.t_issued = now
-        owner = self.queues.push(task)
-        # Wake the owner plus every currently idle worker so stealing can
-        # kick in immediately (the paper's work-sharing runtime keeps
-        # idle workers spinning on steal attempts; events replace spins).
-        for w in range(self.queues.n_workers):
-            if w == owner or not self.busy[w]:
-                self.events.push(
-                    now, lambda t, w=w: self._try_run(w, t), tag="tryrun"
-                )
+        self.queues.push(task)
+        # Wake idle workers (owner or thief — acquire() resolves which),
+        # coalescing to at most one pending tryrun event per worker.
+        # Busy workers need no event: they re-poll when they finish.
+        if self._idle:
+            pending = self._wake_pending
+            push = self.events.push
+            for w in self._idle:
+                if not pending[w]:
+                    pending[w] = True
+                    push(now, self._try_run, tag="tryrun", payload=w)
 
     # -- worker-side operations ------------------------------------------
     def _try_run(self, worker: int, now: float) -> None:
+        self._wake_pending[worker] = False
         if self.busy[worker]:
             return
         task = self.queues.acquire(worker)
@@ -110,30 +160,37 @@ class SimulatedMachine:
         self._start_task(worker, task, now)
 
     def _start_task(self, worker: int, task: Task, now: float) -> None:
-        kind = self.policy.decide(task, worker)
-        overhead = self.policy.decide_overhead(task)
+        kind = self._decide(task, worker)
+        overhead = self._decide_overhead_const
+        if overhead is None:
+            overhead = self._decide_overhead(task)
 
         task.state = TaskState.RUNNING
         task.worker = worker
         task.t_started = now
 
-        host_t0 = _time.perf_counter()
-        task.execute(kind)
-        host_dt = _time.perf_counter() - host_t0
-        self.trace.host_seconds += host_dt
+        if self._wants_measurement(task):
+            host_t0 = _time.perf_counter()
+            task.execute(kind)
+            host_dt = _time.perf_counter() - host_t0
+            self.trace.host_seconds += host_dt
+        else:
+            task.execute(kind)
+            host_dt = None
 
         duration = self.cost_model.duration(
             task, kind, self.machine_model, measured_wall=host_dt
-        ) + self.machine_model.duration_of(overhead)
+        ) + overhead * self._inv_ops
         self.busy[worker] = True
+        self._idle.discard(worker)
         self.events.push(
-            now + duration,
-            lambda t, w=worker, task=task: self._finish_task(w, task, t),
-            tag="finish",
+            now + duration, self._finish_task, tag="finish", payload=task
         )
 
-    def _finish_task(self, worker: int, task: Task, now: float) -> None:
+    def _finish_task(self, task: Task, now: float) -> None:
+        worker = task.worker
         self.busy[worker] = False
+        self._idle.add(worker)
         task.state = TaskState.FINISHED
         task.t_finished = now
         assert task.decision is not None
@@ -150,9 +207,9 @@ class SimulatedMachine:
         # Group bookkeeping + dependence release (may enqueue successors
         # at `now`; their events sort after this one).
         self.on_task_finished(task, now)
-        self.events.push(
-            now, lambda t, w=worker: self._try_run(w, t), tag="tryrun"
-        )
+        if not self._wake_pending[worker]:
+            self._wake_pending[worker] = True
+            self.events.push(now, self._try_run, tag="tryrun", payload=worker)
 
     # -- event loop --------------------------------------------------------
     def run_until(
@@ -168,8 +225,11 @@ class SimulatedMachine:
         buffers); a second stall is a genuine deadlock.
         """
         stalled_once = False
+        events = self.events
+        pop = events.pop
+        advance = self.clock.advance_unchecked
         while not predicate():
-            if not self.events:
+            if not events:
                 if not stalled_once and self.stall_handler is not None:
                     stalled_once = True
                     if self.stall_handler():
@@ -180,21 +240,28 @@ class SimulatedMachine:
                     "(buffered tasks never flushed, or a dependence "
                     "cycle)"
                 )
-            ev = self.events.pop()
-            self.clock.advance_to(ev.time)
-            ev.action(ev.time)
+            ev = pop()
+            advance(ev.time)
+            ev.action(ev.payload, ev.time)
         # The master was blocked at the barrier until this instant.
-        self.master_time = max(self.master_time, self.clock.now)
-        return self.clock.now
+        now = self.clock.now
+        if now > self.master_time:
+            self.master_time = now
+        return now
 
     def drain(self) -> float:
-        """Run every remaining event (used by the final barrier)."""
-        while self.events:
-            ev = self.events.pop()
-            self.clock.advance_to(ev.time)
-            ev.action(ev.time)
-        self.master_time = max(self.master_time, self.clock.now)
-        return self.clock.now
+        """Run every remaining event in one batch (the final barrier)."""
+        events = self.events
+        pop = events.pop
+        advance = self.clock.advance_unchecked
+        while events:
+            ev = pop()
+            advance(ev.time)
+            ev.action(ev.payload, ev.time)
+        now = self.clock.now
+        if now > self.master_time:
+            self.master_time = now
+        return now
 
     # -- reporting -----------------------------------------------------------
     @property

@@ -20,7 +20,7 @@ from ..runtime.task import ExecutionKind
 __all__ = ["Segment", "ExecutionTrace"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Segment:
     """One task execution on one worker over ``[start, end)`` seconds."""
 

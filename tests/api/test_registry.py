@@ -97,7 +97,10 @@ class TestRegistry:
 
     def test_reregistering_same_factory_is_noop(self):
         reg = Registry("widget")
-        factory = lambda: 1
+
+        def factory():
+            return 1
+
         reg.register("a")(factory)
         reg.register("a")(factory)  # module re-imports must not explode
         assert reg.create("a") == 1

@@ -1,0 +1,95 @@
+"""Deterministic-timer tests for the bench sampling primitives."""
+
+import pytest
+
+from repro.bench.timers import BenchSample, sample
+
+
+class FakeTimer:
+    """Scripted clock: returns the given readings in order."""
+
+    def __init__(self, *readings: float):
+        self._readings = list(readings)
+        self.calls = 0
+
+    def __call__(self) -> float:
+        self.calls += 1
+        return self._readings.pop(0)
+
+
+class SteppingTimer:
+    """Clock advancing by a fixed step per reading."""
+
+    def __init__(self, step: float = 1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        t = self.now
+        self.now += self.step
+        return t
+
+
+class TestSample:
+    def test_single_repeat(self):
+        s = sample(lambda: None, repeats=1, timer=FakeTimer(10.0, 12.5))
+        assert s.best_s == 2.5
+        assert s.mean_s == 2.5
+        assert s.repeats == 1
+
+    def test_best_is_minimum_mean_is_average(self):
+        # Three repeats: durations 4, 1, 1 -> best 1, mean 2.
+        timer = FakeTimer(0.0, 4.0, 10.0, 11.0, 20.0, 21.0)
+        s = sample(lambda: None, repeats=3, timer=timer)
+        assert s.best_s == 1.0
+        assert s.mean_s == pytest.approx(2.0)
+
+    def test_timer_called_twice_per_repeat(self):
+        timer = SteppingTimer()
+        sample(lambda: None, repeats=4, timer=timer)
+        assert timer.now == 8.0
+
+    def test_setup_runs_outside_timed_region(self):
+        log = []
+        timer = SteppingTimer()
+
+        def setup():
+            log.append(("setup", timer.now))
+
+        def fn():
+            log.append(("fn", timer.now))
+
+        sample(fn, repeats=2, timer=timer, setup=setup)
+        # setup sees the clock *before* the repeat's t0 reading.
+        assert log == [
+            ("setup", 0.0),
+            ("fn", 1.0),
+            ("setup", 2.0),
+            ("fn", 3.0),
+        ]
+
+    def test_fn_really_called_per_repeat(self):
+        calls = []
+        sample(lambda: calls.append(1), repeats=3, timer=SteppingTimer())
+        assert len(calls) == 3
+
+    def test_backwards_timer_rejected(self):
+        with pytest.raises(ValueError, match="backwards"):
+            sample(lambda: None, repeats=1, timer=FakeTimer(5.0, 4.0))
+
+    def test_zero_repeats_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            sample(lambda: None, repeats=0, timer=SteppingTimer())
+
+
+class TestBenchSample:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BenchSample(best_s=1.0, mean_s=1.0, repeats=0)
+        with pytest.raises(ValueError):
+            BenchSample(best_s=-1.0, mean_s=1.0, repeats=1)
+
+    def test_frozen(self):
+        s = BenchSample(best_s=1.0, mean_s=2.0, repeats=3)
+        with pytest.raises(AttributeError):
+            s.best_s = 0.0

@@ -2,7 +2,6 @@
 
 import ast
 
-import numpy as np
 import pytest
 
 from repro.api import Runtime
@@ -14,7 +13,7 @@ from repro.compiler.lowering import (
 )
 from repro.runtime.errors import LoweringError
 from repro.runtime.policies import gtb_max_buffer
-from repro.runtime.task import ExecutionKind, TaskCost
+from repro.runtime.task import TaskCost
 
 COST = TaskCost(10_000.0, 1_000.0)
 

@@ -1,6 +1,5 @@
 """Unit tests for energy integration, the meter and simulated RAPL."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

@@ -1,6 +1,5 @@
 """Tests for the unreliable-hardware substrate (paper section 6)."""
 
-import numpy as np
 import pytest
 
 from repro.faults import FaultLog, FaultModel, FaultRecord, faulty_scheduler

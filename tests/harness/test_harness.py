@@ -1,6 +1,5 @@
 """Tests for the experiment harness (cells, figures, tables, report)."""
 
-import numpy as np
 import pytest
 
 from repro.harness.experiment import (

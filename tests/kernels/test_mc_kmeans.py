@@ -5,7 +5,6 @@ import pytest
 
 from repro.kernels.kmeans import (
     KmeansBenchmark,
-    KmeansProblem,
     assign_chunk_accurate,
     assign_chunk_approx,
     inertia,

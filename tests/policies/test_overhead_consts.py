@@ -1,0 +1,65 @@
+"""The precomputed overhead constants must never shadow overrides."""
+
+from repro.runtime.policies import (
+    GlobalTaskBuffering,
+    LocalQueueHistory,
+    SignificanceAgnostic,
+)
+from repro.runtime.policies.base import PolicyOverheads
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.task import TaskCost
+
+
+class TestConstsMatchMethods:
+    def test_builtins_declare_consistent_constants(self):
+        for policy in (
+            SignificanceAgnostic(),
+            GlobalTaskBuffering(8),
+            GlobalTaskBuffering(None),
+            LocalQueueHistory(),
+        ):
+            task = object.__new__(object)  # methods ignore the task
+            assert policy.spawn_overhead_const == policy.spawn_overhead(
+                task
+            )
+            assert policy.decide_overhead_const == policy.decide_overhead(
+                task
+            )
+
+
+class TestSubclassOverrides:
+    def test_overriding_method_resets_inherited_const(self):
+        class TaskDependentGtb(GlobalTaskBuffering):
+            def decide_overhead(self, task):
+                return 1000.0 * task.significance
+
+        assert TaskDependentGtb.decide_overhead_const is None
+        # The un-overridden spawn side keeps the parent's fast path.
+        assert (
+            TaskDependentGtb.spawn_overhead_const
+            == GlobalTaskBuffering.spawn_overhead_const
+        )
+
+    def test_explicit_const_in_subclass_is_kept(self):
+        class Recalibrated(GlobalTaskBuffering):
+            decide_overhead_const = 99.0
+
+            def decide_overhead(self, task):
+                return 99.0
+
+        assert Recalibrated.decide_overhead_const == 99.0
+
+    def test_engine_charges_the_override(self):
+        class ExpensiveDecisions(SignificanceAgnostic):
+            def decide_overhead(self, task):
+                return 1e6  # 0.5 ms at 2 GOPS, dwarfing the task cost
+
+        cheap = Scheduler(policy=SignificanceAgnostic(), n_workers=1)
+        cheap.spawn(lambda: None, cost=TaskCost(100.0))
+        base = cheap.finish().makespan_s
+
+        costly = Scheduler(policy=ExpensiveDecisions(), n_workers=1)
+        costly.spawn(lambda: None, cost=TaskCost(100.0))
+        slow = costly.finish().makespan_s
+
+        assert slow > base + 4e-4  # the 1e6-unit override was charged

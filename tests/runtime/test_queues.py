@@ -118,3 +118,77 @@ class TestBookkeeping:
         for _ in range(3):
             q.push(mk())
         assert q.stats.pushed == 3
+
+
+class TestHotPathInvariants:
+    """Fabric invariants after the O(1)-size/round-robin refactor."""
+
+    def test_live_size_matches_sum_of_depths(self):
+        q = WorkerQueues(3)
+        for i in range(7):
+            q.push(mk(i))
+        assert len(q) == sum(q.depth(w) for w in range(3)) == 7
+        q.pop_local(0)
+        q.steal(0)
+        assert len(q) == sum(q.depth(w) for w in range(3)) == 5
+
+    def test_conservation_over_random_op_sequence(self):
+        import random
+
+        rng = random.Random(2015)
+        q = WorkerQueues(4)
+        drained = 0
+        for step in range(500):
+            op = rng.randrange(4)
+            if op == 0:
+                q.push(mk(step))
+            elif op == 1:
+                q.pop_local(rng.randrange(4))
+            elif op == 2:
+                q.steal(rng.randrange(4))
+            elif op == 3 and rng.random() < 0.05:
+                drained += len(q.drain())
+            # Every task is accounted for at every step.
+            s = q.stats
+            assert len(q) == sum(q.depth(w) for w in range(4))
+            assert (
+                s.pushed
+                == s.popped_local + s.steals + len(q) + drained
+            )
+
+    def test_round_robin_wraps_over_many_pushes(self):
+        q = WorkerQueues(3)
+        for i in range(9):
+            q.push(mk(i))
+        assert [q.depth(w) for w in range(3)] == [3, 3, 3]
+
+    def test_explicit_push_does_not_advance_round_robin(self):
+        q = WorkerQueues(3)
+        q.push(mk(), worker=2)
+        assert q.push(mk()) == 0  # rr pointer untouched
+
+    def test_steal_ignores_thief_own_queue(self):
+        q = WorkerQueues(3)
+        q.push(mk(), worker=1)
+        assert q.steal(1) is None  # own queue is not a victim
+        assert q.stats.failed_steals == 1
+        assert q.depth(1) == 1
+
+    def test_drain_resets_live_size(self):
+        q = WorkerQueues(2)
+        for i in range(5):
+            q.push(mk(i))
+        q.drain()
+        assert len(q) == 0 and q.is_empty()
+        q.push(mk())
+        assert len(q) == 1
+
+    def test_fifo_preserved_across_mixed_pop_and_steal(self):
+        q = WorkerQueues(2)
+        a, b, c = mk(1), mk(2), mk(3)
+        q.push(a, worker=0)
+        q.push(b, worker=0)
+        q.push(c, worker=0)
+        assert q.steal(1) is a   # oldest first, even for thieves
+        assert q.pop_local(0) is b
+        assert q.steal(1) is c

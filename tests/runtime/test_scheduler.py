@@ -6,12 +6,11 @@ import pytest
 from repro.runtime.errors import SchedulerError
 from repro.runtime.policies import (
     GlobalTaskBuffering,
-    LocalQueueHistory,
     SignificanceAgnostic,
     gtb_max_buffer,
 )
 from repro.runtime.scheduler import Scheduler
-from repro.runtime.task import ExecutionKind, TaskCost, ref
+from repro.runtime.task import ref
 
 from ..conftest import SMALL_COST, make_scheduler, spawn_n
 

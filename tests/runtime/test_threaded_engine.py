@@ -8,7 +8,6 @@ the simulated engine; these tests exercise what is genuinely different
 import threading
 
 import numpy as np
-import pytest
 
 from repro.runtime.policies import (
     LocalQueueHistory,

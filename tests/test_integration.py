@@ -5,7 +5,6 @@ workloads — who wins, what degrades gracefully, what the knob does.
 """
 
 import numpy as np
-import pytest
 
 from repro import (
     Runtime,
