@@ -95,6 +95,46 @@ class TaskFunction:
             **kwargs,
         )
 
+    def map(self, args_list: Iterable, **overrides: Any) -> Any:
+        """Spawn one task per element through the batched fast path.
+
+        ``args_list`` yields one positional-argument tuple per task
+        (bare non-tuple elements are wrapped); clause callables are
+        evaluated per element exactly as for single calls, but the
+        whole iteration space goes through
+        :meth:`repro.runtime.scheduler.Scheduler.spawn_many` — one
+        policy/dependence/engine pass instead of one per task::
+
+            sbl_task.map((res, img, i) for i in range(1, h - 1))
+
+        Returns the list of spawned :class:`~repro.runtime.task.Task`
+        descriptors; with no active :class:`Runtime`, runs the accurate
+        body per element and returns the list of results (the same
+        graceful degradation as single calls).
+        """
+        clause_overrides = {
+            k: overrides.pop(k) for k in _CLAUSE_KEYS if k in overrides
+        }
+        if not has_runtime():
+            return [
+                self.fn(
+                    *(a if isinstance(a, tuple) else (a,)), **overrides
+                )
+                for a in args_list
+            ]
+        merged = {**self.clauses, **clause_overrides}
+        return current_runtime().spawn_many(
+            self.fn,
+            args_list,
+            significance=merged["significance"],
+            approxfun=merged["approxfun"],
+            label=merged["label"],
+            in_=merged["in_"],
+            out=merged["out"],
+            cost=merged["cost"],
+            kwargs=overrides or None,
+        )
+
     def plain(self, *args: Any, **kwargs: Any) -> Any:
         """Run the accurate body directly, never spawning."""
         return self.fn(*args, **kwargs)

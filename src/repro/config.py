@@ -56,7 +56,8 @@ class RuntimeConfig:
         Task-duration strategy spec/instance (default ``"hybrid"``).
     engine:
         Execution backend spec/instance: ``"simulated"`` (default),
-        ``"threaded"``, or ``"sequential"``.
+        ``"threaded"``, ``"process"`` (task bodies in a process
+        pool), or ``"sequential"``.
     """
 
     policy: Any = "accurate"

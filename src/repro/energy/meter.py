@@ -11,6 +11,13 @@ model instead of read from MSRs:
 with ``T`` the window length (makespan for a full run).  The same
 decomposition RAPL exposes (package / PP0-cores / DRAM) is reported so
 the benchmark tables read like the paper's.
+
+Every execution backend funnels its busy intervals here through the
+shared :class:`~repro.runtime.accounting.AccountingCore` (DESIGN.md
+section 6) — on the simulated engines the intervals are virtual time
+and the integration is exact; on the threaded/process backends they
+are measured wall-clock and the result is an estimate, labelled as
+such in the engine docs.
 """
 
 from __future__ import annotations

@@ -105,6 +105,7 @@ class ExperimentSpec:
         row-major order of the given axes.
 
         >>> spec.sweep(policy=["gtb", "lqh"], n_workers=[4, 16])  # 4 specs
+        >>> spec.sweep(engine=["simulated", "process"])  # backend matrix
         """
         cfg_fields = {f.name for f in fields(RuntimeConfig)}
         spec_fields = {f.name for f in fields(ExperimentSpec)} - {"config"}

@@ -106,7 +106,7 @@ class FaultySimulatedMachine(SimulatedMachine):
                 )
             task.execute(kind)
         host_dt = _time.perf_counter() - host_t0
-        self.trace.host_seconds += host_dt
+        self.accounting.add_host_seconds(host_dt)
 
         base = self.cost_model.duration(
             task, kind, self.machine_model, measured_wall=host_dt

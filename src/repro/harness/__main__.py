@@ -214,7 +214,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--engine",
         default="simulated",
-        help="sweep: engine spec (simulated/threaded/sequential/...)",
+        help="sweep: engine spec (simulated/threaded/process/"
+        "sequential/...)",
     )
     parser.add_argument(
         "--repeats",
@@ -240,7 +241,8 @@ def main(argv: list[str] | None = None) -> int:
         action="append",
         default=None,
         help="bench: restrict to one probe (repeatable; "
-        "scheduler_throughput/spawn_overhead/end_to_end)",
+        "scheduler_throughput/spawn_overhead/spawn_many/"
+        "backend_matrix/end_to_end)",
     )
     parser.add_argument(
         "--baseline",

@@ -1,7 +1,16 @@
-"""Core runtime: tasks, groups, dependences, queues, scheduler, policies."""
+"""Core runtime: tasks, groups, dependences, queues, scheduler,
+policies, execution backends and the shared accounting core."""
 
+from .accounting import AccountingCore, build_run_report
 from .dependencies import DependenceTracker, DepStats
-from .engine import Engine, SimulatedEngine, ThreadedEngine, make_engine
+from .engine import (
+    Engine,
+    ExecutionBackend,
+    SimulatedEngine,
+    ThreadedEngine,
+    make_engine,
+)
+from .process_engine import ProcessPoolEngine
 from .errors import (
     CompilerError,
     CostModelError,
@@ -51,8 +60,12 @@ __all__ = [
     "DependenceTracker",
     "DepStats",
     "Engine",
+    "ExecutionBackend",
     "SimulatedEngine",
     "ThreadedEngine",
+    "ProcessPoolEngine",
+    "AccountingCore",
+    "build_run_report",
     "make_engine",
     "RunReport",
     "GroupSummary",

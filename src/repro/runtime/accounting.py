@@ -1,0 +1,161 @@
+"""The shared accounting core: one bookkeeping substrate for every
+execution backend (DESIGN.md section 6).
+
+Every engine — simulated, threaded, process-pool, fault-injecting —
+must answer the same questions after a run: which worker ran which task
+over which interval, how long the master spent on runtime bookkeeping,
+how much host wall-clock went into task bodies, and what all of that
+costs in energy under the machine power model.  Before this module the
+trace/energy/stats plumbing was re-implemented per engine; now each
+backend owns exactly one :class:`AccountingCore` and writes every
+observation through it, so adding a backend cannot fork the reporting
+schema.
+
+The core is deliberately passive: it validates and records, it never
+schedules.  Timestamps are whatever timeline the owning backend uses
+(virtual seconds on the simulated machine, wall seconds since engine
+start on the threaded and process backends) — the energy integration
+and the :class:`~repro.runtime.stats.RunReport` schema are identical
+either way, which is what makes backend-swapping a one-string change.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..energy.meter import EnergyReport
+from ..sim.trace import ExecutionTrace, Segment
+from .stats import GroupSummary, RunReport
+from .task import ExecutionKind, Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..energy.machine_model import MachineModel
+    from .dependencies import DepStats
+    from .groups import GroupRegistry
+    from .queues import QueueStats
+
+__all__ = ["AccountingCore", "build_run_report"]
+
+
+class AccountingCore:
+    """Trace, master-time and host-time bookkeeping for one run.
+
+    Owned by exactly one execution backend; all recording methods are
+    called from whatever context the backend serializes them in (the
+    event loop for the simulated machine, under the engine lock for the
+    threaded engine, the master thread for the process pool).
+    """
+
+    __slots__ = ("trace",)
+
+    def __init__(self, n_workers: int) -> None:
+        self.trace = ExecutionTrace(n_workers)
+
+    # -- recording -----------------------------------------------------
+    def record_task(
+        self,
+        task: Task,
+        worker: int,
+        start: float,
+        end: float,
+        kind: ExecutionKind,
+        host_s: float | None = None,
+    ) -> None:
+        """Record one task execution as a busy interval on ``worker``.
+
+        ``host_s`` is the host wall-clock spent inside the task body
+        (``None`` when the backend did not measure it); it feeds the
+        diagnostic ``host_seconds`` total, never the virtual timeline.
+        """
+        self.trace.record(
+            Segment(worker, start, end, task.tid, kind, task.group)
+        )
+        if host_s is not None:
+            self.trace.host_seconds += host_s
+
+    def add_host_seconds(self, dt: float) -> None:
+        """Account host wall-clock spent in task bodies (diagnostic)."""
+        self.trace.host_seconds += dt
+
+    def add_master_busy(self, dt: float) -> None:
+        """Account ``dt`` seconds of master-side bookkeeping work."""
+        self.trace.master_busy += dt
+
+    # -- aggregate views -------------------------------------------------
+    @property
+    def n_workers(self) -> int:
+        return self.trace.n_workers
+
+    @property
+    def master_busy(self) -> float:
+        return self.trace.master_busy
+
+    @property
+    def host_seconds(self) -> float:
+        return self.trace.host_seconds
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last recorded busy interval."""
+        return self.trace.makespan
+
+    def busy_by_worker(self) -> list[float]:
+        return self.trace.busy_by_worker()
+
+    def utilization(self) -> float:
+        return self.trace.utilization()
+
+    # -- energy attribution ----------------------------------------------
+    def energy_report(
+        self, machine: "MachineModel", window_s: float | None = None
+    ) -> EnergyReport:
+        """Busy-interval → energy attribution under the power model.
+
+        This is the single place where a backend's busy intervals meet
+        the machine power model; see
+        :meth:`~repro.energy.meter.EnergyReport.from_trace` for the
+        integration itself.
+        """
+        return EnergyReport.from_trace(self.trace, machine, window_s)
+
+
+def build_run_report(
+    *,
+    policy_name: str,
+    n_workers: int,
+    trace: ExecutionTrace,
+    makespan: float,
+    machine: "MachineModel",
+    groups: "GroupRegistry",
+    queue_stats: "QueueStats",
+    dep_stats: "DepStats",
+    tasks_total: int,
+) -> RunReport:
+    """Assemble the canonical :class:`RunReport` from accounting state.
+
+    Every backend's run ends here (via ``Scheduler.finish``), which is
+    what guarantees the acceptance property that simulated, threaded and
+    process-pool executions produce *schema-identical* reports: the
+    report is built from the shared trace/group/queue substrates, never
+    from backend-private state.
+    """
+    energy = EnergyReport.from_trace(trace, machine, window_s=makespan)
+    by_kind = trace.tasks_by_kind()
+    # Dropped tasks produce no trace segment on engines that skip their
+    # (empty) bodies; count them from the groups' decision logs.
+    recorded_drops = by_kind[ExecutionKind.DROPPED]
+    logged_drops = sum(g.dropped_count for g in groups)
+    by_kind[ExecutionKind.DROPPED] = max(recorded_drops, logged_drops)
+    return RunReport(
+        policy=policy_name,
+        n_workers=n_workers,
+        makespan_s=makespan,
+        energy=energy,
+        tasks_total=tasks_total,
+        tasks_by_kind=by_kind,
+        groups={g.name: GroupSummary.from_record(g) for g in groups},
+        queue_stats=queue_stats,
+        dep_stats=dep_stats,
+        host_seconds=trace.host_seconds,
+        trace=trace,
+    )

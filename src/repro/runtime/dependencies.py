@@ -125,6 +125,27 @@ class DependenceTracker:
             self.stats.roots += 1
         return ready
 
+    def register_many(self, tasks: list[Task]) -> None:
+        """Batch form of :meth:`register` (the ``spawn_many`` path).
+
+        Program order within the batch is the list order, so intra-batch
+        dependences (``out`` then ``in`` on the same ref) resolve the
+        same way as a spawn loop would.
+        """
+        register = self.register
+        for task in tasks:
+            register(task)
+
+    def count_roots(self, n: int) -> None:
+        """Account ``n`` clause-free tasks without touching the protocol.
+
+        ``spawn_many`` calls this when it has already established that
+        no task in the batch carries clauses — the per-task fast path
+        of :meth:`register` collapsed into two counter bumps.
+        """
+        self.stats.tasks += n
+        self.stats.roots += n
+
     def retire(self, task: Task) -> list[Task]:
         """Mark ``task`` finished; return successors that just became ready."""
         released: list[Task] = []

@@ -1,6 +1,6 @@
 """Execution engines: how tasks actually run.
 
-One scheduler, three interchangeable engines (DESIGN.md section 5):
+One scheduler, interchangeable execution backends (DESIGN.md section 5):
 
 * :class:`SimulatedEngine` — the default.  Wraps
   :class:`repro.sim.machine.SimulatedMachine`: N virtual cores under a
@@ -13,12 +13,23 @@ One scheduler, three interchangeable engines (DESIGN.md section 5):
   (NumPy); timing is host wall-clock and therefore noisy.  The energy
   report applies the machine power model to *measured* busy intervals —
   an estimate, clearly labelled as such.
+* :class:`~repro.runtime.process_engine.ProcessPoolEngine`
+  (spec ``"process"``) — task bodies execute in a
+  ``concurrent.futures`` process pool, giving NumPy-heavy kernels real
+  parallelism; results and mutated ``out()`` arrays are marshalled back
+  into the master's dependence-release path.
 * ``sequential`` — a :class:`SimulatedEngine` with one worker; the
   reference semantics for debugging.
+* ``faulty`` (:mod:`repro.faults`) — a fault-injecting simulated
+  machine for the unreliable-hardware scenario.
 
-Engines expose a deliberately narrow interface: ``enqueue`` a ready
-task, ``master_charge`` bookkeeping work, ``run_until`` a barrier
-predicate holds, ``finish`` the run.
+Engines expose a deliberately narrow interface — the
+:class:`ExecutionBackend` protocol: ``enqueue``/``enqueue_many`` ready
+tasks, ``master_charge`` bookkeeping work, ``run_until`` a barrier
+predicate holds, ``finish`` the run.  All bookkeeping flows through one
+shared :class:`~repro.runtime.accounting.AccountingCore` per run
+(DESIGN.md section 6), which is what keeps report schemas identical
+across backends.
 """
 
 from __future__ import annotations
@@ -27,11 +38,17 @@ import abc
 import threading
 import time as _time
 import warnings
-from typing import TYPE_CHECKING, Callable
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Protocol,
+    runtime_checkable,
+)
 
 from ..registry import register
 from ..sim.machine import SimulatedMachine
-from ..sim.trace import ExecutionTrace, Segment
+from ..sim.trace import ExecutionTrace
+from .accounting import AccountingCore
 from .errors import SchedulerError
 from .queues import WorkerQueues
 from .task import Task, TaskState
@@ -40,8 +57,10 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..energy.cost import CostModel
     from ..energy.machine_model import MachineModel
     from ..runtime.policies.base import Policy
+    from .queues import QueueStats
 
 __all__ = [
+    "ExecutionBackend",
     "Engine",
     "SimulatedEngine",
     "ThreadedEngine",
@@ -50,12 +69,74 @@ __all__ = [
 ]
 
 
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """The structural contract between the scheduler and any backend.
+
+    :class:`Engine` is the convenience ABC implementing the shared
+    parts; third-party backends may instead satisfy this protocol
+    directly (it is ``runtime_checkable`` for duck-typed wiring).
+    """
+
+    def enqueue(self, task: Task, at: float | None = None) -> None:
+        """Accept one dependence-free task for execution."""
+        ...
+
+    def enqueue_many(
+        self, tasks: list[Task], at: float | None = None
+    ) -> None:
+        """Accept a batch of dependence-free tasks in one call."""
+        ...
+
+    def master_charge(self, work_units: float) -> None:
+        """Account master-side bookkeeping work."""
+        ...
+
+    @property
+    def master_time(self) -> float:
+        """The master thread's current (virtual or wall) time."""
+        ...
+
+    def run_until(
+        self, predicate: Callable[[], bool], description: str
+    ) -> float:
+        """Block until the barrier predicate holds; return the time."""
+        ...
+
+    def finish(self) -> tuple[ExecutionTrace, float]:
+        """Complete all work; return (trace, makespan)."""
+        ...
+
+    @property
+    def accounting(self) -> AccountingCore:
+        """The run's shared trace/energy/stats bookkeeping core."""
+        ...
+
+    @property
+    def n_workers(self) -> int: ...
+
+    @property
+    def queue_stats(self) -> "QueueStats": ...
+
+
 class Engine(abc.ABC):
-    """Minimal contract between the scheduler and an execution backend."""
+    """Base class for execution backends (see :class:`ExecutionBackend`).
+
+    Subclasses record every observation through :attr:`accounting`; the
+    default :meth:`enqueue_many` loops :meth:`enqueue`, and backends
+    with a cheaper batch admission path override it.
+    """
 
     @abc.abstractmethod
     def enqueue(self, task: Task, at: float | None = None) -> None:
         """Accept a dependence-free task for execution."""
+
+    def enqueue_many(
+        self, tasks: list[Task], at: float | None = None
+    ) -> None:
+        """Accept a batch of ready tasks (default: one-by-one)."""
+        for task in tasks:
+            self.enqueue(task, at)
 
     @abc.abstractmethod
     def master_charge(self, work_units: float) -> None:
@@ -75,6 +156,15 @@ class Engine(abc.ABC):
     @abc.abstractmethod
     def finish(self) -> tuple[ExecutionTrace, float]:
         """Complete all work; return (trace, makespan)."""
+
+    @property
+    @abc.abstractmethod
+    def accounting(self) -> AccountingCore:
+        """The run's shared bookkeeping core."""
+
+    @property
+    def trace(self) -> ExecutionTrace:
+        return self.accounting.trace
 
     @property
     @abc.abstractmethod
@@ -105,10 +195,16 @@ class SimulatedEngine(Engine):
             policy,
             on_task_finished,
             stall_handler,
+            accounting=AccountingCore(n_workers),
         )
 
     def enqueue(self, task: Task, at: float | None = None) -> None:
         self.machine.enqueue(task, at)
+
+    def enqueue_many(
+        self, tasks: list[Task], at: float | None = None
+    ) -> None:
+        self.machine.enqueue_many(tasks, at)
 
     def master_charge(self, work_units: float) -> None:
         self.machine.master_charge(work_units)
@@ -133,6 +229,12 @@ class SimulatedEngine(Engine):
     @property
     def queue_stats(self):
         return self.machine.queues.stats
+
+    @property
+    def accounting(self) -> AccountingCore:
+        # Delegated (not stored) so machine-swapping subclasses like
+        # FaultAwareEngine stay consistent with their machine's core.
+        return self.machine.accounting
 
     @property
     def trace(self) -> ExecutionTrace:
@@ -173,7 +275,7 @@ class ThreadedEngine(Engine):
         self.stall_handler = stall_handler
 
         self.queues = WorkerQueues(n_workers)
-        self.trace = ExecutionTrace(n_workers)
+        self._accounting = AccountingCore(n_workers)
         self._t0 = _time.perf_counter()
         # RLock: on_task_finished (held) may release successors, which
         # re-enters enqueue() on the same lock.
@@ -182,7 +284,6 @@ class ThreadedEngine(Engine):
         self._done_cv = threading.Condition(self._lock)
         self._stop = False
         self._inflight = 0
-        self._master_busy = 0.0
         policy.make_worker_state(n_workers)
         self._threads = [
             threading.Thread(
@@ -204,10 +305,26 @@ class ThreadedEngine(Engine):
             self._inflight += 1
             self._work_cv.notify_all()
 
+    def enqueue_many(
+        self, tasks: list[Task], at: float | None = None
+    ) -> None:
+        # Batched admission: one lock acquisition and one wake-up for
+        # the whole batch (the spawn_many fast path).
+        with self._work_cv:
+            now = self._now()
+            push = self.queues.push
+            for task in tasks:
+                task.t_issued = now
+                push(task)
+            self._inflight += len(tasks)
+            self._work_cv.notify_all()
+
     def master_charge(self, work_units: float) -> None:
         # Real bookkeeping already costs real time on this engine; we
         # only record the model-equivalent for reporting symmetry.
-        self._master_busy += self.machine_model.duration_of(work_units)
+        self._accounting.add_master_busy(
+            self.machine_model.duration_of(work_units)
+        )
 
     @property
     def master_time(self) -> float:
@@ -236,10 +353,9 @@ class ThreadedEngine(Engine):
         with self._lock:
             task.state = TaskState.FINISHED
             task.t_finished = end
-            self.trace.record(
-                Segment(worker, start, end, task.tid, kind, task.group)
+            self._accounting.record_task(
+                task, worker, start, end, kind, host_s=end - start
             )
-            self.trace.host_seconds += end - start
             self.on_task_finished(task, end)
             self._inflight -= 1
             self._done_cv.notify_all()
@@ -279,8 +395,11 @@ class ThreadedEngine(Engine):
             self._work_cv.notify_all()
         for t in self._threads:
             t.join(timeout=5.0)
-        self.trace.master_busy = self._master_busy
         return self.trace, max(self.trace.makespan, self._now())
+
+    @property
+    def accounting(self) -> AccountingCore:
+        return self._accounting
 
     @property
     def n_workers(self) -> int:
@@ -318,8 +437,8 @@ def make_engine(
     """Deprecated: engines now live in the ``"engine"`` registry; use
     :class:`~repro.config.RuntimeConfig` / ``Scheduler(engine=...)``.
 
-    Kinds: ``simulated`` (default), ``threaded``, ``sequential`` (one
-    simulated worker)."""
+    Kinds: ``simulated`` (default), ``threaded``, ``process``,
+    ``sequential`` (one simulated worker)."""
     warnings.warn(
         "make_engine() is deprecated; pass the engine spec to "
         "Scheduler/RuntimeConfig or use repro.registry instead",

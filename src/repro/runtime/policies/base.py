@@ -132,6 +132,19 @@ class Policy(abc.ABC):
         """
         return False
 
+    def on_spawn_many(self, tasks: list[Task]) -> list[Task]:
+        """Classify a whole spawn batch in one call.
+
+        Returns the tasks the scheduler should issue now; absorbed
+        tasks (buffered by the policy) are omitted and will be issued
+        by the policy itself later.  The default delegates to
+        :meth:`on_spawn` per task, so buffering policies inherit
+        correct batch semantics for free; override only when the
+        policy can classify a batch cheaper than task-by-task.
+        """
+        on_spawn = self.on_spawn
+        return [t for t in tasks if not on_spawn(t)]
+
     def on_barrier(self, group: str | None) -> None:
         """A taskwait was reached; flush any buffered tasks.
 

@@ -125,10 +125,10 @@ class GlobalTaskBuffering(Policy):
                 )
 
         # Charge the master for the analyze+sort pass, then issue in the
-        # original spawn order (the queue fabric round-robins them).
+        # original spawn order (the queue fabric round-robins them); the
+        # batched issue admits the whole flush in one engine event.
         self.scheduler.charge_master(self._sort_work(len(buf)))
-        for task in buf:
-            self.scheduler.issue(task)
+        self.scheduler.issue_many(buf)
 
     @staticmethod
     def _sort_work(n: int) -> float:

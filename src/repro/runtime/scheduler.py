@@ -3,7 +3,8 @@
 :class:`Scheduler` ties together every substrate in the library — task
 groups (``label``/``ratio``), dependence tracking (``in``/``out``),
 the significance policy (GTB / LQH / ...), the execution engine
-(simulated machine or real threads) and the energy model — and exposes
+(simulated machine, real threads, or a process pool) and the energy
+model — and exposes
 the three operations the paper's compiler lowers pragmas to:
 
 * ``spawn``     ≙ ``#pragma omp task ...``  (``tpc_call``)
@@ -23,13 +24,13 @@ from typing import Any, Callable
 from ..config import RuntimeConfig
 from ..energy.cost import CostModel
 from ..energy.machine_model import MachineModel
-from ..energy.meter import EnergyReport
+from .accounting import build_run_report
 from .dependencies import DependenceTracker
-from .engine import Engine
+from .engine import ExecutionBackend
 from .errors import SchedulerError
 from .groups import GroupRegistry
 from .policies.base import Policy
-from .stats import GroupSummary, RunReport
+from .stats import RunReport
 from .task import Task, TaskCost, TaskState, ref
 
 __all__ = ["Scheduler"]
@@ -63,8 +64,9 @@ class Scheduler:
         Task-duration strategy spec or instance (default ``"hybrid"``:
         analytic when tasks carry costs, measured wall time otherwise).
     engine:
-        ``"simulated"`` (default), ``"threaded"``, ``"sequential"``, or
-        an :class:`Engine` instance.
+        ``"simulated"`` (default), ``"threaded"``, ``"process"``,
+        ``"sequential"``, or an :class:`~repro.runtime.engine
+        .ExecutionBackend` instance.
     """
 
     def __init__(
@@ -73,7 +75,7 @@ class Scheduler:
         n_workers: int | None = None,
         machine: MachineModel | str | None = None,
         cost_model: CostModel | str | None = None,
-        engine: str | Engine | None = None,
+        engine: str | ExecutionBackend | None = None,
         policy: Policy | str | None = None,
     ) -> None:
         if config is not None and not isinstance(config, RuntimeConfig):
@@ -135,7 +137,7 @@ class Scheduler:
         self._group_rec = None
 
         self.policy.attach(self)
-        self.engine: Engine = cfg.build_engine(
+        self.engine: ExecutionBackend = cfg.build_engine(
             self.machine_model,
             self.cost_model,
             self.policy,
@@ -211,6 +213,115 @@ class Scheduler:
         if not self.policy.on_spawn(task):
             self.issue(task)
         return task
+
+    def spawn_many(
+        self,
+        fn: Callable[..., Any],
+        args_list: Any,
+        *,
+        significance: float | Callable[..., float] = 1.0,
+        approxfun: Callable[..., Any] | None = None,
+        label: str | None = None,
+        in_: Any = (),
+        out: Any = (),
+        cost: TaskCost | Callable[..., TaskCost] | None = None,
+        kwargs: dict | None = None,
+    ) -> list[Task]:
+        """Batched :meth:`spawn`: one call for a whole iteration space.
+
+        ``args_list`` yields one positional-argument tuple per task
+        (bare non-tuple elements are wrapped).  ``significance``,
+        ``in_``, ``out`` and ``cost`` are either constants applied to
+        every task or callables evaluated per element over its
+        arguments (positional plus the shared ``kwargs``) — the same
+        clause convention as :func:`repro.api.sig_task`.
+
+        The batch path amortizes the per-task spawn costs the bench
+        probes identified as dominant on the master timeline: one group
+        lookup, one policy classification pass
+        (:meth:`~repro.runtime.policies.base.Policy.on_spawn_many`),
+        one master-overhead charge, one dependence-tracker pass, and
+        one engine admission
+        (:meth:`~repro.runtime.engine.Engine.enqueue_many` — a single
+        simulation event instead of one per task).  All tasks in the
+        batch share one creation timestamp, as befits a single runtime
+        call.
+        """
+        if self._finished:
+            raise SchedulerError("scheduler already finished")
+        sig_fn = significance if callable(significance) else None
+        cost_fn = (
+            cost
+            if callable(cost) and not isinstance(cost, TaskCost)
+            else None
+        )
+        in_fn = in_ if callable(in_) else None
+        out_fn = out if callable(out) else None
+        # Constant clauses resolve to one shared tuple up front.
+        const_ins = () if in_fn else tuple(ref(o) for o in (in_ or ()))
+        const_outs = () if out_fn else tuple(ref(o) for o in (out or ()))
+        kw = kwargs if kwargs is not None else {}
+
+        tasks: list[Task] = []
+        has_deps = bool(const_ins or const_outs)
+        for args in args_list:
+            if not isinstance(args, tuple):
+                args = (args,)
+            task = Task(
+                fn=fn,
+                args=args,
+                kwargs=kw,
+                significance=(
+                    sig_fn(*args, **kw) if sig_fn else significance
+                ),
+                approx_fn=approxfun,
+                group=label,
+                ins=(
+                    tuple(ref(o) for o in in_fn(*args, **kw))
+                    if in_fn
+                    else const_ins
+                ),
+                outs=(
+                    tuple(ref(o) for o in out_fn(*args, **kw))
+                    if out_fn
+                    else const_outs
+                ),
+                cost=cost_fn(*args, **kw) if cost_fn else cost,
+            )
+            if task.ins or task.outs:
+                has_deps = True
+            tasks.append(task)
+        n = len(tasks)
+        if n == 0:
+            return tasks
+
+        group = self._group_for(label)
+        seq = group.spawned
+        for i, task in enumerate(tasks):
+            task.group_seq = seq + i
+        group.spawned += n
+        self._spawned_total += n
+
+        engine = self.engine
+        t_created = engine.master_time
+        for task in tasks:
+            task.t_created = t_created
+        overhead = self._spawn_overhead_const
+        engine.master_charge(
+            overhead * n
+            if overhead is not None
+            else sum(self.policy.spawn_overhead(t) for t in tasks)
+        )
+        if has_deps:
+            self.deps.register_many(tasks)
+        else:
+            self.deps.count_roots(n)
+        self._tasks.extend(tasks)
+
+        to_issue = self.policy.on_spawn_many(tasks)
+        if to_issue:
+            self.issue_many(to_issue)
+        return tasks
 
     def taskwait(
         self,
@@ -295,6 +406,19 @@ class Scheduler:
         else:
             task.state = TaskState.PENDING
 
+    def issue_many(self, tasks: list[Task]) -> None:
+        """Batched :meth:`issue`: one engine admission for all ready
+        tasks (used by ``spawn_many`` and the GTB flush path)."""
+        ready: list[Task] = []
+        for task in tasks:
+            if task.unmet_deps == 0:
+                task.state = TaskState.QUEUED
+                ready.append(task)
+            else:
+                task.state = TaskState.PENDING
+        if ready:
+            self.engine.enqueue_many(ready)
+
     def charge_master(self, work_units: float) -> None:
         """Account master-side policy work (e.g. the GTB sort)."""
         self.engine.master_charge(work_units)
@@ -339,30 +463,18 @@ class Scheduler:
         trace, makespan = self.engine.finish()
         self._finished = True
 
-        energy = EnergyReport.from_trace(
-            trace, self.machine_model, window_s=makespan
-        )
-        by_kind = trace.tasks_by_kind()
-        # Dropped tasks produce no trace segment; count them from groups.
-        from .task import ExecutionKind
-
-        by_kind[ExecutionKind.DROPPED] = sum(
-            g.dropped_count for g in self.groups
-        )
-        self.report = RunReport(
-            policy=self.policy.describe(),
+        # One report schema for every backend: assembly lives in the
+        # shared accounting module, not in any engine.
+        self.report = build_run_report(
+            policy_name=self.policy.describe(),
             n_workers=self.engine.n_workers,
-            makespan_s=makespan,
-            energy=energy,
-            tasks_total=len(self._tasks),
-            tasks_by_kind=by_kind,
-            groups={
-                g.name: GroupSummary.from_record(g) for g in self.groups
-            },
+            trace=trace,
+            makespan=makespan,
+            machine=self.machine_model,
+            groups=self.groups,
             queue_stats=self.engine.queue_stats,
             dep_stats=self.deps.stats,
-            host_seconds=trace.host_seconds,
-            trace=trace,
+            tasks_total=len(self._tasks),
         )
         return self.report
 

@@ -42,11 +42,11 @@ from ..runtime.queues import WorkerQueues
 from ..runtime.task import Task, TaskState
 from .clock import VirtualClock
 from .events import EventQueue
-from .trace import ExecutionTrace, Segment
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..energy.cost import CostModel
     from ..energy.machine_model import MachineModel
+    from ..runtime.accounting import AccountingCore
     from ..runtime.policies.base import Policy
 
 __all__ = ["SimulatedMachine"]
@@ -64,6 +64,7 @@ class SimulatedMachine:
         "clock",
         "events",
         "queues",
+        "accounting",
         "trace",
         "busy",
         "master_time",
@@ -84,6 +85,7 @@ class SimulatedMachine:
         policy: "Policy",
         on_task_finished: Callable[[Task, float], None],
         stall_handler: Callable[[], bool] | None = None,
+        accounting: "AccountingCore | None" = None,
     ) -> None:
         if n_workers > machine_model.n_cores:
             raise SchedulerError(
@@ -99,7 +101,17 @@ class SimulatedMachine:
         self.clock = VirtualClock()
         self.events = EventQueue()
         self.queues = WorkerQueues(n_workers)
-        self.trace = ExecutionTrace(n_workers)
+        #: All trace/host/master bookkeeping goes through the shared
+        #: accounting core (one per run; the owning engine passes its
+        #: own so engine and machine agree on the single trace).
+        if accounting is None:
+            # Deferred import: sim.machine sits below runtime.accounting
+            # in the import graph (accounting imports sim.trace).
+            from ..runtime.accounting import AccountingCore
+
+            accounting = AccountingCore(n_workers)
+        self.accounting = accounting
+        self.trace = accounting.trace
         self.busy: list[bool] = [False] * n_workers
         #: The master thread's private timeline (spawning, buffering).
         self.master_time = 0.0
@@ -124,7 +136,7 @@ class SimulatedMachine:
         """Advance the master timeline by ``work_units`` of bookkeeping."""
         dt = work_units * self._inv_ops
         self.master_time += dt
-        self.trace.master_busy += dt
+        self.accounting.add_master_busy(dt)
 
     def enqueue(self, task: Task, at: float | None = None) -> None:
         """Schedule a ready task to enter the queue fabric at ``at``.
@@ -135,9 +147,19 @@ class SimulatedMachine:
         t = self.master_time if at is None else at
         self.events.push(t, self._do_enqueue, tag="enqueue", payload=task)
 
-    def _do_enqueue(self, task: Task, now: float) -> None:
-        task.t_issued = now
-        self.queues.push(task)
+    def enqueue_many(self, tasks: list[Task], at: float | None = None) -> None:
+        """Batched :meth:`enqueue`: one event admits a whole task batch.
+
+        The batched-spawn fast path funnels here — a single heap push
+        and a single wake-up pass replace one event per task, which is
+        the dominant per-spawn cost on fine-grained streams.
+        """
+        t = self.master_time if at is None else at
+        self.events.push(
+            t, self._do_enqueue_many, tag="enqueue_many", payload=tasks
+        )
+
+    def _wake_idle(self, now: float) -> None:
         # Wake idle workers (owner or thief — acquire() resolves which),
         # coalescing to at most one pending tryrun event per worker.
         # Busy workers need no event: they re-poll when they finish.
@@ -148,6 +170,18 @@ class SimulatedMachine:
                 if not pending[w]:
                     pending[w] = True
                     push(now, self._try_run, tag="tryrun", payload=w)
+
+    def _do_enqueue(self, task: Task, now: float) -> None:
+        task.t_issued = now
+        self.queues.push(task)
+        self._wake_idle(now)
+
+    def _do_enqueue_many(self, tasks: list[Task], now: float) -> None:
+        push = self.queues.push
+        for task in tasks:
+            task.t_issued = now
+            push(task)
+        self._wake_idle(now)
 
     # -- worker-side operations ------------------------------------------
     def _try_run(self, worker: int, now: float) -> None:
@@ -173,7 +207,7 @@ class SimulatedMachine:
             host_t0 = _time.perf_counter()
             task.execute(kind)
             host_dt = _time.perf_counter() - host_t0
-            self.trace.host_seconds += host_dt
+            self.accounting.add_host_seconds(host_dt)
         else:
             task.execute(kind)
             host_dt = None
@@ -194,15 +228,8 @@ class SimulatedMachine:
         task.state = TaskState.FINISHED
         task.t_finished = now
         assert task.decision is not None
-        self.trace.record(
-            Segment(
-                worker,
-                task.t_started,
-                now,
-                task.tid,
-                task.decision,
-                task.group,
-            )
+        self.accounting.record_task(
+            task, worker, task.t_started, now, task.decision
         )
         # Group bookkeeping + dependence release (may enqueue successors
         # at `now`; their events sort after this one).

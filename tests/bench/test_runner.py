@@ -53,11 +53,18 @@ class TestRunBench:
             "scheduler_throughput.gtb.tasks_per_mop",
             "scheduler_throughput.lqh.tasks_per_mop",
             "spawn_overhead.us_per_task",
+            "spawn_many.us_per_task",
+            "spawn_many.speedup_vs_loop",
+            "backend_matrix.simulated.tasks_per_s",
+            "backend_matrix.threaded.tasks_per_s",
+            "backend_matrix.process.tasks_per_s",
             "end_to_end.sobel_gtb_s",
         ):
             assert expected in names
         gated = [n for n, m in report.metrics.items() if m.gated]
-        assert len(gated) == 5  # one normalized twin per probe/policy
+        # One normalized twin per throughput policy + spawn_overhead +
+        # end_to_end, plus spawn_many's kop/task and loop-speedup pair.
+        assert len(gated) == 7
 
     def test_baseline_comparison_attached(self, tmp_path):
         base = run_bench(
