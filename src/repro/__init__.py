@@ -68,6 +68,7 @@ from .runtime.policies import (
 )
 from . import faults as _faults  # noqa: F401  (registers the faulty engine)
 from .experiment import ExperimentResult, ExperimentSpec, ResultSet, run
+from .tuning import EnergyBudgetGovernor  # also registers "governor"
 
 __version__ = "1.1.0"
 
@@ -111,4 +112,6 @@ __all__ = [
     "MachineModel",
     "XEON_E5_2650",
     "EnergyReport",
+    # online control
+    "EnergyBudgetGovernor",
 ]

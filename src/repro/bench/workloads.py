@@ -19,6 +19,11 @@ about (section 4.2 / Figure 4):
 * **end_to_end** — wall latency of one complete small experiment cell
   through :class:`repro.ExperimentSpec` (build inputs, run Sobel under
   GTB, quality + energy reporting).
+* **governor_convergence** — control quality (not speed) of the online
+  :class:`~repro.tuning.governor.EnergyBudgetGovernor`: budget-tracking
+  error and steps-to-converge on a deterministic simulated Sobel run
+  with the budget at 70% of full-precision energy.  Fully virtual-time
+  and analytic-cost, so the gated metrics are bit-stable across hosts.
 
 Every probe reports an absolute metric (host wall time — informational)
 and a twin normalized against the calibration loop (work per abstract
@@ -44,6 +49,7 @@ __all__ = [
     "bench_spawn_many",
     "bench_backend_matrix",
     "bench_end_to_end",
+    "bench_governor_convergence",
 ]
 
 #: Simulated worker cores used by the runtime microbenchmarks (the
@@ -305,6 +311,90 @@ def bench_end_to_end(
     }
 
 
+#: Budget fraction of full-precision energy the convergence probe sets.
+GOVERNOR_BUDGET_FRAC = 0.7
+
+#: Ticks per run the convergence probe aims for (interval = span / N).
+GOVERNOR_TICKS = 40
+
+#: steps_to_converge sentinel for a run that never converged: finite
+#: (strict-JSON safe) but orders of magnitude above any real tick
+#: count, so the gated lower-is-better comparison always regresses.
+UNCONVERGED_STEPS = 999.0
+
+
+def bench_governor_convergence(
+    small: bool,
+    repeats: int,
+    timer: TimerFn,
+    calib_ops_per_s: float,
+) -> dict[str, Metric]:
+    """Budget-tracking quality of the online governor (gated).
+
+    Unlike the other probes this measures *control* quality, not host
+    speed: one deterministic simulated Sobel run per report, budget at
+    70% of the measured full-precision energy, LQH supplying the
+    per-task decision point the controller steers.  Virtual time plus
+    analytic costs make both gated metrics reproducible to the bit on
+    any host, so a tolerance-band comparison catches genuine controller
+    regressions rather than machine noise.
+    """
+    from ..kernels.base import get_benchmark
+
+    bench = get_benchmark("sobel", small=True)
+    bench.height = bench.width = 128 if small else 256
+    inputs = bench.build_input(2015)
+
+    accurate = Scheduler(policy="accurate", n_workers=N_WORKERS)
+    bench.run_tasks(accurate, inputs, 1.0)
+    full = accurate.finish()
+
+    budget_j = GOVERNOR_BUDGET_FRAC * full.energy_j
+    interval = full.makespan_s / GOVERNOR_TICKS
+    governed = Scheduler(
+        policy="lqh",
+        n_workers=N_WORKERS,
+        governor=f"governor:budget_j={budget_j},interval={interval}",
+    )
+    bench.run_tasks(governed, inputs, 1.0)
+    report = governed.finish()
+    governor = governed.governor
+
+    error_pct = 100.0 * abs(report.energy_j - budget_j) / budget_j
+    steps = governor.steps_to_converge
+    return {
+        # The acceptance bar itself is the gate (1.0 = final energy
+        # within 10% of budget): the raw error is a small number whose
+        # ratio to a small baseline would turn controller noise floors
+        # into spurious "regressions", so it stays informational.
+        "governor_convergence.budget_within_10pct": Metric(
+            1.0 if error_pct <= 10.0 else 0.0,
+            "bool",
+            higher_is_better=True,
+            gated=True,
+        ),
+        "governor_convergence.budget_error_pct": Metric(
+            error_pct, "%", higher_is_better=False
+        ),
+        "governor_convergence.steps_to_converge": Metric(
+            # An unconverged run reports a finite sentinel far above any
+            # real tick count, so it gates as "worse than any baseline"
+            # while the report stays strict-JSON (inf would serialize
+            # as the non-standard `Infinity` token).
+            float(steps) if steps is not None else UNCONVERGED_STEPS,
+            "ticks",
+            higher_is_better=False,
+            gated=True,
+        ),
+        "governor_convergence.final_ratio": Metric(
+            governor.ratio, "ratio", higher_is_better=True
+        ),
+        "governor_convergence.ticks": Metric(
+            float(governor.ticks), "ticks", higher_is_better=False
+        ),
+    }
+
+
 #: Signature every bench workload satisfies:
 #: ``fn(small, repeats, timer, calib_ops_per_s) -> {name: Metric}``.
 WorkloadFn = Callable[[bool, int, TimerFn, float], dict[str, Metric]]
@@ -316,4 +406,5 @@ WORKLOADS: dict[str, WorkloadFn] = {
     "spawn_many": bench_spawn_many,
     "backend_matrix": bench_backend_matrix,
     "end_to_end": bench_end_to_end,
+    "governor_convergence": bench_governor_convergence,
 }

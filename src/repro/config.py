@@ -58,6 +58,11 @@ class RuntimeConfig:
         Execution backend spec/instance: ``"simulated"`` (default),
         ``"threaded"``, ``"process"`` (task bodies in a process
         pool), or ``"sequential"``.
+    governor:
+        Optional online energy controller spec/instance
+        (``"governor:budget_j=1.2,interval=0.001"``); ``None``
+        (default) runs open-loop.  See
+        :class:`~repro.tuning.governor.EnergyBudgetGovernor`.
     """
 
     policy: Any = "accurate"
@@ -65,6 +70,7 @@ class RuntimeConfig:
     machine: Any = None
     cost_model: Any = "hybrid"
     engine: Any = "simulated"
+    governor: Any = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.n_workers, int) or self.n_workers < 1:
@@ -79,6 +85,7 @@ class RuntimeConfig:
             ("machine", self.machine),
             ("cost-model", self.cost_model),
             ("engine", self.engine),
+            ("governor", self.governor),
         ):
             if isinstance(value, str):
                 try:
@@ -146,6 +153,12 @@ class RuntimeConfig:
     def build_cost_model(self):
         return resolve("cost-model", self.cost_model)
 
+    def build_governor(self):
+        """A fresh governor instance, or ``None`` for open-loop runs."""
+        if self.governor is None:
+            return None
+        return resolve("governor", self.governor)
+
     def build_engine(
         self,
         machine,
@@ -177,8 +190,11 @@ class RuntimeConfig:
     # -- description -----------------------------------------------------
     def describe(self) -> str:
         """Compact human-readable summary for tables and logs."""
-        return (
+        text = (
             f"policy={component_name(self.policy, 'accurate')} "
             f"workers={self.n_workers} "
             f"engine={component_name(self.engine, 'simulated')}"
         )
+        if self.governor is not None:
+            text += f" governor={component_name(self.governor, 'none')}"
+        return text

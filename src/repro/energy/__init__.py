@@ -3,16 +3,32 @@
 Substitutes the paper's likwid/RAPL measurements (see DESIGN.md
 section 2): energy is integrated from execution traces with an explicit
 Xeon-E5-2650-like power model instead of sampled from hardware MSRs.
+The interval samplers (:class:`~repro.energy.meter.IntervalSampler`,
+:class:`~repro.energy.rapl.RaplSampler`) expose the same integration as
+a periodic feedback stream, which is what the online
+:class:`~repro.tuning.governor.EnergyBudgetGovernor` closes its control
+loop on.
 """
 
 from .cost import AnalyticCost, CostModel, HybridCost, MeasuredCost
-from .dvfs import DvfsOutcome, DvfsPlan, replay_with_dvfs
+from .dvfs import (
+    DEFAULT_FREQUENCY_TABLE,
+    DvfsEpoch,
+    DvfsOutcome,
+    DvfsPlan,
+    FrequencyTable,
+    best_factor,
+    energy_with_epochs,
+    predicted_energy,
+    replay_with_dvfs,
+)
 from .machine_model import XEON_E5_2650, MachineModel
-from .meter import EnergyMeter, EnergyReport
+from .meter import EnergyMeter, EnergyReport, IntervalSampler
 from .rapl import (
     COUNTER_WRAP,
     ENERGY_UNIT_J,
     RaplDomain,
+    RaplSampler,
     SimulatedRapl,
     rapl_delta,
 )
@@ -26,12 +42,20 @@ __all__ = [
     "HybridCost",
     "EnergyMeter",
     "EnergyReport",
+    "IntervalSampler",
     "SimulatedRapl",
     "RaplDomain",
+    "RaplSampler",
     "rapl_delta",
     "ENERGY_UNIT_J",
     "COUNTER_WRAP",
     "DvfsPlan",
     "DvfsOutcome",
     "replay_with_dvfs",
+    "FrequencyTable",
+    "DEFAULT_FREQUENCY_TABLE",
+    "DvfsEpoch",
+    "energy_with_epochs",
+    "predicted_energy",
+    "best_factor",
 ]

@@ -1,22 +1,35 @@
-"""DVFS what-if modelling (paper section 6, future work).
+"""DVFS modelling: what-if replay and online per-frequency cost scaling.
 
-"In the future, we wish to explore more optimization scenarios, such as
-DVFS in conjunction with suitable runtime policies for executing
-approximate (and more light-weight) task versions on the slower but also
-less power-hungry CPUs."
+Paper section 6 (future work): "In the future, we wish to explore more
+optimization scenarios, such as DVFS in conjunction with suitable
+runtime policies for executing approximate (and more light-weight) task
+versions on the slower but also less power-hungry CPUs."
 
-This module implements that scenario analytically so the ablation
-benchmark can quantify it: a :class:`DvfsPlan` assigns a frequency
-multiplier per execution kind; :func:`replay_with_dvfs` stretches each
-trace segment by ``1/f`` and re-integrates energy with the corresponding
-power point (dynamic power ~ f^3).  The replay keeps the schedule's
-structure (same workers, same order) and reports the energy/makespan
-trade-off of running approximate tasks on downclocked cores.
+Two faces of that scenario live here:
+
+* **Offline what-if replay** — a :class:`DvfsPlan` assigns a frequency
+  multiplier per execution kind; :func:`replay_with_dvfs` stretches each
+  trace segment by ``1/f`` and re-integrates energy with the
+  corresponding power point (dynamic power ~ f^3).  The replay keeps the
+  schedule's structure and reports the energy/makespan trade-off of
+  running approximate tasks on downclocked cores.
+* **Online per-frequency cost models** — the substrate the
+  :class:`~repro.tuning.governor.EnergyBudgetGovernor` actuates while a
+  run executes.  A :class:`FrequencyTable` is the discrete set of legal
+  frequency factors (every request is clamped to a table step, like a
+  cpufreq driver); :class:`DvfsEpoch` records a mid-run switch;
+  :func:`energy_with_epochs` integrates a trace piecewise so each epoch
+  is billed at its own power point; :func:`predicted_energy` /
+  :func:`best_factor` are the EXCESS-style per-frequency power models
+  (deliverable D2.3) the governor uses to choose a frequency for the
+  *remaining* work.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from typing import Iterable, NamedTuple, Sequence
 
 from ..runtime.errors import EnergyModelError
 from ..runtime.task import ExecutionKind
@@ -24,7 +37,17 @@ from ..sim.trace import ExecutionTrace, Segment
 from .machine_model import MachineModel
 from .meter import EnergyReport
 
-__all__ = ["DvfsPlan", "DvfsOutcome", "replay_with_dvfs"]
+__all__ = [
+    "DvfsPlan",
+    "DvfsOutcome",
+    "replay_with_dvfs",
+    "FrequencyTable",
+    "DEFAULT_FREQUENCY_TABLE",
+    "DvfsEpoch",
+    "energy_with_epochs",
+    "predicted_energy",
+    "best_factor",
+]
 
 
 @dataclass(frozen=True)
@@ -92,3 +115,192 @@ def replay_with_dvfs(
         core_idle_j=(machine.n_cores * span - busy) * machine.core_idle_w,
     )
     return DvfsOutcome(makespan_s=span, energy=report, stretched=stretched)
+
+
+# ----------------------------------------------------------------------
+# Online DVFS: frequency tables, epochs and per-frequency cost models
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FrequencyTable:
+    """The discrete frequency factors a (simulated) cpufreq driver offers.
+
+    Factors are multipliers of the machine model's nominal frequency;
+    1.0 must be a member so the nominal state is always reachable.
+    Requests between steps are clamped to the *nearest* step
+    (equidistant requests round down, the conservative choice for a
+    power governor).
+    """
+
+    factors: tuple[float, ...] = (0.6, 0.8, 1.0, 1.2)
+
+    def __post_init__(self) -> None:
+        if not self.factors:
+            raise EnergyModelError("frequency table is empty")
+        ordered = tuple(sorted(self.factors))
+        if any(f <= 0 for f in ordered):
+            raise EnergyModelError(
+                f"frequency factors must be > 0: {self.factors}"
+            )
+        if len(set(ordered)) != len(ordered):
+            raise EnergyModelError(
+                f"duplicate frequency factors: {self.factors}"
+            )
+        if 1.0 not in ordered:
+            raise EnergyModelError(
+                f"frequency table must contain the nominal factor 1.0: "
+                f"{self.factors}"
+            )
+        object.__setattr__(self, "factors", ordered)
+
+    def clamp(self, factor: float) -> float:
+        """Snap a requested factor to the nearest table step.
+
+        Out-of-range requests clamp to the table edges; exact midpoints
+        between two steps resolve to the lower (slower) step.
+        """
+        if factor != factor:  # NaN guard: a broken controller input
+            raise EnergyModelError("cannot clamp NaN frequency factor")
+        best = self.factors[0]
+        best_d = abs(factor - best)
+        for f in self.factors[1:]:
+            d = abs(factor - f)
+            if d < best_d:  # strict: ties keep the lower step
+                best, best_d = f, d
+        return best
+
+    @property
+    def min_factor(self) -> float:
+        return self.factors[0]
+
+    @property
+    def max_factor(self) -> float:
+        return self.factors[-1]
+
+    def __iter__(self):
+        return iter(self.factors)
+
+
+#: The default table the governor actuates: two downclocked states, the
+#: nominal state and one turbo step.
+DEFAULT_FREQUENCY_TABLE = FrequencyTable()
+
+
+class DvfsEpoch(NamedTuple):
+    """One online frequency switch: from ``t`` onward, run at ``factor``."""
+
+    t: float
+    factor: float
+
+
+def energy_with_epochs(
+    trace: ExecutionTrace,
+    machine: MachineModel,
+    epochs: Sequence[DvfsEpoch],
+    window_s: float | None = None,
+) -> EnergyReport:
+    """Integrate energy over a trace under a piecewise DVFS timeline.
+
+    Each epoch bills its window at ``machine.scaled_frequency(factor)``
+    — active-core power scales ~``f^3`` while static/idle power is
+    frequency-independent, the same per-frequency power model the
+    what-if replay uses.  The trace's segment durations are taken as
+    recorded (the engine already stretched them when it switched
+    frequency); only the *power attribution* varies per epoch.
+
+    ``epochs`` may be empty (pure nominal integration) and need not
+    start at t=0 — the span before the first epoch is billed at
+    nominal frequency.  Zero-length epochs contribute zero energy.
+    """
+    span = trace.makespan if window_s is None else float(window_s)
+    if span < trace.makespan - 1e-12:
+        raise EnergyModelError(
+            f"window {span} shorter than trace makespan {trace.makespan}"
+        )
+    ordered = sorted(epochs, key=lambda e: e.t)
+    for e in ordered:
+        if e.factor <= 0:
+            raise EnergyModelError(
+                f"frequency factor must be > 0: {e.factor}"
+            )
+        if e.t < 0:
+            raise EnergyModelError(f"negative epoch time {e.t}")
+    # Build the piecewise timeline: [(t0, t1, factor), ...] covering
+    # [0, span].  Before the first epoch the machine runs at nominal.
+    bounds: list[tuple[float, float, float]] = []
+    prev_t, prev_f = 0.0, 1.0
+    for e in ordered:
+        t = min(e.t, span)
+        if t > prev_t:
+            bounds.append((prev_t, t, prev_f))
+        prev_t = max(prev_t, t)
+        prev_f = e.factor
+    if span > prev_t:
+        bounds.append((prev_t, span, prev_f))
+
+    total: EnergyReport | None = None
+    for t0, t1, f in bounds:
+        piece_machine = (
+            machine if f == 1.0 else machine.scaled_frequency(f)
+        )
+        piece = EnergyReport.from_trace(
+            trace.window(t0, t1, rebase=True),
+            piece_machine,
+            window_s=t1 - t0,
+        )
+        total = piece if total is None else total + piece
+    if total is None:  # span == 0: an empty, zero-length window
+        total = EnergyReport(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return total
+
+
+def predicted_energy(
+    machine: MachineModel,
+    factor: float,
+    busy_nominal_s: float,
+    width: int,
+) -> float:
+    """Predicted Joules to retire ``busy_nominal_s`` of nominal-frequency
+    work on ``width`` parallel cores running at ``factor``.
+
+    The per-frequency cost model: elapsed time stretches by ``1/factor``
+    and is paid at the whole-machine idle floor (static + all cores'
+    idle power), while the active-core *extra* power scales ``f^3`` over
+    busy time ``busy/f`` — so dynamic energy scales ``f^2``.  This is
+    the analytic core of the EXCESS per-frequency power models and is
+    what makes "race-to-idle versus slow-and-steady" a computable
+    trade-off rather than folklore.
+    """
+    if factor <= 0:
+        raise EnergyModelError(f"frequency factor must be > 0: {factor}")
+    if busy_nominal_s < 0:
+        raise EnergyModelError(f"negative work: {busy_nominal_s}")
+    if width < 1:
+        raise EnergyModelError(f"width must be >= 1, got {width}")
+    elapsed = busy_nominal_s / (width * factor)
+    static_j = machine.all_idle_w() * elapsed
+    dynamic_j = machine.busy_extra_w() * factor**2 * busy_nominal_s
+    return static_j + dynamic_j
+
+
+def best_factor(
+    machine: MachineModel,
+    busy_nominal_s: float,
+    width: int,
+    table: FrequencyTable | Iterable[float] = DEFAULT_FREQUENCY_TABLE,
+) -> float:
+    """The table step minimizing :func:`predicted_energy`.
+
+    Ties resolve to the *higher* frequency (finish sooner at equal
+    energy).  With zero remaining work every step predicts zero, so the
+    nominal factor is returned.
+    """
+    factors = tuple(table)
+    if busy_nominal_s == 0:
+        return 1.0 if 1.0 in factors else factors[-1]
+    best_f = factors[0]
+    best_j = math.inf
+    for f in sorted(factors):
+        j = predicted_energy(machine, f, busy_nominal_s, width)
+        if j < best_j or (j == best_j and f > best_f):
+            best_f, best_j = f, j
+    return best_f

@@ -24,7 +24,7 @@ from ..runtime.errors import EnergyModelError
 from ..sim.trace import ExecutionTrace
 from .machine_model import MachineModel
 
-__all__ = ["RaplDomain", "SimulatedRapl", "rapl_delta"]
+__all__ = ["RaplDomain", "SimulatedRapl", "RaplSampler", "rapl_delta"]
 
 #: Energy status register LSB: 1/2**16 Joule (Intel SDM, common unit).
 ENERGY_UNIT_J = 1.0 / (1 << 16)
@@ -115,3 +115,46 @@ class SimulatedRapl:
         before = self.read(domain, trace, t0)
         after = self.read(domain, trace, t1)
         return rapl_delta(before, after) * ENERGY_UNIT_J
+
+    def sampler(self, trace: ExecutionTrace) -> "RaplSampler":
+        """A stateful interval sampler over every domain (likwid-style)."""
+        return RaplSampler(self, trace)
+
+
+class RaplSampler:
+    """Periodic all-domain sampling with wrap-corrected differencing.
+
+    The MSR-flavoured sibling of
+    :class:`~repro.energy.meter.IntervalSampler`: each :meth:`sample`
+    returns per-domain Joules since the previous sample, handling the
+    32-bit counter wrap exactly as real likwid/pyRAPL loops must.  The
+    first sample covers ``[0, t]``.
+    """
+
+    def __init__(self, rapl: SimulatedRapl, trace: ExecutionTrace) -> None:
+        self.rapl = rapl
+        self.trace = trace
+        self._last_t = 0.0
+        self._last: dict[str, int] = {
+            d.name: rapl.read(d, trace, 0.0) for d in rapl.domains()
+        }
+
+    @property
+    def last_t(self) -> float:
+        return self._last_t
+
+    def sample(self, t: float) -> dict[str, float]:
+        """Per-domain Joules spent in ``(last_t, t]``."""
+        if t < self._last_t:
+            raise EnergyModelError(
+                f"sampler time ran backwards: {t} < {self._last_t}"
+            )
+        out: dict[str, float] = {}
+        for domain in self.rapl.domains():
+            now = self.rapl.read(domain, self.trace, t)
+            out[domain.name] = (
+                rapl_delta(self._last[domain.name], now) * ENERGY_UNIT_J
+            )
+            self._last[domain.name] = now
+        self._last_t = t
+        return out

@@ -1,9 +1,18 @@
-"""Unreliable-hardware substrate (paper section 6 future work).
+"""Unreliable-hardware substrate (paper section 6, future work).
 
 Silent omission faults on designated cores, with significance-driven
 protection (execute-and-verify re-execution) for important tasks —
 the ERSA-style scenario the paper names as the next step for the
 programming model.
+
+The fault machinery composes with the rest of the runtime rather than
+forking it: :class:`FaultySimulatedMachine` subclasses the simulated
+machine (so ticks, DVFS and the shared accounting core work
+unchanged), the ``"faulty"`` engine spec drops into any
+:class:`~repro.config.RuntimeConfig`, and
+:func:`faulty_scheduler` is a convenience front for the common case.
+Fault draws are deterministic per (worker, task, attempt) so
+unreliable-hardware experiments replay bit-identically.
 """
 
 from .engine import (

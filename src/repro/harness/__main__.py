@@ -31,6 +31,7 @@ from .figures import (
     fig2_benchmark,
     fig3_sobel_perforation,
     fig4_overhead,
+    fig_energy_budget,
 )
 from .tables import table1, table2_policy_accuracy
 
@@ -166,8 +167,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=[
-            "table1", "table2", "fig1", "fig2", "fig3", "fig4", "all",
-            "sweep", "bench",
+            "table1", "table2", "fig1", "fig2", "fig3", "fig4",
+            "fig-energy-budget", "all", "sweep", "bench",
         ],
     )
     parser.add_argument(
@@ -242,7 +243,7 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="bench: restrict to one probe (repeatable; "
         "scheduler_throughput/spawn_overhead/spawn_many/"
-        "backend_matrix/end_to_end)",
+        "backend_matrix/end_to_end/governor_convergence)",
     )
     parser.add_argument(
         "--baseline",
@@ -334,6 +335,12 @@ def main(argv: list[str] | None = None) -> int:
         elif exp == "fig4":
             print(
                 fig4_overhead(
+                    small=args.small, n_workers=args.workers
+                ).render()
+            )
+        elif exp == "fig-energy-budget":
+            print(
+                fig_energy_budget(
                     small=args.small, n_workers=args.workers
                 ).render()
             )

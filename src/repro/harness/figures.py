@@ -35,6 +35,9 @@ __all__ = [
     "QuadrantFigure",
     "fig1_sobel_approximation",
     "fig3_sobel_perforation",
+    "EnergyBudgetData",
+    "GOVERNOR_ENGINES",
+    "fig_energy_budget",
 ]
 
 #: The three policy configurations of Figure 2, in paper order.
@@ -259,6 +262,171 @@ class QuadrantFigure:
         if self.written:
             out += f"\nmosaic written to {self.written}"
         return out
+
+
+# ----------------------------------------------------------------------
+#: The execution backends the energy-budget figure sweeps: both
+#: virtual-time engines plus both wall-clock engines, demonstrating the
+#: governor closes its loop on every backend (wall-clock energies are
+#: model estimates over measured busy intervals and therefore noisy).
+GOVERNOR_ENGINES = ("simulated", "sequential", "threaded", "process")
+
+
+@dataclass
+class EnergyBudgetData:
+    """The governor's energy-vs-quality frontier (paper's open loop,
+    closed).
+
+    ``cells[(engine, frac)]`` holds one governed run at budget
+    ``frac × accurate-energy-on-that-engine``; ``accurate[engine]`` is
+    the full-precision reference; ``drop_frontier[param]`` the
+    significance-agnostic drop (perforation) baseline measured on the
+    simulated engine.
+    """
+
+    benchmark: str
+    budget_fracs: tuple[float, ...]
+    engines: tuple[str, ...]
+    accurate: dict[str, dict] = field(default_factory=dict)
+    cells: dict[tuple[str, float], dict] = field(default_factory=dict)
+    drop_frontier: dict[float, dict] = field(default_factory=dict)
+
+    def render(self) -> str:
+        sections = []
+        for engine in self.engines:
+            ref = self.accurate[engine]
+            headers = [
+                "budget frac", "budget (J)", "energy (J)", "err %",
+                "quality", "final ratio", "converged",
+            ]
+            rows = []
+            for frac in self.budget_fracs:
+                cell = self.cells[(engine, frac)]
+                rows.append(
+                    [
+                        frac,
+                        cell["budget_j"],
+                        cell["energy_j"],
+                        cell["error_pct"],
+                        cell["quality"],
+                        cell["final_ratio"],
+                        "yes" if cell["converged"] else "NO",
+                    ]
+                )
+            sections.append(
+                format_table(
+                    headers,
+                    rows,
+                    title=(
+                        f"[{self.benchmark}] governed energy/quality on "
+                        f"'{engine}' — accurate: "
+                        f"{ref['energy_j']:.6g} J"
+                    ),
+                )
+            )
+        if self.drop_frontier:
+            rows = [
+                [param, cell["energy_j"], cell["quality"]]
+                for param, cell in sorted(self.drop_frontier.items())
+            ]
+            sections.append(
+                format_table(
+                    ["keep fraction", "energy (J)", "quality"],
+                    rows,
+                    title=(
+                        "significance-agnostic drop baseline "
+                        "(perforation, simulated)"
+                    ),
+                )
+            )
+        return "\n\n".join(sections)
+
+
+def fig_energy_budget(
+    small: bool = False,
+    n_workers: int = 16,
+    seed: int = 2015,
+    budget_fracs: tuple[float, ...] = (0.5, 0.7, 0.85),
+    engines: tuple[str, ...] = GOVERNOR_ENGINES,
+    drop_params: tuple[float, ...] = (0.3, 0.5, 0.7, 0.9),
+    governor_ticks: int = 40,
+) -> EnergyBudgetData:
+    """The energy-vs-quality frontier with the governor in the loop.
+
+    For each backend: measure the full-precision energy, then hand the
+    governor a budget at each fraction of it and let it steer LQH's
+    ratio online.  The perforation rows reproduce the
+    significance-agnostic alternative — dropping work blindly — so the
+    figure shows what significance-awareness buys at equal energy.
+
+    Read the wall-clock rows (threaded/process) as "the loop closes on
+    this backend", not as tight tracking: their energies are model
+    estimates over noisy measured intervals, and small-mode task bodies
+    are microseconds long — often retired before the first wall-clock
+    tick can steer them.  The virtual-time rows are deterministic.
+    """
+    bench = get_benchmark("Sobel", small=small)
+    if small:
+        # 64² leaves LQH's per-worker histograms too cold to track a
+        # ratio (62 tasks over 16 workers); 128² keeps the small mode
+        # fast while giving the controller something to steer.
+        bench.height = bench.width = 128
+    inputs = bench.build_input(seed)
+    # Not the shared reference_output cache: the small-mode resize above
+    # would poison its (name, small, seed) key for other figures.
+    reference = bench.run_reference(inputs)
+    data = EnergyBudgetData(
+        benchmark=bench.name,
+        budget_fracs=tuple(budget_fracs),
+        engines=tuple(engines),
+    )
+
+    for engine in engines:
+        accurate = Scheduler(
+            policy="accurate", n_workers=n_workers, engine=engine
+        )
+        out = bench.run_tasks(accurate, inputs, 1.0)
+        full = accurate.finish()
+        data.accurate[engine] = {
+            "energy_j": full.energy_j,
+            "makespan_s": full.makespan_s,
+            "quality": bench.quality(reference, out).value,
+        }
+        interval = full.makespan_s / governor_ticks
+        for frac in budget_fracs:
+            budget_j = frac * full.energy_j
+            governed = Scheduler(
+                policy="lqh",
+                n_workers=n_workers,
+                engine=engine,
+                governor=(
+                    f"governor:budget_j={budget_j},interval={interval}"
+                ),
+            )
+            out = bench.run_tasks(governed, inputs, 1.0)
+            report = governed.finish()
+            quality = bench.quality(reference, out)
+            data.cells[(engine, frac)] = {
+                "budget_j": budget_j,
+                "energy_j": report.energy_j,
+                "error_pct": (
+                    100.0 * abs(report.energy_j - budget_j) / budget_j
+                ),
+                "quality": quality.value,
+                "final_ratio": governed.governor.ratio,
+                "converged": governed.governor.converged,
+                "steps_to_converge": governed.governor.steps_to_converge,
+            }
+
+    for param in drop_params:
+        dropped = Scheduler(policy="accurate", n_workers=n_workers)
+        out = bench.run_perforated(dropped, inputs, param)
+        report = dropped.finish()
+        data.drop_frontier[param] = {
+            "energy_j": report.energy_j,
+            "quality": bench.quality(reference, out).value,
+        }
+    return data
 
 
 def _sobel_with_ratio(

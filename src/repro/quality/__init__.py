@@ -1,4 +1,15 @@
-"""Quality metrics and image helpers (PSNR, relative error, mosaics)."""
+"""Output-quality evaluation: the yardstick of every approximation.
+
+Paper section 4.1: quality is always judged against a fully accurate
+execution of the same code.  The package provides the paper's two
+metrics — PSNR (image benchmarks; reported inverted, lower-is-better,
+as Figure 2 plots it) and relative error (numeric benchmarks) — plus
+SSIM as a perceptual second opinion, all tagged uniformly through
+:class:`~repro.quality.metrics.QualityValue` so harness tables and the
+:class:`~repro.experiment.ResultSet` rows compare like with like.
+The image helpers build Figure 1/3-style quadrant mosaics and the
+deterministic synthetic input standing in for the paper's photograph.
+"""
 
 from .images import (
     quadrant_mosaic,

@@ -21,10 +21,13 @@ either way, which is what makes backend-swapping a one-string change.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from ..energy.meter import EnergyReport
+from ..energy.dvfs import DvfsEpoch, energy_with_epochs
+from ..energy.meter import EnergyReport, IntervalSampler
 from ..sim.trace import ExecutionTrace, Segment
+from .errors import EnergyModelError
 from .stats import GroupSummary, RunReport
 from .task import ExecutionKind, Task
 
@@ -34,7 +37,30 @@ if TYPE_CHECKING:  # pragma: no cover
     from .groups import GroupRegistry
     from .queues import QueueStats
 
-__all__ = ["AccountingCore", "build_run_report"]
+__all__ = ["AccountingCore", "IntervalFeedback", "build_run_report"]
+
+
+@dataclass(frozen=True)
+class IntervalFeedback:
+    """One periodic feedback snapshot the accounting core emits.
+
+    The raw observation stream of the online control loop
+    (:class:`~repro.tuning.governor.EnergyBudgetGovernor`): what one
+    interval cost in energy and what work retired during it, on the
+    backend's own timeline.  ``busy_by_kind`` / ``tasks_by_kind`` are
+    *interval deltas*; ``cumulative_j`` is exact for all recorded work
+    (cumulative differencing, see
+    :class:`~repro.energy.meter.IntervalSampler`).
+    """
+
+    index: int
+    t0: float
+    t1: float
+    energy_j: float
+    cumulative_j: float
+    busy_s: float
+    busy_by_kind: dict[ExecutionKind, float]
+    tasks_by_kind: dict[ExecutionKind, int]
 
 
 class AccountingCore:
@@ -46,10 +72,27 @@ class AccountingCore:
     threaded engine, the master thread for the process pool).
     """
 
-    __slots__ = ("trace",)
+    __slots__ = (
+        "trace",
+        "dvfs_epochs",
+        "_sampler",
+        "_snap_index",
+        "_snap_seg_cursor",
+    )
 
     def __init__(self, n_workers: int) -> None:
         self.trace = ExecutionTrace(n_workers)
+        #: Online DVFS switches ``(t, factor)`` in record order; empty
+        #: for runs that never touch the frequency knob.  Energy
+        #: attribution (:meth:`energy_report`, the feedback sampler and
+        #: :func:`build_run_report`) bills each epoch at its own power
+        #: point.
+        self.dvfs_epochs: list[DvfsEpoch] = []
+        # Feedback-snapshot cursor state (created lazily on the first
+        # interval_feedback call; most runs never snapshot).
+        self._sampler: IntervalSampler | None = None
+        self._snap_index = 0
+        self._snap_seg_cursor = 0
 
     # -- recording -----------------------------------------------------
     def record_task(
@@ -80,6 +123,32 @@ class AccountingCore:
     def add_master_busy(self, dt: float) -> None:
         """Account ``dt`` seconds of master-side bookkeeping work."""
         self.trace.master_busy += dt
+
+    def record_dvfs(self, t: float, factor: float) -> None:
+        """Record an online frequency switch effective from ``t``.
+
+        Epochs must be recorded in time order (the owning backend's
+        serialized context guarantees this); redundant switches to the
+        factor already in force are coalesced away.
+        """
+        if factor <= 0:
+            raise EnergyModelError(
+                f"frequency factor must be > 0: {factor}"
+            )
+        epochs = self.dvfs_epochs
+        if epochs and t < epochs[-1].t:
+            raise EnergyModelError(
+                f"DVFS epoch at {t} precedes the last epoch "
+                f"({epochs[-1].t})"
+            )
+        if factor == self.current_dvfs_factor:
+            return
+        epochs.append(DvfsEpoch(t, factor))
+
+    @property
+    def current_dvfs_factor(self) -> float:
+        """The frequency factor currently in force (1.0 = nominal)."""
+        return self.dvfs_epochs[-1].factor if self.dvfs_epochs else 1.0
 
     # -- aggregate views -------------------------------------------------
     @property
@@ -114,9 +183,67 @@ class AccountingCore:
         This is the single place where a backend's busy intervals meet
         the machine power model; see
         :meth:`~repro.energy.meter.EnergyReport.from_trace` for the
-        integration itself.
+        integration itself.  Runs that switched frequency online are
+        integrated piecewise so every DVFS epoch is billed at its own
+        power point.
         """
+        if self.dvfs_epochs:
+            return energy_with_epochs(
+                self.trace, machine, self.dvfs_epochs, window_s
+            )
         return EnergyReport.from_trace(self.trace, machine, window_s)
+
+    # -- periodic feedback -------------------------------------------------
+    def interval_feedback(
+        self, machine: "MachineModel", t: float
+    ) -> IntervalFeedback:
+        """Emit one feedback snapshot covering ``(previous sample, t]``.
+
+        The governor's observation channel: interval energy via the
+        cumulative-differencing :class:`IntervalSampler` (DVFS-epoch
+        aware), plus the busy seconds and task counts of the trace
+        segments recorded since the previous snapshot.  Snapshot times
+        must be monotone; the owning backend serializes calls exactly
+        like the recording methods.  All snapshots of one run must pass
+        the same machine-model object — the sampler's incremental
+        cursor cannot be rebased onto a different power model mid-run,
+        so a swap raises instead of silently corrupting the feedback
+        stream (re-counting the whole trace as one interval).
+        """
+        if self._sampler is None:
+            self._sampler = IntervalSampler(
+                machine, self.trace, epochs=self.dvfs_epochs
+            )
+        elif self._sampler.machine is not machine:
+            raise EnergyModelError(
+                "interval_feedback called with a different machine "
+                "model mid-run; pass the same (nominal) model object "
+                "for every snapshot of a run"
+            )
+        interval = self._sampler.sample(t)
+
+        busy_by_kind: dict[ExecutionKind, float] = {}
+        tasks_by_kind: dict[ExecutionKind, int] = {}
+        segments = self.trace.segments
+        for seg in segments[self._snap_seg_cursor:]:
+            busy_by_kind[seg.kind] = (
+                busy_by_kind.get(seg.kind, 0.0) + seg.duration
+            )
+            tasks_by_kind[seg.kind] = tasks_by_kind.get(seg.kind, 0) + 1
+        self._snap_seg_cursor = len(segments)
+
+        feedback = IntervalFeedback(
+            index=self._snap_index,
+            t0=t - interval.window_s,
+            t1=t,
+            energy_j=interval.total_j,
+            cumulative_j=self._sampler.cumulative.total_j,
+            busy_s=interval.busy_s,
+            busy_by_kind=busy_by_kind,
+            tasks_by_kind=tasks_by_kind,
+        )
+        self._snap_index += 1
+        return feedback
 
 
 def build_run_report(
@@ -130,6 +257,7 @@ def build_run_report(
     queue_stats: "QueueStats",
     dep_stats: "DepStats",
     tasks_total: int,
+    dvfs_epochs: list[DvfsEpoch] | None = None,
 ) -> RunReport:
     """Assemble the canonical :class:`RunReport` from accounting state.
 
@@ -137,9 +265,16 @@ def build_run_report(
     what guarantees the acceptance property that simulated, threaded and
     process-pool executions produce *schema-identical* reports: the
     report is built from the shared trace/group/queue substrates, never
-    from backend-private state.
+    from backend-private state.  ``dvfs_epochs`` (from the accounting
+    core) switches the energy integration to the piecewise per-frequency
+    power model for runs the governor downclocked mid-flight.
     """
-    energy = EnergyReport.from_trace(trace, machine, window_s=makespan)
+    if dvfs_epochs:
+        energy = energy_with_epochs(
+            trace, machine, dvfs_epochs, window_s=makespan
+        )
+    else:
+        energy = EnergyReport.from_trace(trace, machine, window_s=makespan)
     by_kind = trace.tasks_by_kind()
     # Dropped tasks produce no trace segment on engines that skip their
     # (empty) bodies; count them from the groups' decision logs.

@@ -62,6 +62,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = [
     "ExecutionBackend",
     "Engine",
+    "WallClockTicks",
     "SimulatedEngine",
     "ThreadedEngine",
     "sequential_engine",
@@ -97,6 +98,18 @@ class ExecutionBackend(Protocol):
         """The master thread's current (virtual or wall) time."""
         ...
 
+    def set_tick(
+        self, interval: float, callback: Callable[[float], None]
+    ) -> None:
+        """Install a periodic ``callback(now)`` on the engine timeline."""
+        ...
+
+    def set_frequency_factor(
+        self, factor: float, at: float | None = None
+    ) -> None:
+        """Switch the (simulated) DVFS state from time ``at`` onward."""
+        ...
+
     def run_until(
         self, predicate: Callable[[], bool], description: str
     ) -> float:
@@ -127,6 +140,12 @@ class Engine(abc.ABC):
     with a cheaper batch admission path override it.
     """
 
+    #: Whether :meth:`set_frequency_factor` stretches task durations on
+    #: this backend (virtual-time engines) or only changes the billed
+    #: power point (wall-clock engines, which cannot retime reality).
+    #: The governor uses this to de-scale busy-time observations.
+    dvfs_scales_time: bool = False
+
     @abc.abstractmethod
     def enqueue(self, task: Task, at: float | None = None) -> None:
         """Accept a dependence-free task for execution."""
@@ -146,6 +165,38 @@ class Engine(abc.ABC):
     @abc.abstractmethod
     def master_time(self) -> float:
         """The master thread's current (virtual or wall) time."""
+
+    # -- online control surface (the governor's actuators) ---------------
+    def set_tick(
+        self, interval: float, callback: Callable[[float], None]
+    ) -> None:
+        """Install a periodic ``callback(now)`` on the engine timeline.
+
+        Backends without a periodic-callback facility must say so
+        loudly — a governor silently never ticking would look like a
+        controller bug, not a backend limitation.
+        """
+        raise SchedulerError(
+            f"{type(self).__name__} does not support periodic ticks"
+        )
+
+    def set_frequency_factor(
+        self, factor: float, at: float | None = None
+    ) -> None:
+        """Switch the DVFS state from time ``at`` (default: now) onward.
+
+        The base implementation records the epoch in the accounting
+        core only — correct for the wall-clock backends (threaded /
+        process), where the model cannot retime real execution but the
+        energy attribution should bill the downclocked power point.
+        The simulated engines additionally stretch future durations.
+        """
+        if factor <= 0:
+            raise SchedulerError(
+                f"frequency factor must be > 0: {factor}"
+            )
+        t = self.master_time if at is None else at
+        self.accounting.record_dvfs(t, factor)
 
     @abc.abstractmethod
     def run_until(
@@ -175,9 +226,57 @@ class Engine(abc.ABC):
     def queue_stats(self): ...
 
 
+class WallClockTicks:
+    """Shared periodic-tick state for the wall-clock engines.
+
+    Threaded and process backends both fire governor ticks from their
+    barrier wait loops; this mixin owns the deadline bookkeeping so the
+    two cannot drift apart.  Missed deadlines are *skipped*, not
+    replayed: after an idle stretch (e.g. a long spawn phase between
+    barriers) the next check fires exactly one catch-up tick and
+    fast-forwards the deadline — a burst of zero-width ticks would
+    bloat the governor history and stall barrier entry for nothing.
+    """
+
+    _tick_interval = 0.0
+    _tick_cb: Callable[[float], None] | None = None
+    _tick_next = float("inf")
+
+    def set_tick(
+        self, interval: float, callback: Callable[[float], None]
+    ) -> None:
+        """Periodic callback in wall seconds, fired from the barrier
+        wait loop (the master's blocking point on these backends)."""
+        if interval <= 0:
+            raise SchedulerError(
+                f"tick interval must be > 0, got {interval}"
+            )
+        self._tick_interval = interval
+        self._tick_cb = callback
+        self._tick_next = self.master_time + interval
+
+    def _maybe_tick(self, now: float) -> None:
+        """Fire one due tick; callers hold whatever lock serializes
+        their accounting (re-entrant callbacks are safe there)."""
+        cb = self._tick_cb
+        if cb is None or now < self._tick_next:
+            return
+        self._tick_next = now + self._tick_interval
+        cb(now)
+
+    def _tick_clamped_wait(self, timeout: float, now: float) -> float:
+        """Shrink a blocking wait so a tick deadline is not slept
+        through (the governor needs sub-poll-quantum resolution)."""
+        if self._tick_cb is None:
+            return timeout
+        return min(timeout, max(self._tick_next - now, 0.0))
+
+
 @register("engine", "simulated", "sim")
 class SimulatedEngine(Engine):
     """Virtual-time engine over :class:`SimulatedMachine`."""
+
+    dvfs_scales_time = True
 
     def __init__(
         self,
@@ -213,6 +312,18 @@ class SimulatedEngine(Engine):
     def master_time(self) -> float:
         return self.machine.master_time
 
+    def set_tick(
+        self, interval: float, callback: Callable[[float], None]
+    ) -> None:
+        self.machine.set_tick(interval, callback)
+
+    def set_frequency_factor(
+        self, factor: float, at: float | None = None
+    ) -> None:
+        # The machine owns both knobs the switch turns: the active
+        # model (future durations) and the accounting epoch (energy).
+        self.machine.set_frequency_factor(factor, at)
+
     def run_until(
         self, predicate: Callable[[], bool], description: str
     ) -> float:
@@ -242,7 +353,7 @@ class SimulatedEngine(Engine):
 
 
 @register("engine", "threaded", "threads")
-class ThreadedEngine(Engine):
+class ThreadedEngine(WallClockTicks, Engine):
     """Real-thread engine sharing the queue fabric and policies.
 
     Worker threads loop on :meth:`WorkerQueues.acquire` under a lock and
@@ -367,6 +478,7 @@ class ThreadedEngine(Engine):
         stalled_once = False
         with self._done_cv:
             while not predicate():
+                self._maybe_tick(self._now())
                 if self._inflight == 0 and len(self.queues) == 0:
                     if not stalled_once and self.stall_handler is not None:
                         stalled_once = True
@@ -382,7 +494,9 @@ class ThreadedEngine(Engine):
                     raise SchedulerError(
                         f"threaded engine stalled at {description}"
                     )
-                self._done_cv.wait(self._IDLE_WAIT_S)
+                self._done_cv.wait(
+                    self._tick_clamped_wait(self._IDLE_WAIT_S, self._now())
+                )
         return self._now()
 
     def finish(self) -> tuple[ExecutionTrace, float]:

@@ -214,6 +214,18 @@ class GroupRegistry:
         rec.set_ratio(ratio)
         return rec
 
+    def set_ratio_all(self, ratio: float) -> None:
+        """Apply one ratio globally: every existing group plus the
+        implicit group (paper section 2: the ratio may be set "either
+        globally or in a specific group").  The single home of the
+        broadcast semantics, shared by ``taskwait(ratio=...)`` and the
+        governor's :meth:`~repro.runtime.policies.base.Policy
+        .set_ratio`.
+        """
+        self.get(None).set_ratio(ratio)
+        for rec in self:
+            rec.set_ratio(ratio)
+
     def __contains__(self, name: str) -> bool:
         return name in self._groups
 

@@ -151,6 +151,37 @@ class Policy(abc.ABC):
         ``group is None`` means a global barrier (flush everything).
         """
 
+    # -- online control surface --------------------------------------------
+    def set_ratio(self, ratio: float, group: str | None = None) -> None:
+        """Adjust the target accurate-task ratio while the run executes.
+
+        The actuation half of the paper's open control loop: a
+        controller (the :class:`~repro.tuning.governor
+        .EnergyBudgetGovernor`) observes energy/quality feedback and
+        turns this knob online instead of requiring an offline ratio
+        sweep.  ``group=None`` applies the ratio globally — every
+        existing group plus the implicit group, the same semantics as
+        ``taskwait(ratio=...)``.
+
+        Takes effect at the policy's next decision point: per task for
+        LQH (decisions happen at execution time), per flush for GTB
+        (already-stamped tasks keep their decisions), never for the
+        significance-agnostic baseline (it has no approximate path) —
+        pair the governor with LQH or small-buffer GTB for tight
+        control.
+        """
+        groups = self.scheduler.groups
+        if group is not None:
+            groups.get(group).set_ratio(ratio)
+        else:
+            groups.set_ratio_all(ratio)
+
+    def set_dvfs(self, factor: float, at: float | None = None) -> None:
+        """Adjust the engine's simulated DVFS state (clamping is the
+        caller's job — pass factors from a
+        :class:`~repro.energy.dvfs.FrequencyTable`)."""
+        self.scheduler.engine.set_frequency_factor(factor, at)
+
     # -- worker-side hook -------------------------------------------------
     @abc.abstractmethod
     def decide(self, task: Task, worker: int) -> ExecutionKind:

@@ -63,7 +63,7 @@ except ImportError:  # pragma: no cover - numpy is a hard dep today
 
 from ..registry import register
 from .accounting import AccountingCore
-from .engine import Engine
+from .engine import Engine, WallClockTicks
 from .errors import SchedulerError
 from .queues import WorkerQueues
 from .task import Task, TaskState
@@ -214,7 +214,7 @@ def _apply_update(task: Task, slot: _Slot, update: tuple) -> None:
 
 
 @register("engine", "process", "procpool", "processes")
-class ProcessPoolEngine(Engine):
+class ProcessPoolEngine(WallClockTicks, Engine):
     """Execute task bodies in a ``ProcessPoolExecutor``.
 
     Parameters (after the standard engine wiring): ``max_procs`` caps
@@ -407,9 +407,14 @@ class ProcessPoolEngine(Engine):
     ) -> float:
         stalled_once = False
         while not predicate():
+            self._maybe_tick(self._now())
             self._dispatch()
             if self._pending:
-                self._harvest(timeout=self._POLL_S)
+                self._harvest(
+                    timeout=self._tick_clamped_wait(
+                        self._POLL_S, self._now()
+                    )
+                )
                 continue
             if len(self.queues) == 0:
                 if not stalled_once and self.stall_handler is not None:

@@ -67,6 +67,13 @@ class Scheduler:
         ``"simulated"`` (default), ``"threaded"``, ``"process"``,
         ``"sequential"``, or an :class:`~repro.runtime.engine
         .ExecutionBackend` instance.
+    governor:
+        Optional online energy controller
+        (``"governor:budget_j=1.2,interval=0.001"`` or an
+        :class:`~repro.tuning.governor.EnergyBudgetGovernor`
+        instance); it observes periodic energy/quality feedback and
+        adjusts the effective ratio / DVFS state while the run
+        executes.
     """
 
     def __init__(
@@ -77,6 +84,7 @@ class Scheduler:
         cost_model: CostModel | str | None = None,
         engine: str | ExecutionBackend | None = None,
         policy: Policy | str | None = None,
+        governor: Any = None,
     ) -> None:
         if config is not None and not isinstance(config, RuntimeConfig):
             # Compat shim: the first parameter used to be the policy
@@ -103,6 +111,7 @@ class Scheduler:
                 ("machine", machine),
                 ("cost_model", cost_model),
                 ("engine", engine),
+                ("governor", governor),
             )
             if value is not None
         }
@@ -144,6 +153,11 @@ class Scheduler:
             self._on_task_finished,
             self._on_stall,
         )
+        #: Optional online energy controller; binding installs its
+        #: periodic tick on the engine timeline.
+        self.governor = cfg.build_governor()
+        if self.governor is not None:
+            self.governor.bind(self)
 
     # ------------------------------------------------------------------
     # Program-facing operations (the pragma lowerings)
@@ -339,12 +353,7 @@ class Scheduler:
             if label is not None:
                 self.groups.get(label).set_ratio(ratio)
             else:
-                # Global barrier ratio: applies to every group seen so
-                # far plus the implicit group (paper section 2: "either
-                # globally or in a specific group").
-                self.groups.get(None).set_ratio(ratio)
-                for g in self.groups:
-                    g.set_ratio(ratio)
+                self.groups.set_ratio_all(ratio)
 
         if on is not None:
             # Wait on a data object: flush everything (conservative —
@@ -387,6 +396,22 @@ class Scheduler:
             for g in self.groups:
                 g.new_epoch()
         return t
+
+    # ------------------------------------------------------------------
+    # Controller-facing introspection (the governor's observation API)
+    # ------------------------------------------------------------------
+    @property
+    def outstanding_tasks(self) -> int:
+        """Tasks spawned but not yet finished — a controller's
+        "remaining work" universe (tasks not yet spawned are invisible
+        until they arrive)."""
+        return self._spawned_total - self._completed_total
+
+    @property
+    def tasks(self) -> list[Task]:
+        """Every task spawned so far, in spawn order (read-only: treat
+        the list and the tasks as observation material)."""
+        return self._tasks
 
     # ------------------------------------------------------------------
     # Policy-facing operations
@@ -475,6 +500,7 @@ class Scheduler:
             queue_stats=self.engine.queue_stats,
             dep_stats=self.deps.stats,
             tasks_total=len(self._tasks),
+            dvfs_epochs=self.engine.accounting.dvfs_epochs,
         )
         return self.report
 

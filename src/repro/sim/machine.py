@@ -75,6 +75,10 @@ class SimulatedMachine:
         "_decide_overhead",
         "_decide_overhead_const",
         "_wants_measurement",
+        "_nominal_model",
+        "_tick_interval",
+        "_tick_cb",
+        "_tick_armed",
     )
 
     def __init__(
@@ -128,6 +132,15 @@ class SimulatedMachine:
         self._decide_overhead = policy.decide_overhead
         self._decide_overhead_const = policy.decide_overhead_const
         self._wants_measurement = cost_model.wants_measurement
+        #: DVFS baseline: factors always scale the *nominal* model, so
+        #: repeated switches never compound.
+        self._nominal_model = machine_model
+        # Periodic-tick state (the governor's clock): interval, bound
+        # callback, and an "an event is queued" latch mirroring
+        # _wake_pending's coalescing discipline.
+        self._tick_interval = 0.0
+        self._tick_cb: Callable[[float], None] | None = None
+        self._tick_armed = False
 
         policy.make_worker_state(n_workers)
 
@@ -146,6 +159,7 @@ class SimulatedMachine:
         """
         t = self.master_time if at is None else at
         self.events.push(t, self._do_enqueue, tag="enqueue", payload=task)
+        self._arm_tick(t)
 
     def enqueue_many(self, tasks: list[Task], at: float | None = None) -> None:
         """Batched :meth:`enqueue`: one event admits a whole task batch.
@@ -158,6 +172,73 @@ class SimulatedMachine:
         self.events.push(
             t, self._do_enqueue_many, tag="enqueue_many", payload=tasks
         )
+        self._arm_tick(t)
+
+    # -- periodic ticks and DVFS (the governor's actuation surface) -----
+    def set_tick(
+        self, interval: float, callback: Callable[[float], None]
+    ) -> None:
+        """Install a periodic callback on the virtual timeline.
+
+        ``callback(now)`` fires every ``interval`` virtual seconds while
+        the machine has pending events; it re-arms lazily from the next
+        enqueue when the event queue drains, so ticks never keep an
+        otherwise-finished simulation alive (and never mask a genuine
+        stall from :meth:`run_until`).
+        """
+        if interval <= 0:
+            raise SchedulerError(
+                f"tick interval must be > 0, got {interval}"
+            )
+        self._tick_interval = interval
+        self._tick_cb = callback
+        self._arm_tick(self.master_time)
+
+    def _arm_tick(self, now: float) -> None:
+        if self._tick_cb is not None and not self._tick_armed:
+            self._tick_armed = True
+            self.events.push(
+                now + self._tick_interval,
+                self._fire_tick,
+                tag="tick",
+                payload=None,
+            )
+
+    def _fire_tick(self, _payload, now: float) -> None:
+        self._tick_armed = False
+        cb = self._tick_cb
+        if cb is not None:
+            cb(now)
+        # Re-arm only while real work remains queued: a tick must never
+        # be the event that keeps the queue non-empty.
+        if self.events:
+            self._arm_tick(now)
+
+    def set_frequency_factor(self, factor: float, at: float | None = None) -> None:
+        """Online DVFS: run at ``factor`` × nominal frequency from ``at``.
+
+        Swaps the active machine model for the nominal model rescaled by
+        ``factor`` (throughput ~f, dynamic power ~f^3 — see
+        :meth:`~repro.energy.machine_model.MachineModel.scaled_frequency`)
+        so subsequent task durations and master charges stretch
+        accordingly, and records a DVFS epoch so energy integration
+        bills the new power point.  Tasks already in flight keep their
+        committed durations (frequency transitions do not retime
+        issued work, as on real hardware with in-flight instructions).
+        """
+        if factor <= 0:
+            raise SchedulerError(
+                f"frequency factor must be > 0: {factor}"
+            )
+        t = max(self.clock.now, self.master_time) if at is None else at
+        model = (
+            self._nominal_model
+            if factor == 1.0
+            else self._nominal_model.scaled_frequency(factor)
+        )
+        self.machine_model = model
+        self._inv_ops = 1.0 / model.ops_per_second
+        self.accounting.record_dvfs(t, factor)
 
     def _wake_idle(self, now: float) -> None:
         # Wake idle workers (owner or thief — acquire() resolves which),

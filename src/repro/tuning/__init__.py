@@ -1,5 +1,24 @@
-"""QoS auto-tuning of the ratio knob (Green-style calibration)."""
+"""Auto-tuning and online control of the approximation knobs.
 
+Two controllers close the quality/energy loop the paper leaves open:
+
+* :class:`~repro.tuning.qos.QosTuner` — Green-style *offline*
+  calibrate/choose/monitor: probe a ratio grid, pick the cheapest
+  configuration meeting the quality target, re-calibrate on violation.
+* :class:`~repro.tuning.governor.EnergyBudgetGovernor` — *online*
+  budget control: observe per-interval energy feedback from the
+  accounting core mid-run and steer the effective accurate-task ratio
+  (plus, optionally, the simulated DVFS state) toward a Joules budget.
+"""
+
+from .governor import EnergyBudgetGovernor, GovernorError, GovernorStep
 from .qos import CalibrationPoint, QosError, QosTuner
 
-__all__ = ["QosTuner", "QosError", "CalibrationPoint"]
+__all__ = [
+    "QosTuner",
+    "QosError",
+    "CalibrationPoint",
+    "EnergyBudgetGovernor",
+    "GovernorError",
+    "GovernorStep",
+]

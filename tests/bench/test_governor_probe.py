@@ -1,0 +1,66 @@
+"""The governor_convergence bench probe: gated control-quality metrics."""
+
+from __future__ import annotations
+
+from repro.bench.report import compare_to_baseline
+from repro.bench.timers import default_timer
+from repro.bench.workloads import WORKLOADS, bench_governor_convergence
+
+
+class TestGovernorConvergenceProbe:
+    def test_registered_in_workloads(self):
+        assert WORKLOADS["governor_convergence"] is (
+            bench_governor_convergence
+        )
+
+    def test_metrics_schema_and_gating(self):
+        metrics = bench_governor_convergence(
+            True, 1, default_timer, 1.0e8
+        )
+        assert set(metrics) == {
+            "governor_convergence.budget_within_10pct",
+            "governor_convergence.budget_error_pct",
+            "governor_convergence.steps_to_converge",
+            "governor_convergence.final_ratio",
+            "governor_convergence.ticks",
+        }
+        gated = {n for n, m in metrics.items() if m.gated}
+        assert gated == {
+            "governor_convergence.budget_within_10pct",
+            "governor_convergence.steps_to_converge",
+        }
+
+    def test_meets_the_acceptance_bar(self):
+        metrics = bench_governor_convergence(
+            True, 1, default_timer, 1.0e8
+        )
+        assert (
+            metrics["governor_convergence.budget_within_10pct"].value
+            == 1.0
+        )
+        from repro.bench.workloads import UNCONVERGED_STEPS
+
+        steps = metrics["governor_convergence.steps_to_converge"].value
+        assert steps != UNCONVERGED_STEPS
+        assert steps <= metrics["governor_convergence.ticks"].value
+
+    def test_deterministic_across_invocations(self):
+        a = bench_governor_convergence(True, 1, default_timer, 1.0e8)
+        b = bench_governor_convergence(True, 1, default_timer, 1.0e8)
+        assert {n: m.value for n, m in a.items()} == {
+            n: m.value for n, m in b.items()
+        }
+
+    def test_divergence_would_gate(self):
+        """A budget miss flips the gated boolean and fails comparison."""
+        good = bench_governor_convergence(True, 1, default_timer, 1.0e8)
+        bad = dict(good)
+        miss = good["governor_convergence.budget_within_10pct"]
+        bad["governor_convergence.budget_within_10pct"] = type(miss)(
+            0.0, miss.unit, miss.higher_is_better, miss.gated
+        )
+        comparison = compare_to_baseline(bad, good)
+        assert not comparison.ok
+        assert [m.name for m in comparison.regressions] == [
+            "governor_convergence.budget_within_10pct"
+        ]

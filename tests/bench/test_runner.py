@@ -59,12 +59,14 @@ class TestRunBench:
             "backend_matrix.threaded.tasks_per_s",
             "backend_matrix.process.tasks_per_s",
             "end_to_end.sobel_gtb_s",
+            "governor_convergence.budget_within_10pct",
         ):
             assert expected in names
         gated = [n for n, m in report.metrics.items() if m.gated]
         # One normalized twin per throughput policy + spawn_overhead +
-        # end_to_end, plus spawn_many's kop/task and loop-speedup pair.
-        assert len(gated) == 7
+        # end_to_end, plus spawn_many's kop/task and loop-speedup pair,
+        # plus the governor probe's budget-bar and steps-to-converge.
+        assert len(gated) == 9
 
     def test_baseline_comparison_attached(self, tmp_path):
         base = run_bench(

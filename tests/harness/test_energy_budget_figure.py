@@ -1,0 +1,61 @@
+"""The fig-energy-budget harness target (governor-in-the-loop frontier)."""
+
+from __future__ import annotations
+
+from repro.harness.figures import GOVERNOR_ENGINES, fig_energy_budget
+
+
+class TestEnergyBudgetFigure:
+    def test_virtual_time_engines_track_their_budgets(self):
+        data = fig_energy_budget(
+            small=True,
+            n_workers=16,
+            engines=("simulated", "sequential"),
+            budget_fracs=(0.6, 0.8),
+            drop_params=(0.5, 0.9),
+            governor_ticks=40,
+        )
+        assert set(data.accurate) == {"simulated", "sequential"}
+        for engine in data.engines:
+            for frac in data.budget_fracs:
+                cell = data.cells[(engine, frac)]
+                assert cell["error_pct"] <= 10.0, (engine, frac, cell)
+                assert cell["converged"]
+        # Lower budget -> worse (higher) PSNR^-1 on the same engine.
+        sim = data.cells
+        assert (
+            sim[("simulated", 0.6)]["quality"]
+            >= sim[("simulated", 0.8)]["quality"]
+        )
+
+    def test_drop_frontier_rows_present(self):
+        data = fig_energy_budget(
+            small=True,
+            engines=("sequential",),
+            budget_fracs=(0.7,),
+            drop_params=(0.5,),
+        )
+        assert set(data.drop_frontier) == {0.5}
+        row = data.drop_frontier[0.5]
+        assert row["energy_j"] > 0
+        assert row["quality"] > 0
+
+    def test_render_is_a_table_per_engine(self):
+        data = fig_energy_budget(
+            small=True,
+            engines=("sequential",),
+            budget_fracs=(0.7,),
+            drop_params=(0.5,),
+        )
+        text = data.render()
+        assert "governed energy/quality on 'sequential'" in text
+        assert "significance-agnostic drop baseline" in text
+        assert "budget frac" in text
+
+    def test_default_engine_matrix_is_all_four(self):
+        assert GOVERNOR_ENGINES == (
+            "simulated",
+            "sequential",
+            "threaded",
+            "process",
+        )
