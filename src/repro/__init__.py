@@ -69,8 +69,15 @@ from .runtime.policies import (
 from . import faults as _faults  # noqa: F401  (registers the faulty engine)
 from .experiment import ExperimentResult, ExperimentSpec, ResultSet, run
 from .tuning import EnergyBudgetGovernor  # also registers "governor"
+from .serve import (  # registers "tenant" + "servable" families
+    JobReport,
+    JobRequest,
+    LocalGateway,
+    TaskService,
+    TenantSpec,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -114,4 +121,10 @@ __all__ = [
     "EnergyReport",
     # online control
     "EnergyBudgetGovernor",
+    # serving layer
+    "TaskService",
+    "LocalGateway",
+    "JobRequest",
+    "JobReport",
+    "TenantSpec",
 ]

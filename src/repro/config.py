@@ -63,6 +63,13 @@ class RuntimeConfig:
         (``"governor:budget_j=1.2,interval=0.001"``); ``None``
         (default) runs open-loop.  See
         :class:`~repro.tuning.governor.EnergyBudgetGovernor`.
+    tenants:
+        Optional tuple of tenant specs for the serving layer
+        (``("premium:name='alice'", "free:name='bob',budget_j=2.0")``;
+        the ``"tenant"`` registry family, see
+        :mod:`repro.serve.tenants`).  Ignored by :class:`Scheduler`;
+        consumed by :class:`~repro.serve.server.TaskService` so one
+        serializable config describes a whole multi-tenant service.
     """
 
     policy: Any = "accurate"
@@ -71,12 +78,30 @@ class RuntimeConfig:
     cost_model: Any = "hybrid"
     engine: Any = "simulated"
     governor: Any = None
+    tenants: Any = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.n_workers, int) or self.n_workers < 1:
             raise ConfigError(
                 f"n_workers must be an int >= 1, got {self.n_workers!r}"
             )
+        if self.tenants is not None:
+            if isinstance(self.tenants, (str, bytes)) or not hasattr(
+                self.tenants, "__iter__"
+            ):
+                raise ConfigError(
+                    "tenants must be an iterable of tenant specs "
+                    f"(or None), got {self.tenants!r}"
+                )
+            object.__setattr__(self, "tenants", tuple(self.tenants))
+            for spec in self.tenants:
+                if isinstance(spec, str):
+                    try:
+                        parse_spec(spec)
+                    except RegistryError as exc:
+                        raise ConfigError(
+                            f"invalid tenant spec: {exc}"
+                        ) from exc
         # Fail fast on unparseable/unknown spec strings: a config is a
         # value object and should be invalid at construction, not at
         # scheduler start.
@@ -110,6 +135,16 @@ class RuntimeConfig:
         out: dict[str, Any] = {}
         for f in fields(self):
             value = getattr(self, f.name)
+            if f.name == "tenants":
+                if value is not None and not all(
+                    isinstance(t, str) for t in value
+                ):
+                    raise ConfigError(
+                        "RuntimeConfig.tenants holds programmatic "
+                        "instances; only tenant spec strings serialize"
+                    )
+                out[f.name] = None if value is None else list(value)
+                continue
             if f.name != "n_workers" and not (
                 value is None or isinstance(value, str)
             ):
@@ -159,6 +194,19 @@ class RuntimeConfig:
             return None
         return resolve("governor", self.governor)
 
+    def build_tenants(self) -> tuple:
+        """Fresh tenant specs for the serving layer (empty when unset).
+
+        Resolution is lazy: the ``"tenant"`` registry family lives in
+        :mod:`repro.serve.tenants`, which is imported on first use so a
+        bare ``repro.config`` import stays serve-free.
+        """
+        if self.tenants is None:
+            return ()
+        from .serve import tenants as _tenants  # noqa: F401 (registers)
+
+        return tuple(resolve("tenant", t) for t in self.tenants)
+
     def build_engine(
         self,
         machine,
@@ -197,4 +245,6 @@ class RuntimeConfig:
         )
         if self.governor is not None:
             text += f" governor={component_name(self.governor, 'none')}"
+        if self.tenants:
+            text += f" tenants={len(self.tenants)}"
         return text

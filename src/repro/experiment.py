@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import itertools
 import json
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator
@@ -396,9 +395,22 @@ def run(
     ]
 
     if parallel is not None and parallel > 1 and len(jobs) > 1:
+        # One warm fan-out pool per width, shared across run() calls
+        # (and with process-engine cells of the same width) instead of
+        # a fresh pool per sweep — see repro.runtime.pool.
+        from concurrent.futures.process import BrokenProcessPool
+
+        from .runtime.pool import discard_shared_pool, shared_process_pool
+
         payloads = [(s.to_dict(), r, seed) for s, r, seed in jobs]
-        with ProcessPoolExecutor(max_workers=parallel) as pool:
+        pool = shared_process_pool(parallel)
+        try:
             rows = list(pool.map(_run_payload, payloads))
+        except BrokenProcessPool:
+            # Evict the corpse so the next sweep gets a fresh pool
+            # instead of failing instantly forever.
+            discard_shared_pool(parallel)
+            raise
         results = []
         for (s, r, seed), row in zip(jobs, rows):
             results.append(

@@ -7,12 +7,20 @@ experiment grids through :func:`repro.run`::
         --policy gtb:buffer_size=16 --policy lqh --param 0.3 --param 0.8 \\
         --parallel 4 --json results.json
 
-and ``bench`` runs the :mod:`repro.bench` performance probes, writing
+``bench`` runs the :mod:`repro.bench` performance probes, writing
 the ``BENCH_runtime.json`` trajectory artifact and (optionally) gating
 on a committed baseline::
 
     python -m repro.harness bench --json BENCH_runtime.json \\
         --baseline benchmarks/baselines/bench_baseline.json
+
+and ``serve`` boots the :mod:`repro.serve` JSON-lines TCP gateway (or,
+with ``--smoke N``, drives ``N`` mixed-tenant jobs through it across
+two execution backends and exits nonzero on any transport failure)::
+
+    python -m repro.harness serve --port 7915 \\
+        --tenant "premium:name='alice'" --tenant "free:name='bob'"
+    python -m repro.harness serve --smoke 200
 """
 
 from __future__ import annotations
@@ -34,6 +42,17 @@ from .figures import (
     fig_energy_budget,
 )
 from .tables import table1, table2_policy_accuracy
+
+#: Tenant roster the serve smoke mode provisions: one unmetered
+#: standard tenant plus one tightly budgeted free tenant, so the smoke
+#: traffic exercises execution, caching *and* shedding paths.
+SMOKE_TENANTS = (
+    "standard:name='acme'",
+    "free:name='hobby',budget_j=0.004,max_pending=1024",
+)
+
+#: Backends the smoke pushes jobs across (the ISSUE's "two backends").
+SMOKE_ENGINES = ("simulated", "threaded")
 
 
 #: Default locations for the bench artifact and its baselines.  Gating
@@ -130,6 +149,140 @@ def _run_bench(args) -> int:
     return 0
 
 
+def _boot_gateway(server):
+    """Run a ServeServer's event loop on a daemon thread; return
+    ``(host, port, shutdown)``."""
+    import asyncio
+    import threading
+
+    loop = asyncio.new_event_loop()
+
+    def pump() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_forever()
+
+    thread = threading.Thread(target=pump, daemon=True)
+    thread.start()
+    host, port = asyncio.run_coroutine_threadsafe(
+        server.start(), loop
+    ).result(30)
+
+    def shutdown() -> None:
+        asyncio.run_coroutine_threadsafe(server.close(), loop).result(30)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+
+    return host, port, shutdown
+
+
+def _serve_smoke(n_jobs: int, workers: int) -> int:
+    """Push ``n_jobs`` mixed-tenant jobs through live TCP gateways on
+    each smoke backend; nonzero on any transport/protocol failure."""
+    from ..config import RuntimeConfig
+    from ..serve import ServeClient, ServeServer, TaskService
+
+    per_engine = max(1, n_jobs // len(SMOKE_ENGINES))
+    failures = 0
+    for engine in SMOKE_ENGINES:
+        service = TaskService(
+            RuntimeConfig(
+                policy="gtb-max",
+                n_workers=workers,
+                engine=engine,
+                tenants=SMOKE_TENANTS,
+            )
+        )
+        server = ServeServer(service)
+        host, port, shutdown = _boot_gateway(server)
+        outcomes: dict[str, int] = {}
+        try:
+            with ServeClient(host, port, timeout_s=120.0) as client:
+                assert client.ping()
+                for i in range(per_engine):
+                    tenant = "acme" if i % 2 == 0 else "hobby"
+                    if i % 3 == 0:
+                        kernel, kargs = "mc-pi", {
+                            "blocks": 8,
+                            "samples": 200,
+                            "seed": i % 7,
+                        }
+                    else:
+                        kernel, kargs = "sobel", {
+                            "size": 32,
+                            "seed": i % 5,
+                        }
+                    job = client.submit(
+                        tenant, kernel, kargs, ratio=0.9
+                    )
+                    status = job["status"]
+                    outcomes[status] = outcomes.get(status, 0) + 1
+                    if job["code"] not in (200, 429):
+                        failures += 1
+                stats = client.stats()
+        finally:
+            shutdown()
+            service.close()
+        served = sum(
+            n for s, n in outcomes.items() if not s.startswith("rejected")
+        )
+        print(
+            f"[serve-smoke] {engine}: {per_engine} jobs -> {outcomes}; "
+            f"cache {stats['cache']['hits']}+"
+            f"{stats['cache']['degraded_hits']} hits, "
+            f"{stats['rounds']} rounds",
+        )
+        if served == 0:
+            failures += 1
+    if failures:
+        print(f"serve smoke FAILED ({failures} bad jobs)", file=sys.stderr)
+        return 1
+    print("serve smoke OK", file=sys.stderr)
+    return 0
+
+
+def _run_serve(args) -> int:
+    """The ``serve`` subcommand: boot the TCP gateway (or smoke it)."""
+    if args.smoke is not None:
+        return _serve_smoke(args.smoke, args.workers)
+
+    import asyncio
+
+    from ..config import RuntimeConfig
+    from ..serve import ServeServer, TaskService
+
+    tenants = tuple(args.tenant or ("standard:name='default'",))
+    service = TaskService(
+        RuntimeConfig(
+            policy="gtb-max",
+            n_workers=args.workers,
+            engine=args.engine,
+            tenants=tenants,
+        )
+    )
+    server = ServeServer(service, host=args.host, port=args.port)
+
+    async def run() -> None:
+        host, port = await server.start()
+        print(
+            f"repro.serve gateway on {host}:{port} "
+            f"(engine={args.engine}, tenants={len(tenants)}) — Ctrl-C "
+            "to stop",
+            file=sys.stderr,
+        )
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        service.close()
+    return 0
+
+
 def _run_sweep(args) -> int:
     """The ``sweep`` subcommand: an ExperimentSpec grid to a ResultSet."""
     base = ExperimentSpec(
@@ -168,7 +321,8 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         choices=[
             "table1", "table2", "fig1", "fig2", "fig3", "fig4",
-            "fig-energy-budget", "all", "sweep", "bench",
+            "fig-energy-budget", "fig-serve", "all", "sweep", "bench",
+            "serve",
         ],
     )
     parser.add_argument(
@@ -243,7 +397,8 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="bench: restrict to one probe (repeatable; "
         "scheduler_throughput/spawn_overhead/spawn_many/"
-        "backend_matrix/end_to_end/governor_convergence)",
+        "backend_matrix/end_to_end/governor_convergence/"
+        "serve_throughput/sweep_pool)",
     )
     parser.add_argument(
         "--baseline",
@@ -275,12 +430,40 @@ def main(argv: list[str] | None = None) -> int:
         help="bench: rewrite the active gating baseline (--baseline or "
         "the size-matched default) from this run",
     )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="serve: bind address (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="serve: TCP port (default 0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--tenant",
+        action="append",
+        default=None,
+        help="serve: tenant spec, e.g. \"premium:name='alice'\" "
+        "(repeatable; default one unmetered standard tenant)",
+    )
+    parser.add_argument(
+        "--smoke",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve: instead of serving, push N mixed-tenant jobs "
+        "through live gateways on two backends and exit",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "sweep":
         return _run_sweep(args)
     if args.experiment == "bench":
         return _run_bench(args)
+    if args.experiment == "serve":
+        return _run_serve(args)
 
     out_dir = None
     if args.out:
@@ -342,6 +525,16 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 fig_energy_budget(
                     small=args.small, n_workers=args.workers
+                ).render()
+            )
+        elif exp == "fig-serve":
+            from ..serve.figure import fig_serve
+
+            print(
+                fig_serve(
+                    small=args.small,
+                    n_workers=args.workers,
+                    engine=args.engine,
                 ).render()
             )
         print()

@@ -65,6 +65,7 @@ from ..registry import register
 from .accounting import AccountingCore
 from .engine import Engine, WallClockTicks
 from .errors import SchedulerError
+from .pool import discard_shared_pool, shared_process_pool
 from .queues import WorkerQueues
 from .task import Task, TaskState
 
@@ -220,7 +221,12 @@ class ProcessPoolEngine(WallClockTicks, Engine):
     Parameters (after the standard engine wiring): ``max_procs`` caps
     the OS processes backing the ``n_workers`` logical worker slots
     (default ``min(n_workers, cpu_count)``); ``start_method`` selects
-    the multiprocessing context (``None`` = platform default).
+    the multiprocessing context (``None`` = platform default);
+    ``reuse_pool`` (default on) executes on the shared warm executor
+    from :mod:`repro.runtime.pool` instead of building a private pool —
+    which is what lets an :class:`~repro.experiment.ExperimentSpec`
+    sweep (or a long-lived :class:`~repro.serve.server.TaskService`)
+    run many process-engine cells without paying pool startup per cell.
     """
 
     #: Blocking-wait quantum while a barrier predicate is unsatisfied.
@@ -237,6 +243,7 @@ class ProcessPoolEngine(WallClockTicks, Engine):
         *,
         max_procs: int | None = None,
         start_method: str | None = None,
+        reuse_pool: bool = True,
     ) -> None:
         if n_workers > machine_model.n_cores:
             raise SchedulerError(
@@ -252,6 +259,7 @@ class ProcessPoolEngine(WallClockTicks, Engine):
             n_workers, os.cpu_count() or n_workers
         )
         self.start_method = start_method
+        self.reuse_pool = reuse_pool
 
         self.queues = WorkerQueues(n_workers)
         self._accounting = AccountingCore(n_workers)
@@ -295,14 +303,19 @@ class ProcessPoolEngine(WallClockTicks, Engine):
     # -- dispatch / harvest ----------------------------------------------
     def _pool_or_start(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            ctx = None
-            if self.start_method is not None:
-                import multiprocessing
+            if self.reuse_pool:
+                self._pool = shared_process_pool(
+                    self.max_procs, self.start_method
+                )
+            else:
+                ctx = None
+                if self.start_method is not None:
+                    import multiprocessing
 
-                ctx = multiprocessing.get_context(self.start_method)
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.max_procs, mp_context=ctx
-            )
+                    ctx = multiprocessing.get_context(self.start_method)
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_procs, mp_context=ctx
+                )
         return self._pool
 
     def _dispatch(self) -> None:
@@ -351,6 +364,11 @@ class ProcessPoolEngine(WallClockTicks, Engine):
             try:
                 result, host_s, updates = future.result()
             except BrokenProcessPool as exc:
+                if self.reuse_pool:
+                    # Evict the broken shared pool so the next engine
+                    # (or retry) gets a fresh one instead of the corpse.
+                    discard_shared_pool(self.max_procs, self.start_method)
+                    self._pool = None
                 raise SchedulerError(
                     f"process pool died while running task {task.tid} "
                     f"({exc}); the worker process likely crashed"
@@ -432,7 +450,10 @@ class ProcessPoolEngine(WallClockTicks, Engine):
             "engine shutdown",
         )
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            # Shared pools stay warm for the next run (sweep cells, the
+            # serving layer); private pools are torn down with the run.
+            if not self.reuse_pool:
+                self._pool.shutdown(wait=True)
             self._pool = None
         return self.trace, max(self.trace.makespan, self._now())
 

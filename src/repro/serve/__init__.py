@@ -1,0 +1,58 @@
+"""``repro.serve`` — async, multi-tenant significance-aware serving.
+
+The serving subsystem: a long-lived :class:`TaskService` multiplexing
+every tenant's jobs onto one shared execution engine, per-tenant
+admission control and energy budgets (:mod:`repro.serve.tenants`), an
+approximate-result cache that degrades answers instead of shedding them
+(:mod:`repro.serve.cache`), servable kernels
+(:mod:`repro.serve.kernels`), a JSON-lines TCP gateway
+(:class:`ServeServer`) with sync/async clients
+(:mod:`repro.serve.client`), and the two-tenant isolation figure
+(:func:`repro.serve.figure.fig_serve`).
+
+Importing this package registers the ``"tenant"`` and ``"servable"``
+registry families.
+"""
+
+from .cache import ApproxResultCache, CacheEntry, CacheStats
+from .client import AsyncServeClient, ServeClient, ServeClientError
+from .kernels import (
+    MonteCarloPiServable,
+    ServableKernel,
+    SobelServable,
+    TaskPlan,
+    get_servable,
+    servable_names,
+)
+from .server import (
+    DEFAULT_SERVE_CONFIG,
+    JobReport,
+    JobRequest,
+    LocalGateway,
+    ServeServer,
+    TaskService,
+)
+from .tenants import TenantSpec, TenantState
+
+__all__ = [
+    "TaskService",
+    "LocalGateway",
+    "ServeServer",
+    "JobRequest",
+    "JobReport",
+    "DEFAULT_SERVE_CONFIG",
+    "TenantSpec",
+    "TenantState",
+    "ApproxResultCache",
+    "CacheEntry",
+    "CacheStats",
+    "ServableKernel",
+    "SobelServable",
+    "MonteCarloPiServable",
+    "TaskPlan",
+    "get_servable",
+    "servable_names",
+    "ServeClient",
+    "AsyncServeClient",
+    "ServeClientError",
+]

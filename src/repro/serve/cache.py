@@ -1,0 +1,198 @@
+"""The approximate-result cache: the drop/approximate decision, lifted
+to the serving layer.
+
+The paper's runtime decides per *task* whether accuracy is worth the
+energy; a long-lived service gets a second, coarser decision point per
+*job*: an answer of the same kind may already exist.  The cache keys
+results on ``(kernel, args digest, accurate ratio)`` — the ratio is part
+of the identity because a ratio-0.4 Sobel is a *different, lower-quality
+artifact* than a ratio-1.0 one.
+
+Two lookups implement the serving policy:
+
+* :meth:`ApproxResultCache.get` — exact: the same work at the same
+  quality has been computed; serving it costs zero Joules.
+* :meth:`ApproxResultCache.get_degraded` — the load-shedding path: any
+  cached result of the same work whose ratio falls in
+  ``[min_ratio, max_ratio]``.  When a tenant is over its energy budget
+  or its queue is saturated, the service answers with the best such
+  entry instead of burning energy or rejecting — exactly the paper's
+  "execute approximately instead of accurately" trade, made at
+  admission time.
+
+Capacity is bounded with LRU eviction; all statistics are exposed for
+the figures and the smoke gate.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..runtime.errors import ConfigError
+
+__all__ = ["CacheEntry", "CacheStats", "ApproxResultCache"]
+
+
+def _ratio_key(ratio: float) -> float:
+    """Quantize a ratio for keying (the runtime's 101 levels)."""
+    return round(float(ratio), 2)
+
+
+@dataclass
+class CacheEntry:
+    """One cached job outcome."""
+
+    kernel: str
+    digest: str
+    ratio: float
+    output: Any = field(repr=False)
+    quality: float | None = None
+    energy_j: float = 0.0
+    hits: int = 0
+
+    @property
+    def key(self) -> tuple[str, str, float]:
+        return (self.kernel, self.digest, self.ratio)
+
+
+@dataclass
+class CacheStats:
+    """Counters the service and the bench probes report."""
+
+    hits: int = 0
+    degraded_hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    puts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.degraded_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        n = self.lookups
+        return (self.hits + self.degraded_hits) / n if n else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "degraded_hits": self.degraded_hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "puts": self.puts,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ApproxResultCache:
+    """LRU cache of job results keyed ``(kernel, digest, ratio)``."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ConfigError(
+                f"cache capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, CacheEntry]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        kernel, digest, ratio = key
+        return (kernel, digest, _ratio_key(ratio)) in self._entries
+
+    # -- lookups ---------------------------------------------------------
+    def get(
+        self, kernel: str, digest: str, ratio: float
+    ) -> CacheEntry | None:
+        """Exact hit: same work, same quality level."""
+        key = (kernel, digest, _ratio_key(ratio))
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        entry.hits += 1
+        self.stats.hits += 1
+        return entry
+
+    def get_degraded(
+        self,
+        kernel: str,
+        digest: str,
+        max_ratio: float,
+        min_ratio: float = 0.0,
+    ) -> CacheEntry | None:
+        """Best same-work entry with ratio in ``[min_ratio, max_ratio]``.
+
+        "Best" is the highest cached ratio in the band — the least
+        degraded answer the caller is willing to accept.  Counted as a
+        ``degraded_hit`` (or a plain hit when the band's top is exact).
+        """
+        lo, hi = _ratio_key(min_ratio), _ratio_key(max_ratio)
+        best_key = None
+        best_ratio = -1.0
+        for key in self._entries:
+            k_kernel, k_digest, k_ratio = key
+            if k_kernel != kernel or k_digest != digest:
+                continue
+            if lo <= k_ratio <= hi and k_ratio > best_ratio:
+                best_key, best_ratio = key, k_ratio
+        if best_key is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(best_key)
+        entry = self._entries[best_key]
+        entry.hits += 1
+        if best_ratio == hi:
+            self.stats.hits += 1
+        else:
+            self.stats.degraded_hits += 1
+        return entry
+
+    # -- updates ---------------------------------------------------------
+    def put(
+        self,
+        kernel: str,
+        digest: str,
+        ratio: float,
+        output: Any,
+        quality: float | None = None,
+        energy_j: float = 0.0,
+    ) -> CacheEntry:
+        """Insert (or refresh) one result; evict LRU beyond capacity."""
+        entry = CacheEntry(
+            kernel=kernel,
+            digest=digest,
+            ratio=_ratio_key(ratio),
+            output=output,
+            quality=quality,
+            energy_j=energy_j,
+        )
+        key = entry.key
+        if key in self._entries:
+            del self._entries[key]
+        self._entries[key] = entry
+        self.stats.puts += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return entry
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def keys(self) -> list[tuple]:
+        """Keys in LRU order (oldest first) — for tests and debugging."""
+        return list(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ApproxResultCache {len(self)}/{self.capacity} "
+            f"hit_rate={self.stats.hit_rate:.2f}>"
+        )

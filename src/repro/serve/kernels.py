@@ -1,0 +1,286 @@
+"""Servable kernels: the work a :class:`~repro.serve.server.TaskService`
+job can request.
+
+A served job names a *kernel* plus plain-JSON arguments; the kernel
+turns those into a batch of significance-annotated tasks (the payload of
+one ``Scheduler.spawn_many`` call), recombines the per-task results into
+the job's output, and scores that output against a runtime-free accurate
+reference.  Kernels live in the ``"servable"`` registry family, so jobs
+crossing the wire carry nothing but strings and JSON — the same
+serializability contract as :class:`~repro.config.RuntimeConfig`.
+
+Two built-ins cover the paper's two approximation modes:
+
+* ``sobel`` — row tasks over a synthetic image with the paper's
+  Listing 1 significance pattern; approximated rows run the cheap
+  stencil (**A** mode).  Dominant cost, visual quality metric.
+* ``mc-pi`` — Monte-Carlo π estimation in sample blocks; approximated
+  blocks are *dropped* entirely (**D** mode: no ``approxfun``), so a
+  degraded tenant sheds their compute instead of shrinking it.
+
+Task bodies are module-level functions over picklable data, so every
+execution backend (simulated / threaded / process pool) can serve them.
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from ..kernels.sobel import (
+    sobel_row_accurate,
+    sobel_row_approx,
+    sobel_row_cost,
+    sobel_row_significance,
+)
+from ..quality.images import synthetic_image
+from ..quality.metrics import inverse_psnr, relative_error
+from ..registry import register, registry_for, resolve
+from ..runtime.errors import ConfigError
+from ..runtime.task import TaskCost
+
+__all__ = [
+    "TaskPlan",
+    "ServableKernel",
+    "SobelServable",
+    "MonteCarloPiServable",
+    "get_servable",
+    "servable_names",
+]
+
+
+@dataclass(frozen=True)
+class TaskPlan:
+    """One job's task batch, shaped for ``Scheduler.spawn_many``."""
+
+    fn: Callable[..., Any]
+    args_list: list[tuple]
+    significance: Any = 1.0
+    approxfun: Callable[..., Any] | None = None
+    cost: Any = None
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.args_list)
+
+
+class ServableKernel(abc.ABC):
+    """One kind of servable work: plan tasks, combine, judge quality."""
+
+    #: Registry name (also the cache key's first component).
+    name: str = "?"
+
+    # -- identity --------------------------------------------------------
+    @abc.abstractmethod
+    def canonical_args(self, args: dict | None) -> dict:
+        """Validated arguments with defaults filled in (plain JSON)."""
+
+    def digest(self, args: dict | None) -> str:
+        """Stable content key of one argument set (cache identity)."""
+        canon = self.canonical_args(args)
+        blob = json.dumps(canon, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    # -- execution -------------------------------------------------------
+    @abc.abstractmethod
+    def plan(self, args: dict | None) -> TaskPlan:
+        """The job's task batch (fresh per call; tasks own their data)."""
+
+    @abc.abstractmethod
+    def combine(self, args: dict | None, results: list) -> Any:
+        """Recombine per-task results (in ``args_list`` order) into the
+        job output.  Dropped tasks contribute ``None``."""
+
+    # -- quality ---------------------------------------------------------
+    @abc.abstractmethod
+    def reference(self, args: dict | None) -> Any:
+        """Fully accurate output, computed without any runtime."""
+
+    @abc.abstractmethod
+    def quality(self, reference: Any, output: Any) -> float:
+        """Lower-is-better degradation of ``output`` vs the reference."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ServableKernel {self.name}>"
+
+
+def _int_arg(args: dict, key: str, default: int, lo: int, hi: int) -> int:
+    value = args.get(key, default)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ConfigError(f"servable arg {key!r} must be an int")
+    if not lo <= value <= hi:
+        raise ConfigError(
+            f"servable arg {key!r}={value} outside [{lo}, {hi}]"
+        )
+    return value
+
+
+# ----------------------------------------------------------------------
+# Sobel (approximate-task mode)
+# ----------------------------------------------------------------------
+def _sobel_row_value(window: np.ndarray, i: int) -> np.ndarray:
+    """Accurate Sobel of one row as a returned value.
+
+    ``window`` is the three-row image slice centred on the original
+    row ``i`` (``i`` rides along for the significance clause only), so
+    each task marshals O(width) data across process boundaries — not
+    the whole image — and a three-row scratch buffer reproduces the
+    row exactly.
+    """
+    res = np.zeros((3, window.shape[1]), dtype=window.dtype)
+    sobel_row_accurate(res, window, 1)
+    return res[1]
+
+
+def _sobel_row_value_approx(window: np.ndarray, i: int) -> np.ndarray:
+    res = np.zeros((3, window.shape[1]), dtype=window.dtype)
+    sobel_row_approx(res, window, 1)
+    return res[1]
+
+
+@register("servable", "sobel")
+class SobelServable(ServableKernel):
+    """Row-parallel Sobel filtering of a synthetic image.
+
+    Args: ``size`` (image side, default 64), ``seed`` (default 2015).
+    """
+
+    name = "sobel"
+
+    def canonical_args(self, args: dict | None) -> dict:
+        args = args or {}
+        return {
+            "size": _int_arg(args, "size", 64, 8, 4096),
+            "seed": _int_arg(args, "seed", 2015, 0, 2**31),
+        }
+
+    def _image(self, args: dict) -> np.ndarray:
+        return synthetic_image(args["size"], args["size"], args["seed"])
+
+    def plan(self, args: dict | None) -> TaskPlan:
+        canon = self.canonical_args(args)
+        img = self._image(canon)
+        rows = range(1, canon["size"] - 1)
+        return TaskPlan(
+            fn=_sobel_row_value,
+            # Three-row windows, not the whole image: views share the
+            # base array in-process and pickle as O(width) payloads on
+            # the process backend.
+            args_list=[(img[i - 1 : i + 2], i) for i in rows],
+            significance=lambda window, i: sobel_row_significance(i),
+            approxfun=_sobel_row_value_approx,
+            cost=sobel_row_cost(canon["size"]),
+        )
+
+    def combine(self, args: dict | None, results: list) -> np.ndarray:
+        canon = self.canonical_args(args)
+        size = canon["size"]
+        out = np.zeros((size, size), dtype=np.uint8)
+        for i, row in zip(range(1, size - 1), results):
+            if row is not None:
+                out[i] = row
+        return out
+
+    def reference(self, args: dict | None) -> np.ndarray:
+        canon = self.canonical_args(args)
+        img = self._image(canon)
+        out = np.zeros_like(img)
+        for i in range(1, canon["size"] - 1):
+            sobel_row_accurate(out, img, i)
+        return out
+
+    def quality(self, reference: Any, output: Any) -> float:
+        return inverse_psnr(reference, output)
+
+
+# ----------------------------------------------------------------------
+# Monte-Carlo π (drop mode)
+# ----------------------------------------------------------------------
+#: Abstract work units per Monte-Carlo sample (draw + square + compare).
+_MC_OPS_PER_SAMPLE = 8.0
+
+
+def _pi_block(seed: int, n: int) -> tuple[int, int]:
+    """Count unit-circle hits among ``n`` deterministic 2-D samples."""
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2))
+    hits = int(np.count_nonzero((pts * pts).sum(axis=1) <= 1.0))
+    return hits, n
+
+
+@register("servable", "mc-pi", "pi")
+class MonteCarloPiServable(ServableKernel):
+    """Monte-Carlo π in droppable sample blocks.
+
+    Args: ``blocks`` (tasks, default 16), ``samples`` (per block,
+    default 2000), ``seed``.  No ``approxfun``: a block selected for
+    approximation is dropped, and :meth:`combine` renormalizes over the
+    blocks that actually ran (the paper's **D** mode).
+    """
+
+    name = "mc-pi"
+
+    def canonical_args(self, args: dict | None) -> dict:
+        args = args or {}
+        return {
+            "blocks": _int_arg(args, "blocks", 16, 1, 4096),
+            "samples": _int_arg(args, "samples", 2000, 16, 10**7),
+            "seed": _int_arg(args, "seed", 2015, 0, 2**31),
+        }
+
+    def plan(self, args: dict | None) -> TaskPlan:
+        canon = self.canonical_args(args)
+        seed, n = canon["seed"], canon["samples"]
+        return TaskPlan(
+            fn=_pi_block,
+            args_list=[(seed + b, n) for b in range(canon["blocks"])],
+            # Listing-1-style spread in (0, 1): never forces a decision.
+            significance=lambda s, n: ((s % 9) + 1) / 10.0,
+            approxfun=None,
+            cost=TaskCost(accurate=n * _MC_OPS_PER_SAMPLE),
+        )
+
+    def combine(self, args: dict | None, results: list) -> float:
+        hits = total = 0
+        for block in results:
+            if block is not None:
+                h, n = block
+                hits += h
+                total += n
+        return 4.0 * hits / total if total else 0.0
+
+    def reference(self, args: dict | None) -> float:
+        canon = self.canonical_args(args)
+        return self.combine(
+            args,
+            [
+                _pi_block(canon["seed"] + b, canon["samples"])
+                for b in range(canon["blocks"])
+            ],
+        )
+
+    def quality(self, reference: Any, output: Any) -> float:
+        return relative_error(
+            np.asarray([reference]), np.asarray([output])
+        )
+
+
+def get_servable(spec: Any) -> ServableKernel:
+    """Resolve a servable kernel by registry spec (or pass instances)."""
+    kernel = resolve("servable", spec)
+    if not isinstance(kernel, ServableKernel):
+        raise ConfigError(
+            f"servable spec {spec!r} resolved to "
+            f"{type(kernel).__name__}, not a ServableKernel"
+        )
+    return kernel
+
+
+def servable_names() -> list[str]:
+    """Registered servable kernel names."""
+    return registry_for("servable").names()

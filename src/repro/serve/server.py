@@ -1,0 +1,945 @@
+"""``repro.serve`` — the significance-aware runtime as a service.
+
+The paper's runtime trades quality for energy one batch run at a time;
+this module composes the pieces grown around it (registries, pluggable
+engines, batched spawn, the budget governor) into a long-lived,
+multi-tenant *task service*:
+
+* :class:`TaskService` — the in-process core.  One shared
+  :class:`~repro.runtime.scheduler.Scheduler` (any execution backend)
+  multiplexes every tenant's jobs: each admitted job becomes one task
+  group (label ``tenant/job-id``), whole admission rounds are spawned
+  through the batched ``spawn_many`` fast path, and one barrier per
+  round retires them.  Per-job energy, decision mix, quality and
+  latency are carved out of the shared trace by group.
+* **Admission control** (:mod:`repro.serve.tenants`) — per-tenant queue
+  caps and lifetime energy budgets.  A tenant over budget or over its
+  queue cap is answered from the approximate-result cache
+  (:mod:`repro.serve.cache`) when an acceptable lower-ratio entry
+  exists, and rejected 429-style otherwise.  Budgeted tenants are
+  steered by a per-tenant
+  :class:`~repro.tuning.governor.EnergyBudgetGovernor` that lowers the
+  ratio their jobs are *served* at as the budget drains.
+* :class:`LocalGateway` — synchronous in-process front end (tests,
+  benches, figures).
+* :class:`ServeServer` — an asyncio JSON-lines-over-TCP gateway
+  (``python -m repro.harness serve``); see :mod:`repro.serve.client`
+  for the matching clients.
+
+Energy attribution: a job is billed its tasks' busy seconds times the
+machine model's active-core power — the *marginal* cost of admitting
+the job onto the shared machine.  Package-static power is a cost of
+running the service at all and is reported on the service totals, not
+to tenants.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time as _time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..config import RuntimeConfig
+from ..runtime.errors import ConfigError, RegistryError, SchedulerError
+from ..runtime.scheduler import Scheduler
+from .cache import ApproxResultCache, _ratio_key
+from .kernels import ServableKernel, get_servable
+from .tenants import TenantSpec, TenantState
+
+__all__ = [
+    "JobRequest",
+    "JobReport",
+    "TaskService",
+    "LocalGateway",
+    "ServeServer",
+    "DEFAULT_SERVE_CONFIG",
+]
+
+#: Default runtime for a service: GTB Max-Buffer stamps each round's
+#: decisions at the round barrier by sorting every job group on
+#: significance, so a job served at ratio r gets *exactly*
+#: ``ceil(r * B)`` accurate tasks — per-job groups are far too small
+#: for LQH's per-worker histograms to warm up.
+DEFAULT_SERVE_CONFIG = RuntimeConfig(policy="gtb-max", n_workers=16)
+
+_job_ids = itertools.count(1)
+
+
+@dataclass
+class JobRequest:
+    """One job submission: a kernel, its args, and a quality request."""
+
+    tenant: str
+    kernel: str
+    args: dict | None = None
+    #: Requested accurate-task ratio (the Table 1 knob, per job).
+    ratio: float = 1.0
+    job_id: str = field(default_factory=lambda: f"j{next(_job_ids)}")
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.ratio <= 1.0:
+            raise ConfigError(
+                f"job ratio must be in [0, 1], got {self.ratio}"
+            )
+        if self.args is not None and not isinstance(self.args, dict):
+            raise ConfigError(
+                f"job args must be a dict or None, got {self.args!r}"
+            )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobRequest":
+        known = {"tenant", "kernel", "args", "ratio", "job_id"}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown JobRequest keys {sorted(unknown)}"
+            )
+        missing = {"tenant", "kernel"} - set(data)
+        if missing:
+            raise ConfigError(
+                f"JobRequest needs {sorted(missing)}"
+            )
+        return cls(**data)
+
+
+@dataclass
+class JobReport:
+    """Per-job outcome: the service's answer envelope.
+
+    ``status`` is one of ``executed``, ``cached``, ``cached-degraded``,
+    ``coalesced`` (identical in-round work, served from its leader's
+    execution), ``queued`` (transient), or a ``rejected-*`` reason;
+    ``code``
+    mirrors it HTTP-style (200 served, 429 shed, 404 unknown).
+    ``latency_s`` is measured on the engine's own timeline (virtual
+    seconds on simulated backends — deterministic), ``wall_latency_s``
+    on the host clock.
+    """
+
+    job_id: str
+    tenant: str
+    kernel: str
+    status: str = "queued"
+    code: int = 0
+    ratio_requested: float = 1.0
+    ratio_served: float | None = None
+    quality: float | None = None
+    energy_j: float = 0.0
+    latency_s: float = 0.0
+    wall_latency_s: float = 0.0
+    tasks_total: int = 0
+    accurate: int = 0
+    approximate: int = 0
+    dropped: int = 0
+    detail: str = ""
+    output: Any = field(default=None, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.code == 200
+
+    @property
+    def served_from_cache(self) -> bool:
+        return self.status in ("cached", "cached-degraded")
+
+    def to_dict(self) -> dict:
+        """Wire form: everything but the output payload (scalar outputs
+        ride along as ``result``)."""
+        out = {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "kernel": self.kernel,
+            "status": self.status,
+            "code": self.code,
+            "ratio_requested": self.ratio_requested,
+            "ratio_served": self.ratio_served,
+            "quality": self.quality,
+            "energy_j": self.energy_j,
+            "latency_s": self.latency_s,
+            "wall_latency_s": self.wall_latency_s,
+            "tasks_total": self.tasks_total,
+            "accurate": self.accurate,
+            "approximate": self.approximate,
+            "dropped": self.dropped,
+            "detail": self.detail,
+        }
+        if isinstance(self.output, (int, float, str, bool)):
+            out["result"] = self.output
+        return out
+
+
+@dataclass
+class _Admitted:
+    """Queue entry: an admitted job waiting for its execution round."""
+
+    request: JobRequest
+    kernel: ServableKernel
+    digest: str
+    report: JobReport
+    t_submit_engine: float
+    t_submit_wall: float
+    plan: Any
+    label: str = ""
+    tasks: list = field(default_factory=list)
+
+    @property
+    def n_tasks_est(self) -> int:
+        return self.plan.n_tasks
+
+
+class TaskService:
+    """The in-process multi-tenant serving core (see module docstring).
+
+    Parameters
+    ----------
+    config:
+        :class:`~repro.config.RuntimeConfig` for the shared scheduler;
+        its ``tenants`` field (tenant spec strings) populates the
+        tenant table.  Default: GTB Max-Buffer on 16 simulated workers
+        (see :data:`DEFAULT_SERVE_CONFIG`).
+    tenants:
+        Extra tenant specs/instances, merged over ``config.tenants``.
+        With neither, a single unmetered ``"standard"`` tenant is
+        provisioned.
+    cache_capacity:
+        LRU capacity of the approximate-result cache.
+    max_batch:
+        Jobs executed per round, drained round-robin across tenants.
+    compute_quality:
+        Score every executed job against the kernel's accurate
+        reference (cached per argument digest).  Turn off when serving
+        throughput matters more than reporting.
+
+    Notes
+    -----
+    The result cache and reference cache are LRU-bounded, but the
+    shared scheduler accumulates one task group, its task descriptors
+    and trace segments per *executed* job for the run's lifetime (that
+    is what makes the final :class:`~repro.runtime.stats.RunReport`
+    and the tagged Chrome trace possible).  A service therefore scales
+    to campaigns of many thousands of jobs, not to an unbounded
+    daemon lifetime — recycle the service (``close()`` + rebuild)
+    between campaigns; the cheap admission paths (cache hits,
+    rejections) allocate nothing per job.
+    """
+
+    def __init__(
+        self,
+        config: RuntimeConfig | None = None,
+        tenants: tuple | list = (),
+        *,
+        cache_capacity: int = 128,
+        max_batch: int = 8,
+        compute_quality: bool = True,
+    ) -> None:
+        if max_batch < 1:
+            raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
+        self.config = config if config is not None else DEFAULT_SERVE_CONFIG
+        specs = list(self.config.build_tenants())
+        for extra in tenants:
+            specs.append(
+                extra
+                if isinstance(extra, TenantSpec)
+                else _resolve_tenant(extra)
+            )
+        if not specs:
+            from .tenants import make_standard_tenant
+
+            specs = [make_standard_tenant()]
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate tenant names in {names}")
+        self._tenants: dict[str, TenantState] = {
+            s.name: TenantState(s) for s in specs
+        }
+        self.cache = ApproxResultCache(cache_capacity)
+        self.max_batch = max_batch
+        self.compute_quality = compute_quality
+
+        self._sched = Scheduler(config=self.config)
+        self._machine = self._sched.machine_model
+        self._watts = self._machine.busy_extra_w() + self._machine.core_idle_w
+        self._queues: dict[str, list[_Admitted]] = {}
+        self._rr: list[str] = []  # tenant scan order for round-taking
+        self._rr_pos = 0  # persistent round-robin cursor into _rr
+        self._kernels: dict[str, ServableKernel] = {}
+        # Reference outputs are bounded like the result cache: a
+        # long-lived service must not grow one full-size accurate
+        # output per distinct argument digest forever.
+        self._references: "OrderedDict[tuple[str, str], Any]" = (
+            OrderedDict()
+        )
+        self._references_cap = max(cache_capacity, 8)
+        #: Job ids currently queued (duplicate submissions would
+        #: collide on the scheduler group label and corrupt per-job
+        #: accounting, so they are rejected at admission).
+        self._active_ids: set[str] = set()
+        #: group label -> {"tenant": ..., "job": ..., "kernel": ...}
+        #: (chrome-trace annotation material).
+        self.job_meta: dict[str, dict] = {}
+        self._seg_cursor = 0
+        self._rounds = 0
+        self._closed = False
+        self.run_report = None
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def scheduler(self) -> Scheduler:
+        """The shared scheduler (observation only)."""
+        return self._sched
+
+    @property
+    def tenants(self) -> dict[str, TenantState]:
+        return self._tenants
+
+    @property
+    def pending_jobs(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    @property
+    def rounds(self) -> int:
+        return self._rounds
+
+    def stats(self) -> dict:
+        """Service-wide digest (the gateway's ``stats`` op)."""
+        return {
+            "tenants": {
+                name: state.summary()
+                for name, state in self._tenants.items()
+            },
+            "cache": self.cache.stats.to_dict(),
+            "pending_jobs": self.pending_jobs,
+            "rounds": self._rounds,
+            "engine_time_s": self._sched.engine.master_time,
+            "engine": str(self.config.engine),
+            "policy": self._sched.policy.describe(),
+        }
+
+    # -- admission -------------------------------------------------------
+    def _kernel(self, name: str) -> ServableKernel:
+        kernel = self._kernels.get(name)
+        if kernel is None:
+            kernel = self._kernels[name] = get_servable(name)
+        return kernel
+
+    def submit(self, request: JobRequest | dict) -> JobReport:
+        """Admit one job.
+
+        Returns a completed :class:`JobReport` for cache-served and
+        rejected jobs; a ``status="queued"`` report otherwise — the
+        *same object* is filled in by the job's execution round (see
+        :meth:`flush`), so callers may simply hold on to it.
+        """
+        if self._closed:
+            raise SchedulerError("service is closed")
+        if isinstance(request, dict):
+            request = JobRequest.from_dict(request)
+        report = JobReport(
+            job_id=request.job_id,
+            tenant=request.tenant,
+            kernel=request.kernel,
+            ratio_requested=request.ratio,
+        )
+        state = self._tenants.get(request.tenant)
+        if state is None:
+            report.status = "rejected-unknown-tenant"
+            report.code = 404
+            report.detail = f"unknown tenant {request.tenant!r}"
+            return report
+        if request.job_id in self._active_ids:
+            report.status = "rejected-duplicate-id"
+            report.code = 409
+            report.detail = (
+                f"job id {request.job_id!r} is already queued"
+            )
+            state.rejected += 1
+            return report
+        try:
+            kernel = self._kernel(request.kernel)
+        except (RegistryError, ConfigError) as exc:
+            report.status = "rejected-unknown-kernel"
+            report.code = 404
+            report.detail = str(exc)
+            state.rejected += 1
+            return report
+        try:
+            # Digest only: the shedding paths below must stay cheap —
+            # the full plan (input data and all) is built only for
+            # admitted jobs.
+            digest = kernel.digest(request.args)
+        except ConfigError as exc:
+            report.status = "rejected-bad-args"
+            report.code = 400
+            report.detail = str(exc)
+            state.rejected += 1
+            return report
+
+        if state.over_budget or state.saturated:
+            reason = "budget" if state.over_budget else "queue"
+            entry = None
+            if state.spec.degrade_to_cache:
+                # Load shedding: any same-work answer at or below the
+                # requested quality beats burning energy or erroring.
+                entry = self.cache.get_degraded(
+                    kernel.name, digest, max_ratio=request.ratio
+                )
+            if entry is not None:
+                self._serve_cached(report, state, entry)
+                report.detail = f"over-{reason} -> cache"
+                return report
+            report.status = f"rejected-{reason}"
+            report.code = 429
+            report.detail = (
+                f"tenant {state.spec.name!r} over energy budget"
+                if reason == "budget"
+                else f"tenant queue full ({state.spec.max_pending})"
+            )
+            state.rejected += 1
+            return report
+
+        plan = kernel.plan(request.args)
+        # Seed the tenant's energy model from the analytic plan cost so
+        # the very first governor step has something to project with.
+        if state.governor is not None and state.e_acc_j is None:
+            cost = _plan_cost(plan)
+            ops = self._machine.ops_per_second
+            state.e_acc_j = cost.accurate / ops * self._watts
+            state.e_apx_j = cost.approximate / ops * self._watts
+        admitted = _Admitted(
+            request=request,
+            kernel=kernel,
+            digest=digest,
+            report=report,
+            t_submit_engine=self._sched.engine.master_time,
+            t_submit_wall=_time.perf_counter(),
+            plan=plan,
+        )
+        if request.tenant not in self._queues:
+            self._queues[request.tenant] = []
+            self._rr.append(request.tenant)
+        self._queues[request.tenant].append(admitted)
+        self._active_ids.add(request.job_id)
+        state.pending += 1
+        return report
+
+    def _serve_cached(self, report, state: TenantState, entry) -> None:
+        exact = entry.ratio >= report.ratio_requested
+        report.status = "cached" if exact else "cached-degraded"
+        report.code = 200
+        report.ratio_served = entry.ratio
+        report.quality = entry.quality
+        report.output = entry.output
+        report.energy_j = 0.0
+        if exact:
+            state.cached += 1
+        else:
+            state.cached_degraded += 1
+
+    # -- execution rounds -------------------------------------------------
+    def _take_round(self) -> list[_Admitted]:
+        """Up to ``max_batch`` queued jobs, round-robin across tenants.
+
+        The cursor persists across rounds, so a ``max_batch`` that
+        truncates mid-pass resumes at the next tenant instead of
+        restarting the scan — no tenant is systematically favored for
+        having registered first.
+        """
+        batch: list[_Admitted] = []
+        names = self._rr
+        if not names:
+            return batch
+        pos = self._rr_pos
+        empty_streak = 0
+        while len(batch) < self.max_batch and empty_streak < len(names):
+            name = names[pos % len(names)]
+            pos += 1
+            queue = self._queues.get(name)
+            if queue:
+                batch.append(queue.pop(0))
+                empty_streak = 0
+            else:
+                empty_streak += 1
+        self._rr_pos = pos % len(names)
+        return batch
+
+    def _queued_tasks(self, tenant: str) -> int:
+        return sum(
+            a.n_tasks_est for a in self._queues.get(tenant, ())
+        )
+
+    def flush(self) -> list[JobReport]:
+        """Execute one admission round on the shared engine.
+
+        Steers every budgeted tenant's governor against its queued
+        work, re-checks the cache at the ratio each job will actually
+        be served at, spawns the remainder as per-job task groups in
+        one batch, and settles reports/budgets from the round's trace
+        window.  Returns the round's completed reports.
+        """
+        if self._closed:
+            raise SchedulerError("service is closed")
+        batch = self._take_round()
+        if not batch:
+            return []
+        sched = self._sched
+        now = sched.engine.master_time
+
+        # Pre-steer: the governor solve needs the tasks this round will
+        # issue to still count as "remaining", so it runs before spawn.
+        in_round: dict[str, int] = {}
+        for adm in batch:
+            in_round[adm.request.tenant] = (
+                in_round.get(adm.request.tenant, 0) + adm.n_tasks_est
+            )
+        for name, extra in in_round.items():
+            state = self._tenants[name]
+            if state.governor is not None:
+                state.steer(now, self._queued_tasks(name) + extra)
+
+        to_run: list[_Admitted] = []
+        leaders: dict[tuple, _Admitted] = {}
+        followers: list[tuple[_Admitted, _Admitted]] = []
+        for adm in batch:
+            state = self._tenants[adm.request.tenant]
+            state.pending -= 1
+            self._active_ids.discard(adm.request.job_id)
+            requested = adm.request.ratio
+            effective = min(requested, state.ratio)
+            effective = max(effective, state.spec.ratio_floor)
+            adm.report.ratio_served = effective
+            # The round's cache window: an entry at least as accurate
+            # as we would execute, and no more accurate than asked for,
+            # serves the job for free.
+            entry = self.cache.get_degraded(
+                adm.kernel.name,
+                adm.digest,
+                max_ratio=requested,
+                min_ratio=effective,
+            )
+            if entry is not None:
+                self._serve_cached(adm.report, state, entry)
+                self._finish_latency(adm, now)
+                continue
+            # In-round coalescing: identical work at the same served
+            # ratio executes once; the leader is billed, followers ride
+            # along for free (the batch-dedupe twin of the cache).
+            work_key = (adm.kernel.name, adm.digest, _ratio_key(effective))
+            leader = leaders.get(work_key)
+            if leader is not None:
+                followers.append((adm, leader))
+                continue
+            leaders[work_key] = adm
+            label = f"{adm.request.tenant}/{adm.request.job_id}"
+            self.job_meta[label] = {
+                "tenant": adm.request.tenant,
+                "job": adm.request.job_id,
+                "kernel": adm.kernel.name,
+            }
+            plan = adm.plan
+            sched.init_group(label, effective)
+            adm.tasks = sched.spawn_many(
+                plan.fn,
+                plan.args_list,
+                significance=plan.significance,
+                approxfun=plan.approxfun,
+                label=label,
+                cost=plan.cost,
+            )
+            adm.label = label
+            to_run.append(adm)
+
+        if to_run:
+            t_end = sched.taskwait()
+        else:
+            t_end = now
+        self._settle(to_run, t_end)
+        for adm, leader in followers:
+            led = leader.report
+            report = adm.report
+            report.status = "coalesced"
+            report.code = 200
+            report.ratio_served = led.ratio_served
+            report.quality = led.quality
+            report.output = led.output
+            report.energy_j = 0.0
+            report.detail = f"coalesced with {led.job_id}"
+            self._finish_latency(adm, t_end)
+            self._tenants[adm.request.tenant].coalesced += 1
+        self._rounds += 1
+        return [adm.report for adm in batch]
+
+    def _finish_latency(self, adm: _Admitted, t_end: float) -> None:
+        adm.report.latency_s = max(0.0, t_end - adm.t_submit_engine)
+        adm.report.wall_latency_s = max(
+            0.0, _time.perf_counter() - adm.t_submit_wall
+        )
+
+    def _settle(self, ran: list[_Admitted], t_end: float) -> None:
+        """Carve the round's trace window into per-job outcomes."""
+        segments = self._sched.engine.accounting.trace.segments
+        busy: dict[tuple[str, Any], float] = {}
+        for seg in segments[self._seg_cursor:]:
+            key = (seg.group, seg.kind)
+            busy[key] = busy.get(key, 0.0) + seg.duration
+        self._seg_cursor = len(segments)
+
+        from ..runtime.task import ExecutionKind
+
+        per_tenant: dict[str, dict[str, list[float]]] = {}
+        for adm in ran:
+            label = adm.label
+            group = self._sched.groups.get(label)
+            busy_acc = busy.get((label, ExecutionKind.ACCURATE), 0.0)
+            busy_apx = busy.get((label, ExecutionKind.APPROXIMATE), 0.0)
+            energy_j = (busy_acc + busy_apx) * self._watts
+
+            report = adm.report
+            report.status = "executed"
+            report.code = 200
+            report.tasks_total = group.spawned
+            report.accurate = group.accurate_count
+            report.approximate = group.approx_count
+            report.dropped = group.dropped_count
+            report.energy_j = energy_j
+            results = [t.result for t in adm.tasks]
+            report.output = adm.kernel.combine(adm.request.args, results)
+            if self.compute_quality:
+                report.quality = adm.kernel.quality(
+                    self._reference(adm.kernel, adm.digest, adm.request),
+                    report.output,
+                )
+            self._finish_latency(adm, t_end)
+
+            state = self._tenants[adm.request.tenant]
+            state.executed += 1
+            state.spent_j += energy_j
+            self.cache.put(
+                adm.kernel.name,
+                adm.digest,
+                report.ratio_served,
+                report.output,
+                quality=report.quality,
+                energy_j=energy_j,
+            )
+            bucket = per_tenant.setdefault(
+                adm.request.tenant,
+                {"acc": [0.0, 0], "apx": [0.0, 0]},
+            )
+            bucket["acc"][0] += busy_acc
+            bucket["acc"][1] += report.accurate
+            bucket["apx"][0] += busy_apx
+            # Dropped tasks cost (and would cost) nothing; fold them in
+            # with the approximate basket so e_apx reflects "what a
+            # degraded task costs" on this tenant's mix.
+            bucket["apx"][1] += report.approximate + report.dropped
+
+        for name, buckets in per_tenant.items():
+            state = self._tenants[name]
+            for kind, (busy_s, count) in buckets.items():
+                state.observe_energy(kind, busy_s, count, self._watts)
+
+    def _reference(self, kernel: ServableKernel, digest: str, request):
+        key = (kernel.name, digest)
+        ref = self._references.get(key)
+        if ref is None:
+            ref = self._references[key] = kernel.reference(request.args)
+            while len(self._references) > self._references_cap:
+                self._references.popitem(last=False)
+        else:
+            self._references.move_to_end(key)
+        return ref
+
+    # -- trace export ------------------------------------------------------
+    def write_trace(self, path: str | Path) -> Path:
+        """Chrome-trace export of the whole serve run, events tagged
+        with tenant/job/kernel ids (one timeline for the service)."""
+        from ..sim.chrome_trace import write_chrome_trace
+
+        return write_chrome_trace(
+            self._sched.engine.accounting.trace,
+            path,
+            group_meta=self.job_meta,
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self):
+        """Drain remaining rounds, finish the shared run, and return
+        the canonical :class:`~repro.runtime.stats.RunReport`."""
+        if self._closed:
+            return self.run_report
+        while self.pending_jobs:
+            self.flush()
+        self.run_report = self._sched.finish()
+        self._closed = True
+        return self.run_report
+
+    def __enter__(self) -> "TaskService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+
+
+def _resolve_tenant(spec: Any) -> TenantSpec:
+    from ..registry import resolve
+
+    tenant = resolve("tenant", spec)
+    if not isinstance(tenant, TenantSpec):
+        raise ConfigError(
+            f"tenant spec {spec!r} resolved to "
+            f"{type(tenant).__name__}, not a TenantSpec"
+        )
+    return tenant
+
+
+def _plan_cost(plan) -> "TaskCost":
+    """A representative per-task cost for one plan (model seeding)."""
+    from ..runtime.task import TaskCost
+
+    cost = plan.cost
+    if callable(cost) and not isinstance(cost, TaskCost):
+        cost = cost(*plan.args_list[0]) if plan.args_list else None
+    return cost if isinstance(cost, TaskCost) else TaskCost(0.0)
+
+
+class LocalGateway:
+    """Synchronous in-process facade over a :class:`TaskService`.
+
+    The test/bench front end: submit jobs, drain rounds, get reports —
+    no sockets, no event loop.
+    """
+
+    def __init__(self, service: TaskService | None = None, **kwargs) -> None:
+        self.service = service if service is not None else TaskService(
+            **kwargs
+        )
+
+    def submit(self, request: JobRequest | dict) -> JobReport:
+        """Admit one job (completed immediately when cache/rejection
+        answers it; otherwise finished by the next :meth:`drain`)."""
+        return self.service.submit(request)
+
+    def drain(self) -> int:
+        """Run execution rounds until the queue is empty."""
+        rounds = 0
+        while self.service.pending_jobs:
+            self.service.flush()
+            rounds += 1
+        return rounds
+
+    def submit_many(
+        self, requests: list[JobRequest | dict]
+    ) -> list[JobReport]:
+        """Submit a stream of jobs and run it to completion."""
+        reports = [self.service.submit(r) for r in requests]
+        self.drain()
+        return reports
+
+    def stats(self) -> dict:
+        return self.service.stats()
+
+    def close(self):
+        return self.service.close()
+
+    def __enter__(self) -> "LocalGateway":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+
+
+class ServeServer:
+    """Asyncio JSON-lines-over-TCP gateway around a :class:`TaskService`.
+
+    Protocol: one JSON object per line.
+
+    * ``{"op": "submit", "tenant": ..., "kernel": ..., "args": {...},
+      "ratio": 0.8}`` → ``{"ok": true, "job": {...}}`` once the job
+      settles (cache/rejection immediately; executed jobs after their
+      round).
+    * ``{"op": "stats"}`` → ``{"ok": true, "stats": {...}}``
+    * ``{"op": "ping"}`` → ``{"ok": true, "pong": true}``
+
+    All service state is touched from a single worker thread (the
+    scheduler is not thread-safe); the event loop only parses frames
+    and parks submitters on futures.  Rounds form by batching whatever
+    arrived within ``batch_window_s``.
+    """
+
+    def __init__(
+        self,
+        service: TaskService | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        batch_window_s: float = 0.01,
+        **service_kwargs,
+    ) -> None:
+        self.service = (
+            service if service is not None else TaskService(**service_kwargs)
+        )
+        self.host = host
+        self.port = port
+        self.batch_window_s = batch_window_s
+        self._server = None
+        self._flusher = None
+        self._executor = None
+        self._futures: dict[str, Any] = {}
+        self._wake = None
+
+    # -- lifecycle -------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port)."""
+        import asyncio
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve"
+        )
+        self._wake = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        sock = self._server.sockets[0].getsockname()
+        self.host, self.port = sock[0], sock[1]
+        self._flusher = asyncio.ensure_future(self._flush_loop())
+        return self.host, self.port
+
+    async def close(self) -> None:
+        import asyncio
+
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._flusher is not None:
+            self._flusher.cancel()
+            try:
+                await self._flusher
+            except asyncio.CancelledError:
+                pass
+            self._flusher = None
+        # Waiters still parked on queued jobs get an error frame, not a
+        # connection that silently hangs until their socket timeout.
+        self._fail_pending(RuntimeError("serve gateway shut down"))
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def _fail_pending(self, exc: BaseException) -> None:
+        futures, self._futures = self._futures, {}
+        for future in futures.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    async def _call(self, fn, *args):
+        import asyncio
+
+        loop = asyncio.get_event_loop()
+        return await loop.run_in_executor(self._executor, fn, *args)
+
+    async def _flush_loop(self) -> None:
+        import asyncio
+
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            # Let a round's worth of submissions accumulate.
+            await asyncio.sleep(self.batch_window_s)
+            # Loop on flush()'s own emptiness signal: every touch of
+            # service state happens on the worker thread (submit may
+            # be mutating the queues concurrently with this loop).
+            while True:
+                try:
+                    reports = await self._call(self.service.flush)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
+                    # A failing round (e.g. a broken process pool) must
+                    # not kill the flusher silently and wedge every
+                    # waiter: fail the parked submitters — their
+                    # dispatch coroutines turn this into error frames —
+                    # and keep serving.
+                    self._fail_pending(exc)
+                    break
+                if not reports:
+                    break
+                for report in reports:
+                    future = self._futures.pop(report.job_id, None)
+                    if future is not None and not future.done():
+                        future.set_result(report)
+
+    # -- connection handling ----------------------------------------------
+    async def _handle(self, reader, writer) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._dispatch(line)
+                writer.write(
+                    (json.dumps(response) + "\n").encode("utf-8")
+                )
+                await writer.drain()
+        finally:
+            writer.close()
+
+    def _submit_sync(self, request: JobRequest) -> tuple[JobReport, bool]:
+        """Worker-thread submit returning a queued-ness snapshot.
+
+        The snapshot is taken on the service thread, where it is
+        serialized against flush rounds — the event loop must never
+        read ``report.status`` while a round may be mutating it.
+        """
+        report = self.service.submit(request)
+        return report, report.status == "queued"
+
+    async def _dispatch(self, line: bytes) -> dict:
+        import asyncio
+
+        try:
+            message = json.loads(line)
+            op = message.get("op", "submit")
+            if op == "ping":
+                return {"ok": True, "pong": True}
+            if op == "stats":
+                stats = await self._call(self.service.stats)
+                return {"ok": True, "stats": stats}
+            if op != "submit":
+                return {"ok": False, "error": f"unknown op {op!r}"}
+            payload = {
+                k: v for k, v in message.items() if k != "op"
+            }
+            request = JobRequest.from_dict(payload)
+            if request.job_id in self._futures:
+                return {
+                    "ok": False,
+                    "error": f"job id {request.job_id!r} is already "
+                    "in flight on this gateway",
+                }
+            # Register the waiter *before* the service sees the job:
+            # the flusher may settle the round (and try to resolve the
+            # future) before this coroutine gets scheduled again.
+            future = asyncio.get_event_loop().create_future()
+            self._futures[request.job_id] = future
+            try:
+                report, queued = await self._call(
+                    self._submit_sync, request
+                )
+                if queued:
+                    self._wake.set()
+                    report = await future
+                else:
+                    self._futures.pop(request.job_id, None)
+            except BaseException:
+                self._futures.pop(request.job_id, None)
+                raise
+            return {"ok": report.ok, "job": report.to_dict()}
+        except Exception as exc:
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}

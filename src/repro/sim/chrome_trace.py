@@ -5,6 +5,13 @@ Serializes an :class:`~repro.sim.trace.ExecutionTrace` into the Chrome
 worker, so schedules can be inspected interactively.  Accurate tasks
 render in one color category, approximate in another; dropped tasks are
 instant events.
+
+``group_meta`` attaches extra identity to every segment of a task
+group — the serving layer passes ``{label: {"tenant": ..., "job": ...,
+"kernel": ...}}`` so a whole multi-tenant serve run renders as one
+timeline whose events filter by tenant and job id (the ``cat`` field
+additionally gains a ``tenant:<name>`` tag for Perfetto's category
+filter).
 """
 
 from __future__ import annotations
@@ -24,8 +31,17 @@ _CATEGORY = {
 }
 
 
-def to_chrome_trace(trace: ExecutionTrace, pid: int = 1) -> dict:
-    """Build the trace-event JSON object (not yet serialized)."""
+def to_chrome_trace(
+    trace: ExecutionTrace,
+    pid: int = 1,
+    group_meta: dict[str, dict] | None = None,
+) -> dict:
+    """Build the trace-event JSON object (not yet serialized).
+
+    ``group_meta`` maps group labels to extra ``args`` entries merged
+    into each of that group's events (e.g. serve-layer tenant/job ids);
+    a ``"tenant"`` entry is also appended to the event category.
+    """
     events: list[dict] = []
     for w in range(trace.n_workers):
         events.append(
@@ -38,17 +54,25 @@ def to_chrome_trace(trace: ExecutionTrace, pid: int = 1) -> dict:
             }
         )
     for seg in trace.segments:
+        meta = group_meta.get(seg.group) if group_meta else None
+        cat = _CATEGORY[seg.kind]
+        args = {
+            "tid": seg.tid,
+            "kind": seg.kind.value,
+            "group": seg.group,
+        }
+        if meta:
+            args.update(meta)
+            tenant = meta.get("tenant")
+            if tenant:
+                cat = f"{cat},tenant:{tenant}"
         base = {
             "pid": pid,
             "tid": seg.worker,
-            "cat": _CATEGORY[seg.kind],
+            "cat": cat,
             "name": f"task-{seg.tid}"
             + (f" [{seg.group}]" if seg.group else ""),
-            "args": {
-                "tid": seg.tid,
-                "kind": seg.kind.value,
-                "group": seg.group,
-            },
+            "args": args,
         }
         us = 1e6  # trace-event timestamps are microseconds
         if seg.duration <= 0:
@@ -75,9 +99,12 @@ def to_chrome_trace(trace: ExecutionTrace, pid: int = 1) -> dict:
 
 
 def write_chrome_trace(
-    trace: ExecutionTrace, path: str | Path, pid: int = 1
+    trace: ExecutionTrace,
+    path: str | Path,
+    pid: int = 1,
+    group_meta: dict[str, dict] | None = None,
 ) -> Path:
     """Serialize to a ``.json`` file loadable by chrome://tracing."""
     p = Path(path)
-    p.write_text(json.dumps(to_chrome_trace(trace, pid)))
+    p.write_text(json.dumps(to_chrome_trace(trace, pid, group_meta)))
     return p

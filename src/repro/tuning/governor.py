@@ -358,7 +358,38 @@ class EnergyBudgetGovernor:
                 scheduler.policy.set_dvfs(factor, at=now)
                 self._factor = factor
 
-        ratio = self._solve_ratio(spent, remaining, factor)
+        self.control_step(
+            now,
+            spent_j=spent,
+            remaining_tasks=remaining,
+            e_acc_j=self._energy_per_task("acc", factor),
+            e_apx_j=self._energy_per_task("apx", factor),
+        )
+        scheduler.policy.set_ratio(self._ratio, group=self.group)
+
+    def control_step(
+        self,
+        now: float,
+        *,
+        spent_j: float,
+        remaining_tasks: int,
+        e_acc_j: float,
+        e_apx_j: float,
+    ) -> float:
+        """One budget-projection step on externally supplied measurements.
+
+        The actuator-free core of the control law: solve for the ratio
+        that lands on the budget given the sunk cost and the modelled
+        per-task energies, smooth it, update the convergence latch and
+        the history, and return the new ratio.  :meth:`on_tick` wraps it
+        with the engine feedback channel and the ``set_ratio``/DVFS
+        actuation; the serving layer (:mod:`repro.serve`) calls it
+        directly with per-tenant measurements — one unbound governor per
+        tenant steering that tenant's admission ratio.
+        """
+        ratio = self._solve_ratio(
+            spent_j, remaining_tasks, e_acc_j, e_apx_j
+        )
         previous = self._ratio
         self._ratio = previous + self.smoothing * (ratio - previous)
         # Convergence latches: once the ratio has held still for
@@ -377,27 +408,25 @@ class EnergyBudgetGovernor:
                 )
         else:
             self._stable_streak = 0
-        scheduler.policy.set_ratio(self._ratio, group=self.group)
 
-        e_acc = self._energy_per_task("acc", factor)
-        e_apx = self._energy_per_task("apx", factor)
-        projected = spent + remaining * (
-            self._ratio * e_acc + (1.0 - self._ratio) * e_apx
+        projected = spent_j + remaining_tasks * (
+            self._ratio * e_acc_j + (1.0 - self._ratio) * e_apx_j
         )
         self.history.append(
             GovernorStep(
                 index=len(self.history),
                 t=now,
-                spent_j=spent,
+                spent_j=spent_j,
                 projected_j=projected,
                 ratio=self._ratio,
                 factor=self._factor,
-                remaining_tasks=remaining,
+                remaining_tasks=remaining_tasks,
             )
         )
+        return self._ratio
 
     def _solve_ratio(
-        self, spent: float, remaining: int, factor: float
+        self, spent: float, remaining: int, e_acc: float, e_apx: float
     ) -> float:
         """The deadbeat projection: the ratio landing on the budget."""
         if self.budget_j is None:
@@ -405,8 +434,6 @@ class EnergyBudgetGovernor:
             return self.ratio_floor
         if remaining <= 0:
             return self._ratio  # nothing left to steer
-        e_acc = self._energy_per_task("acc", factor)
-        e_apx = self._energy_per_task("apx", factor)
         headroom_per_task = (self.budget_j - spent) / remaining
         if e_acc <= e_apx + 1e-300:
             # Degenerate model (approximation saves nothing): run

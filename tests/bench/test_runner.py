@@ -60,13 +60,20 @@ class TestRunBench:
             "backend_matrix.process.tasks_per_s",
             "end_to_end.sobel_gtb_s",
             "governor_convergence.budget_within_10pct",
+            "serve_throughput.jobs_per_s",
+            "serve_throughput.p95_latency_ms",
+            "serve_throughput.jobs_per_mop",
+            "sweep_pool.reuse_speedup",
+            "sweep_pool.reuse_speedup_min2x",
         ):
             assert expected in names
         gated = [n for n, m in report.metrics.items() if m.gated]
         # One normalized twin per throughput policy + spawn_overhead +
         # end_to_end, plus spawn_many's kop/task and loop-speedup pair,
-        # plus the governor probe's budget-bar and steps-to-converge.
-        assert len(gated) == 9
+        # plus the governor probe's budget-bar and steps-to-converge,
+        # plus the serving layer's jobs/Mop and the sweep-pool capped
+        # reuse-speedup bar.
+        assert len(gated) == 11
 
     def test_baseline_comparison_attached(self, tmp_path):
         base = run_bench(

@@ -122,7 +122,7 @@ class TestApiReferenceCoverage:
 
         missing = []
         for kind in ("policy", "engine", "cost-model", "machine",
-                     "governor"):
+                     "governor", "tenant", "servable"):
             registry = registry_for(kind)
             for name in registry.names():
                 factory = registry.factory(name)

@@ -1,0 +1,106 @@
+"""Shared process pools: one warm executor across sweep cells."""
+
+import pytest
+
+from repro.runtime.pool import (
+    discard_shared_pool,
+    shared_process_pool,
+    shutdown_shared_pools,
+)
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.task import TaskCost
+
+
+def _noop(i: int) -> int:
+    return i
+
+
+@pytest.fixture(autouse=True)
+def _clean_pools():
+    yield
+    shutdown_shared_pools()
+
+
+class TestSharedPoolRegistry:
+    def test_same_key_same_executor(self):
+        a = shared_process_pool(2)
+        b = shared_process_pool(2)
+        assert a is b
+
+    def test_different_keys_different_executors(self):
+        assert shared_process_pool(1) is not shared_process_pool(2)
+
+    def test_discard_makes_fresh(self):
+        a = shared_process_pool(2)
+        discard_shared_pool(2)
+        assert shared_process_pool(2) is not a
+
+    def test_discard_unknown_is_noop(self):
+        discard_shared_pool(63, "spawn")
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            shared_process_pool(0)
+
+    def test_shutdown_clears_registry(self):
+        a = shared_process_pool(2)
+        shutdown_shared_pools()
+        assert shared_process_pool(2) is not a
+
+
+class TestEngineReuse:
+    def _run_cell(self, reuse: bool) -> Scheduler:
+        engine = (
+            "process:max_procs=2,reuse_pool=true"
+            if reuse
+            else "process:max_procs=2,reuse_pool=false"
+        )
+        sched = Scheduler(policy="accurate", n_workers=2, engine=engine)
+        sched.spawn_many(
+            _noop, [(i,) for i in range(6)], cost=TaskCost(1000.0)
+        )
+        sched.finish()
+        return sched
+
+    def test_consecutive_cells_share_one_pool(self):
+        first = self._run_cell(reuse=True)
+        pool = shared_process_pool(2)
+        second = self._run_cell(reuse=True)
+        # The registry still holds the same warm executor: neither
+        # finish() tore it down.
+        assert shared_process_pool(2) is pool
+        for sched in (first, second):
+            assert all(t.result == t.args[0] for t in sched.tasks)
+
+    def test_private_pool_opt_out(self):
+        sched = self._run_cell(reuse=False)
+        assert all(t.result == t.args[0] for t in sched.tasks)
+        # finish() shut the private pool down and dropped the handle.
+        assert sched.engine._pool is None
+
+    def test_reuse_is_the_default(self):
+        sched = Scheduler(
+            policy="accurate", n_workers=2, engine="process:max_procs=2"
+        )
+        assert sched.engine.reuse_pool is True
+        sched.spawn_many(_noop, [(1,)], cost=TaskCost(1000.0))
+        sched.finish()
+
+
+class TestExperimentFanout:
+    def test_parallel_run_uses_shared_pool(self):
+        from repro.config import RuntimeConfig
+        from repro.experiment import ExperimentSpec, run
+
+        spec = ExperimentSpec(
+            workload="sobel",
+            param=0.7,
+            small=True,
+            config=RuntimeConfig(policy="gtb:buffer_size=16"),
+        )
+        results = run(
+            [spec, spec.replace(param=0.3)], parallel=2
+        )
+        assert len(results) == 2
+        # The fan-out executor survives the run() call, warm.
+        assert shared_process_pool(2) is shared_process_pool(2)

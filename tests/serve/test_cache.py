@@ -1,0 +1,156 @@
+"""Approximate-result cache: LRU eviction, degraded lookups, and the
+budget-triggered degradation path through a live service."""
+
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.runtime.errors import ConfigError
+from repro.serve import (
+    ApproxResultCache,
+    JobRequest,
+    LocalGateway,
+)
+
+
+class TestLruMechanics:
+    def test_put_get_roundtrip(self):
+        cache = ApproxResultCache(capacity=4)
+        cache.put("sobel", "d1", 1.0, output="full", quality=0.0)
+        entry = cache.get("sobel", "d1", 1.0)
+        assert entry is not None
+        assert entry.output == "full"
+        assert entry.hits == 1
+        assert cache.stats.hits == 1
+
+    def test_miss_counts(self):
+        cache = ApproxResultCache(capacity=4)
+        assert cache.get("sobel", "nope", 1.0) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.0
+
+    def test_capacity_evicts_lru(self):
+        cache = ApproxResultCache(capacity=2)
+        cache.put("k", "a", 1.0, output=1)
+        cache.put("k", "b", 1.0, output=2)
+        cache.get("k", "a", 1.0)  # refresh a -> b is now LRU
+        cache.put("k", "c", 1.0, output=3)
+        assert cache.stats.evictions == 1
+        assert cache.get("k", "b", 1.0) is None  # evicted
+        assert cache.get("k", "a", 1.0) is not None
+        assert cache.get("k", "c", 1.0) is not None
+
+    def test_put_same_key_refreshes_not_grows(self):
+        cache = ApproxResultCache(capacity=2)
+        cache.put("k", "a", 0.5, output=1)
+        cache.put("k", "a", 0.5, output=2)
+        assert len(cache) == 1
+        assert cache.get("k", "a", 0.5).output == 2
+
+    def test_ratio_is_part_of_identity(self):
+        cache = ApproxResultCache(capacity=8)
+        cache.put("k", "a", 0.4, output="low")
+        assert cache.get("k", "a", 1.0) is None
+
+    def test_ratio_quantized_to_levels(self):
+        cache = ApproxResultCache(capacity=8)
+        cache.put("k", "a", 0.400000001, output="low")
+        assert cache.get("k", "a", 0.4) is not None
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ConfigError, match="capacity"):
+            ApproxResultCache(capacity=0)
+
+
+class TestDegradedLookup:
+    def test_picks_highest_ratio_in_band(self):
+        cache = ApproxResultCache(capacity=8)
+        cache.put("k", "a", 0.2, output="worst")
+        cache.put("k", "a", 0.6, output="better")
+        cache.put("k", "a", 0.9, output="best-but-too-high")
+        entry = cache.get_degraded("k", "a", max_ratio=0.8)
+        assert entry.output == "better"
+        assert cache.stats.degraded_hits == 1
+
+    def test_band_floor_excludes_too_degraded(self):
+        cache = ApproxResultCache(capacity=8)
+        cache.put("k", "a", 0.2, output="worst")
+        assert (
+            cache.get_degraded("k", "a", max_ratio=1.0, min_ratio=0.5)
+            is None
+        )
+
+    def test_exact_top_of_band_counts_as_plain_hit(self):
+        cache = ApproxResultCache(capacity=8)
+        cache.put("k", "a", 0.8, output="x")
+        entry = cache.get_degraded("k", "a", max_ratio=0.8)
+        assert entry is not None
+        assert cache.stats.hits == 1
+        assert cache.stats.degraded_hits == 0
+
+    def test_other_work_never_matches(self):
+        cache = ApproxResultCache(capacity=8)
+        cache.put("k", "other-digest", 0.5, output="x")
+        cache.put("other-kernel", "a", 0.5, output="y")
+        assert cache.get_degraded("k", "a", max_ratio=1.0) is None
+
+
+class TestBudgetTriggeredDegradation:
+    """The serving policy end to end: a tenant over its energy budget
+    is answered from the cache at a lower ratio instead of executing
+    or erroring."""
+
+    def _gateway(self) -> LocalGateway:
+        return LocalGateway(
+            config=RuntimeConfig(policy="gtb-max", n_workers=8),
+            tenants=(
+                "standard:name='t',budget_j=0.0005,ratio_floor=0.2",
+            ),
+        )
+
+    def _job(self) -> JobRequest:
+        return JobRequest(
+            tenant="t", kernel="sobel", args={"size": 32}, ratio=1.0
+        )
+
+    def test_over_budget_serves_degraded_cache_with_zero_energy(self):
+        with self._gateway() as gw:
+            first = gw.submit_many([self._job()])[0]
+            assert first.status == "executed"
+            assert first.ratio_served < 1.0  # budget-steered already
+            assert first.energy_j > 0
+            state = gw.service.tenants["t"]
+            assert state.over_budget  # tiny budget: one job blows it
+
+            second = gw.submit_many([self._job()])[0]
+            assert second.status == "cached-degraded"
+            assert second.code == 200
+            assert second.energy_j == 0.0
+            assert second.ratio_served == pytest.approx(
+                round(first.ratio_served, 2)
+            )
+            # No extra spend: the whole point of the degradation path.
+            assert state.spent_j == pytest.approx(first.energy_j)
+
+    def test_over_budget_without_cache_rejects_429(self):
+        with self._gateway() as gw:
+            gw.submit_many([self._job()])
+            assert gw.service.tenants["t"].over_budget
+            # Different work -> nothing cached -> shed.
+            miss = gw.submit(
+                JobRequest(tenant="t", kernel="sobel", args={"size": 48})
+            )
+            assert miss.status == "rejected-budget"
+            assert miss.code == 429
+
+    def test_degrade_to_cache_optout_rejects_instead(self):
+        with LocalGateway(
+            config=RuntimeConfig(policy="gtb-max", n_workers=8),
+            tenants=(
+                "standard:name='t',budget_j=0.0005,"
+                "degrade_to_cache=false",
+            ),
+        ) as gw:
+            gw.submit_many([self._job()])
+            report = gw.submit(self._job())
+            assert report.status == "rejected-budget"
+            assert report.code == 429

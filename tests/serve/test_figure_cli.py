@@ -1,0 +1,20 @@
+"""The fig-serve harness target and the serve CLI smoke mode."""
+
+from repro.harness.__main__ import main
+
+
+class TestFigServeCli:
+    def test_fig_serve_renders(self, capsys):
+        assert main(["fig-serve", "--small", "--workers", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "[fig-serve]" in out
+        assert "-> PASS" in out
+
+
+class TestServeSmokeCli:
+    def test_smoke_pushes_jobs_across_two_backends(self, capsys):
+        assert main(["serve", "--smoke", "24", "--workers", "4"]) == 0
+        captured = capsys.readouterr()
+        assert "serve smoke OK" in captured.err
+        assert "[serve-smoke] simulated" in captured.out
+        assert "[serve-smoke] threaded" in captured.out

@@ -1,0 +1,108 @@
+"""Servable kernels: registry, digests, plans, combine and quality."""
+
+import numpy as np
+import pytest
+
+from repro.registry import available
+from repro.runtime.errors import ConfigError
+from repro.serve import get_servable, servable_names
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"sobel", "mc-pi"} <= set(servable_names())
+        assert "sobel" in available("servable")
+
+    def test_alias(self):
+        assert get_servable("pi").name == "mc-pi"
+
+    def test_unknown_raises(self):
+        from repro.runtime.errors import RegistryError
+
+        with pytest.raises(RegistryError, match="unknown servable"):
+            get_servable("nope")
+
+
+class TestDigests:
+    def test_digest_stable_and_canonical(self):
+        kernel = get_servable("sobel")
+        assert kernel.digest({"size": 64, "seed": 2015}) == kernel.digest(
+            {"seed": 2015, "size": 64}
+        )
+        # Defaults fill in: {} == the default argument set.
+        assert kernel.digest(None) == kernel.digest(
+            {"size": 64, "seed": 2015}
+        )
+
+    def test_digest_separates_args(self):
+        kernel = get_servable("sobel")
+        assert kernel.digest({"size": 64}) != kernel.digest({"size": 32})
+
+    def test_bad_args_rejected(self):
+        kernel = get_servable("sobel")
+        with pytest.raises(ConfigError, match="size"):
+            kernel.canonical_args({"size": 4})
+        with pytest.raises(ConfigError, match="size"):
+            kernel.canonical_args({"size": "big"})
+        with pytest.raises(ConfigError, match="blocks"):
+            get_servable("mc-pi").canonical_args({"blocks": 0})
+
+
+class TestSobelPlan:
+    def test_plan_covers_interior_rows(self):
+        kernel = get_servable("sobel")
+        plan = kernel.plan({"size": 32})
+        assert plan.n_tasks == 30
+        assert plan.approxfun is not None
+        assert plan.cost.accurate > plan.cost.approximate > 0
+
+    def test_plan_executes_to_reference(self):
+        kernel = get_servable("sobel")
+        args = {"size": 16, "seed": 3}
+        plan = kernel.plan(args)
+        results = [plan.fn(*a) for a in plan.args_list]
+        output = kernel.combine(args, results)
+        np.testing.assert_array_equal(output, kernel.reference(args))
+        assert kernel.quality(kernel.reference(args), output) == 0.0
+
+    def test_dropped_rows_degrade_quality(self):
+        kernel = get_servable("sobel")
+        args = {"size": 16, "seed": 3}
+        plan = kernel.plan(args)
+        results = [plan.fn(*a) for a in plan.args_list]
+        results[3] = None  # a dropped task contributes nothing
+        output = kernel.combine(args, results)
+        assert kernel.quality(kernel.reference(args), output) > 0.0
+
+
+class TestMcPiPlan:
+    def test_reference_close_to_pi(self):
+        kernel = get_servable("mc-pi")
+        estimate = kernel.reference({"blocks": 16, "samples": 4000})
+        assert estimate == pytest.approx(np.pi, abs=0.05)
+
+    def test_combine_renormalizes_over_surviving_blocks(self):
+        kernel = get_servable("mc-pi")
+        args = {"blocks": 8, "samples": 1000}
+        plan = kernel.plan(args)
+        full = [plan.fn(*a) for a in plan.args_list]
+        dropped = list(full)
+        dropped[1] = dropped[5] = None
+        partial = kernel.combine(args, dropped)
+        # Still a pi estimate, just noisier.
+        assert partial == pytest.approx(np.pi, abs=0.2)
+        assert kernel.quality(
+            kernel.combine(args, full), partial
+        ) < 0.1
+
+    def test_empty_results_do_not_divide_by_zero(self):
+        kernel = get_servable("mc-pi")
+        assert kernel.combine({"blocks": 2}, [None, None]) == 0.0
+
+    def test_significances_stay_decidable(self):
+        # Never 0.0/1.0: forced values would bypass the policy.
+        kernel = get_servable("mc-pi")
+        plan = kernel.plan({"blocks": 32, "samples": 64})
+        sigs = [plan.significance(*a) for a in plan.args_list]
+        assert all(0.0 < s < 1.0 for s in sigs)
+        assert len(set(sigs)) > 1

@@ -1,0 +1,168 @@
+"""The asyncio JSON-lines gateway and its sync/async clients."""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.serve import (
+    AsyncServeClient,
+    ServeClient,
+    ServeClientError,
+    ServeServer,
+    TaskService,
+)
+
+
+@pytest.fixture()
+def gateway():
+    """A live TCP gateway on an ephemeral port, torn down after."""
+    service = TaskService(
+        RuntimeConfig(policy="gtb-max", n_workers=4),
+        tenants=(
+            "standard:name='t1'",
+            "free:name='t2',budget_j=0.0004",
+        ),
+        max_batch=4,
+    )
+    server = ServeServer(service, batch_window_s=0.002)
+    loop = asyncio.new_event_loop()
+
+    def pump() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_forever()
+
+    thread = threading.Thread(target=pump, daemon=True)
+    thread.start()
+    host, port = asyncio.run_coroutine_threadsafe(
+        server.start(), loop
+    ).result(30)
+    try:
+        yield host, port, service, loop
+    finally:
+        asyncio.run_coroutine_threadsafe(server.close(), loop).result(30)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+        service.close()
+
+
+class TestSyncClient:
+    def test_ping(self, gateway):
+        host, port, _, _ = gateway
+        with ServeClient(host, port) as client:
+            assert client.ping()
+
+    def test_submit_executes_and_reports(self, gateway):
+        host, port, _, _ = gateway
+        with ServeClient(host, port) as client:
+            job = client.submit(
+                "t1", "mc-pi", {"blocks": 6, "samples": 400}, ratio=0.9
+            )
+            assert job["status"] == "executed"
+            assert job["code"] == 200
+            assert job["result"] == pytest.approx(3.14, abs=0.4)
+            assert job["wall_latency_s"] > 0
+
+    def test_budget_shedding_over_the_wire(self, gateway):
+        host, port, _, _ = gateway
+        with ServeClient(host, port) as client:
+            outcomes = [
+                client.submit("t2", "sobel", {"size": 32})["status"]
+                for _ in range(4)
+            ]
+            assert outcomes[0] == "executed"
+            # The tiny budget forces cache/shedding afterwards.
+            assert set(outcomes[1:]) <= {
+                "cached", "cached-degraded", "rejected-budget"
+            }
+
+    def test_rejection_is_not_a_transport_error(self, gateway):
+        host, port, _, _ = gateway
+        with ServeClient(host, port) as client:
+            job = client.submit("nobody", "sobel")
+            assert job["status"] == "rejected-unknown-tenant"
+            assert job["code"] == 404
+
+    def test_stats(self, gateway):
+        host, port, _, _ = gateway
+        with ServeClient(host, port) as client:
+            client.submit("t1", "sobel", {"size": 32})
+            stats = client.stats()
+            assert set(stats["tenants"]) == {"t1", "t2"}
+            assert stats["rounds"] >= 1
+            assert "cache" in stats
+
+    def test_connect_refused_raises_client_error(self):
+        with pytest.raises(ServeClientError, match="connect"):
+            ServeClient("127.0.0.1", 1, timeout_s=0.5)
+
+    def test_malformed_op_reports_error(self, gateway):
+        host, port, _, _ = gateway
+        client = ServeClient(host, port)
+        try:
+            response = client._roundtrip({"op": "explode"})
+            assert response["ok"] is False
+            assert "unknown op" in response["error"]
+            with pytest.raises(ServeClientError, match="gateway error"):
+                client.submit("t1", "sobel", ratio=7.0)  # invalid ratio
+        finally:
+            client.close()
+
+
+class TestAsyncClient:
+    def test_async_submit_and_stats(self, gateway):
+        host, port, _, loop = gateway
+
+        async def drive():
+            async with AsyncServeClient(host, port) as client:
+                assert await client.ping()
+                job = await client.submit(
+                    "t1", "sobel", {"size": 32}, ratio=1.0
+                )
+                stats = await client.stats()
+                return job, stats
+
+        job, stats = asyncio.run_coroutine_threadsafe(
+            drive(), loop
+        ).result(60)
+        assert job["status"] in ("executed", "cached")
+        assert job["code"] == 200
+        assert stats["tenants"]["t1"]["executed"] >= 1
+
+
+class TestWireProtocol:
+    def test_concurrent_submissions_batch_into_rounds(self, gateway):
+        host, port, service, loop = gateway
+
+        async def burst():
+            clients = []
+            for _ in range(3):
+                c = AsyncServeClient(host, port)
+                await c.connect()
+                clients.append(c)
+            jobs = await asyncio.gather(
+                *(
+                    c.submit(
+                        "t1", "sobel", {"size": 32, "seed": i}
+                    )
+                    for i, c in enumerate(clients)
+                )
+            )
+            for c in clients:
+                await c.close()
+            return jobs
+
+        jobs = asyncio.run_coroutine_threadsafe(burst(), loop).result(60)
+        assert all(j["code"] == 200 for j in jobs)
+        assert {j["status"] for j in jobs} <= {"executed", "coalesced"}
+
+    def test_raw_frame_is_json_line(self, gateway):
+        import socket
+
+        host, port, _, _ = gateway
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(b'{"op": "ping"}\n')
+            line = sock.makefile("rb").readline()
+        assert json.loads(line) == {"ok": True, "pong": True}

@@ -1,0 +1,205 @@
+"""Tenant specs, the ``"tenant"`` registry family, admission control
+(queue caps, budget exhaustion -> 429) and per-tenant governors."""
+
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.registry import available, resolve
+from repro.runtime.errors import ConfigError
+from repro.serve import JobRequest, LocalGateway, TenantSpec
+from repro.serve.tenants import TenantState
+
+
+class TestTenantRegistry:
+    def test_tiers_registered(self):
+        names = available("tenant")
+        assert {"premium", "standard", "free"} <= set(names)
+
+    def test_spec_string_resolves_with_overrides(self):
+        spec = resolve("tenant", "free:name='bob',budget_j=2.0")
+        assert isinstance(spec, TenantSpec)
+        assert spec.name == "bob"
+        assert spec.tier == "free"
+        assert spec.budget_j == 2.0
+        assert spec.max_pending == 8  # free-tier default
+
+    def test_tier_defaults_differ(self):
+        premium = resolve("tenant", "premium")
+        free = resolve("tenant", "free")
+        assert premium.max_pending > free.max_pending
+        assert premium.ratio_floor > free.ratio_floor
+
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="budget"):
+            TenantSpec(name="x", budget_j=0.0)
+        with pytest.raises(ConfigError, match="max_pending"):
+            TenantSpec(name="x", max_pending=0)
+        with pytest.raises(ConfigError, match="ratio_floor"):
+            TenantSpec(name="x", ratio_floor=1.5)
+        with pytest.raises(ConfigError, match="name"):
+            TenantSpec(name="")
+
+
+class TestRuntimeConfigTenants:
+    def test_tenants_field_round_trips(self):
+        cfg = RuntimeConfig(
+            policy="gtb-max",
+            tenants=["premium:name='a'", "free:name='b'"],
+        )
+        assert cfg.tenants == ("premium:name='a'", "free:name='b'")
+        clone = RuntimeConfig.from_dict(cfg.to_dict())
+        assert clone == cfg
+        specs = clone.build_tenants()
+        assert [s.name for s in specs] == ["a", "b"]
+
+    def test_describe_mentions_tenants(self):
+        cfg = RuntimeConfig(tenants=("standard:name='x'",))
+        assert "tenants=1" in cfg.describe()
+
+    def test_bad_tenants_rejected(self):
+        with pytest.raises(ConfigError, match="tenant"):
+            RuntimeConfig(tenants="standard")  # a bare string is a bug
+        with pytest.raises(ConfigError, match="tenant"):
+            RuntimeConfig(tenants=("standard:=",))
+
+    def test_instances_do_not_serialize(self):
+        cfg = RuntimeConfig(tenants=(TenantSpec(name="x"),))
+        with pytest.raises(ConfigError, match="serialize"):
+            cfg.to_dict()
+
+
+class TestAdmissionControl:
+    def test_unknown_tenant_404(self):
+        with LocalGateway(tenants=("standard:name='known'",)) as gw:
+            report = gw.submit(
+                JobRequest(tenant="nobody", kernel="sobel")
+            )
+            assert report.status == "rejected-unknown-tenant"
+            assert report.code == 404
+
+    def test_unknown_kernel_404(self):
+        with LocalGateway(tenants=("standard:name='t'",)) as gw:
+            report = gw.submit(
+                JobRequest(tenant="t", kernel="no-such-kernel")
+            )
+            assert report.status == "rejected-unknown-kernel"
+            assert report.code == 404
+
+    def test_queue_saturation_429(self):
+        with LocalGateway(
+            tenants=("standard:name='t',max_pending=2",)
+        ) as gw:
+            jobs = [
+                gw.submit(
+                    JobRequest(
+                        tenant="t", kernel="sobel",
+                        args={"size": 32, "seed": i},
+                    )
+                )
+                for i in range(4)
+            ]
+            statuses = [j.status for j in jobs]
+            assert statuses[:2] == ["queued", "queued"]
+            assert statuses[2:] == ["rejected-queue"] * 2
+            assert all(j.code == 429 for j in jobs[2:])
+            gw.drain()
+            assert jobs[0].status == "executed"
+
+    def test_saturated_tenant_can_still_be_served_from_cache(self):
+        with LocalGateway(
+            tenants=("standard:name='t',max_pending=1",)
+        ) as gw:
+            gw.submit_many(
+                [JobRequest(tenant="t", kernel="sobel", args={"size": 32})]
+            )
+            # Fill the queue, then ask for the cached work again.
+            gw.submit(
+                JobRequest(
+                    tenant="t", kernel="sobel",
+                    args={"size": 32, "seed": 7},
+                )
+            )
+            shed = gw.submit(
+                JobRequest(tenant="t", kernel="sobel", args={"size": 32})
+            )
+            assert shed.served_from_cache
+            assert shed.code == 200
+            assert "over-queue" in shed.detail
+
+    def test_duplicate_queued_job_id_rejected_409(self):
+        with LocalGateway(tenants=("standard:name='t'",)) as gw:
+            first = gw.submit(
+                JobRequest(
+                    tenant="t", kernel="sobel",
+                    args={"size": 32}, job_id="dup",
+                )
+            )
+            assert first.status == "queued"
+            clash = gw.submit(
+                JobRequest(
+                    tenant="t", kernel="sobel",
+                    args={"size": 48}, job_id="dup",
+                )
+            )
+            assert clash.status == "rejected-duplicate-id"
+            assert clash.code == 409
+            gw.drain()
+            assert first.status == "executed"
+            # Once settled, the id is free again.
+            again = gw.submit(
+                JobRequest(
+                    tenant="t", kernel="sobel",
+                    args={"size": 48}, job_id="dup",
+                )
+            )
+            assert again.status == "queued"
+
+    def test_duplicate_tenant_names_rejected(self):
+        from repro.serve import TaskService
+
+        with pytest.raises(ConfigError, match="duplicate"):
+            TaskService(
+                tenants=("standard:name='x'", "free:name='x'")
+            )
+
+
+class TestPerTenantGovernor:
+    def test_unmetered_tenant_has_no_governor(self):
+        state = TenantState(TenantSpec(name="x"))
+        assert state.governor is None
+        assert state.ratio == 1.0
+        assert state.steer(0.0, 100) == 1.0
+
+    def test_budgeted_tenant_governor_steers_down(self):
+        spec = TenantSpec(name="x", budget_j=1.0, ratio_floor=0.1)
+        state = TenantState(spec)
+        assert state.governor is not None
+        assert state.governor.budget_j == 1.0
+        state.e_acc_j = 0.02
+        state.e_apx_j = 0.002
+        # 100 tasks at 0.02 J accurate = 2 J >> 1 J budget.
+        ratio = state.steer(0.0, 100)
+        assert ratio < 1.0
+        # The governor records its control history like the run-level
+        # controller.
+        assert state.governor.history[-1].remaining_tasks == 100
+
+    def test_budget_exhaustion_collapses_to_floor(self):
+        spec = TenantSpec(
+            name="x", budget_j=1.0, ratio_floor=0.25, smoothing=1.0
+        )
+        state = TenantState(spec)
+        state.e_acc_j = 0.02
+        state.e_apx_j = 0.0
+        state.spent_j = 1.5  # over budget
+        assert state.over_budget
+        assert state.steer(0.0, 50) == pytest.approx(0.25)
+
+    def test_energy_observations_fold_in(self):
+        state = TenantState(TenantSpec(name="x", budget_j=1.0))
+        state.observe_energy("acc", busy_s=1.0, tasks=10, watts=5.0)
+        assert state.e_acc_j == pytest.approx(0.5)
+        state.observe_energy("acc", busy_s=1.0, tasks=10, watts=15.0)
+        assert 0.5 < state.e_acc_j < 1.5  # EWMA, not replacement
+        state.observe_energy("apx", busy_s=0.0, tasks=0, watts=5.0)
+        assert state.e_apx_j is None  # empty rounds don't pollute

@@ -48,6 +48,25 @@ class TestChromeTrace:
         loaded = json.loads(p.read_text())
         assert loaded["traceEvents"]
 
+    def test_group_meta_tags_events(self):
+        meta = {"g": {"tenant": "acme", "job": "j7", "kernel": "sobel"}}
+        doc = to_chrome_trace(sample_trace(), group_meta=meta)
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        for span in spans:  # both spans belong to group "g"
+            assert span["args"]["tenant"] == "acme"
+            assert span["args"]["job"] == "j7"
+            assert span["args"]["kernel"] == "sobel"
+            assert span["cat"].endswith(",tenant:acme")
+        # The untagged (groupless) instant event is untouched.
+        instant = next(e for e in doc["traceEvents"] if e["ph"] == "i")
+        assert "tenant" not in instant["args"]
+        assert instant["cat"] == "dropped"
+
+    def test_group_meta_absent_is_identical(self):
+        assert to_chrome_trace(sample_trace()) == to_chrome_trace(
+            sample_trace(), group_meta={}
+        )
+
     def test_real_run_exports(self, tmp_path):
         from repro.runtime.scheduler import Scheduler
         from repro.runtime.task import TaskCost
