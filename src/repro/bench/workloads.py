@@ -28,6 +28,12 @@ about (section 4.2 / Figure 4):
   :mod:`repro.serve` task service: a mixed two-tenant job stream
   through the in-process gateway on the simulated backend (admission,
   batching, per-job accounting — the serving layer's hot path).
+* **serve_cluster** — the sharded serving layer's acceptance gates:
+  the :func:`repro.cluster.figure.fig_cluster` smoke workload on 1/4/8
+  shards (virtual-time speedups, gated at ≥3x and ≥5x), the cluster
+  ledger's 2% lifetime-spend parity versus the single-shard figure,
+  and the fig-serve two-tenant isolation band replayed across shards.
+  Fully virtual-time, so every gated metric is host-independent.
 * **sweep_pool** — process-engine cells on the shared warm executor
   (:mod:`repro.runtime.pool`) versus a private pool per cell; the
   gated ``reuse_speedup`` ratio is what makes sweeping over
@@ -59,6 +65,7 @@ __all__ = [
     "bench_end_to_end",
     "bench_governor_convergence",
     "bench_serve_throughput",
+    "bench_serve_cluster",
     "bench_sweep_pool",
 ]
 
@@ -475,6 +482,73 @@ def bench_serve_throughput(
     }
 
 
+#: Speedup acceptance bars of the sharded serving layer (the ISSUE's
+#: ≥3x jobs/s at 4 shards, ≥5x at 8, on the smoke workload).
+CLUSTER_SPEEDUP_4X = 3.0
+CLUSTER_SPEEDUP_8X = 5.0
+
+
+def bench_serve_cluster(
+    small: bool,
+    repeats: int,
+    timer: TimerFn,
+    calib_ops_per_s: float,
+) -> dict[str, Metric]:
+    """Sharded-serving acceptance gates (virtual time; repeats ignored).
+
+    Like ``governor_convergence`` this measures claims, not host speed:
+    one deterministic :func:`~repro.cluster.figure.fig_cluster` run
+    supplies the scaling, ledger-parity and isolation verdicts.  The
+    speedup gates are capped at their acceptance bars — the raw ratios
+    wobble with workload balance across shards, but any healthy tree
+    saturates the cap (gate value exactly at the bar, ratio 1.0 against
+    the baseline), while a scaling regression drops below it and fails
+    the tolerance band.
+    """
+    from ..cluster.figure import PARITY_TOLERANCE, fig_cluster
+
+    data = fig_cluster(small=small, n_workers=N_WORKERS)
+    s4, s8 = data.speedup(4), data.speedup(8)
+    return {
+        "serve_cluster.speedup_4shard": Metric(
+            s4, "x", higher_is_better=True
+        ),
+        "serve_cluster.speedup_4shard_min3x": Metric(
+            min(s4, CLUSTER_SPEEDUP_4X), "x",
+            higher_is_better=True, gated=True,
+        ),
+        "serve_cluster.speedup_8shard": Metric(
+            s8, "x", higher_is_better=True
+        ),
+        "serve_cluster.speedup_8shard_min5x": Metric(
+            min(s8, CLUSTER_SPEEDUP_8X), "x",
+            higher_is_better=True, gated=True,
+        ),
+        "serve_cluster.ledger_parity_pct": Metric(
+            100.0 * data.parity_error, "%", higher_is_better=False
+        ),
+        # Acceptance bar itself (spend within PARITY_TOLERANCE of the
+        # single-shard ledger figure): the raw deviation is ~1e-12 and
+        # a ratio of two such floats would gate on noise.
+        f"serve_cluster.parity_within_{int(PARITY_TOLERANCE * 100)}pct":
+            Metric(
+                1.0 if data.parity_ok else 0.0, "bool",
+                higher_is_better=True, gated=True,
+            ),
+        "serve_cluster.isolated": Metric(
+            1.0 if data.isolated else 0.0, "bool",
+            higher_is_better=True, gated=True,
+        ),
+        "serve_cluster.b_p95_delta_pct": Metric(
+            100.0 * data.b_p95_delta, "%", higher_is_better=False
+        ),
+        "serve_cluster.jobs_per_s_8shard": Metric(
+            data.scale_runs[8]["jobs_per_s"], "jobs/s",
+            higher_is_better=True,
+        ),
+    }
+
+
 def _sweep_process_cells(reuse: bool, n_cells: int, n_tasks: int) -> None:
     """A mini sweep: ``n_cells`` schedulers on the process backend."""
     engine = (
@@ -550,5 +624,6 @@ WORKLOADS: dict[str, WorkloadFn] = {
     "end_to_end": bench_end_to_end,
     "governor_convergence": bench_governor_convergence,
     "serve_throughput": bench_serve_throughput,
+    "serve_cluster": bench_serve_cluster,
     "sweep_pool": bench_sweep_pool,
 }

@@ -70,6 +70,14 @@ class RuntimeConfig:
         :mod:`repro.serve.tenants`).  Ignored by :class:`Scheduler`;
         consumed by :class:`~repro.serve.server.TaskService` so one
         serializable config describes a whole multi-tenant service.
+    cluster:
+        Optional serve-cluster shape for the sharded serving layer: a
+        ``"cluster:shards=4"`` spec string (the ``"cluster"`` registry
+        family, see :mod:`repro.cluster.service`), a bare shard count
+        (normalized to the spec string), or a programmatic
+        :class:`~repro.cluster.service.ClusterSpec`.  Ignored by
+        :class:`Scheduler`; consumed by
+        :class:`~repro.cluster.service.ClusterService`.
     """
 
     policy: Any = "accurate"
@@ -79,6 +87,7 @@ class RuntimeConfig:
     engine: Any = "simulated"
     governor: Any = None
     tenants: Any = None
+    cluster: Any = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.n_workers, int) or self.n_workers < 1:
@@ -102,6 +111,26 @@ class RuntimeConfig:
                         raise ConfigError(
                             f"invalid tenant spec: {exc}"
                         ) from exc
+        if isinstance(self.cluster, bool):
+            raise ConfigError(
+                f"cluster must be a spec string, a shard count or a "
+                f"ClusterSpec, got {self.cluster!r}"
+            )
+        if isinstance(self.cluster, int):
+            # Normalize the shard-count sugar to a spec string so the
+            # config stays serializable.
+            object.__setattr__(
+                self, "cluster", f"cluster:shards={self.cluster}"
+            )
+        if isinstance(self.cluster, str):
+            # Spec-parse only: the "cluster" registry family registers
+            # lazily in repro.cluster.service (see build_cluster).
+            try:
+                parse_spec(self.cluster)
+            except RegistryError as exc:
+                raise ConfigError(
+                    f"invalid cluster spec: {exc}"
+                ) from exc
         # Fail fast on unparseable/unknown spec strings: a config is a
         # value object and should be invalid at construction, not at
         # scheduler start.
@@ -207,6 +236,19 @@ class RuntimeConfig:
 
         return tuple(resolve("tenant", t) for t in self.tenants)
 
+    def build_cluster(self):
+        """A fresh cluster shape, or ``None`` when unset.
+
+        Resolution is lazy like :meth:`build_tenants`: the
+        ``"cluster"`` registry family lives in
+        :mod:`repro.cluster.service`, imported on first use.
+        """
+        if self.cluster is None:
+            return None
+        from .cluster.service import _resolve_cluster
+
+        return _resolve_cluster(self.cluster)
+
     def build_engine(
         self,
         machine,
@@ -247,4 +289,6 @@ class RuntimeConfig:
             text += f" governor={component_name(self.governor, 'none')}"
         if self.tenants:
             text += f" tenants={len(self.tenants)}"
+        if self.cluster is not None:
+            text += f" cluster={component_name(self.cluster, 'none')}"
         return text

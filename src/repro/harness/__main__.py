@@ -16,11 +16,14 @@ on a committed baseline::
 
 and ``serve`` boots the :mod:`repro.serve` JSON-lines TCP gateway (or,
 with ``--smoke N``, drives ``N`` mixed-tenant jobs through it across
-two execution backends and exits nonzero on any transport failure)::
+two execution backends and exits nonzero on any transport failure).
+With ``--shards N`` the gateway fronts a sharded
+:class:`~repro.cluster.service.ClusterService` instead of a single
+service::
 
     python -m repro.harness serve --port 7915 \\
         --tenant "premium:name='alice'" --tenant "free:name='bob'"
-    python -m repro.harness serve --smoke 200
+    python -m repro.harness serve --smoke 200 --shards 4
 """
 
 from __future__ import annotations
@@ -175,23 +178,34 @@ def _boot_gateway(server):
     return host, port, shutdown
 
 
-def _serve_smoke(n_jobs: int, workers: int) -> int:
+def _make_service(engine: str, workers: int, tenants: tuple, shards: int):
+    """One serving backend: a single TaskService, or a sharded
+    ClusterService when ``shards > 1`` (same duck-typed contract)."""
+    from ..config import RuntimeConfig
+    from ..serve import TaskService
+
+    config = RuntimeConfig(
+        policy="gtb-max",
+        n_workers=workers,
+        engine=engine,
+        tenants=tenants,
+    )
+    if shards > 1:
+        from ..cluster import ClusterService
+
+        return ClusterService(config.replace(cluster=shards))
+    return TaskService(config)
+
+
+def _serve_smoke(n_jobs: int, workers: int, shards: int = 1) -> int:
     """Push ``n_jobs`` mixed-tenant jobs through live TCP gateways on
     each smoke backend; nonzero on any transport/protocol failure."""
-    from ..config import RuntimeConfig
-    from ..serve import ServeClient, ServeServer, TaskService
+    from ..serve import ServeClient, ServeServer
 
     per_engine = max(1, n_jobs // len(SMOKE_ENGINES))
     failures = 0
     for engine in SMOKE_ENGINES:
-        service = TaskService(
-            RuntimeConfig(
-                policy="gtb-max",
-                n_workers=workers,
-                engine=engine,
-                tenants=SMOKE_TENANTS,
-            )
-        )
+        service = _make_service(engine, workers, SMOKE_TENANTS, shards)
         server = ServeServer(service)
         host, port, shutdown = _boot_gateway(server)
         outcomes: dict[str, int] = {}
@@ -243,30 +257,27 @@ def _serve_smoke(n_jobs: int, workers: int) -> int:
 def _run_serve(args) -> int:
     """The ``serve`` subcommand: boot the TCP gateway (or smoke it)."""
     if args.smoke is not None:
-        return _serve_smoke(args.smoke, args.workers)
+        return _serve_smoke(args.smoke, args.workers, args.shards)
 
     import asyncio
 
-    from ..config import RuntimeConfig
-    from ..serve import ServeServer, TaskService
+    from ..serve import ServeServer
 
     tenants = tuple(args.tenant or ("standard:name='default'",))
-    service = TaskService(
-        RuntimeConfig(
-            policy="gtb-max",
-            n_workers=args.workers,
-            engine=args.engine,
-            tenants=tenants,
-        )
+    service = _make_service(
+        args.engine, args.workers, tenants, args.shards
     )
     server = ServeServer(service, host=args.host, port=args.port)
 
     async def run() -> None:
         host, port = await server.start()
+        shape = (
+            f"{args.shards} shards" if args.shards > 1 else "1 service"
+        )
         print(
             f"repro.serve gateway on {host}:{port} "
-            f"(engine={args.engine}, tenants={len(tenants)}) — Ctrl-C "
-            "to stop",
+            f"(engine={args.engine}, {shape}, tenants={len(tenants)}) "
+            "— Ctrl-C to stop",
             file=sys.stderr,
         )
         try:
@@ -321,8 +332,8 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         choices=[
             "table1", "table2", "fig1", "fig2", "fig3", "fig4",
-            "fig-energy-budget", "fig-serve", "all", "sweep", "bench",
-            "serve",
+            "fig-energy-budget", "fig-serve", "fig-cluster", "all",
+            "sweep", "bench", "serve",
         ],
     )
     parser.add_argument(
@@ -398,7 +409,7 @@ def main(argv: list[str] | None = None) -> int:
         help="bench: restrict to one probe (repeatable; "
         "scheduler_throughput/spawn_overhead/spawn_many/"
         "backend_matrix/end_to_end/governor_convergence/"
-        "serve_throughput/sweep_pool)",
+        "serve_throughput/serve_cluster/sweep_pool)",
     )
     parser.add_argument(
         "--baseline",
@@ -455,6 +466,14 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="serve: instead of serving, push N mixed-tenant jobs "
         "through live gateways on two backends and exit",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="serve: front a sharded ClusterService with N shards "
+        "(default 1 = a single TaskService)",
     )
     args = parser.parse_args(argv)
 
@@ -532,6 +551,16 @@ def main(argv: list[str] | None = None) -> int:
 
             print(
                 fig_serve(
+                    small=args.small,
+                    n_workers=args.workers,
+                    engine=args.engine,
+                ).render()
+            )
+        elif exp == "fig-cluster":
+            from ..cluster.figure import fig_cluster
+
+            print(
+                fig_cluster(
                     small=args.small,
                     n_workers=args.workers,
                     engine=args.engine,

@@ -29,15 +29,19 @@ __all__ = [
     "shutdown_shared_pools",
 ]
 
-#: Identity of one shared pool: ``(max_workers, start_method)``.
-PoolKey = tuple[int, str | None]
+#: Identity of one shared pool: ``(max_workers, start_method, tag)``.
+#: The ``tag`` partitions otherwise-identical configurations into
+#: distinct warm pools — the serve cluster tags one pool per shard so
+#: shard parallelism is process parallelism, not N shards contending
+#: for one executor's workers.
+PoolKey = tuple[int, str | None, str | None]
 
 _pools: dict[PoolKey, ProcessPoolExecutor] = {}
 _lock = threading.Lock()
 
 
 def _make_pool(key: PoolKey) -> ProcessPoolExecutor:
-    max_workers, start_method = key
+    max_workers, start_method, _tag = key
     ctx = None
     if start_method is not None:
         import multiprocessing
@@ -47,9 +51,11 @@ def _make_pool(key: PoolKey) -> ProcessPoolExecutor:
 
 
 def shared_process_pool(
-    max_workers: int, start_method: str | None = None
+    max_workers: int,
+    start_method: str | None = None,
+    tag: str | None = None,
 ) -> ProcessPoolExecutor:
-    """The shared executor for ``(max_workers, start_method)``.
+    """The shared executor for ``(max_workers, start_method, tag)``.
 
     Created lazily on first request and reused by every subsequent
     caller with the same configuration.  Callers must *not* shut the
@@ -58,7 +64,7 @@ def shared_process_pool(
     """
     if max_workers < 1:
         raise ValueError(f"max_workers must be >= 1, got {max_workers}")
-    key: PoolKey = (max_workers, start_method)
+    key: PoolKey = (max_workers, start_method, tag)
     with _lock:
         pool = _pools.get(key)
         if pool is None:
@@ -67,7 +73,9 @@ def shared_process_pool(
 
 
 def discard_shared_pool(
-    max_workers: int, start_method: str | None = None
+    max_workers: int,
+    start_method: str | None = None,
+    tag: str | None = None,
 ) -> None:
     """Drop (and shut down) one shared pool, e.g. after it broke.
 
@@ -75,7 +83,7 @@ def discard_shared_pool(
     fresh executor.  A key that was never created is a no-op.
     """
     with _lock:
-        pool = _pools.pop((max_workers, start_method), None)
+        pool = _pools.pop((max_workers, start_method, tag), None)
     if pool is not None:
         pool.shutdown(wait=False, cancel_futures=True)
 

@@ -226,7 +226,10 @@ class ProcessPoolEngine(WallClockTicks, Engine):
     from :mod:`repro.runtime.pool` instead of building a private pool —
     which is what lets an :class:`~repro.experiment.ExperimentSpec`
     sweep (or a long-lived :class:`~repro.serve.server.TaskService`)
-    run many process-engine cells without paying pool startup per cell.
+    run many process-engine cells without paying pool startup per cell;
+    ``pool_tag`` selects a *distinct* shared pool per tag, so
+    co-resident engines (the serve cluster's shards) each keep their
+    own warm processes instead of contending for one executor.
     """
 
     #: Blocking-wait quantum while a barrier predicate is unsatisfied.
@@ -244,6 +247,7 @@ class ProcessPoolEngine(WallClockTicks, Engine):
         max_procs: int | None = None,
         start_method: str | None = None,
         reuse_pool: bool = True,
+        pool_tag: str | None = None,
     ) -> None:
         if n_workers > machine_model.n_cores:
             raise SchedulerError(
@@ -260,6 +264,7 @@ class ProcessPoolEngine(WallClockTicks, Engine):
         )
         self.start_method = start_method
         self.reuse_pool = reuse_pool
+        self.pool_tag = pool_tag
 
         self.queues = WorkerQueues(n_workers)
         self._accounting = AccountingCore(n_workers)
@@ -305,7 +310,7 @@ class ProcessPoolEngine(WallClockTicks, Engine):
         if self._pool is None:
             if self.reuse_pool:
                 self._pool = shared_process_pool(
-                    self.max_procs, self.start_method
+                    self.max_procs, self.start_method, self.pool_tag
                 )
             else:
                 ctx = None
@@ -367,7 +372,9 @@ class ProcessPoolEngine(WallClockTicks, Engine):
                 if self.reuse_pool:
                     # Evict the broken shared pool so the next engine
                     # (or retry) gets a fresh one instead of the corpse.
-                    discard_shared_pool(self.max_procs, self.start_method)
+                    discard_shared_pool(
+                        self.max_procs, self.start_method, self.pool_tag
+                    )
                     self._pool = None
                 raise SchedulerError(
                     f"process pool died while running task {task.tid} "

@@ -9,7 +9,7 @@ reference.  Kernels live in the ``"servable"`` registry family, so jobs
 crossing the wire carry nothing but strings and JSON — the same
 serializability contract as :class:`~repro.config.RuntimeConfig`.
 
-Two built-ins cover the paper's two approximation modes:
+Four built-ins cover the paper's two approximation modes:
 
 * ``sobel`` — row tasks over a synthetic image with the paper's
   Listing 1 significance pattern; approximated rows run the cheap
@@ -17,6 +17,13 @@ Two built-ins cover the paper's two approximation modes:
 * ``mc-pi`` — Monte-Carlo π estimation in sample blocks; approximated
   blocks are *dropped* entirely (**D** mode: no ``approxfun``), so a
   degraded tenant sheds their compute instead of shrinking it.
+* ``jacobi`` — block-Jacobi solve of a diagonally dominant system:
+  each task solves one diagonal block of the matrix, dropped blocks
+  leave their rows at zero (**D** mode — the served cousin of the
+  benchmark's "drop the upper right and lower left areas").
+* ``kmeans`` — one k-means refinement step over point chunks; dropped
+  chunks simply don't vote, and the centroid update renormalizes over
+  the chunks that ran (**D** mode).
 
 Task bodies are module-level functions over picklable data, so every
 execution backend (simulated / threaded / process pool) can serve them.
@@ -32,6 +39,12 @@ from typing import Any, Callable
 
 import numpy as np
 
+from ..kernels.jacobi import (
+    OPS_PER_ENTRY,
+    JacobiProblem,
+    jacobi_reference,
+)
+from ..kernels.kmeans import OPS_PER_DIM, KmeansProblem
 from ..kernels.sobel import (
     sobel_row_accurate,
     sobel_row_approx,
@@ -49,6 +62,8 @@ __all__ = [
     "ServableKernel",
     "SobelServable",
     "MonteCarloPiServable",
+    "JacobiServable",
+    "KmeansServable",
     "get_servable",
     "servable_names",
 ]
@@ -268,6 +283,220 @@ class MonteCarloPiServable(ServableKernel):
         return relative_error(
             np.asarray([reference]), np.asarray([output])
         )
+
+
+# ----------------------------------------------------------------------
+# Jacobi (drop mode)
+# ----------------------------------------------------------------------
+#: Nominal Jacobi sweeps a diagonal-block solve needs at the native
+#: tolerance (cost model only — the body iterates to convergence).
+_JACOBI_BLOCK_SWEEPS = 12.0
+
+
+def _jacobi_block(a_block: np.ndarray, b_chunk: np.ndarray, idx: int):
+    """Solve one diagonal block ``a_block x = b_chunk`` accurately.
+
+    ``a_block`` is strictly diagonally dominant (its diagonal dominates
+    the *full* matrix row, so a fortiori the block row), which is what
+    makes dropping the off-block couplings — the served analogue of the
+    benchmark's "upper right and lower left areas" — graceful rather
+    than catastrophic.  ``idx`` rides along for the significance clause.
+    """
+    return jacobi_reference(JacobiProblem(a=a_block, b=b_chunk))
+
+
+@register("servable", "jacobi")
+class JacobiServable(ServableKernel):
+    """Block-Jacobi solve of a diagonally dominant system, in
+    droppable diagonal-block tasks.
+
+    Args: ``n`` (system size, default 256), ``chunk`` (rows per block,
+    default 32), ``seed``.  No ``approxfun``: a dropped block leaves
+    its rows of the solution at zero, and diagonal dominance bounds the
+    damage (**D** mode).  Each task owns a copied ``chunk x chunk``
+    block, so process backends marshal O(chunk^2), not O(n^2).
+    """
+
+    name = "jacobi"
+
+    def canonical_args(self, args: dict | None) -> dict:
+        args = args or {}
+        canon = {
+            "n": _int_arg(args, "n", 256, 16, 4096),
+            "chunk": _int_arg(args, "chunk", 32, 4, 1024),
+            "seed": _int_arg(args, "seed", 2015, 0, 2**31),
+        }
+        if canon["chunk"] > canon["n"]:
+            raise ConfigError(
+                f"servable arg 'chunk'={canon['chunk']} exceeds "
+                f"n={canon['n']}"
+            )
+        return canon
+
+    def _chunks(self, canon: dict) -> list[tuple[int, int]]:
+        n, chunk = canon["n"], canon["chunk"]
+        return [(lo, min(lo + chunk, n)) for lo in range(0, n, chunk)]
+
+    def plan(self, args: dict | None) -> TaskPlan:
+        canon = self.canonical_args(args)
+        problem = JacobiProblem.generate(canon["n"], canon["seed"])
+        chunk = canon["chunk"]
+        return TaskPlan(
+            fn=_jacobi_block,
+            args_list=[
+                (
+                    problem.a[lo:hi, lo:hi].copy(),
+                    problem.b[lo:hi].copy(),
+                    i,
+                )
+                for i, (lo, hi) in enumerate(self._chunks(canon))
+            ],
+            # Listing-1-style spread in (0, 1): never forces a decision.
+            significance=lambda a_block, b_chunk, idx: (
+                ((idx % 9) + 1) / 10.0
+            ),
+            approxfun=None,
+            cost=TaskCost(
+                accurate=chunk * chunk * OPS_PER_ENTRY
+                * _JACOBI_BLOCK_SWEEPS
+            ),
+        )
+
+    def combine(self, args: dict | None, results: list) -> np.ndarray:
+        canon = self.canonical_args(args)
+        x = np.zeros(canon["n"])
+        for (lo, hi), x_chunk in zip(self._chunks(canon), results):
+            if x_chunk is not None:
+                x[lo:hi] = x_chunk
+        return x
+
+    def reference(self, args: dict | None) -> np.ndarray:
+        canon = self.canonical_args(args)
+        problem = JacobiProblem.generate(canon["n"], canon["seed"])
+        return self.combine(
+            args,
+            [
+                _jacobi_block(
+                    problem.a[lo:hi, lo:hi], problem.b[lo:hi], i
+                )
+                for i, (lo, hi) in enumerate(self._chunks(canon))
+            ],
+        )
+
+    def quality(self, reference: Any, output: Any) -> float:
+        return relative_error(reference, output)
+
+
+# ----------------------------------------------------------------------
+# K-means (drop mode)
+# ----------------------------------------------------------------------
+def _kmeans_chunk(points_chunk: np.ndarray, centroids: np.ndarray, idx: int):
+    """Assign one point chunk to the nearest centroids; return the
+    partial sums and counts of the centroid update (``idx`` rides along
+    for the significance clause)."""
+    diff = points_chunk[:, None, :] - centroids[None, :, :]
+    dist2 = np.einsum("pkd,pkd->pk", diff, diff)
+    labels = np.argmin(dist2, axis=1)
+    sums = np.zeros_like(centroids)
+    counts = np.zeros(len(centroids), dtype=np.int64)
+    np.add.at(sums, labels, points_chunk)
+    np.add.at(counts, labels, 1)
+    return sums, counts
+
+
+@register("servable", "kmeans")
+class KmeansServable(ServableKernel):
+    """One k-means refinement step over droppable point chunks.
+
+    Args: ``points`` (default 1024), ``k`` (default 8), ``dims``
+    (default 8), ``chunk`` (points per task, default 128), ``seed``.
+    No ``approxfun``: a dropped chunk simply doesn't vote, and
+    :meth:`combine` renormalizes the centroid update over the chunks
+    that ran (**D** mode); a centroid left with no votes keeps its
+    deterministic maxmin seed position.
+    """
+
+    name = "kmeans"
+
+    def canonical_args(self, args: dict | None) -> dict:
+        args = args or {}
+        canon = {
+            "points": _int_arg(args, "points", 1024, 64, 65536),
+            "k": _int_arg(args, "k", 8, 2, 64),
+            "dims": _int_arg(args, "dims", 8, 2, 64),
+            "chunk": _int_arg(args, "chunk", 128, 16, 8192),
+            "seed": _int_arg(args, "seed", 2015, 0, 2**31),
+        }
+        if canon["k"] > canon["points"]:
+            raise ConfigError(
+                f"servable arg 'k'={canon['k']} exceeds "
+                f"points={canon['points']}"
+            )
+        return canon
+
+    def _problem(self, canon: dict) -> KmeansProblem:
+        rng = np.random.default_rng(canon["seed"])
+        k, dims = canon["k"], canon["dims"]
+        centers = rng.uniform(-6, 6, size=(k, dims))
+        which = rng.integers(0, k, size=canon["points"])
+        pts = centers[which] + rng.normal(
+            0, 1.0, (canon["points"], dims)
+        )
+        return KmeansProblem(points=pts, k=k)
+
+    def _chunks(self, canon: dict) -> list[tuple[int, int]]:
+        n, chunk = canon["points"], canon["chunk"]
+        return [(lo, min(lo + chunk, n)) for lo in range(0, n, chunk)]
+
+    def plan(self, args: dict | None) -> TaskPlan:
+        canon = self.canonical_args(args)
+        problem = self._problem(canon)
+        centroids = problem.initial_centroids
+        return TaskPlan(
+            fn=_kmeans_chunk,
+            args_list=[
+                (problem.points[lo:hi].copy(), centroids, i)
+                for i, (lo, hi) in enumerate(self._chunks(canon))
+            ],
+            significance=lambda points_chunk, centroids, idx: (
+                ((idx % 9) + 1) / 10.0
+            ),
+            approxfun=None,
+            cost=TaskCost(
+                accurate=canon["chunk"] * canon["k"] * canon["dims"]
+                * OPS_PER_DIM
+            ),
+        )
+
+    def combine(self, args: dict | None, results: list) -> np.ndarray:
+        canon = self.canonical_args(args)
+        centroids = self._problem(canon).initial_centroids
+        sums = np.zeros_like(centroids)
+        counts = np.zeros(canon["k"], dtype=np.int64)
+        for part in results:
+            if part is not None:
+                s, c = part
+                sums += s
+                counts += c
+        nonzero = counts > 0
+        out = centroids.copy()
+        out[nonzero] = sums[nonzero] / counts[nonzero, None]
+        return out
+
+    def reference(self, args: dict | None) -> np.ndarray:
+        canon = self.canonical_args(args)
+        problem = self._problem(canon)
+        centroids = problem.initial_centroids
+        return self.combine(
+            args,
+            [
+                _kmeans_chunk(problem.points[lo:hi], centroids, i)
+                for i, (lo, hi) in enumerate(self._chunks(canon))
+            ],
+        )
+
+    def quality(self, reference: Any, output: Any) -> float:
+        return relative_error(reference.ravel(), output.ravel())
 
 
 def get_servable(spec: Any) -> ServableKernel:

@@ -207,6 +207,13 @@ class TaskService:
         provisioned.
     cache_capacity:
         LRU capacity of the approximate-result cache.
+    cache:
+        An already-built cache to use instead of a private
+        :class:`~repro.serve.cache.ApproxResultCache` — anything with
+        the same ``get`` / ``get_degraded`` / ``put`` / ``stats``
+        surface.  The cluster layer injects a per-shard
+        :class:`~repro.cluster.cache.CacheView` here so every shard
+        reads through one logical sharded cache.
     max_batch:
         Jobs executed per round, drained round-robin across tenants.
     compute_quality:
@@ -233,6 +240,7 @@ class TaskService:
         tenants: tuple | list = (),
         *,
         cache_capacity: int = 128,
+        cache=None,
         max_batch: int = 8,
         compute_quality: bool = True,
     ) -> None:
@@ -256,7 +264,9 @@ class TaskService:
         self._tenants: dict[str, TenantState] = {
             s.name: TenantState(s) for s in specs
         }
-        self.cache = ApproxResultCache(cache_capacity)
+        self.cache = (
+            cache if cache is not None else ApproxResultCache(cache_capacity)
+        )
         self.max_batch = max_batch
         self.compute_quality = compute_quality
 
@@ -616,7 +626,7 @@ class TaskService:
 
             state = self._tenants[adm.request.tenant]
             state.executed += 1
-            state.spent_j += energy_j
+            state.charge(energy_j)
             self.cache.put(
                 adm.kernel.name,
                 adm.digest,

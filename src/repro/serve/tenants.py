@@ -157,6 +157,10 @@ class TenantState:
                 smoothing=spec.smoothing,
             )
         )
+        #: Cluster mode: a :class:`~repro.cluster.ledger.LedgerLease`
+        #: on the cluster-wide energy account.  ``None`` (the default,
+        #: single-service mode) keeps the local lifetime-budget check.
+        self.lease = None
 
     # -- admission predicates -------------------------------------------
     @property
@@ -166,6 +170,11 @@ class TenantState:
 
     @property
     def over_budget(self) -> bool:
+        if self.lease is not None:
+            # Cluster mode: cut off only when the local lease is dry
+            # AND the cluster account has nothing left to grant — a
+            # read-only predicate; refills happen in replenish().
+            return self.lease.exhausted
         budget = self.spec.budget_j
         return budget is not None and self.spent_j >= budget
 
@@ -180,6 +189,45 @@ class TenantState:
         return max(0.0, self.spec.budget_j - self.spent_j)
 
     # -- accounting ------------------------------------------------------
+    def charge(self, energy_j: float) -> None:
+        """Bill one executed job: local books, plus the cluster lease
+        when one is attached (a lock-free local draw — see
+        :mod:`repro.cluster.ledger`)."""
+        self.spent_j += energy_j
+        if self.lease is not None:
+            self.lease.draw(energy_j)
+
+    def attach_lease(self, lease) -> None:
+        """Enter cluster mode: budget enforcement moves to ``lease``.
+
+        The governor keeps steering *local* spend, now against the
+        quota actually leased to this shard (retargeted each
+        :meth:`replenish`) instead of the full cluster budget.
+        """
+        if self.lease is not None:
+            raise ConfigError(
+                f"tenant {self.spec.name!r} already holds a lease"
+            )
+        self.lease = lease
+
+    def replenish(self) -> bool:
+        """Pre-round lease top-up (cluster mode; no-op otherwise).
+
+        Returns whether this tenant may keep executing on this shard.
+        Retargets the governor to the lease's steering target (granted
+        quota plus remaining cluster headroom — see
+        :attr:`~repro.cluster.ledger.LedgerLease.steer_target_j`) so
+        the deadbeat solve tracks what this shard can actually obtain.
+        """
+        if self.lease is None:
+            return not self.over_budget
+        ok = self.lease.ensure()
+        if self.governor is not None:
+            target = self.lease.steer_target_j
+            if target > 0.0:
+                self.governor.retarget(target)
+        return ok
+
     def observe_energy(
         self, kind: str, busy_s: float, tasks: int, watts: float
     ) -> None:

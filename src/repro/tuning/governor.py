@@ -259,6 +259,27 @@ class EnergyBudgetGovernor:
             "projected_j": last.projected_j if last else 0.0,
         }
 
+    # -- retargeting ------------------------------------------------------
+    def retarget(self, budget_j: float) -> None:
+        """Move the budget target of a running controller.
+
+        The serving cluster leases tenant Joule quota to shards in
+        chunks (:mod:`repro.cluster.ledger`); each refill raises the
+        quota this shard's controller should steer toward.  Sunk cost
+        and the identified energy model carry over untouched — the next
+        :meth:`control_step` simply re-solves against the new target,
+        which is exactly the deadbeat law's self-correction path.  The
+        convergence latch resets: a retargeted run must settle again.
+        """
+        if budget_j <= 0:
+            raise GovernorError(
+                f"retarget budget must be > 0 Joules, got {budget_j}"
+            )
+        if budget_j != self.budget_j:
+            self.budget_j = budget_j
+            self._stable_streak = 0
+            self._converged_at = None
+
     # -- model identification --------------------------------------------
     def _prime_from_costs(self) -> None:
         """Seed busy-per-task estimates from analytic task costs."""

@@ -65,6 +65,10 @@ class TestRunBench:
             "serve_throughput.jobs_per_mop",
             "sweep_pool.reuse_speedup",
             "sweep_pool.reuse_speedup_min2x",
+            "serve_cluster.speedup_4shard",
+            "serve_cluster.speedup_8shard",
+            "serve_cluster.parity_within_2pct",
+            "serve_cluster.isolated",
         ):
             assert expected in names
         gated = [n for n, m in report.metrics.items() if m.gated]
@@ -72,8 +76,9 @@ class TestRunBench:
         # end_to_end, plus spawn_many's kop/task and loop-speedup pair,
         # plus the governor probe's budget-bar and steps-to-converge,
         # plus the serving layer's jobs/Mop and the sweep-pool capped
-        # reuse-speedup bar.
-        assert len(gated) == 11
+        # reuse-speedup bar, plus the cluster probe's four bars (two
+        # capped speedups, ledger parity, isolation).
+        assert len(gated) == 15
 
     def test_baseline_comparison_attached(self, tmp_path):
         base = run_bench(

@@ -1,0 +1,138 @@
+"""The sharded result cache: ownership, read-through, shard death."""
+
+import pytest
+
+from repro.cluster import ShardedResultCache
+from repro.runtime.errors import ConfigError
+
+
+def fill(cache, n=40, kernel="sobel", ratio=1.0):
+    """Insert n distinct entries; returns their digests."""
+    digests = [f"{i:08x}" for i in range(n)]
+    for d in digests:
+        cache.put(kernel, d, ratio, output=d)
+    return digests
+
+
+class TestRoutedOperations:
+    def test_put_lands_on_the_owner(self):
+        cache = ShardedResultCache(range(4))
+        for d in fill(cache, 30):
+            owner = cache.owner("sobel", d)
+            assert (
+                cache.partition(owner).get("sobel", d, 1.0) is not None
+            )
+
+    def test_get_round_trips(self):
+        cache = ShardedResultCache(range(4))
+        digests = fill(cache, 30)
+        for d in digests:
+            entry = cache.get("sobel", d, 1.0)
+            assert entry is not None and entry.output == d
+
+    def test_degraded_lookup_routes_to_owner(self):
+        cache = ShardedResultCache(range(4))
+        cache.put("sobel", "aa", 0.5, output="half")
+        entry = cache.get_degraded("sobel", "aa", max_ratio=0.9)
+        assert entry is not None and entry.ratio == 0.5
+
+    def test_entries_spread_across_partitions(self):
+        cache = ShardedResultCache(range(4))
+        fill(cache, 200)
+        sizes = [len(cache.partition(s)) for s in cache.shards]
+        assert all(n > 0 for n in sizes)
+        assert sum(sizes) == len(cache) == 200
+
+    def test_aggregate_stats_sum_partitions(self):
+        cache = ShardedResultCache(range(2))
+        digests = fill(cache, 10)
+        for d in digests:
+            cache.get("sobel", d, 1.0)
+        cache.get("sobel", "nothere", 1.0)
+        assert cache.stats.puts == 10
+        assert cache.stats.hits == 10
+        assert cache.stats.misses == 1
+
+
+class TestCacheView:
+    def test_view_duck_types_and_counts_local_traffic(self):
+        cache = ShardedResultCache(range(4))
+        view = cache.view(0)
+        view.put("sobel", "aa", 1.0, output=1)
+        assert view.get("sobel", "aa", 1.0).output == 1
+        assert view.get("sobel", "zz", 1.0) is None
+        assert view.stats.puts == 1
+        assert view.stats.hits == 1
+        assert view.stats.misses == 1
+
+    def test_read_through_counts_remote_hits(self):
+        cache = ShardedResultCache(range(4))
+        digests = fill(cache, 40)
+        view = cache.view(0)
+        for d in digests:
+            assert view.get("sobel", d, 1.0) is not None
+        remote = sum(
+            1 for d in digests if cache.owner("sobel", d) != 0
+        )
+        assert remote > 0
+        assert view.remote_hits == remote
+
+    def test_degraded_view_hit_classification(self):
+        cache = ShardedResultCache(range(2))
+        cache.put("sobel", "aa", 0.5, output="half")
+        view = cache.view(0)
+        entry = view.get_degraded("sobel", "aa", max_ratio=0.9)
+        assert entry is not None
+        assert view.stats.degraded_hits == 1
+
+    def test_unknown_view_shard_raises(self):
+        with pytest.raises(ConfigError, match="unknown cache shard"):
+            ShardedResultCache(range(2)).view(7)
+
+
+class TestShardDeath:
+    def test_dead_shard_keys_miss_then_recompute_path(self):
+        cache = ShardedResultCache(range(4))
+        digests = fill(cache, 60)
+        dead = cache.owner("sobel", digests[0])
+        orphaned = [
+            d for d in digests if cache.owner("sobel", d) == dead
+        ]
+        cache.mark_dead(dead)
+        assert dead in cache.dead and cache.deaths == 1
+        for d in digests:
+            entry = cache.get("sobel", d, 1.0)
+            if d in orphaned:
+                # Remapped to a successor that never saw the key: a
+                # miss, so the serving layer recomputes, never errors.
+                assert entry is None
+                assert cache.owner("sobel", d) != dead
+            else:
+                assert entry is not None
+
+    def test_recompute_repopulates_the_successor(self):
+        cache = ShardedResultCache(range(4))
+        (digest,) = fill(cache, 1)
+        dead = cache.owner("sobel", digest)
+        cache.mark_dead(dead)
+        assert cache.get("sobel", digest, 1.0) is None
+        cache.put("sobel", digest, 1.0, output="again")
+        assert cache.get("sobel", digest, 1.0).output == "again"
+
+    def test_last_shard_cannot_die(self):
+        cache = ShardedResultCache(range(2))
+        cache.mark_dead(0)
+        with pytest.raises(ConfigError, match="last live"):
+            cache.mark_dead(1)
+        # The refused death left the ring intact.
+        assert cache.shards == [1]
+
+    def test_dead_shard_twice_raises(self):
+        cache = ShardedResultCache(range(3))
+        cache.mark_dead(0)
+        with pytest.raises(ConfigError, match="not on the ring"):
+            cache.mark_dead(0)
+
+    def test_empty_shard_list_raises(self):
+        with pytest.raises(ConfigError, match="at least one"):
+            ShardedResultCache([])

@@ -1,0 +1,114 @@
+"""The faults engine under a cluster smoke: degraded, never wrong."""
+
+import pytest
+
+from repro.cluster import ClusterService, ClusterSpec
+from repro.config import RuntimeConfig
+from repro.serve import JobRequest
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    """A 4-shard cluster smoke on the fault-injecting engine: every
+    shard's simulated machine silently drops unprotected task effects,
+    one tenant is tightly budgeted, and quality scoring stays on."""
+    config = RuntimeConfig(
+        policy="gtb-max",
+        n_workers=4,
+        engine="faulty:fault_rate=0.1,protect_threshold=0.7,seed=3",
+    )
+    service = ClusterService(
+        config,
+        tenants=(
+            "standard:name='a',budget_j=0.002,max_pending=256",
+            "premium:name='b',max_pending=256",
+        ),
+        cluster=ClusterSpec(shards=4),
+    )
+    reports = []
+    with service:
+        for w in range(20):
+            reports.append(
+                service.submit(
+                    JobRequest(
+                        tenant="a",
+                        kernel="mc-pi",
+                        args={
+                            "blocks": 6,
+                            "samples": 400,
+                            "seed": 100 + w,
+                        },
+                    )
+                )
+            )
+            reports.append(
+                service.submit(
+                    JobRequest(
+                        tenant="b",
+                        kernel="sobel",
+                        args={"size": 32, "seed": 200 + w},
+                    )
+                )
+            )
+        while service.pending_jobs:
+            service.flush()
+        summaries = {
+            name: service.tenant_summary(name) for name in ("a", "b")
+        }
+    return reports, summaries, service
+
+
+class TestDegradedNotWrong:
+    def test_no_server_errors(self, smoke):
+        reports, _, _ = smoke
+        assert {r.code for r in reports} <= {200, 429}
+
+    def test_executed_answers_stay_plausible(self, smoke):
+        reports, _, _ = smoke
+        executed = [r for r in reports if r.status == "executed"]
+        assert executed
+        for r in executed:
+            if r.kernel == "mc-pi":
+                # Omission faults drop blocks; combine renormalizes,
+                # so the estimate degrades instead of corrupting.
+                assert r.output == pytest.approx(3.14, abs=0.8)
+            assert r.quality is not None
+            assert 0.0 <= r.quality < 1.0
+
+    def test_shedding_respects_the_ratio_floor(self, smoke):
+        reports, _, _ = smoke
+        served = [
+            r for r in reports
+            if r.ratio_served is not None and r.tenant == "a"
+        ]
+        assert served
+        # standard tier: ratio_floor=0.3 — however hard the budget
+        # squeezes under faults, the served ratio never goes below it.
+        assert all(r.ratio_served >= 0.3 - 1e-9 for r in served)
+
+    def test_accounting_adds_up(self, smoke):
+        reports, summaries, service = smoke
+        for name, summary in summaries.items():
+            outcomes = sum(
+                1 for r in reports if r.tenant == name
+            )
+            counted = (
+                summary["executed"]
+                + summary["cached"]
+                + summary["cached_degraded"]
+                + summary["coalesced"]
+                + summary["rejected"]
+            )
+            assert counted == outcomes == 20
+        # The budgeted tenant's ledger books match its shard books.
+        assert service.ledger.spent_j("a") == pytest.approx(
+            summaries["a"]["spent_j"]
+        )
+
+    def test_faults_actually_fired(self, smoke):
+        _, _, service = smoke
+        fault_events = sum(
+            len(w.service.scheduler.engine.fault_log.records)
+            for w in service.shards
+        )
+        assert fault_events > 0

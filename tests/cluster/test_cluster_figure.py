@@ -1,0 +1,65 @@
+"""fig-cluster: scaling, ledger parity, and isolation gates (small)."""
+
+import pytest
+
+from repro.cluster.figure import (
+    PARITY_TOLERANCE,
+    cluster_smoke_jobs,
+    fig_cluster,
+    run_cluster_scale,
+)
+
+
+@pytest.fixture(scope="module")
+def fig():
+    """One small fig-cluster run shared by the gate assertions."""
+    return fig_cluster(small=True)
+
+
+class TestSmokeWorkload:
+    def test_two_tenants_distinct_seeds(self):
+        jobs = cluster_smoke_jobs(5, small=True)
+        assert len(jobs) == 10
+        assert {j.tenant for j in jobs} == {"a", "b"}
+        seeds = [j.args["seed"] for j in jobs]
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestScaleRun:
+    def test_single_run_shape(self):
+        run = run_cluster_scale(2, 10, small=True)
+        assert run["shards"] == 2
+        assert run["ok"] == run["jobs"] == 20
+        assert run["makespan_s"] > 0
+        assert set(run["spread"]) == {0, 1}
+        assert sum(run["spread"].values()) == 20
+
+
+class TestGates:
+    def test_scaling_gates(self, fig):
+        # The ISSUE's acceptance bars on the deterministic virtual
+        # timeline: >=3x jobs/s at 4 shards, >=5x at 8.
+        assert fig.speedup(4) >= 3.0
+        assert fig.speedup(8) >= 5.0
+
+    def test_every_job_served_at_every_width(self, fig):
+        for run in fig.scale_runs.values():
+            assert run["ok"] == run["jobs"]
+            assert all(n > 0 for n in run["spread"].values())
+
+    def test_ledger_parity_within_band(self, fig):
+        assert fig.parity_error <= PARITY_TOLERANCE
+        assert fig.parity_ok
+
+    def test_isolation_band(self, fig):
+        assert fig.isolated
+        assert fig.b_quality_delta == pytest.approx(0.0, abs=0.05)
+        # A was actually squeezed by its 60% budget...
+        assert 0.0 < fig.a_mean_served_ratio <= 1.0
+        assert fig.a_budget_j < fig.a_solo_energy_j
+
+    def test_render_mentions_verdicts(self, fig):
+        text = fig.render()
+        assert "ledger parity" in text
+        assert "PASS" in text
+        assert "isolation" in text

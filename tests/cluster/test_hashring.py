@@ -1,0 +1,99 @@
+"""Consistent-hash ring: stability, balance, and remap bounds."""
+
+import pytest
+
+from repro.cluster import HashRing, cache_key, job_key, stable_hash
+from repro.runtime.errors import ConfigError
+
+
+def _keys(n: int) -> list[str]:
+    return [job_key(f"t{i % 5}", "sobel", f"{i:08x}") for i in range(n)]
+
+
+class TestStableHash:
+    def test_content_derived_and_host_independent(self):
+        # Pinned value: the hash must never depend on process salt.
+        assert stable_hash("abc") == stable_hash("abc")
+        assert stable_hash("abc") == 0xA9993E364706816A
+
+    def test_distinct_keys_distinct_points(self):
+        assert stable_hash("abc") != stable_hash("abd")
+
+    def test_key_builders_separate_components(self):
+        # The separator keeps ("ab","c") distinct from ("a","bc").
+        assert job_key("ab", "c", "d") != job_key("a", "bc", "d")
+        assert cache_key("sobel", "123") != cache_key("sobel1", "23")
+
+
+class TestRingBasics:
+    def test_lookup_deterministic(self):
+        a = HashRing(range(4))
+        b = HashRing(range(4))
+        for key in _keys(200):
+            assert a.lookup(key) == b.lookup(key)
+
+    def test_membership(self):
+        ring = HashRing(range(3))
+        assert len(ring) == 3
+        assert 2 in ring and 3 not in ring
+        assert ring.shards == [0, 1, 2]
+
+    def test_duplicate_add_raises(self):
+        ring = HashRing(range(2))
+        with pytest.raises(ConfigError, match="already"):
+            ring.add(1)
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(ConfigError, match="not on the ring"):
+            HashRing(range(2)).remove(9)
+
+    def test_empty_ring_lookup_raises(self):
+        with pytest.raises(ConfigError, match="empty"):
+            HashRing().lookup("k")
+
+    def test_bad_replicas_raises(self):
+        with pytest.raises(ConfigError, match="replicas"):
+            HashRing(range(2), replicas=0)
+
+    def test_spread_covers_all_shards(self):
+        ring = HashRing(range(8))
+        counts = ring.spread(_keys(4000))
+        assert set(counts) == set(range(8))
+        assert all(n > 0 for n in counts.values())
+        # 128 vnodes keep skew moderate: no shard owns > 2x its share.
+        assert max(counts.values()) <= 2 * 4000 / 8
+
+
+class TestRemapBounds:
+    def test_join_remaps_about_one_share(self):
+        keys = _keys(4000)
+        ring = HashRing(range(8))
+        before = {k: ring.lookup(k) for k in keys}
+        ring.add(8)
+        moved = sum(1 for k in keys if ring.lookup(k) != before[k])
+        # Expected 1/9 of the key space; allow 2.5x for hash noise.
+        assert moved <= 2.5 * len(keys) / 9
+        # Every moved key lands on the new shard — joins never shuffle
+        # keys between existing shards.
+        for k in keys:
+            if ring.lookup(k) != before[k]:
+                assert ring.lookup(k) == 8
+
+    def test_leave_remaps_only_the_dead_shards_keys(self):
+        keys = _keys(4000)
+        ring = HashRing(range(8))
+        before = {k: ring.lookup(k) for k in keys}
+        ring.remove(3)
+        for k in keys:
+            if before[k] == 3:
+                assert ring.lookup(k) != 3
+            else:
+                assert ring.lookup(k) == before[k]
+
+    def test_rejoin_restores_placement(self):
+        keys = _keys(1000)
+        ring = HashRing(range(4))
+        before = {k: ring.lookup(k) for k in keys}
+        ring.remove(2)
+        ring.add(2)
+        assert {k: ring.lookup(k) for k in keys} == before

@@ -1,0 +1,165 @@
+"""The cluster energy ledger: lease protocol, cut-off bound, exactness."""
+
+import pytest
+
+from repro.cluster import EnergyLedger
+from repro.cluster.ledger import DEFAULT_CHUNK_FRAC, LOW_WATER_FRAC
+from repro.runtime.errors import ConfigError
+
+
+def make_ledger(budget=1.0, shards=4, chunk=None):
+    ledger = EnergyLedger()
+    ledger.open_account("a", budget)
+    leases = [
+        ledger.lease("a", i, chunk_j=chunk) for i in range(shards)
+    ]
+    return ledger, leases
+
+
+class TestAccounts:
+    def test_open_and_headroom(self):
+        ledger = EnergyLedger()
+        acct = ledger.open_account("a", 2.0)
+        assert acct.headroom_j == 2.0
+        assert ledger.tenants == ["a"]
+        assert ledger.spent_j("a") == 0.0
+
+    def test_duplicate_account_raises(self):
+        ledger = EnergyLedger()
+        ledger.open_account("a", 1.0)
+        with pytest.raises(ConfigError, match="already exists"):
+            ledger.open_account("a", 1.0)
+
+    def test_bad_budget_raises(self):
+        with pytest.raises(ConfigError, match="budget"):
+            EnergyLedger().open_account("a", 0.0)
+
+    def test_unknown_tenant_raises(self):
+        with pytest.raises(ConfigError, match="no ledger account"):
+            EnergyLedger().account("ghost")
+
+
+class TestLeaseProtocol:
+    def test_default_chunk_is_a_budget_fraction(self):
+        ledger = EnergyLedger()
+        ledger.open_account("a", 16.0)
+        lease = ledger.lease("a", 0)
+        assert lease.chunk_j == pytest.approx(
+            DEFAULT_CHUNK_FRAC * 16.0
+        )
+
+    def test_first_ensure_pulls_a_chunk(self):
+        ledger, (lease, *_) = make_ledger(budget=1.0, chunk=0.25)
+        assert lease.remaining_j == 0.0
+        assert lease.ensure()
+        assert lease.remaining_j == pytest.approx(0.25)
+        assert ledger.account("a").granted_j == pytest.approx(0.25)
+
+    def test_refill_only_below_low_water(self):
+        ledger, (lease, *_) = make_ledger(budget=10.0, chunk=1.0)
+        lease.ensure()
+        granted = lease.granted_j
+        # Above the low-water mark: ensure() must not touch the ledger.
+        lease.draw((1.0 - LOW_WATER_FRAC) * 0.9)
+        assert lease.ensure()
+        assert lease.granted_j == granted
+        # Below it: topped back up to a full chunk.
+        lease.draw(0.5)
+        assert lease.ensure()
+        assert lease.remaining_j == pytest.approx(1.0)
+
+    def test_overdraw_settles_against_next_grant(self):
+        ledger, (lease, *_) = make_ledger(budget=10.0, chunk=1.0)
+        lease.ensure()
+        lease.draw(1.4)  # energy is measured after the job ran
+        assert lease.remaining_j == pytest.approx(-0.4)
+        lease.ensure()
+        acct = ledger.account("a")
+        # The overdraw was settled, and the new grant covers it: the
+        # account never double-counts those Joules as free headroom.
+        assert acct.settled_j == pytest.approx(1.4)
+        assert lease.remaining_j == pytest.approx(1.0)
+        assert acct.granted_j >= acct.settled_j
+
+    def test_settle_all_folds_every_lease(self):
+        ledger, leases = make_ledger(budget=10.0, chunk=1.0)
+        for lease in leases:
+            lease.ensure()
+            lease.draw(0.2)
+        ledger.settle_all()
+        assert ledger.spent_j("a") == pytest.approx(0.2 * len(leases))
+
+    def test_bad_chunk_raises(self):
+        ledger = EnergyLedger()
+        ledger.open_account("a", 1.0)
+        with pytest.raises(ConfigError, match="chunk"):
+            ledger.lease("a", 0, chunk_j=0.0)
+
+
+class TestSteering:
+    def test_steer_target_decays_to_local_quota(self):
+        ledger, (l0, l1) = make_ledger(budget=1.0, shards=2, chunk=0.5)
+        # Before any grant both shards optimistically see the full
+        # budget...
+        assert l0.steer_target_j == pytest.approx(1.0)
+        l0.ensure()
+        l1.ensure()
+        # ...after the account drains, each steers to what it holds.
+        assert ledger.account("a").headroom_j == pytest.approx(0.0)
+        assert l0.steer_target_j == pytest.approx(l0.granted_j)
+        assert l1.steer_target_j == pytest.approx(l1.granted_j)
+
+
+class TestStarvation:
+    def test_cut_off_within_one_lease_chunk(self):
+        """A tenant over budget stops within one lease, not one job.
+
+        Four shards draw fixed-size jobs; each gates every draw on
+        ensure().  Grants can never exceed the budget, and each shard
+        can overshoot its grants by at most the one in-flight job.
+        """
+        budget, chunk, job = 1.0, 1.0 / 16.0, 0.01
+        ledger, leases = make_ledger(budget=budget, chunk=chunk)
+        live = set(range(len(leases)))
+        drawn = 0.0
+        for _ in range(10_000):
+            if not live:
+                break
+            for i in sorted(live):
+                if not leases[i].ensure():
+                    live.discard(i)
+                    continue
+                leases[i].draw(job)
+                drawn += job
+        assert not live, "every shard must eventually be cut off"
+        acct = ledger.account("a")
+        assert acct.granted_j <= budget + 1e-12
+        # Overshoot bound: one in-flight job per shard, far inside one
+        # lease chunk each.
+        assert drawn <= budget + len(leases) * job + 1e-12
+        for lease in leases:
+            assert lease.exhausted
+        ledger.settle_all()
+        assert ledger.spent_j("a") == pytest.approx(drawn)
+
+    def test_exhausted_is_read_only(self):
+        ledger, (lease, *_) = make_ledger(budget=1.0, chunk=0.5)
+        assert not lease.exhausted  # headroom exists, lease is dry
+        before = ledger.account("a").granted_j
+        _ = lease.exhausted
+        assert ledger.account("a").granted_j == before
+
+
+class TestReclaim:
+    def test_reclaim_returns_unspent_grants(self):
+        ledger, leases = make_ledger(budget=1.0, shards=2, chunk=0.25)
+        leases[0].ensure()
+        leases[0].draw(0.1)
+        leases[1].ensure()
+        ledger.reclaim()
+        acct = ledger.account("a")
+        assert acct.settled_j == pytest.approx(0.1)
+        # Headroom reflects only Joules truly spent.
+        assert acct.headroom_j == pytest.approx(1.0 - 0.1)
+        for lease in leases:
+            assert lease.remaining_j == pytest.approx(0.0)

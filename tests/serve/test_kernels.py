@@ -10,7 +10,9 @@ from repro.serve import get_servable, servable_names
 
 class TestRegistry:
     def test_builtins_registered(self):
-        assert {"sobel", "mc-pi"} <= set(servable_names())
+        assert {"sobel", "mc-pi", "jacobi", "kmeans"} <= set(
+            servable_names()
+        )
         assert "sobel" in available("servable")
 
     def test_alias(self):
@@ -106,3 +108,81 @@ class TestMcPiPlan:
         sigs = [plan.significance(*a) for a in plan.args_list]
         assert all(0.0 < s < 1.0 for s in sigs)
         assert len(set(sigs)) > 1
+
+
+class TestJacobiPlan:
+    def test_digest_stable(self):
+        kernel = get_servable("jacobi")
+        assert kernel.digest({"n": 128, "chunk": 32}) == kernel.digest(
+            {"chunk": 32, "n": 128, "seed": 2015}
+        )
+
+    def test_block_count(self):
+        kernel = get_servable("jacobi")
+        plan = kernel.plan({"n": 128, "chunk": 32})
+        assert plan.n_tasks == 4
+        assert plan.approxfun is None  # D-mode: drop, don't approximate
+        assert plan.cost.accurate > 0
+
+    def test_full_plan_matches_reference(self):
+        kernel = get_servable("jacobi")
+        args = {"n": 96, "chunk": 24, "seed": 5}
+        plan = kernel.plan(args)
+        results = [plan.fn(*a) for a in plan.args_list]
+        output = kernel.combine(args, results)
+        assert kernel.quality(kernel.reference(args), output) == 0.0
+
+    def test_dropped_block_degrades_not_corrupts(self):
+        kernel = get_servable("jacobi")
+        args = {"n": 96, "chunk": 24, "seed": 5}
+        plan = kernel.plan(args)
+        results = [plan.fn(*a) for a in plan.args_list]
+        results[2] = None
+        output = kernel.combine(args, results)
+        quality = kernel.quality(kernel.reference(args), output)
+        assert 0.0 < quality < 1.0
+        assert np.all(np.isfinite(output))
+
+    def test_chunk_larger_than_n_rejected(self):
+        kernel = get_servable("jacobi")
+        with pytest.raises(ConfigError, match="chunk"):
+            kernel.canonical_args({"n": 32, "chunk": 64})
+
+
+class TestKmeansPlan:
+    def test_digest_stable(self):
+        kernel = get_servable("kmeans")
+        assert kernel.digest({"points": 512, "k": 4}) == kernel.digest(
+            {"k": 4, "points": 512}
+        )
+
+    def test_plan_shape(self):
+        kernel = get_servable("kmeans")
+        plan = kernel.plan({"points": 512, "k": 4, "chunk": 128})
+        assert plan.n_tasks == 4
+        assert plan.approxfun is None
+        sigs = [plan.significance(*a) for a in plan.args_list]
+        assert all(0.0 < s < 1.0 for s in sigs)
+
+    def test_full_plan_matches_reference(self):
+        kernel = get_servable("kmeans")
+        args = {"points": 512, "k": 4, "dims": 4, "seed": 9}
+        plan = kernel.plan(args)
+        results = [plan.fn(*a) for a in plan.args_list]
+        output = kernel.combine(args, results)
+        assert kernel.quality(kernel.reference(args), output) == 0.0
+
+    def test_dropped_chunks_keep_centroids_finite(self):
+        kernel = get_servable("kmeans")
+        args = {"points": 512, "k": 4, "dims": 4, "seed": 9}
+        plan = kernel.plan(args)
+        results = [plan.fn(*a) for a in plan.args_list]
+        results[0] = results[1] = None  # half the votes lost
+        output = kernel.combine(args, results)
+        assert np.all(np.isfinite(output))
+        assert kernel.quality(kernel.reference(args), output) < 1.0
+
+    def test_more_clusters_than_points_rejected(self):
+        kernel = get_servable("kmeans")
+        with pytest.raises(ConfigError, match="k"):
+            kernel.canonical_args({"points": 64, "k": 65})
