@@ -34,6 +34,12 @@ about (section 4.2 / Figure 4):
   ledger's 2% lifetime-spend parity versus the single-shard figure,
   and the fig-serve two-tenant isolation band replayed across shards.
   Fully virtual-time, so every gated metric is host-independent.
+* **payload_bandwidth** — the zero-copy data plane's acceptance gates:
+  a Sobel-shaped stream (row blocks of one large float64 image) on the
+  process backend with ``shm=true`` versus the pickle plane.  Gates
+  the deterministic bytes-not-copied fraction (≥0.9 acceptance; pool-
+  backed rows reference, never copy) and the capped ≥1.5× tasks/s
+  speedup of shm over pickling the same payloads.
 * **sweep_pool** — process-engine cells on the shared warm executor
   (:mod:`repro.runtime.pool`) versus a private pool per cell; the
   gated ``reuse_speedup`` ratio is what makes sweeping over
@@ -66,6 +72,7 @@ __all__ = [
     "bench_governor_convergence",
     "bench_serve_throughput",
     "bench_serve_cluster",
+    "bench_payload_bandwidth",
     "bench_sweep_pool",
 ]
 
@@ -257,6 +264,10 @@ MATRIX_ENGINES: dict[str, str] = {
     "simulated": "simulated",
     "threaded": "threaded",
     "process": "process",
+    # The zero-copy data plane on the same payload-free stream:
+    # isolates the exporter's fixed overhead (informational; the
+    # payload_bandwidth probe gates the payload-bound win).
+    "process_shm": "process:shm=true",
 }
 
 #: Worker width for the backend matrix: small enough that a process
@@ -549,6 +560,116 @@ def bench_serve_cluster(
     }
 
 
+#: Row blocks the payload-bandwidth probe splits its image into (the
+#: Sobel task shape: disjoint row bands of one shared frame).
+PAYLOAD_BLOCKS = 16
+
+#: Acceptance bars of the zero-copy data plane (ISSUE 7): ≥90% of
+#: payload bytes mapped rather than copied, ≥1.5× tasks/s over pickle.
+PAYLOAD_NOT_COPIED_MIN = 0.9
+PAYLOAD_SPEEDUP_CAP = 1.5
+
+
+def _payload_block_touch(block) -> float:
+    # Touch one row of a big block: the probe times payload transport,
+    # not kernel arithmetic.
+    return float(block[0].sum())
+
+
+def _payload_stream(engine: str, image, n_blocks: int) -> Scheduler:
+    """Dispatch one Sobel-shaped stream: each task reads one row band."""
+    sched = Scheduler(
+        policy="accurate", n_workers=MATRIX_WORKERS, engine=engine
+    )
+    rows = image.shape[0] // n_blocks
+    sched.spawn_many(
+        _payload_block_touch,
+        [(image[i * rows : (i + 1) * rows],) for i in range(n_blocks)],
+        cost=TaskCost(2000.0),
+    )
+    sched.finish()
+    return sched
+
+
+def bench_payload_bandwidth(
+    small: bool,
+    repeats: int,
+    timer: TimerFn,
+    calib_ops_per_s: float,
+) -> dict[str, Metric]:
+    """Zero-copy data plane vs pickling the same payloads (gated).
+
+    The stream is payload-bound by construction (256 KiB-1 MiB per
+    task, trivial arithmetic), so the pickle plane pays serialization
+    plus pipe transfer per task while the shm plane ships a fixed-size
+    :class:`~repro.runtime.memory.ArrayRef`.  The bytes-not-copied
+    fraction comes from the exporter's own byte ledger on a dedicated
+    untimed run — pool-backed row bands are referenced, never copied,
+    so the gate is deterministic on any host.  The speedup gate is
+    capped at its 1.5× acceptance bar, like ``sweep_pool``: healthy
+    hosts saturate the cap and a transport regression falls below it.
+    """
+    import numpy as np
+
+    from ..runtime.memory import shared_array_pool
+
+    shape = (512, 1024) if small else (1024, 2048)  # 4 / 16 MiB
+    pool = shared_array_pool()
+    shm_img = pool.ndarray(shape)
+    shm_img[...] = 1.0
+    pickle_img = np.ones(shape)
+    try:
+        # Warm both engines' process pools out of the timed region.
+        _payload_stream("process:shm=true", shm_img, PAYLOAD_BLOCKS)
+        _payload_stream("process", pickle_img, PAYLOAD_BLOCKS)
+        shm = sample(
+            lambda: _payload_stream(
+                "process:shm=true", shm_img, PAYLOAD_BLOCKS
+            ),
+            repeats=repeats,
+            timer=timer,
+        )
+        pickled = sample(
+            lambda: _payload_stream(
+                "process", pickle_img, PAYLOAD_BLOCKS
+            ),
+            repeats=repeats,
+            timer=timer,
+        )
+        stats = _payload_stream(
+            "process:shm=true", shm_img, PAYLOAD_BLOCKS
+        ).engine.data_plane_stats
+    finally:
+        pool.release_array(shm_img)
+    speedup = pickled.best_s / max(shm.best_s, 1e-12)
+    return {
+        # Deterministic byte ledger: gated directly (≥0.9 acceptance).
+        "payload_bandwidth.bytes_not_copied_frac": Metric(
+            stats.bytes_not_copied_frac, "frac",
+            higher_is_better=True, gated=True,
+        ),
+        "payload_bandwidth.bytes_referenced_mb": Metric(
+            stats.bytes_referenced / 2**20, "MiB",
+            higher_is_better=True,
+        ),
+        "payload_bandwidth.shm_tasks_per_s": Metric(
+            PAYLOAD_BLOCKS / max(shm.best_s, 1e-12), "tasks/s",
+            higher_is_better=True,
+        ),
+        "payload_bandwidth.pickle_tasks_per_s": Metric(
+            PAYLOAD_BLOCKS / max(pickled.best_s, 1e-12), "tasks/s",
+            higher_is_better=True,
+        ),
+        "payload_bandwidth.shm_speedup": Metric(
+            speedup, "x", higher_is_better=True
+        ),
+        "payload_bandwidth.shm_speedup_min1_5x": Metric(
+            min(speedup, PAYLOAD_SPEEDUP_CAP), "x",
+            higher_is_better=True, gated=True,
+        ),
+    }
+
+
 def _sweep_process_cells(reuse: bool, n_cells: int, n_tasks: int) -> None:
     """A mini sweep: ``n_cells`` schedulers on the process backend."""
     engine = (
@@ -625,5 +746,6 @@ WORKLOADS: dict[str, WorkloadFn] = {
     "governor_convergence": bench_governor_convergence,
     "serve_throughput": bench_serve_throughput,
     "serve_cluster": bench_serve_cluster,
+    "payload_bandwidth": bench_payload_bandwidth,
     "sweep_pool": bench_sweep_pool,
 }

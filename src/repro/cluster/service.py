@@ -28,11 +28,11 @@ core *unchanged* and multiplies it:
   .retarget`), so lifetime budgets hold cluster-wide with no per-job
   global lock.
 
-The service duck-types ``TaskService`` (``submit`` / ``flush`` /
-``pending_jobs`` / ``stats`` / ``close``), which is what lets
-:class:`~repro.serve.server.LocalGateway` and the TCP
-:class:`~repro.serve.server.ServeServer` front a whole cluster without
-changing a line of gateway code.
+The service implements :class:`~repro.serve.ServiceProtocol`
+(``submit`` / ``flush`` / ``pending_jobs`` / ``stats`` / ``close``) —
+the explicit contract :class:`~repro.serve.server.LocalGateway` and the
+TCP :class:`~repro.serve.server.ServeServer` are typed against — so a
+gateway fronts a whole cluster without changing a line of gateway code.
 
 Queue caps are per shard: a tenant with ``max_pending=64`` on a 4-shard
 cluster may hold up to 256 queued jobs cluster-wide, 64 on any one
@@ -300,7 +300,7 @@ class ClusterService:
             job_key(request.tenant, request.kernel, digest)
         )
 
-    # -- the TaskService duck type ---------------------------------------
+    # -- the ServiceProtocol surface --------------------------------------
     @property
     def pending_jobs(self) -> int:
         return sum(w.service.pending_jobs for w in self.shards)

@@ -25,6 +25,55 @@ from .runtime.errors import ConfigError, RegistryError
 
 __all__ = ["RuntimeConfig", "component_name"]
 
+#: Engine registry names that execute task bodies in worker processes
+#: (the only backends where the data plane choice matters).
+_PROCESS_ENGINES = frozenset({"process", "procpool", "processes"})
+
+#: Valid data-plane specs: plane name -> allowed option validators.
+_DATA_PLANES: dict[str, dict[str, Callable[[Any], bool]]] = {
+    "pickle": {},
+    "shm": {
+        "min_bytes": lambda v: isinstance(v, int)
+        and not isinstance(v, bool)
+        and v >= 0,
+    },
+}
+
+
+def _normalize_data_plane(value: Any) -> str:
+    """Validate a ``data_plane`` value down to its canonical spec string.
+
+    Unknown plane names and unknown/ill-typed options are rejected at
+    config construction — the field is a deliberate API surface, not a
+    kwargs pass-through.
+    """
+    if not isinstance(value, str):
+        raise ConfigError(
+            "data_plane must be a spec string "
+            f"('pickle', 'shm', 'shm:min_bytes=8192'), got {value!r}"
+        )
+    try:
+        name, options = parse_spec(value)
+    except RegistryError as exc:
+        raise ConfigError(f"invalid data_plane spec: {exc}") from exc
+    if name not in _DATA_PLANES:
+        raise ConfigError(
+            f"unknown data plane {name!r}; "
+            f"known: {sorted(_DATA_PLANES)}"
+        )
+    validators = _DATA_PLANES[name]
+    for key, val in options.items():
+        if key not in validators:
+            raise ConfigError(
+                f"unknown data_plane option {key!r} for {name!r}; "
+                f"known: {sorted(validators) or 'none'}"
+            )
+        if not validators[key](val):
+            raise ConfigError(
+                f"invalid data_plane option {key}={val!r} for {name!r}"
+            )
+    return value
+
 
 def component_name(value: Any, default: str) -> str:
     """Display name of a config component: the spec string itself,
@@ -78,6 +127,18 @@ class RuntimeConfig:
         :class:`~repro.cluster.service.ClusterSpec`.  Ignored by
         :class:`Scheduler`; consumed by
         :class:`~repro.cluster.service.ClusterService`.
+    data_plane:
+        How ndarray payloads cross the parent/worker boundary on
+        multi-process engines: ``None`` (default — the engine spec
+        decides, pickling unless it says ``shm=true``), ``"pickle"``
+        (force pickling), or ``"shm"`` /
+        ``"shm:min_bytes=8192"`` (zero-copy
+        :class:`~repro.runtime.memory.SharedArrayPool` references for
+        arrays of at least ``min_bytes`` bytes).  Validated at
+        construction — unknown plane names or options raise
+        :class:`ConfigError` — and applied by :meth:`build_engine` to
+        the process-family engines; in-process engines (simulated,
+        threaded) share memory natively and ignore it.
     """
 
     policy: Any = "accurate"
@@ -88,6 +149,7 @@ class RuntimeConfig:
     governor: Any = None
     tenants: Any = None
     cluster: Any = None
+    data_plane: Any = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.n_workers, int) or self.n_workers < 1:
@@ -131,6 +193,12 @@ class RuntimeConfig:
                 raise ConfigError(
                     f"invalid cluster spec: {exc}"
                 ) from exc
+        if self.data_plane is not None:
+            object.__setattr__(
+                self,
+                "data_plane",
+                _normalize_data_plane(self.data_plane),
+            )
         # Fail fast on unparseable/unknown spec strings: a config is a
         # value object and should be invalid at construction, not at
         # scheduler start.
@@ -266,6 +334,13 @@ class RuntimeConfig:
         if not isinstance(self.engine, str):
             return self.engine
         name, kwargs = parse_spec(self.engine)
+        if self.data_plane is not None and name in _PROCESS_ENGINES:
+            # The data_plane field is the deliberate API; explicit
+            # engine-spec options (``"process:shm=true"``) still win.
+            plane, options = parse_spec(self.data_plane)
+            kwargs.setdefault("shm", plane == "shm")
+            if "min_bytes" in options:
+                kwargs.setdefault("shm_min_bytes", options["min_bytes"])
         factory = registry_for("engine").factory(name)
         return factory(
             self.n_workers,
@@ -291,4 +366,6 @@ class RuntimeConfig:
             text += f" tenants={len(self.tenants)}"
         if self.cluster is not None:
             text += f" cluster={component_name(self.cluster, 'none')}"
+        if self.data_plane is not None:
+            text += f" data_plane={component_name(self.data_plane, 'none')}"
         return text

@@ -409,7 +409,8 @@ def main(argv: list[str] | None = None) -> int:
         help="bench: restrict to one probe (repeatable; "
         "scheduler_throughput/spawn_overhead/spawn_many/"
         "backend_matrix/end_to_end/governor_convergence/"
-        "serve_throughput/serve_cluster/sweep_pool)",
+        "serve_throughput/serve_cluster/payload_bandwidth/"
+        "sweep_pool)",
     )
     parser.add_argument(
         "--baseline",

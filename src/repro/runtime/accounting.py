@@ -37,7 +37,57 @@ if TYPE_CHECKING:  # pragma: no cover
     from .groups import GroupRegistry
     from .queues import QueueStats
 
-__all__ = ["AccountingCore", "IntervalFeedback", "build_run_report"]
+__all__ = [
+    "AccountingCore",
+    "AccountingShard",
+    "IntervalFeedback",
+    "build_run_report",
+]
+
+
+class AccountingShard:
+    """Thread-local accounting deltas for one worker (DESIGN.md §12).
+
+    Worker threads on the threaded engine record finished tasks here
+    *without holding the engine lock*: the shard buffers
+    ``(Segment, host_s)`` tuples via ``list.append`` (atomic under the
+    GIL, single writer — this worker's thread), and the master drains
+    them into the shared :class:`ExecutionTrace` at barrier points
+    (:meth:`AccountingCore.merge_shards`).  ``ExecutionTrace.record``
+    imposes no cross-segment time ordering, so deferring the merge is
+    observably equivalent to recording inline — every aggregate view
+    (energy, utilization, feedback snapshots) reads the trace only from
+    the master's serialized context after a merge.
+    """
+
+    __slots__ = ("worker", "_buf")
+
+    def __init__(self, worker: int) -> None:
+        self.worker = worker
+        self._buf: list[tuple[Segment, float | None]] = []
+
+    def record(self, segment: Segment, host_s: float | None) -> None:
+        """Buffer one finished-task observation (worker thread side)."""
+        self._buf.append((segment, host_s))
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def drain(self) -> list[tuple[Segment, float | None]]:
+        """Take the buffered deltas (master side).
+
+        Snapshot-then-delete keeps the drain safe against a concurrent
+        ``append`` from a worker that has not parked yet: entries
+        appended after the length snapshot stay in the buffer for the
+        next merge instead of being lost.
+        """
+        buf = self._buf
+        n = len(buf)
+        if n == 0:
+            return []
+        taken = buf[:n]
+        del buf[:n]
+        return taken
 
 
 @dataclass(frozen=True)
@@ -78,10 +128,14 @@ class AccountingCore:
         "_sampler",
         "_snap_index",
         "_snap_seg_cursor",
+        "_shards",
     )
 
     def __init__(self, n_workers: int) -> None:
         self.trace = ExecutionTrace(n_workers)
+        # Per-worker delta shards (lazily created by backends that
+        # record off the engine lock; merged at barriers).
+        self._shards: dict[int, AccountingShard] = {}
         #: Online DVFS switches ``(t, factor)`` in record order; empty
         #: for runs that never touch the frequency knob.  Energy
         #: attribution (:meth:`energy_report`, the feedback sampler and
@@ -144,6 +198,39 @@ class AccountingCore:
         if factor == self.current_dvfs_factor:
             return
         epochs.append(DvfsEpoch(t, factor))
+
+    # -- sharded recording (lock-free worker side) ------------------------
+    def shard(self, worker: int) -> AccountingShard:
+        """The delta shard for ``worker`` (created on first request).
+
+        Handed to a worker thread once at startup; after that the
+        worker records into it without synchronization and the master
+        calls :meth:`merge_shards` at barriers.
+        """
+        try:
+            return self._shards[worker]
+        except KeyError:
+            shard = self._shards.setdefault(
+                worker, AccountingShard(worker)
+            )
+            return shard
+
+    def merge_shards(self) -> int:
+        """Drain every worker shard into the shared trace (master side).
+
+        Returns the number of segments merged.  Must be called from the
+        backend's serialized context — the same discipline as the
+        direct recording methods — before any aggregate view (energy,
+        feedback snapshot, run report) is read.
+        """
+        merged = 0
+        for shard in self._shards.values():
+            for segment, host_s in shard.drain():
+                self.trace.record(segment)
+                if host_s is not None:
+                    self.trace.host_seconds += host_s
+                merged += 1
+        return merged
 
     @property
     def current_dvfs_factor(self) -> float:

@@ -47,10 +47,10 @@ from typing import (
 
 from ..registry import register
 from ..sim.machine import SimulatedMachine
-from ..sim.trace import ExecutionTrace
-from .accounting import AccountingCore
+from ..sim.trace import ExecutionTrace, Segment
+from .accounting import AccountingCore, AccountingShard
 from .errors import SchedulerError
-from .queues import WorkerQueues
+from .queues import ShardedWorkerQueues
 from .task import Task, TaskState
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -356,11 +356,17 @@ class SimulatedEngine(Engine):
 class ThreadedEngine(WallClockTicks, Engine):
     """Real-thread engine sharing the queue fabric and policies.
 
-    Worker threads loop on :meth:`WorkerQueues.acquire` under a lock and
-    block on a condition variable when idle.  Timestamps are wall-clock
-    seconds relative to engine construction, so the resulting trace can
-    be fed to the same energy model (as an *estimate*; see module
-    docstring).
+    The scheduling hot path is lock-free (DESIGN.md section 12): worker
+    threads pop from :class:`ShardedWorkerQueues` and buffer finished-
+    task observations in per-worker :class:`AccountingShard` deltas
+    without touching the engine lock; the lock is taken only for the
+    completion handshake (dependence release, in-flight accounting) and
+    when a worker runs dry and must park on the condition variable.
+    The master merges the shards into the shared trace at barrier
+    points, so every aggregate view still reads one serialized
+    :class:`AccountingCore`.  Timestamps are wall-clock seconds
+    relative to engine construction, so the resulting trace can be fed
+    to the same energy model (as an *estimate*; see module docstring).
     """
 
     _IDLE_WAIT_S = 0.05
@@ -385,7 +391,7 @@ class ThreadedEngine(WallClockTicks, Engine):
         self.on_task_finished = on_task_finished
         self.stall_handler = stall_handler
 
-        self.queues = WorkerQueues(n_workers)
+        self.queues = ShardedWorkerQueues(n_workers)
         self._accounting = AccountingCore(n_workers)
         self._t0 = _time.perf_counter()
         # RLock: on_task_finished (held) may release successors, which
@@ -443,17 +449,28 @@ class ThreadedEngine(WallClockTicks, Engine):
 
     # -- worker side ----------------------------------------------------
     def _worker_loop(self, worker: int) -> None:
+        shard = self._accounting.shard(worker)
+        acquire = self.queues.acquire
         while True:
-            with self._work_cv:
-                task = self.queues.acquire(worker)
-                while task is None:
-                    if self._stop:
-                        return
-                    self._work_cv.wait(self._IDLE_WAIT_S)
-                    task = self.queues.acquire(worker)
-            self._run_one(worker, task)
+            # Fast path: pop/steal straight off the sharded deques —
+            # no lock while work is plentiful.
+            task = acquire(worker)
+            if task is None:
+                # Slow path: park on the condition variable.  Re-check
+                # under the lock first — a push between the lock-free
+                # miss and the wait would otherwise be slept through.
+                with self._work_cv:
+                    task = acquire(worker)
+                    while task is None:
+                        if self._stop:
+                            return
+                        self._work_cv.wait(self._IDLE_WAIT_S)
+                        task = acquire(worker)
+            self._run_one(worker, task, shard)
 
-    def _run_one(self, worker: int, task: Task) -> None:
+    def _run_one(
+        self, worker: int, task: Task, shard: AccountingShard
+    ) -> None:
         kind = self.policy.decide(task, worker)
         task.state = TaskState.RUNNING
         task.worker = worker
@@ -461,12 +478,17 @@ class ThreadedEngine(WallClockTicks, Engine):
         task.t_started = start
         task.execute(kind)
         end = self._now()
+        # Trace bookkeeping goes to the worker's own shard, lock-free;
+        # it is buffered *before* the in-flight decrement below, so a
+        # barrier that observes quiescence always finds the segment at
+        # its merge point.
+        shard.record(
+            Segment(worker, start, end, task.tid, kind, task.group),
+            end - start,
+        )
         with self._lock:
             task.state = TaskState.FINISHED
             task.t_finished = end
-            self._accounting.record_task(
-                task, worker, start, end, kind, host_s=end - start
-            )
             self.on_task_finished(task, end)
             self._inflight -= 1
             self._done_cv.notify_all()
@@ -478,6 +500,10 @@ class ThreadedEngine(WallClockTicks, Engine):
         stalled_once = False
         with self._done_cv:
             while not predicate():
+                # Fold the workers' buffered deltas into the shared
+                # trace before any tick callback (the governor samples
+                # the trace) and before stall diagnosis.
+                self._accounting.merge_shards()
                 self._maybe_tick(self._now())
                 if self._inflight == 0 and len(self.queues) == 0:
                     if not stalled_once and self.stall_handler is not None:
@@ -497,6 +523,7 @@ class ThreadedEngine(WallClockTicks, Engine):
                 self._done_cv.wait(
                     self._tick_clamped_wait(self._IDLE_WAIT_S, self._now())
                 )
+            self._accounting.merge_shards()
         return self._now()
 
     def finish(self) -> tuple[ExecutionTrace, float]:
@@ -509,6 +536,9 @@ class ThreadedEngine(WallClockTicks, Engine):
             self._work_cv.notify_all()
         for t in self._threads:
             t.join(timeout=5.0)
+        # Workers are parked/joined: one final merge catches segments
+        # buffered after the last barrier's merge point.
+        self._accounting.merge_shards()
         return self.trace, max(self.trace.makespan, self._now())
 
     @property

@@ -1,0 +1,664 @@
+"""Zero-copy shared-memory data plane for the process backend.
+
+The process engine's marshalling contract pickles every ndarray payload
+into the child and change-diffs mutated ``out()`` buffers back — two
+full copies (plus a snapshot and a compare) per task for data the
+parent and child could simply *share*.  This module provides the
+sharing substrate (DESIGN.md section 12):
+
+* :class:`SharedArrayPool` — a pool of reusable
+  ``multiprocessing.shared_memory`` segments, bucketed by size so a
+  steady-state workload stops allocating.  ``pool.ndarray(shape)``
+  allocates an array that *lives* in a pooled segment, which is what
+  makes true zero-copy possible: tasks over such arrays ship only an
+  :class:`ArrayRef` descriptor, and workers read and write the one
+  mapping everybody shares.
+* :class:`ArrayRef` — a small picklable descriptor (segment name,
+  dtype, shape, strides, byte offset) naming an ndarray view inside a
+  segment.  :func:`attach_array` resolves it in a worker process
+  through a per-process attach cache.
+* :class:`ArrayExporter` — the engine-side encoder.  For each ndarray
+  payload it either (a) exports by reference (pool-backed arrays —
+  zero bytes moved), (b) *promotes* a foreign array by copying it into
+  a pooled segment once per barrier phase and exporting views of the
+  copy, or (c) falls back to pickling (small arrays, object dtypes,
+  negative strides).  Byte counters for each path feed the
+  ``payload_bandwidth`` bench probe's bytes-not-copied gate.
+
+Ownership rules (the API contract; also DESIGN.md section 12):
+
+* Pool-allocated arrays are owned by their pool: they stay valid until
+  ``release_array`` or ``pool.close()``; the pool keeps a reference,
+  so dropping yours does not free the segment.
+* Promoted foreign arrays are snapshots for one barrier phase.  The
+  parent must not mutate a promoted buffer while tasks are in flight;
+  writable promotions are synced back into the original buffer when
+  the engine reaches a quiescent barrier (no queued or running tasks),
+  then the promotion is discarded.  For mid-phase read-back or
+  many-phase reuse, allocate through the pool instead.
+* Workers never own segments: children attach with tracking disabled
+  (the parent is the registered owner) and keep the mapping cached for
+  the life of the pool process.  Segment names are never reused, so
+  the cache cannot alias stale data.
+
+Leak discipline: every segment is created by a pool and unlinked by
+``pool.close()``; :func:`shutdown_array_pools` (also registered
+``atexit``) closes every global pool, so a clean interpreter exit
+leaves nothing in ``/dev/shm`` (``repro_*`` names; see
+``tests/runtime/test_memory.py``).
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import threading
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Any
+
+try:  # numpy is what the data plane moves; pure-Python payloads pickle
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a hard dep today
+    _np = None
+
+from .errors import SchedulerError
+
+__all__ = [
+    "ArrayRef",
+    "DataPlaneStats",
+    "SharedArrayPool",
+    "ArrayExporter",
+    "attach_array",
+    "shared_array_pool",
+    "discard_array_pool",
+    "shutdown_array_pools",
+    "active_segment_names",
+]
+
+#: Prefix of every segment this module creates — the leak tests scan
+#: ``/dev/shm`` for it, and it keeps our names out of other tenants'.
+SEGMENT_PREFIX = "repro_"
+
+_seg_counter = itertools.count()
+
+
+@dataclass(frozen=True, slots=True)
+class ArrayRef:
+    """A picklable reference to an ndarray view inside a shared segment.
+
+    ``offset`` addresses the view's *first logical element* relative to
+    the segment start; together with ``strides`` this reproduces the
+    exact parent-side view (C-order, F-order, or strided) over the one
+    shared mapping.  ``writable=False`` views resolve read-only in the
+    worker, so a body that treats an ``in()`` array as scratch fails
+    loudly instead of corrupting shared data.
+    """
+
+    segment: str
+    dtype: Any
+    shape: tuple
+    strides: tuple
+    offset: int
+    writable: bool = False
+
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes this reference stands in for."""
+        n = 1
+        for dim in self.shape:
+            n *= dim
+        return n * _np.dtype(self.dtype).itemsize
+
+
+@dataclass
+class DataPlaneStats:
+    """Byte accounting for one exporter (the bytes-not-copied metric)."""
+
+    #: Bytes shipped as references over pool-backed or already-promoted
+    #: shared segments — the zero-copy path.
+    bytes_referenced: int = 0
+    #: Bytes copied *into* shared segments promoting foreign arrays.
+    bytes_copied_in: int = 0
+    #: Bytes copied back *out* of writable promotions at barriers.
+    bytes_copied_out: int = 0
+    #: ndarray bytes that fell back to pickling (small / unsupported).
+    bytes_pickled: int = 0
+    arrays_referenced: int = 0
+    arrays_promoted: int = 0
+    arrays_pickled: int = 0
+
+    @property
+    def bytes_total(self) -> int:
+        return (
+            self.bytes_referenced
+            + self.bytes_copied_in
+            + self.bytes_copied_out
+            + self.bytes_pickled
+        )
+
+    @property
+    def bytes_not_copied_frac(self) -> float:
+        """Fraction of payload bytes that moved by reference (0 when no
+        ndarray traffic was seen)."""
+        total = self.bytes_total
+        return self.bytes_referenced / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "bytes_referenced": self.bytes_referenced,
+            "bytes_copied_in": self.bytes_copied_in,
+            "bytes_copied_out": self.bytes_copied_out,
+            "bytes_pickled": self.bytes_pickled,
+            "arrays_referenced": self.arrays_referenced,
+            "arrays_promoted": self.arrays_promoted,
+            "arrays_pickled": self.arrays_pickled,
+            "bytes_not_copied_frac": self.bytes_not_copied_frac,
+        }
+
+
+@dataclass
+class _Segment:
+    """One shared-memory segment owned by a pool."""
+
+    shm: shared_memory.SharedMemory
+    #: Bucketed capacity (power of two >= the requested size).
+    size: int
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+
+@dataclass
+class _ExportInfo:
+    """Registry entry mapping a pool-allocated base buffer to its segment.
+
+    Holds a strong reference to the base object: the registry key is
+    ``id(base)``, which is only stable while the object lives, and pool
+    ownership means the array must outlive user references anyway.
+    """
+
+    base: Any
+    segment: _Segment
+    base_addr: int
+    pool: "SharedArrayPool"
+
+
+#: id(ultimate base buffer) -> export info, for every live
+#: pool-allocated array in this process (all pools share one registry
+#: so an exporter recognizes arrays from any tag).
+_EXPORTABLE: dict[int, _ExportInfo] = {}
+
+
+def _ultimate_base(arr: Any) -> Any:
+    """The object at the end of the ``.base`` chain (mirrors
+    ``task._identity_key``, but returns the object, not its id)."""
+    base = getattr(arr, "base", None)
+    while base is not None:
+        arr = base
+        base = getattr(arr, "base", None)
+    return arr
+
+
+def _bucket(nbytes: int) -> int:
+    """Round a size up to the pool's reuse granularity (power of two,
+    min one page) so near-miss sizes share segments."""
+    n = max(int(nbytes), 4096)
+    return 1 << (n - 1).bit_length()
+
+
+def _new_shm(size: int) -> shared_memory.SharedMemory:
+    while True:
+        name = f"{SEGMENT_PREFIX}{os.getpid()}_{next(_seg_counter):x}"
+        try:
+            return shared_memory.SharedMemory(
+                name=name, create=True, size=size
+            )
+        except FileExistsError:  # pragma: no cover - stale leftover
+            continue
+
+
+class SharedArrayPool:
+    """Reusable shared-memory segments for ndarray payloads.
+
+    Thread-safe (the serve cluster's shards allocate concurrently).
+    ``tag`` only labels the pool for diagnostics; partitioning happens
+    in :func:`shared_array_pool`'s keying, exactly like the process
+    pools in :mod:`repro.runtime.pool`.
+    """
+
+    def __init__(self, tag: str | None = None) -> None:
+        if _np is None:  # pragma: no cover - numpy is a hard dep today
+            raise SchedulerError(
+                "the shared-memory data plane requires numpy"
+            )
+        self.tag = tag
+        self._lock = threading.Lock()
+        self._free: dict[int, list[_Segment]] = {}
+        self._leased: dict[str, _Segment] = {}
+        self._closed = False
+        self.segments_created = 0
+        self.segments_reused = 0
+
+    # -- segment lifecycle ------------------------------------------------
+    def acquire(self, nbytes: int) -> _Segment:
+        """Lease a segment of at least ``nbytes`` (bucketed reuse)."""
+        size = _bucket(nbytes)
+        with self._lock:
+            if self._closed:
+                raise SchedulerError(
+                    f"shared array pool {self.tag!r} is closed"
+                )
+            stack = self._free.get(size)
+            if stack:
+                seg = stack.pop()
+                self.segments_reused += 1
+            else:
+                seg = _Segment(_new_shm(size), size)
+                self.segments_created += 1
+            self._leased[seg.name] = seg
+            return seg
+
+    def release(self, seg: _Segment) -> None:
+        """Return a leased segment to the free list."""
+        with self._lock:
+            if self._leased.pop(seg.name, None) is None:
+                return
+            if self._closed:
+                self._unlink(seg)
+                return
+            self._free.setdefault(seg.size, []).append(seg)
+
+    @property
+    def leased_count(self) -> int:
+        return len(self._leased)
+
+    @property
+    def free_count(self) -> int:
+        return sum(len(s) for s in self._free.values())
+
+    def segment_names(self) -> list[str]:
+        """Names of every live segment (leased + free), for leak tests."""
+        with self._lock:
+            return sorted(self._leased) + sorted(
+                seg.name
+                for stack in self._free.values()
+                for seg in stack
+            )
+
+    # -- pool-backed arrays ------------------------------------------------
+    def ndarray(self, shape, dtype=float) -> Any:
+        """Allocate an ndarray living in a pooled segment.
+
+        The returned array is pool-owned (see the module ownership
+        rules): it exports by reference at zero copy cost, and its
+        segment returns to the pool via :meth:`release_array` or
+        :meth:`close`.
+        """
+        dtype = _np.dtype(dtype)
+        if dtype.hasobject:
+            raise SchedulerError(
+                "object-dtype arrays cannot live in shared memory"
+            )
+        shape = tuple(shape) if hasattr(shape, "__iter__") else (shape,)
+        nbytes = dtype.itemsize
+        for dim in shape:
+            nbytes *= dim
+        seg = self.acquire(max(nbytes, 1))
+        arr = _np.ndarray(shape, dtype=dtype, buffer=seg.shm.buf)
+        arr[...] = 0  # fresh allocations read as zeros, like np.zeros
+        base = _ultimate_base(arr)
+        _EXPORTABLE[id(base)] = _ExportInfo(
+            base=base,
+            segment=seg,
+            base_addr=arr.__array_interface__["data"][0],
+            pool=self,
+        )
+        return arr
+
+    def release_array(self, arr: Any) -> None:
+        """Return a pool-allocated array's segment to the free list.
+
+        The array (and every view of it) is invalid afterwards.
+        """
+        info = _EXPORTABLE.pop(id(_ultimate_base(arr)), None)
+        if info is None:
+            raise SchedulerError(
+                "release_array: not a live pool-allocated array"
+            )
+        self.release(info.segment)
+
+    # -- teardown ----------------------------------------------------------
+    @staticmethod
+    def _unlink(seg: _Segment) -> None:
+        try:
+            seg.shm.close()
+            seg.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def close(self) -> None:
+        """Unlink every segment (leased ones too: pool-owned arrays die
+        with the pool).  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            segs = list(self._leased.values())
+            self._leased.clear()
+            for stack in self._free.values():
+                segs.extend(stack)
+            self._free.clear()
+        for key in [
+            k for k, info in _EXPORTABLE.items() if info.pool is self
+        ]:
+            del _EXPORTABLE[key]
+        for seg in segs:
+            self._unlink(seg)
+
+
+# -- global tagged pools (mirrors runtime.pool's shared executors) -------
+_pools: dict[str | None, SharedArrayPool] = {}
+_pools_lock = threading.Lock()
+
+
+def shared_array_pool(tag: str | None = None) -> SharedArrayPool:
+    """The shared :class:`SharedArrayPool` for ``tag`` (lazily built).
+
+    Tags partition pools the same way :func:`~repro.runtime.pool
+    .shared_process_pool` partitions executors — the serve cluster's
+    shards each get their own warm segments.
+    """
+    with _pools_lock:
+        pool = _pools.get(tag)
+        if pool is None or pool._closed:
+            pool = _pools[tag] = SharedArrayPool(tag)
+        return pool
+
+
+def discard_array_pool(tag: str | None = None) -> None:
+    """Close and forget one global pool (no-op for unknown tags)."""
+    with _pools_lock:
+        pool = _pools.pop(tag, None)
+    if pool is not None:
+        pool.close()
+
+
+def shutdown_array_pools() -> None:
+    """Close every global pool (tests / teardown; also runs atexit)."""
+    with _pools_lock:
+        pools = list(_pools.values())
+        _pools.clear()
+    for pool in pools:
+        pool.close()
+
+
+def active_segment_names() -> list[str]:
+    """Every live segment name across the global pools (leak checks)."""
+    with _pools_lock:
+        pools = list(_pools.values())
+    names: list[str] = []
+    for pool in pools:
+        names.extend(pool.segment_names())
+    return names
+
+
+atexit.register(shutdown_array_pools)
+
+
+# -- child side ----------------------------------------------------------
+#: Per-process attach cache: segment name -> open SharedMemory.  Names
+#: are never reused, so entries cannot alias; mappings stay open for
+#: the (pool worker) process lifetime.
+_attached: dict[str, shared_memory.SharedMemory] = {}
+
+
+_attach_lock = threading.Lock()
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    shm = _attached.get(name)
+    if shm is not None:
+        return shm
+    with _attach_lock:
+        try:
+            # Python >= 3.13: opt out of resource tracking — the
+            # parent owns the segment and its tracker entry.
+            shm = shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:
+            # Older interpreters always register on attach, which is
+            # wrong in both tracker topologies: a worker forked after
+            # the parent's tracker started would re-add the name to
+            # the *shared* tracker set (a later parent unlink leaves
+            # the duplicate behind), and a worker forked before it
+            # would lazily spawn a *private* tracker that warns and
+            # double-unlinks at worker exit.  Attach with registration
+            # suppressed instead — unregistering afterwards is no
+            # better, as it erases the parent's entry when the tracker
+            # is shared.
+            from multiprocessing import resource_tracker
+
+            orig_register = resource_tracker.register
+            resource_tracker.register = lambda *a, **kw: None
+            try:
+                shm = shared_memory.SharedMemory(name=name)
+            finally:
+                resource_tracker.register = orig_register
+        _attached[name] = shm
+    return shm
+
+
+def attach_array(ref: ArrayRef) -> Any:
+    """Resolve an :class:`ArrayRef` to an ndarray view (worker side)."""
+    shm = _attach_segment(ref.segment)
+    arr = _np.ndarray(
+        ref.shape,
+        dtype=ref.dtype,
+        buffer=shm.buf,
+        offset=ref.offset,
+        strides=ref.strides,
+    )
+    if not ref.writable:
+        arr.flags.writeable = False
+    return arr
+
+
+# -- engine-side encoder --------------------------------------------------
+@dataclass
+class _Promotion:
+    """A foreign array copied into a pooled segment for one phase."""
+
+    owner: Any
+    segment: _Segment
+    shared: Any
+    owner_addr: int
+    dirty: bool = False
+
+
+#: Slot address inside a payload (same shape as process_engine._Slot).
+_Slot = tuple[str, Any]
+
+
+class ArrayExporter:
+    """Encode task payloads as :class:`ArrayRef` descriptors.
+
+    One exporter per :class:`~repro.runtime.process_engine
+    .ProcessPoolEngine` with ``shm=true``; not thread-safe (the engine
+    master is single-threaded).  ``min_bytes`` keeps tiny arrays on the
+    pickle path, where a descriptor would cost more than the copy.
+    """
+
+    def __init__(
+        self, pool: SharedArrayPool, min_bytes: int = 4096
+    ) -> None:
+        if min_bytes < 0:
+            raise SchedulerError(
+                f"min_bytes must be >= 0, got {min_bytes}"
+            )
+        self.pool = pool
+        self.min_bytes = min_bytes
+        self.stats = DataPlaneStats()
+        self._promotions: dict[int, _Promotion] = {}
+
+    # -- per-task encoding -------------------------------------------------
+    def encode(
+        self, args: tuple, kwargs: dict, slots: list[_Slot]
+    ) -> tuple[tuple, dict, list[_Slot]]:
+        """Replace exportable ndarrays with refs; return the payload
+        triple ``(args, kwargs, remaining_diff_slots)``.
+
+        Slots whose array exported drop out of the change-diff
+        protocol — their writes land in shared memory directly.
+        """
+        out_slots = set(slots)
+        new_args = list(args)
+        new_kwargs = dict(kwargs)
+        exported: set[_Slot] = set()
+        for i, value in enumerate(args):
+            slot = ("a", i)
+            ref = self._export(value, writable=slot in out_slots)
+            if ref is not None:
+                new_args[i] = ref
+                exported.add(slot)
+        for name, value in kwargs.items():
+            slot = ("k", name)
+            ref = self._export(value, writable=slot in out_slots)
+            if ref is not None:
+                new_kwargs[name] = ref
+                exported.add(slot)
+        remaining = [s for s in slots if s not in exported]
+        return tuple(new_args), new_kwargs, remaining
+
+    def _export(self, value: Any, writable: bool) -> ArrayRef | None:
+        if _np is None or not isinstance(value, _np.ndarray):
+            return None
+        stats = self.stats
+        if (
+            value.dtype.hasobject
+            or value.ndim == 0
+            or any(s < 0 for s in value.strides)
+        ):
+            stats.bytes_pickled += value.nbytes
+            stats.arrays_pickled += 1
+            return None
+
+        base = _ultimate_base(value)
+        info = _EXPORTABLE.get(id(base))
+        if info is not None and info.base is base:
+            # Pool-backed: the parent's buffer *is* the shared segment.
+            ref = self._ref_into(
+                value,
+                info.segment,
+                info.base_addr,
+                writable,
+            )
+            if ref is not None:
+                stats.bytes_referenced += value.nbytes
+                stats.arrays_referenced += 1
+            return ref
+
+        if value.nbytes < self.min_bytes:
+            stats.bytes_pickled += value.nbytes
+            stats.arrays_pickled += 1
+            return None
+        return self._export_promoted(value, writable)
+
+    def _export_promoted(
+        self, value: Any, writable: bool
+    ) -> ArrayRef | None:
+        """Copy a foreign array's owning buffer into a pooled segment
+        (once per phase) and reference views of the copy."""
+        # The nearest ndarray that owns its data; its whole buffer is
+        # promoted so every view of it resolves against one copy.
+        owner = value
+        while isinstance(owner.base, _np.ndarray):
+            owner = owner.base
+        if owner.base is not None or not (
+            owner.flags["C_CONTIGUOUS"] or owner.flags["F_CONTIGUOUS"]
+        ):
+            # Foreign buffer protocol object or non-contiguous owner:
+            # the offset arithmetic below would not be sound.
+            self.stats.bytes_pickled += value.nbytes
+            self.stats.arrays_pickled += 1
+            return None
+        if writable and not owner.flags.writeable:
+            self.stats.bytes_pickled += value.nbytes
+            self.stats.arrays_pickled += 1
+            return None
+
+        prom = self._promotions.get(id(owner))
+        if prom is None:
+            seg = self.pool.acquire(owner.nbytes)
+            order = "C" if owner.flags["C_CONTIGUOUS"] else "F"
+            shared = _np.ndarray(
+                owner.shape,
+                dtype=owner.dtype,
+                buffer=seg.shm.buf,
+                order=order,
+            )
+            _np.copyto(shared, owner)
+            prom = self._promotions[id(owner)] = _Promotion(
+                owner=owner,
+                segment=seg,
+                shared=shared,
+                owner_addr=owner.__array_interface__["data"][0],
+            )
+            self.stats.bytes_copied_in += owner.nbytes
+            self.stats.arrays_promoted += 1
+        ref = self._ref_into(
+            value,
+            prom.segment,
+            prom.owner_addr,
+            writable,
+        )
+        if ref is None:
+            return None
+        if writable:
+            prom.dirty = True
+        self.stats.bytes_referenced += value.nbytes
+        self.stats.arrays_referenced += 1
+        return ref
+
+    @staticmethod
+    def _ref_into(
+        value: Any, seg: _Segment, base_addr: int, writable: bool
+    ) -> ArrayRef | None:
+        offset = value.__array_interface__["data"][0] - base_addr
+        if offset < 0:  # pragma: no cover - defensive
+            return None
+        return ArrayRef(
+            segment=seg.name,
+            dtype=value.dtype,
+            shape=value.shape,
+            strides=value.strides,
+            offset=offset,
+            writable=writable,
+        )
+
+    # -- phase boundaries ---------------------------------------------------
+    def end_phase(self) -> None:
+        """Quiescent barrier: sync writable promotions back into their
+        original buffers, then recycle all promotion segments.
+
+        Only call with no tasks in flight — a still-running child may
+        write a promotion's segment.
+        """
+        promotions, self._promotions = self._promotions, {}
+        for prom in promotions.values():
+            if prom.dirty:
+                _np.copyto(prom.owner, prom.shared)
+                self.stats.bytes_copied_out += prom.owner.nbytes
+            self.pool.release(prom.segment)
+
+    def abort_phase(self) -> None:
+        """Drop all promotions *without* syncing (broken pool: the
+        shared copies are not trustworthy)."""
+        promotions, self._promotions = self._promotions, {}
+        for prom in promotions.values():
+            self.pool.release(prom.segment)
+
+    @property
+    def pending_promotions(self) -> int:
+        return len(self._promotions)

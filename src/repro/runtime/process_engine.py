@@ -43,6 +43,21 @@ silently drop writes.  Per-task overhead therefore scales with the
 *whole* out-buffer size, not the region touched; keep shared buffers
 modest (or pass per-task sub-arrays) when using this backend for
 fine-grained region-parallel kernels.
+
+Diff coverage: the change-diff enumerates elements in *logical*
+C-order on both sides, so F-order and strided views write back
+correctly.  Arrays the diff cannot handle (0-d, object dtypes, dtypes
+whose ``!=`` comparison fails) are replaced wholesale instead; writing
+back into a read-only buffer raises a clear ``SchedulerError``.
+
+The zero-copy alternative: ``"process:shm=true"`` routes ndarray
+payloads through the shared-memory data plane
+(:mod:`repro.runtime.memory`) — pool-backed arrays ship as
+:class:`~repro.runtime.memory.ArrayRef` descriptors and workers write
+results in place, skipping the pickle/snapshot/diff cycle entirely;
+foreign arrays above ``shm_min_bytes`` are promoted (copied into a
+pooled segment once per barrier phase).  See ``docs/data_plane.md``
+for the ownership rules.
 """
 
 from __future__ import annotations
@@ -51,6 +66,7 @@ import os
 import pickle
 import sys
 import time as _time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor
 from concurrent.futures import wait as _wait
 from concurrent.futures.process import BrokenProcessPool
@@ -65,6 +81,12 @@ from ..registry import register
 from .accounting import AccountingCore
 from .engine import Engine, WallClockTicks
 from .errors import SchedulerError
+from .memory import (
+    ArrayExporter,
+    ArrayRef,
+    attach_array,
+    shared_array_pool,
+)
 from .pool import discard_shared_pool, shared_process_pool
 from .queues import WorkerQueues
 from .task import Task, TaskState
@@ -163,18 +185,45 @@ def _resolve_body(body: Any) -> Callable:
     return attr.fn if role == "fn" else attr.clauses["approxfun"]
 
 
+def _diffable(obj: Any) -> bool:
+    """Whether the change-diff protocol can cover an ndarray.
+
+    0-d arrays cannot be fancy-indexed and object dtypes have no
+    reliable elementwise ``!=``; both fall back to wholesale
+    replacement (``"ndfull"``).
+    """
+    return obj.ndim > 0 and not obj.dtype.hasobject
+
+
 def _child_execute(payload: tuple) -> tuple[Any, float, list]:
     """Run one task body in a pool worker.
 
     Returns ``(result, host_seconds, updates)`` where ``updates`` holds
     one write-back record per out-slot (see :func:`_apply_update`).
+    Arguments arriving as :class:`~repro.runtime.memory.ArrayRef` are
+    resolved to shared-memory views first; their writes need no
+    update record at all.
     """
     body, args, kwargs, slots = payload
     body = _resolve_body(body)
+    if any(isinstance(a, ArrayRef) for a in args):
+        args = tuple(
+            attach_array(a) if isinstance(a, ArrayRef) else a
+            for a in args
+        )
+    if any(isinstance(v, ArrayRef) for v in kwargs.values()):
+        kwargs = {
+            k: attach_array(v) if isinstance(v, ArrayRef) else v
+            for k, v in kwargs.items()
+        }
     snapshots = {}
     for slot in slots:
         obj = _slot_value(args, kwargs, slot)
-        if _np is not None and isinstance(obj, _np.ndarray):
+        if (
+            _np is not None
+            and isinstance(obj, _np.ndarray)
+            and _diffable(obj)
+        ):
             snapshots[slot] = obj.copy()
     t0 = _time.perf_counter()
     result = body(*args, **kwargs)
@@ -187,13 +236,24 @@ def _child_execute(payload: tuple) -> tuple[Any, float, list]:
         if snap is not None:
             # Diff write-back: ship only the changed elements so that
             # parallel tasks mutating disjoint regions of one shared
-            # array merge instead of clobbering each other.
-            changed = (obj != snap).ravel()
-            idx = _np.flatnonzero(changed)
+            # array merge instead of clobbering each other.  Both sides
+            # enumerate elements in logical C-order, so F-order and
+            # strided views round-trip correctly.
+            try:
+                changed = (obj != snap).ravel()
+                idx = _np.flatnonzero(changed)
+            except Exception:
+                # A dtype whose comparison fails (exotic structured
+                # types): replace wholesale rather than dropping writes.
+                updates.append((slot, ("ndfull", _np.asarray(obj))))
+                continue
             if idx.size:
                 updates.append(
                     (slot, ("nd", idx, obj.reshape(-1)[idx]))
                 )
+        elif _np is not None and isinstance(obj, _np.ndarray):
+            # 0-d / object-dtype arrays: no diff, ship the whole thing.
+            updates.append((slot, ("ndfull", obj)))
         else:
             updates.append((slot, ("obj", obj)))
     return result, host_s, updates
@@ -206,7 +266,23 @@ def _apply_update(task: Task, slot: _Slot, update: tuple) -> None:
     mode, *payload = update
     if mode == "nd":
         idx, values = payload
-        original[_np.unravel_index(idx, original.shape)] = values
+        try:
+            original[_np.unravel_index(idx, original.shape)] = values
+        except ValueError as exc:
+            raise SchedulerError(
+                f"cannot write back out() array for task {task.tid}: "
+                f"{exc}. out() arrays mutated in a process-engine task "
+                "must be writable in the parent."
+            ) from exc
+    elif mode == "ndfull":
+        try:
+            original[...] = payload[0]
+        except ValueError as exc:
+            raise SchedulerError(
+                f"cannot write back out() array for task {task.tid}: "
+                f"{exc}. out() arrays mutated in a process-engine task "
+                "must be writable in the parent."
+            ) from exc
     elif isinstance(original, dict):
         original.clear()
         original.update(payload[0])
@@ -214,7 +290,41 @@ def _apply_update(task: Task, slot: _Slot, update: tuple) -> None:
         original[:] = payload[0]
 
 
+#: Non-zero while the registry factory below is on the stack; direct
+#: ``ProcessPoolEngine(...)`` construction outside it is deprecated.
+_from_registry = 0
+
+
 @register("engine", "process", "procpool", "processes")
+def _spec_process_engine(
+    n_workers: int,
+    machine_model: "MachineModel",
+    cost_model: "CostModel",
+    policy: "Policy",
+    on_task_finished: Callable[[Task, float], None],
+    stall_handler: Callable[[], bool] | None = None,
+    **kwargs: Any,
+) -> "ProcessPoolEngine":
+    """Registry factory behind the ``"process"`` engine spec strings
+    (``"process"``, ``"process:shm=true"``, ...) — the supported way to
+    build this engine; see :class:`ProcessPoolEngine` for the options.
+    """
+    global _from_registry
+    _from_registry += 1
+    try:
+        return ProcessPoolEngine(
+            n_workers,
+            machine_model,
+            cost_model,
+            policy,
+            on_task_finished,
+            stall_handler,
+            **kwargs,
+        )
+    finally:
+        _from_registry -= 1
+
+
 class ProcessPoolEngine(WallClockTicks, Engine):
     """Execute task bodies in a ``ProcessPoolExecutor``.
 
@@ -229,7 +339,14 @@ class ProcessPoolEngine(WallClockTicks, Engine):
     run many process-engine cells without paying pool startup per cell;
     ``pool_tag`` selects a *distinct* shared pool per tag, so
     co-resident engines (the serve cluster's shards) each keep their
-    own warm processes instead of contending for one executor.
+    own warm processes instead of contending for one executor;
+    ``shm`` switches ndarray payloads to the zero-copy shared-memory
+    data plane (:mod:`repro.runtime.memory`), with ``shm_min_bytes``
+    keeping arrays below the threshold on the pickle path.
+
+    Construct through an engine spec string (``"process:shm=true"`` via
+    :class:`~repro.config.RuntimeConfig` or ``Scheduler(engine=...)``);
+    direct construction is deprecated.
     """
 
     #: Blocking-wait quantum while a barrier predicate is unsatisfied.
@@ -248,7 +365,18 @@ class ProcessPoolEngine(WallClockTicks, Engine):
         start_method: str | None = None,
         reuse_pool: bool = True,
         pool_tag: str | None = None,
+        shm: bool = False,
+        shm_min_bytes: int = 4096,
     ) -> None:
+        if not _from_registry:
+            warnings.warn(
+                "constructing ProcessPoolEngine(...) directly is "
+                "deprecated; use an engine spec string instead, e.g. "
+                'RuntimeConfig(engine="process:shm=true") or '
+                'Scheduler(engine="process")',
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if n_workers > machine_model.n_cores:
             raise SchedulerError(
                 f"{n_workers} workers exceed the machine's "
@@ -265,6 +393,16 @@ class ProcessPoolEngine(WallClockTicks, Engine):
         self.start_method = start_method
         self.reuse_pool = reuse_pool
         self.pool_tag = pool_tag
+        #: Zero-copy payload encoder (None = classic pickle/diff plane).
+        self._exporter: ArrayExporter | None = None
+        if shm:
+            if _np is None:  # pragma: no cover - numpy is a hard dep
+                raise SchedulerError(
+                    "process engine shm=true requires numpy"
+                )
+            self._exporter = ArrayExporter(
+                shared_array_pool(pool_tag), min_bytes=shm_min_bytes
+            )
 
         self.queues = WorkerQueues(n_workers)
         self._accounting = AccountingCore(n_workers)
@@ -346,12 +484,16 @@ class ProcessPoolEngine(WallClockTicks, Engine):
             task.execute(kind)
             self._complete(task, worker, kind, start, start, host_s=0.0)
             return
-        payload = (
-            _body_ref(body) or body,
-            task.args,
-            task.kwargs,
-            _writeback_slots(task),
-        )
+        args, kwargs = task.args, task.kwargs
+        slots = _writeback_slots(task)
+        if self._exporter is not None:
+            # Zero-copy plane: exportable ndarrays become ArrayRefs;
+            # exported out-slots leave the diff protocol (their writes
+            # land in shared memory directly).
+            args, kwargs, slots = self._exporter.encode(
+                args, kwargs, slots
+            )
+        payload = (_body_ref(body) or body, args, kwargs, slots)
         future = self._pool_or_start().submit(_child_execute, payload)
         self._pending[future] = (task, worker, start, kind)
 
@@ -376,6 +518,10 @@ class ProcessPoolEngine(WallClockTicks, Engine):
                         self.max_procs, self.start_method, self.pool_tag
                     )
                     self._pool = None
+                if self._exporter is not None:
+                    # Promotion contents are not trustworthy after a
+                    # worker crash: recycle their segments unsynced.
+                    self._exporter.abort_phase()
                 raise SchedulerError(
                     f"process pool died while running task {task.tid} "
                     f"({exc}); the worker process likely crashed"
@@ -449,6 +595,15 @@ class ProcessPoolEngine(WallClockTicks, Engine):
                 raise SchedulerError(
                     f"process engine stalled at {description}"
                 )
+        if (
+            self._exporter is not None
+            and not self._pending
+            and len(self.queues) == 0
+        ):
+            # Quiescent barrier: no task can still reference a
+            # promotion's segment, so sync writable promotions back
+            # into their original buffers and recycle the segments.
+            self._exporter.end_phase()
         return self._now()
 
     def finish(self) -> tuple["ExecutionTrace", float]:
@@ -476,3 +631,10 @@ class ProcessPoolEngine(WallClockTicks, Engine):
     @property
     def queue_stats(self):
         return self.queues.stats
+
+    @property
+    def data_plane_stats(self):
+        """Byte accounting of the shm data plane (None when off)."""
+        return (
+            self._exporter.stats if self._exporter is not None else None
+        )

@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 from .errors import SchedulerError
 from .task import Task, TaskState
 
-__all__ = ["WorkerQueues", "QueueStats"]
+__all__ = ["WorkerQueues", "ShardedWorkerQueues", "QueueStats"]
 
 
 @dataclass
@@ -151,4 +151,155 @@ class WorkerQueues:
             out.extend(q)
             q.clear()
         self._size = 0
+        return out
+
+
+class ShardedWorkerQueues:
+    """Lock-free variant of :class:`WorkerQueues` for real-thread pops.
+
+    Same round-robin/FIFO/steal discipline, restructured so worker
+    threads consume *without holding the engine lock* (the threaded
+    engine's scheduling hot path, DESIGN.md section 12):
+
+    * the per-worker deques are the synchronization points —
+      ``deque.append`` and ``deque.popleft`` are atomic under the GIL,
+      so a push and a concurrent pop never corrupt a shard, and
+      ``popleft`` raising ``IndexError`` is the race-free emptiness
+      test (checking ``if q:`` first would TOCTOU against a thief);
+    * every mutable counter has a single writer: ``pushed`` belongs to
+      the master (pushes stay serialized under the engine's admission
+      lock, which the condition-variable wakeup needs anyway), and the
+      pop/steal/executed counters are per-worker slots written only by
+      that worker's thread;
+    * there is no materialized size — ``len`` sums the shard lengths
+      (each read atomic), giving the monotone-when-quiescent estimate
+      the barrier predicates need; per-operation O(1) size bookkeeping
+      would reintroduce a shared read-modify-write.
+
+    ``stats`` assembles a fresh :class:`QueueStats` snapshot from the
+    sharded counters, so reporting code sees the same schema as
+    :class:`WorkerQueues`.  The snapshot is exact once workers are
+    quiescent (barriers, ``finish``), approximate mid-run.
+    """
+
+    __slots__ = (
+        "n_workers",
+        "_queues",
+        "_rr_next",
+        "_pushed",
+        "_popped_local",
+        "_steals",
+        "_failed_steals",
+        "_executed",
+    )
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers < 1:
+            raise SchedulerError(
+                f"need at least one worker, got {n_workers}"
+            )
+        self.n_workers = n_workers
+        self._queues: list[deque[Task]] = [
+            deque() for _ in range(n_workers)
+        ]
+        self._rr_next = 0
+        self._pushed = 0
+        self._popped_local = [0] * n_workers
+        self._steals = [0] * n_workers
+        self._failed_steals = [0] * n_workers
+        self._executed = [0] * n_workers
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues)
+
+    def depth(self, worker: int) -> int:
+        return len(self._queues[worker])
+
+    def is_empty(self) -> bool:
+        return all(not q for q in self._queues)
+
+    # -- master side (serialized by the engine's admission lock) --------
+    def select_worker(self) -> int:
+        """Round-robin choice for the next issued task (master side)."""
+        w = self._rr_next
+        nxt = w + 1
+        self._rr_next = nxt if nxt < self.n_workers else 0
+        return w
+
+    def push(self, task: Task, worker: int | None = None) -> int:
+        """Issue a ready task to a worker shard; returns the worker id."""
+        if worker is None:
+            w = self._rr_next
+            nxt = w + 1
+            self._rr_next = nxt if nxt < self.n_workers else 0
+        else:
+            w = worker
+            if not 0 <= w < self.n_workers:
+                raise SchedulerError(f"worker {w} out of range")
+        task.state = TaskState.QUEUED
+        self._queues[w].append(task)
+        self._pushed += 1
+        return w
+
+    # -- worker side (lock-free) ----------------------------------------
+    def pop_local(self, worker: int) -> Task | None:
+        """Oldest task from the worker's own shard (FIFO), or None."""
+        try:
+            task = self._queues[worker].popleft()
+        except IndexError:
+            return None
+        self._popped_local[worker] += 1
+        return task
+
+    def steal(self, thief: int) -> Task | None:
+        """Steal the oldest task from the first non-empty victim shard,
+        scanning round-robin after the thief (as in
+        :meth:`WorkerQueues.steal`)."""
+        queues = self._queues
+        n = self.n_workers
+        for off in range(1, n):
+            victim = thief + off
+            if victim >= n:
+                victim -= n
+            try:
+                task = queues[victim].popleft()
+            except IndexError:
+                continue
+            self._steals[thief] += 1
+            return task
+        self._failed_steals[thief] += 1
+        return None
+
+    def acquire(self, worker: int) -> Task | None:
+        """Local pop falling back to stealing — one scheduling step."""
+        task = self.pop_local(worker)
+        if task is None:
+            task = self.steal(worker)
+        if task is not None:
+            self._executed[worker] += 1
+        return task
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> QueueStats:
+        """A :class:`QueueStats` snapshot of the sharded counters."""
+        return QueueStats(
+            pushed=self._pushed,
+            popped_local=sum(self._popped_local),
+            steals=sum(self._steals),
+            failed_steals=sum(self._failed_steals),
+            executed_per_worker=list(self._executed),
+        )
+
+    def drain(self) -> list[Task]:
+        """Remove and return every queued task (master side, workers
+        stopped)."""
+        out: list[Task] = []
+        for q in self._queues:
+            while True:
+                try:
+                    out.append(q.popleft())
+                except IndexError:
+                    break
         return out

@@ -31,7 +31,7 @@ from .errors import SchedulerError
 from .groups import GroupRegistry
 from .policies.base import Policy
 from .stats import RunReport
-from .task import Task, TaskCost, TaskState, ref
+from .task import Task, TaskCost, TaskState, ref, task_slab
 
 __all__ = ["Scheduler"]
 
@@ -74,6 +74,12 @@ class Scheduler:
         instance); it observes periodic energy/quality feedback and
         adjusts the effective ratio / DVFS state while the run
         executes.
+    retain_tasks:
+        Keyword-only.  When False the scheduler does not keep spawned
+        descriptors on :attr:`tasks`, and :meth:`release_tasks` may
+        recycle them through the process-wide
+        :class:`~repro.runtime.task.TaskSlab` once their results are
+        harvested — the long-lived service path.  Default True.
     """
 
     def __init__(
@@ -85,6 +91,8 @@ class Scheduler:
         engine: str | ExecutionBackend | None = None,
         policy: Policy | str | None = None,
         governor: Any = None,
+        *,
+        retain_tasks: bool = True,
     ) -> None:
         if config is not None and not isinstance(config, RuntimeConfig):
             # Compat shim: the first parameter used to be the policy
@@ -125,6 +133,14 @@ class Scheduler:
         self.groups = GroupRegistry()
         self.deps = DependenceTracker()
         self._tasks: list[Task] = []
+        #: When False the scheduler keeps no reference to spawned tasks
+        #: (``self.tasks`` stays empty) and callers may recycle their
+        #: descriptors via :meth:`release_tasks` after harvesting
+        #: results — the long-lived serve path, where retaining every
+        #: descriptor for the process lifetime would be an unbounded
+        #: leak.  Must stay True when anything samples ``tasks`` after
+        #: the fact (the governor's cost priors do).
+        self._retain_tasks = retain_tasks
         self._finished = False
         self.report: RunReport | None = None
         #: O(1) material for the global barrier predicate (evaluated
@@ -136,6 +152,10 @@ class Scheduler:
         #: ThreadedEngine free of read-modify-write races.
         self._spawned_total = 0
         self._completed_total = 0
+        #: Tasks released toward the workers (master-side writer only);
+        #: the stall handler compares before/after a flush instead of
+        #: scanning task states.
+        self._issued_total = 0
         # Spawn-path decision tables: the policy's constant per-spawn
         # overhead (None -> per-task method call) and a one-entry group
         # lookup cache (task streams overwhelmingly repeat labels).
@@ -199,16 +219,16 @@ class Scheduler:
         """
         if self._finished:
             raise SchedulerError("scheduler already finished")
-        task = Task(
-            fn=fn,
-            args=args,
-            kwargs=kwargs,
-            significance=significance,
-            approx_fn=approxfun,
-            group=label,
-            ins=tuple(ref(o) for o in in_) if in_ else (),
-            outs=tuple(ref(o) for o in out) if out else (),
-            cost=cost,
+        task = task_slab().acquire(
+            fn,
+            args,
+            kwargs,
+            significance,
+            approxfun,
+            label,
+            tuple(ref(o) for o in in_) if in_ else (),
+            tuple(ref(o) for o in out) if out else (),
+            cost,
         )
         group = self._group_for(label)
         task.group_seq = group.spawned
@@ -222,7 +242,8 @@ class Scheduler:
             self.policy.spawn_overhead(task) if overhead is None else overhead
         )
         self.deps.register(task)
-        self._tasks.append(task)
+        if self._retain_tasks:
+            self._tasks.append(task)
 
         if not self.policy.on_spawn(task):
             self.issue(task)
@@ -278,29 +299,28 @@ class Scheduler:
 
         tasks: list[Task] = []
         has_deps = bool(const_ins or const_outs)
+        slab = task_slab()
         for args in args_list:
             if not isinstance(args, tuple):
                 args = (args,)
-            task = Task(
-                fn=fn,
-                args=args,
-                kwargs=kw,
-                significance=(
-                    sig_fn(*args, **kw) if sig_fn else significance
-                ),
-                approx_fn=approxfun,
-                group=label,
-                ins=(
+            task = slab.acquire(
+                fn,
+                args,
+                kw,
+                sig_fn(*args, **kw) if sig_fn else significance,
+                approxfun,
+                label,
+                (
                     tuple(ref(o) for o in in_fn(*args, **kw))
                     if in_fn
                     else const_ins
                 ),
-                outs=(
+                (
                     tuple(ref(o) for o in out_fn(*args, **kw))
                     if out_fn
                     else const_outs
                 ),
-                cost=cost_fn(*args, **kw) if cost_fn else cost,
+                cost_fn(*args, **kw) if cost_fn else cost,
             )
             if task.ins or task.outs:
                 has_deps = True
@@ -330,7 +350,8 @@ class Scheduler:
             self.deps.register_many(tasks)
         else:
             self.deps.count_roots(n)
-        self._tasks.extend(tasks)
+        if self._retain_tasks:
+            self._tasks.extend(tasks)
 
         to_issue = self.policy.on_spawn_many(tasks)
         if to_issue:
@@ -410,8 +431,30 @@ class Scheduler:
     @property
     def tasks(self) -> list[Task]:
         """Every task spawned so far, in spawn order (read-only: treat
-        the list and the tasks as observation material)."""
+        the list and the tasks as observation material).  Empty when
+        the scheduler was built with ``retain_tasks=False``."""
         return self._tasks
+
+    @property
+    def retains_tasks(self) -> bool:
+        """Whether spawned descriptors are kept on :attr:`tasks`."""
+        return self._retain_tasks
+
+    def release_tasks(self, tasks: list[Task]) -> int:
+        """Recycle finished task descriptors through the process slab.
+
+        Only legal on a ``retain_tasks=False`` scheduler (otherwise the
+        descriptors are still reachable through :attr:`tasks` and
+        recycling would corrupt observation material).  Callers must
+        have harvested ``task.result`` first; returns the number of
+        slots actually recycled.
+        """
+        if self._retain_tasks:
+            raise SchedulerError(
+                "release_tasks requires retain_tasks=False; this "
+                "scheduler still holds every descriptor on .tasks"
+            )
+        return task_slab().release_many(tasks)
 
     # ------------------------------------------------------------------
     # Policy-facing operations
@@ -426,6 +469,7 @@ class Scheduler:
             # Mark released immediately; the engine's enqueue event will
             # place it on a concrete worker queue at its virtual time.
             task.state = TaskState.QUEUED
+            self._issued_total += 1
             at = task.t_created if at_creation_time else None
             self.engine.enqueue(task, at=at)
         else:
@@ -442,6 +486,7 @@ class Scheduler:
             else:
                 task.state = TaskState.PENDING
         if ready:
+            self._issued_total += len(ready)
             self.engine.enqueue_many(ready)
 
     def charge_master(self, work_units: float) -> None:
@@ -469,13 +514,9 @@ class Scheduler:
         against programs that wait on group A while group B's buffered
         tasks hold A's dependences.
         """
-        before = len(self._tasks)
+        before = self._issued_total
         self.policy.on_barrier(None)
-        issued = any(
-            t.state in (TaskState.QUEUED, TaskState.RUNNING)
-            for t in self._tasks[:before]
-        )
-        return issued
+        return self._issued_total > before
 
     # ------------------------------------------------------------------
     # Run completion
@@ -499,7 +540,7 @@ class Scheduler:
             groups=self.groups,
             queue_stats=self.engine.queue_stats,
             dep_stats=self.deps.stats,
-            tasks_total=len(self._tasks),
+            tasks_total=self._spawned_total,
             dvfs_epochs=self.engine.accounting.dvfs_epochs,
         )
         return self.report

@@ -35,6 +35,8 @@ __all__ = [
     "ref",
     "refs",
     "Task",
+    "TaskSlab",
+    "task_slab",
     "SIGNIFICANCE_LEVELS",
     "quantize_significance",
 ]
@@ -294,3 +296,151 @@ class Task:
             f"Task(#{self.tid} {getattr(self.fn, '__name__', '?')}"
             f" sig={self.significance:.2f}{g} state={self.state.value})"
         )
+
+
+class TaskSlab:
+    """A bounded free-list of recycled :class:`Task` descriptors.
+
+    Fine-grained streams (``spawn_many`` over 10^5+ elements) spend a
+    measurable share of their spawn cost allocating slotted Task
+    objects and running dataclass ``__init__``.  The slab recycles
+    FINISHED descriptors instead: :meth:`acquire` pops a free slot and
+    rewrites its fields in place (a fresh ``tid`` keeps identity-based
+    bookkeeping honest), falling back to normal construction when the
+    free list is empty.
+
+    Recycling is only sound for tasks nothing retains after their
+    barrier: the scheduler releases slab tasks when built with
+    ``retain_tasks=False`` (the serve path, which harvests
+    ``task.result`` at settlement and keeps no governor priors), never
+    when callers may still hold ``scheduler.tasks``.  Group decision
+    records snapshot values — not Task references — so recycling does
+    not disturb quality accounting.
+
+    Thread-safety: the free list is a plain ``list`` used LIFO;
+    ``append`` and ``pop`` are atomic under the GIL, and acquire/release
+    both happen on the master side (spawn and settlement), so no lock
+    is needed.
+    """
+
+    __slots__ = ("capacity", "reused", "allocated", "_free")
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.reused = 0
+        self.allocated = 0
+        self._free: list[Task] = []
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def acquire(
+        self,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        kwargs: dict | None = None,
+        significance: float = 1.0,
+        approx_fn: Callable[..., Any] | None = None,
+        group: str | None = None,
+        ins: tuple[DataRef, ...] = (),
+        outs: tuple[DataRef, ...] = (),
+        cost: TaskCost | None = None,
+    ) -> Task:
+        """A task descriptor with the given fields — recycled if possible.
+
+        Performs the same validation as ``Task.__post_init__`` on the
+        recycled path, so a slab task is indistinguishable from a fresh
+        one (bar its recycled storage).
+        """
+        try:
+            task = self._free.pop()
+        except IndexError:
+            self.allocated += 1
+            return Task(
+                fn,
+                args,
+                kwargs if kwargs is not None else {},
+                significance,
+                approx_fn,
+                group,
+                ins,
+                outs,
+                cost,
+            )
+        if not 0.0 <= significance <= 1.0:
+            self._free.append(task)
+            raise SignificanceError(significance)
+        if not callable(fn):
+            self._free.append(task)
+            raise TypeError(f"task body must be callable, got {fn!r}")
+        if approx_fn is not None and not callable(approx_fn):
+            self._free.append(task)
+            raise TypeError(
+                f"approxfun must be callable, got {approx_fn!r}"
+            )
+        self.reused += 1
+        task.fn = fn
+        task.args = args
+        task.kwargs = kwargs if kwargs is not None else {}
+        task.significance = significance
+        task.approx_fn = approx_fn
+        task.group = group
+        task.ins = ins
+        task.outs = outs
+        task.cost = cost
+        task.tid = next(_task_counter)
+        task.group_seq = -1
+        task.state = TaskState.CREATED
+        task.decision = None
+        task.result = None
+        task.worker = -1
+        task.t_created = 0.0
+        task.t_issued = 0.0
+        task.t_started = 0.0
+        task.t_finished = 0.0
+        task.unmet_deps = 0
+        task._level = -1
+        return task
+
+    def release(self, task: Task) -> bool:
+        """Return a FINISHED task's storage to the slab.
+
+        Returns False (and drops the descriptor) when the task is not
+        finished or the slab is full; clears every payload reference so
+        a parked slot pins no user data.
+        """
+        if task.state is not TaskState.FINISHED:
+            return False
+        if len(self._free) >= self.capacity:
+            return False
+        task.fn = _released_body
+        task.args = ()
+        task.kwargs = {}
+        task.approx_fn = None
+        task.group = None
+        task.ins = ()
+        task.outs = ()
+        task.cost = None
+        task.result = None
+        task.successors.clear()
+        self._free.append(task)
+        return True
+
+    def release_many(self, tasks: list[Task]) -> int:
+        """Release a batch; returns how many slots were recycled."""
+        release = self.release
+        return sum(1 for t in tasks if release(t))
+
+
+def _released_body() -> None:  # pragma: no cover - placeholder body
+    raise RuntimeError("task descriptor was released back to the slab")
+
+
+_default_slab = TaskSlab()
+
+
+def task_slab() -> TaskSlab:
+    """The process-wide default :class:`TaskSlab`."""
+    return _default_slab

@@ -14,6 +14,48 @@ Importing this package registers the ``"tenant"`` and ``"servable"``
 registry families.
 """
 
+from typing import Any, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class ServiceProtocol(Protocol):
+    """The structural contract every task service front-end implements.
+
+    Both the single-node :class:`TaskService` and the sharded
+    :class:`~repro.cluster.service.ClusterService` satisfy this
+    protocol, and the gateways (:class:`LocalGateway`,
+    :class:`ServeServer`) are typed against it rather than duck-typing
+    a concrete service — swapping a node for a cluster behind a
+    gateway is a constructor-argument change.
+
+    The protocol is ``runtime_checkable`` so wiring code can validate
+    a service object up front (``isinstance(svc, ServiceProtocol)``);
+    as with all runtime-checkable protocols, the check sees method
+    *presence*, not signatures.
+    """
+
+    def submit(self, request: Any) -> str:
+        """Queue one job; returns its job id."""
+        ...
+
+    def flush(self) -> list[Any]:
+        """Run every queued job to completion; returns their reports."""
+        ...
+
+    @property
+    def pending_jobs(self) -> int:
+        """Jobs admitted but not yet settled."""
+        ...
+
+    def stats(self) -> dict[str, Any]:
+        """Service-level counters (schema owned by the implementation)."""
+        ...
+
+    def close(self) -> None:
+        """Settle outstanding work and release resources (idempotent)."""
+        ...
+
+
 from .cache import ApproxResultCache, CacheEntry, CacheStats
 from .client import AsyncServeClient, ServeClient, ServeClientError
 from .kernels import (
@@ -35,6 +77,7 @@ from .server import (
 from .tenants import TenantSpec, TenantState
 
 __all__ = [
+    "ServiceProtocol",
     "TaskService",
     "LocalGateway",
     "ServeServer",

@@ -46,6 +46,7 @@ from typing import Any
 from ..config import RuntimeConfig
 from ..runtime.errors import ConfigError, RegistryError, SchedulerError
 from ..runtime.scheduler import Scheduler
+from . import ServiceProtocol
 from .cache import ApproxResultCache, _ratio_key
 from .kernels import ServableKernel, get_servable
 from .tenants import TenantSpec, TenantState
@@ -223,15 +224,19 @@ class TaskService:
 
     Notes
     -----
-    The result cache and reference cache are LRU-bounded, but the
-    shared scheduler accumulates one task group, its task descriptors
-    and trace segments per *executed* job for the run's lifetime (that
-    is what makes the final :class:`~repro.runtime.stats.RunReport`
-    and the tagged Chrome trace possible).  A service therefore scales
-    to campaigns of many thousands of jobs, not to an unbounded
-    daemon lifetime — recycle the service (``close()`` + rebuild)
-    between campaigns; the cheap admission paths (cache hits,
-    rejections) allocate nothing per job.
+    The result cache and reference cache are LRU-bounded, and task
+    descriptors are recycled through the process
+    :class:`~repro.runtime.task.TaskSlab` once a round settles (unless
+    the config carries a service-level governor, whose cost priors
+    sample ``scheduler.tasks`` and therefore force retention).  The
+    shared scheduler still accumulates one task group and its trace
+    segments per *executed* job for the run's lifetime (that is what
+    makes the final :class:`~repro.runtime.stats.RunReport` and the
+    tagged Chrome trace possible).  A service therefore scales to
+    campaigns of many thousands of jobs, not to an unbounded daemon
+    lifetime — recycle the service (``close()`` + rebuild) between
+    campaigns; the cheap admission paths (cache hits, rejections)
+    allocate nothing per job.
     """
 
     def __init__(
@@ -270,7 +275,13 @@ class TaskService:
         self.max_batch = max_batch
         self.compute_quality = compute_quality
 
-        self._sched = Scheduler(config=self.config)
+        # Descriptor recycling is only sound when nothing samples the
+        # scheduler's task list after settlement; a service-level
+        # governor does (cost priors), so it forces retention.
+        self._sched = Scheduler(
+            config=self.config,
+            retain_tasks=self.config.governor is not None,
+        )
         self._machine = self._sched.machine_model
         self._watts = self._machine.busy_extra_w() + self._machine.core_idle_w
         self._queues: dict[str, list[_Admitted]] = {}
@@ -652,6 +663,14 @@ class TaskService:
             for kind, (busy_s, count) in buckets.items():
                 state.observe_energy(kind, busy_s, count, self._watts)
 
+        # Results are harvested and reports settled: recycle the round's
+        # descriptors so a long-lived service does not grow one Task per
+        # executed job forever.
+        if not self._sched.retains_tasks:
+            for adm in ran:
+                self._sched.release_tasks(adm.tasks)
+                adm.tasks = []
+
     def _reference(self, kernel: ServableKernel, digest: str, request):
         key = (kernel.name, digest)
         ref = self._references.get(key)
@@ -718,15 +737,26 @@ def _plan_cost(plan) -> "TaskCost":
 
 
 class LocalGateway:
-    """Synchronous in-process facade over a :class:`TaskService`.
+    """Synchronous in-process facade over any :class:`ServiceProtocol`.
 
     The test/bench front end: submit jobs, drain rounds, get reports —
-    no sockets, no event loop.
+    no sockets, no event loop.  Works identically over a single-node
+    :class:`TaskService` and a sharded
+    :class:`~repro.cluster.service.ClusterService`.
     """
 
-    def __init__(self, service: TaskService | None = None, **kwargs) -> None:
-        self.service = service if service is not None else TaskService(
-            **kwargs
+    def __init__(
+        self, service: ServiceProtocol | None = None, **kwargs
+    ) -> None:
+        if service is not None and not isinstance(
+            service, ServiceProtocol
+        ):
+            raise ConfigError(
+                f"{type(service).__name__} does not implement "
+                "ServiceProtocol (submit/flush/pending_jobs/stats/close)"
+            )
+        self.service: ServiceProtocol = (
+            service if service is not None else TaskService(**kwargs)
         )
 
     def submit(self, request: JobRequest | dict) -> JobReport:
@@ -765,7 +795,8 @@ class LocalGateway:
 
 
 class ServeServer:
-    """Asyncio JSON-lines-over-TCP gateway around a :class:`TaskService`.
+    """Asyncio JSON-lines-over-TCP gateway around any
+    :class:`ServiceProtocol` (a :class:`TaskService` by default).
 
     Protocol: one JSON object per line.
 
@@ -784,14 +815,21 @@ class ServeServer:
 
     def __init__(
         self,
-        service: TaskService | None = None,
+        service: ServiceProtocol | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
         *,
         batch_window_s: float = 0.01,
         **service_kwargs,
     ) -> None:
-        self.service = (
+        if service is not None and not isinstance(
+            service, ServiceProtocol
+        ):
+            raise ConfigError(
+                f"{type(service).__name__} does not implement "
+                "ServiceProtocol (submit/flush/pending_jobs/stats/close)"
+            )
+        self.service: ServiceProtocol = (
             service if service is not None else TaskService(**service_kwargs)
         )
         self.host = host

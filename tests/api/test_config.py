@@ -81,6 +81,66 @@ class TestRuntimeConfig:
         )
 
 
+class TestDataPlane:
+    """The validated ``data_plane`` field (zero-copy API redesign)."""
+
+    def test_default_is_engine_choice(self):
+        assert RuntimeConfig().data_plane is None
+
+    def test_valid_planes_normalize(self):
+        assert RuntimeConfig(data_plane="pickle").data_plane == "pickle"
+        assert RuntimeConfig(data_plane="shm").data_plane == "shm"
+        cfg = RuntimeConfig(data_plane="shm:min_bytes=65536")
+        assert cfg.data_plane == "shm:min_bytes=65536"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "mmap",                 # unknown plane
+            "shm:wat=1",            # unknown option
+            "shm:min_bytes=-1",     # ill-typed option value
+            "shm:min_bytes=true",
+            42,                     # not a spec string
+        ],
+    )
+    def test_unknown_planes_and_options_rejected(self, bad):
+        with pytest.raises(ConfigError, match="data.plane"):
+            RuntimeConfig(data_plane=bad)
+
+    def test_json_round_trip(self):
+        cfg = RuntimeConfig(
+            engine="process", data_plane="shm:min_bytes=8192"
+        )
+        assert RuntimeConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_shm_plane_configures_process_engine(self):
+        cfg = RuntimeConfig(
+            engine="process", n_workers=2, data_plane="shm"
+        )
+        sched = Scheduler(cfg)
+        assert sched.engine.data_plane_stats is not None
+        sched.finish()
+
+    def test_explicit_engine_spec_wins_over_data_plane(self):
+        cfg = RuntimeConfig(
+            engine="process:shm=false", n_workers=2, data_plane="shm"
+        )
+        sched = Scheduler(cfg)
+        assert sched.engine.data_plane_stats is None
+        sched.finish()
+
+    def test_plane_is_inert_for_inprocess_engines(self):
+        cfg = RuntimeConfig(
+            engine="threaded", n_workers=2, data_plane="shm"
+        )
+        sched = Scheduler(cfg)  # no unexpected-kwarg explosion
+        sched.finish()
+
+    def test_describe_mentions_plane(self):
+        cfg = RuntimeConfig(data_plane="shm")
+        assert "data_plane=shm" in cfg.describe()
+
+
 def _run(sched: Scheduler):
     spawn_n(sched, 12, label="g")
     sched.init_group("g", ratio=0.5)

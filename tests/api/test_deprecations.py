@@ -75,6 +75,36 @@ class TestOncePerCallSite:
         assert len(warns) == 1
         assert "positional" in str(warns[0].message)
 
+    def test_direct_process_engine_warns_once_per_site(self):
+        from repro.runtime.process_engine import ProcessPoolEngine
+
+        machine = XEON_E5_2650.with_workers(2)
+
+        def build():
+            return ProcessPoolEngine(
+                2,
+                machine,
+                HybridCost(),
+                SignificanceAgnostic(),
+                lambda task, now: None,
+            )
+
+        def body():
+            for _ in range(3):
+                build()
+
+        warns = _collect(body)
+        assert len(warns) == 1
+        assert "engine spec string" in str(warns[0].message)
+
+    def test_spec_string_construction_is_warning_free(self):
+        def body():
+            for spec in ("process", "process:shm=true"):
+                rt = Scheduler(policy="accurate", n_workers=2, engine=spec)
+                rt.finish()
+
+        assert _collect(body) == []
+
 
 class TestDeprecatedFormsStillWork:
     def test_make_policy_returns_working_policy(self):
@@ -93,6 +123,10 @@ class TestDeprecatedFormsStillWork:
         for folder in ("examples", "benchmarks"):
             for path in (root / folder).rglob("*.py"):
                 text = path.read_text()
-                if "make_policy(" in text or "make_engine(" in text:
+                if (
+                    "make_policy(" in text
+                    or "make_engine(" in text
+                    or "ProcessPoolEngine(" in text
+                ):
                     offenders.append(str(path))
         assert offenders == []

@@ -58,6 +58,8 @@ class TestRunBench:
             "backend_matrix.simulated.tasks_per_s",
             "backend_matrix.threaded.tasks_per_s",
             "backend_matrix.process.tasks_per_s",
+            "payload_bandwidth.bytes_not_copied_frac",
+            "payload_bandwidth.shm_speedup_min1_5x",
             "end_to_end.sobel_gtb_s",
             "governor_convergence.budget_within_10pct",
             "serve_throughput.jobs_per_s",
@@ -77,8 +79,9 @@ class TestRunBench:
         # plus the governor probe's budget-bar and steps-to-converge,
         # plus the serving layer's jobs/Mop and the sweep-pool capped
         # reuse-speedup bar, plus the cluster probe's four bars (two
-        # capped speedups, ledger parity, isolation).
-        assert len(gated) == 15
+        # capped speedups, ledger parity, isolation), plus the data
+        # plane's bytes-not-copied fraction and capped shm speedup.
+        assert len(gated) == 17
 
     def test_baseline_comparison_attached(self, tmp_path):
         base = run_bench(

@@ -16,6 +16,7 @@ import pytest
 from repro.energy.machine_model import XEON_E5_2650
 from repro.energy.meter import EnergyReport
 from repro.runtime.accounting import AccountingCore, build_run_report
+from repro.sim.trace import Segment
 from repro.runtime.errors import SchedulerError
 from repro.runtime.scheduler import Scheduler
 from repro.runtime.task import ExecutionKind, Task, TaskCost
@@ -78,6 +79,44 @@ class TestAccountingCore:
         via_core = core.energy_report(machine, window_s=4.0)
         assert via_core == direct
         assert via_core.busy_s == pytest.approx(2.0)
+
+
+class TestAccountingShards:
+    """Thread-local deltas merged at barriers (DESIGN.md section 12)."""
+
+    def test_records_are_deferred_until_merge(self):
+        core = AccountingCore(2)
+        s0, s1 = core.shard(0), core.shard(1)
+        assert core.shard(0) is s0  # one shard per worker, cached
+        s0.record(
+            Segment(0, 0.0, 1.0, 1, ExecutionKind.ACCURATE, None), 0.25
+        )
+        s1.record(
+            Segment(1, 0.0, 2.0, 2, ExecutionKind.APPROXIMATE, "g"), 0.5
+        )
+        assert core.trace.segments == []  # nothing visible yet
+        assert core.merge_shards() == 2
+        assert len(core.trace.segments) == 2
+        assert core.host_seconds == pytest.approx(0.75)
+        assert core.merge_shards() == 0  # shards drained
+
+    def test_merge_validates_through_trace(self):
+        core = AccountingCore(1)
+        core.shard(0).record(
+            Segment(5, 0.0, 1.0, 1, ExecutionKind.ACCURATE, None), 0.0
+        )
+        with pytest.raises(SchedulerError):
+            core.merge_shards()
+
+    def test_drain_leaves_concurrent_appends_for_next_merge(self):
+        core = AccountingCore(1)
+        shard = core.shard(0)
+        seg = Segment(0, 0.0, 1.0, 1, ExecutionKind.ACCURATE, None)
+        shard.record(seg, 0.1)
+        taken = shard.drain()
+        assert len(taken) == 1
+        shard.record(seg, 0.1)  # arrives "mid-drain"
+        assert len(shard.drain()) == 1
 
 
 class TestEngineSharedCore:

@@ -1,0 +1,326 @@
+"""The zero-copy data plane: pools, refs, exporter, leak discipline.
+
+Satellite guarantee (ISSUE 7): no leaked ``/dev/shm`` segments or
+``ResourceWarning``s after pool close/eviction — including the
+broken-pool eviction path and cluster shard shutdown.  Plus the unit
+surface of :mod:`repro.runtime.memory`: bucketed segment reuse,
+ArrayRef round-trips for non-trivial layouts, and the exporter's
+three paths (reference / promote / pickle).
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.runtime.errors import SchedulerError
+from repro.runtime.memory import (
+    SEGMENT_PREFIX,
+    ArrayExporter,
+    SharedArrayPool,
+    active_segment_names,
+    attach_array,
+    discard_array_pool,
+    shared_array_pool,
+    shutdown_array_pools,
+)
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.task import TaskCost
+
+COST = TaskCost(10_000.0, 1_000.0)
+
+
+def shm_segments() -> list[str]:
+    """Names of this module's segments currently alive in /dev/shm."""
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        return []
+    return sorted(
+        os.path.basename(p)
+        for p in glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*")
+    )
+
+
+@pytest.fixture(autouse=True)
+def _no_leaks():
+    """Every test must leave /dev/shm as it found it — and must not
+    emit ResourceWarnings while getting there."""
+    before = shm_segments()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", ResourceWarning)
+        yield
+        shutdown_array_pools()
+    assert shm_segments() == before
+
+
+# --- module-level bodies (picklability contract) ----------------------
+def block_sum(block):
+    return float(block.sum())
+
+
+def fill_block(block, value):
+    block[...] = value
+
+
+def die_hard():  # pragma: no cover - runs in a child it kills
+    os._exit(13)
+
+
+class TestSharedArrayPool:
+    def test_bucketed_reuse(self):
+        pool = SharedArrayPool()
+        seg = pool.acquire(5000)  # -> 8192 bucket
+        assert seg.size == 8192
+        assert seg.name.startswith(SEGMENT_PREFIX)
+        pool.release(seg)
+        seg2 = pool.acquire(8000)  # same bucket -> same segment back
+        assert seg2.name == seg.name
+        assert pool.segments_created == 1
+        assert pool.segments_reused == 1
+        pool.release(seg2)
+        pool.close()
+
+    def test_lease_accounting_and_close_unlinks(self):
+        pool = SharedArrayPool(tag="t")
+        a = pool.ndarray((64, 64))
+        b = pool.acquire(4096)
+        assert pool.leased_count == 2 and pool.free_count == 0
+        pool.release(b)
+        assert pool.leased_count == 1 and pool.free_count == 1
+        assert len(pool.segment_names()) == 2
+        assert a.sum() == 0.0  # fresh allocations read as zeros
+        pool.close()
+        pool.close()  # idempotent
+        assert pool.segment_names() == []
+
+    def test_release_array_returns_segment(self):
+        pool = SharedArrayPool()
+        arr = pool.ndarray(1024, dtype=np.int32)
+        assert pool.leased_count == 1
+        pool.release_array(arr)
+        assert pool.leased_count == 0 and pool.free_count == 1
+        with pytest.raises(SchedulerError, match="not a live"):
+            pool.release_array(arr)
+        pool.close()
+
+    def test_object_dtype_rejected(self):
+        pool = SharedArrayPool()
+        with pytest.raises(SchedulerError, match="object-dtype"):
+            pool.ndarray(4, dtype=object)
+        pool.close()
+
+    def test_closed_pool_refuses_leases(self):
+        pool = SharedArrayPool()
+        pool.close()
+        with pytest.raises(SchedulerError, match="closed"):
+            pool.acquire(100)
+
+    def test_global_pools_are_tag_partitioned(self):
+        a = shared_array_pool()
+        b = shared_array_pool("shard-0")
+        assert a is not b
+        assert shared_array_pool() is a
+        a.ndarray(128)
+        b.ndarray(128)
+        assert len(active_segment_names()) == 2
+        discard_array_pool("shard-0")
+        assert len(active_segment_names()) == 1
+        shutdown_array_pools()
+        assert active_segment_names() == []
+        # A closed global pool is transparently rebuilt.
+        assert shared_array_pool() is not a
+
+
+class TestArrayRefRoundTrip:
+    def test_views_resolve_identically(self):
+        pool = shared_array_pool()
+        base = pool.ndarray((16, 8))
+        base[...] = np.arange(128.0).reshape(16, 8)
+        exporter = ArrayExporter(pool, min_bytes=0)
+        for view in (
+            base,
+            base[3:9],           # row slice
+            base[::2, 1::3],     # strided 2-d view
+            base.T,              # transposed (F-ordered strides)
+        ):
+            args, _, _ = exporter.encode((view,), {}, [])
+            (ref,) = args
+            got = attach_array(ref)
+            assert np.array_equal(got, view)
+            assert not got.flags.writeable  # in()-refs are read-only
+
+    def test_writable_ref_writes_land_in_parent(self):
+        pool = shared_array_pool()
+        base = pool.ndarray((8, 8))
+        exporter = ArrayExporter(pool, min_bytes=0)
+        args, _, slots = exporter.encode(
+            (base[2:4],), {}, [("a", 0)]
+        )
+        assert slots == []  # exported slots leave the diff protocol
+        view = attach_array(args[0])
+        assert view.flags.writeable
+        view[...] = 7.0
+        assert np.array_equal(base[2:4], np.full((2, 8), 7.0))
+        assert base[4:].sum() == 0.0
+
+
+class TestArrayExporter:
+    def test_pool_backed_is_zero_copy(self):
+        pool = shared_array_pool()
+        arr = pool.ndarray((32, 32))
+        exporter = ArrayExporter(pool)
+        exporter.encode((arr,), {}, [])
+        st = exporter.stats
+        assert st.arrays_referenced == 1
+        assert st.bytes_referenced == arr.nbytes
+        assert st.bytes_not_copied_frac == 1.0
+
+    def test_small_and_unsupported_arrays_pickle(self):
+        pool = shared_array_pool()
+        exporter = ArrayExporter(pool, min_bytes=4096)
+        small = np.ones(4)
+        zero_d = np.float64(3.0)[...]
+        objs = np.array([object()])
+        neg = np.arange(4096.0)[::-1]
+        for value in (small, np.asarray(zero_d), objs, neg):
+            args, _, _ = exporter.encode((value,), {}, [])
+            assert args[0] is value  # untouched -> pickled
+        assert exporter.stats.arrays_pickled == 4
+        assert exporter.stats.arrays_referenced == 0
+
+    def test_promotion_copies_once_per_phase(self):
+        pool = shared_array_pool()
+        exporter = ArrayExporter(pool, min_bytes=0)
+        foreign = np.arange(64.0 * 64).reshape(64, 64)
+        for i in range(4):
+            exporter.encode((foreign[i * 16 : (i + 1) * 16],), {}, [])
+        st = exporter.stats
+        assert st.arrays_promoted == 1  # one owner, one copy-in
+        assert st.bytes_copied_in == foreign.nbytes
+        assert st.arrays_referenced == 4
+        assert exporter.pending_promotions == 1
+        exporter.end_phase()
+        assert exporter.pending_promotions == 0
+        assert pool.leased_count == 0  # promotion segment recycled
+
+    def test_writable_promotion_syncs_at_end_phase(self):
+        pool = shared_array_pool()
+        exporter = ArrayExporter(pool, min_bytes=0)
+        foreign = np.zeros((8, 8))
+        args, _, _ = exporter.encode((foreign,), {}, [("a", 0)])
+        attach_array(args[0])[...] = 5.0
+        assert foreign.sum() == 0.0  # not yet synced
+        exporter.end_phase()
+        assert np.array_equal(foreign, np.full((8, 8), 5.0))
+        assert exporter.stats.bytes_copied_out == foreign.nbytes
+
+    def test_abort_phase_discards_without_sync(self):
+        pool = shared_array_pool()
+        exporter = ArrayExporter(pool, min_bytes=0)
+        foreign = np.zeros(64)
+        args, _, _ = exporter.encode((foreign,), {}, [("a", 0)])
+        attach_array(args[0])[...] = 9.0
+        exporter.abort_phase()
+        assert foreign.sum() == 0.0
+        assert pool.leased_count == 0
+
+    def test_readonly_owner_never_promoted_writable(self):
+        pool = shared_array_pool()
+        exporter = ArrayExporter(pool, min_bytes=0)
+        frozen = np.zeros(512)
+        frozen.flags.writeable = False
+        args, _, slots = exporter.encode((frozen,), {}, [("a", 0)])
+        assert args[0] is frozen  # pickled: slot stays in the diff
+        assert slots == [("a", 0)]
+
+
+class TestEngineLifecycle:
+    """The shm engine leaves nothing behind: per-run and on crashes."""
+
+    def test_leases_return_after_finish(self):
+        sched = Scheduler(
+            config=RuntimeConfig(engine="process:shm=true", n_workers=2)
+        )
+        pool = shared_array_pool()
+        img = pool.ndarray((128, 64))
+        tasks = sched.spawn_many(
+            block_sum,
+            [(img[i * 16 : (i + 1) * 16],) for i in range(8)],
+            cost=COST,
+        )
+        sched.finish()
+        assert sum(t.result for t in tasks) == 0.0
+        # Only the user's own array still leases a segment.
+        assert pool.leased_count == 1
+        assert sched.engine.data_plane_stats.bytes_not_copied_frac == 1.0
+        pool.release_array(img)
+
+    def test_promotions_recycle_at_quiescent_barrier(self):
+        sched = Scheduler(
+            config=RuntimeConfig(engine="process:shm=true", n_workers=2)
+        )
+        foreign = np.zeros((64, 64))
+        sched.spawn_many(
+            fill_block,
+            [(foreign[i * 16 : (i + 1) * 16], float(i + 1)) for i in range(4)],
+            out=lambda block, v: [block],
+            cost=COST,
+        )
+        sched.finish()
+        expected = np.repeat(
+            np.arange(1.0, 5.0), 16
+        ).reshape(64, 1) * np.ones((64, 64))
+        assert np.array_equal(foreign, expected)
+        assert shared_array_pool().leased_count == 0
+        st = sched.engine.data_plane_stats
+        assert st.arrays_promoted == 1
+        assert st.bytes_copied_out == foreign.nbytes
+
+    def test_broken_pool_aborts_phase_and_recycles(self):
+        sched = Scheduler(
+            config=RuntimeConfig(engine="process:shm=true", n_workers=2)
+        )
+        foreign = np.zeros(4096)
+        sched.spawn(
+            fill_block, foreign, 1.0, out=[foreign], cost=COST
+        )
+        sched.taskwait()
+        sched.spawn(die_hard, cost=COST)
+        with pytest.raises(SchedulerError, match="pool died"):
+            sched.finish()
+        exporter = sched.engine._exporter
+        assert exporter.pending_promotions == 0
+        assert shared_array_pool().leased_count == 0
+
+    def test_cluster_shard_shutdown_leaves_no_segments(self):
+        from repro.cluster.service import ClusterService
+
+        cs = ClusterService(
+            RuntimeConfig(
+                policy="gtb-max",
+                n_workers=2,
+                engine="process:shm=true",
+            ),
+            cluster=2,
+        )
+        for i in range(4):
+            report = cs.submit(
+                {
+                    "tenant": "standard",
+                    "kernel": "pi",
+                    "args": {"samples": 2000, "chunks": 4, "seed": i},
+                }
+            )
+            assert report.code in (0, 200)
+        while cs.pending_jobs:
+            cs.flush()
+        cs.close()
+        # Every shard's exporter ended its phases: nothing leased.
+        for name in active_segment_names():
+            assert False, f"segment still live: {name}"
+        shutdown_array_pools()
+        assert shm_segments() == []

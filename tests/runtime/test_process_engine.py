@@ -48,6 +48,23 @@ def approx_half(x):
     return x // 2
 
 
+def negate(a):
+    a[...] = -a
+
+
+def fill_value(a, v):
+    a[...] = v
+
+
+def toggle(mask):
+    mask[...] = ~mask
+
+
+def bump_struct(rec):
+    rec["x"] += 0.5
+    rec["y"] += 1
+
+
 class TestProcessExecution:
     def test_results_marshalled_back(self):
         rt = procpool()
@@ -195,12 +212,76 @@ class TestProcessExecution:
             )
 
 
+class TestWriteBackLayouts:
+    """Change-diff write-back across dtypes and memory layouts.
+
+    Regression: the diff protocol used to assume C-contiguous
+    payloads.  It now enumerates elements in logical C order (so
+    Fortran-ordered and strided parents round-trip), replaces 0-d and
+    non-diffable arrays wholesale, and rejects read-only parents with
+    a clear error instead of corrupting or silently dropping writes.
+    """
+
+    def test_fortran_order_roundtrip(self):
+        rt = procpool()
+        a = np.asfortranarray(np.arange(12.0).reshape(3, 4))
+        rt.spawn(negate, a, out=[ref(a)], cost=COST)
+        rt.finish()
+        assert np.array_equal(a, -np.arange(12.0).reshape(3, 4))
+        assert a.flags.f_contiguous
+
+    def test_strided_view_writes_through_to_base(self):
+        rt = procpool()
+        base = np.zeros(16)
+        view = base[::2]
+        rt.spawn(fill_value, view, 3.0, out=[ref(view)], cost=COST)
+        rt.finish()
+        assert np.array_equal(base[::2], np.full(8, 3.0))
+        assert base[1::2].sum() == 0.0  # untouched interleaved lanes
+
+    def test_bool_dtype(self):
+        rt = procpool()
+        mask = np.array([True, False, True, False])
+        rt.spawn(toggle, mask, out=[ref(mask)], cost=COST)
+        rt.finish()
+        assert mask.tolist() == [False, True, False, True]
+
+    def test_structured_dtype(self):
+        rt = procpool()
+        rec = np.zeros(3, dtype=[("x", "f8"), ("y", "i4")])
+        rt.spawn(bump_struct, rec, out=[ref(rec)], cost=COST)
+        rt.finish()
+        assert rec["x"].tolist() == [0.5, 0.5, 0.5]
+        assert rec["y"].tolist() == [1, 1, 1]
+
+    def test_zero_d_array_replaced_wholesale(self):
+        rt = procpool()
+        scalar = np.array(5.0)
+        rt.spawn(fill_value, scalar, 7.0, out=[ref(scalar)], cost=COST)
+        rt.finish()
+        assert scalar.shape == () and float(scalar) == 7.0
+
+    def test_readonly_parent_is_a_clear_error(self):
+        rt = procpool()
+        frozen = np.zeros(4)
+        frozen.flags.writeable = False
+        rt.spawn(fill_value, frozen, 1.0, out=[ref(frozen)], cost=COST)
+        with pytest.raises(SchedulerError, match="writable in the parent"):
+            rt.finish()
+
+
 class TestFig2CellsAcrossBackends:
     """The acceptance run: one fig-2 experiment cell per backend."""
 
     def test_sobel_cells_run_with_identical_quality(self):
         rows = {}
-        for engine in ("simulated", "threaded", "process"):
+        engines = (
+            "simulated",
+            "threaded",
+            "process",
+            "process:shm=true",
+        )
+        for engine in engines:
             spec = ExperimentSpec(
                 workload="sobel",
                 param=0.7,
@@ -217,10 +298,11 @@ class TestFig2CellsAcrossBackends:
             assert row["energy_j"] > 0
             assert row["makespan_s"] > 0
             rows[engine] = row
-        # GTB stamps decisions deterministically on the master and the
-        # process backend writes mutated rows back, so all three
-        # backends must compute the *same* output image -> identical
-        # quality (PSNR^-1) values.
+        # GTB stamps decisions deterministically on the master, the
+        # process backend writes mutated rows back, and the shm data
+        # plane maps the same bytes instead of copying them — so every
+        # backend must compute the *same* output image -> identical
+        # quality (PSNR^-1) values (bit-identical acceptance).
         qualities = {r["quality_value"] for r in rows.values()}
         assert len(qualities) == 1
 

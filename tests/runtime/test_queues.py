@@ -1,9 +1,11 @@
 """Unit tests for the work-sharing queue fabric."""
 
+import threading
+
 import pytest
 
 from repro.runtime.errors import SchedulerError
-from repro.runtime.queues import WorkerQueues
+from repro.runtime.queues import ShardedWorkerQueues, WorkerQueues
 from repro.runtime.task import Task, TaskState
 
 
@@ -192,3 +194,96 @@ class TestHotPathInvariants:
         assert q.steal(1) is a   # oldest first, even for thieves
         assert q.pop_local(0) is b
         assert q.steal(1) is c
+
+
+class TestShardedFabric:
+    """:class:`ShardedWorkerQueues` keeps the exact WorkerQueues
+    discipline (round-robin push, FIFO pop, steal-after-thief) while
+    worker-side operations run lock-free (DESIGN.md section 12)."""
+
+    @pytest.mark.parametrize("make", [WorkerQueues, ShardedWorkerQueues])
+    def test_discipline_matches_locked_fabric(self, make):
+        q = make(3)
+        workers = [q.push(mk(i)) for i in range(6)]
+        assert workers == [0, 1, 2, 0, 1, 2]
+        a = q.pop_local(0)
+        assert a.args == (0,)            # FIFO
+        assert q.steal(0).args == (1,)   # first victim after thief
+        assert len(q) == 4
+        assert q.depth(1) == 1
+
+    def test_push_sets_queued_state_and_validates_worker(self):
+        q = ShardedWorkerQueues(2)
+        t = mk()
+        q.push(t)
+        assert t.state is TaskState.QUEUED
+        with pytest.raises(SchedulerError):
+            q.push(mk(), worker=5)
+        with pytest.raises(SchedulerError):
+            ShardedWorkerQueues(0)
+
+    def test_steal_ignores_own_shard(self):
+        q = ShardedWorkerQueues(3)
+        q.push(mk(), worker=1)
+        assert q.steal(1) is None
+        assert q.stats.failed_steals == 1
+        assert q.depth(1) == 1
+
+    def test_acquire_local_then_steal(self):
+        q = ShardedWorkerQueues(2)
+        local, remote = mk(1), mk(2)
+        q.push(local, worker=0)
+        q.push(remote, worker=1)
+        assert q.acquire(0) is local
+        assert q.acquire(0) is remote
+        s = q.stats
+        assert s.popped_local == 1 and s.steals == 1
+        assert s.executed_per_worker == [2, 0]
+
+    def test_stats_snapshot_conserves_tasks(self):
+        q = ShardedWorkerQueues(4)
+        for i in range(10):
+            q.push(mk(i))
+        q.pop_local(0)
+        q.steal(0)
+        drained = q.drain()
+        s = q.stats
+        assert s.pushed == 10
+        assert s.pushed == s.popped_local + s.steals + len(drained)
+        assert q.is_empty() and len(q) == 0
+
+    def test_concurrent_acquire_consumes_each_task_once(self):
+        # Real threads hammer the lock-free pop path: every task must
+        # leave by exactly one worker, with no duplicates or losses.
+        n_workers, n_tasks = 4, 2000
+        q = ShardedWorkerQueues(n_workers)
+        tasks = [mk(i) for i in range(n_tasks)]
+        for t in tasks:
+            q.push(t)
+        got: list[list[Task]] = [[] for _ in range(n_workers)]
+        stop = threading.Event()
+
+        def consume(w):
+            while not stop.is_set():
+                task = q.acquire(w)
+                if task is None:
+                    if q.is_empty():
+                        return
+                else:
+                    got[w].append(task)
+
+        threads = [
+            threading.Thread(target=consume, args=(w,))
+            for w in range(n_workers)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join(timeout=30)
+        stop.set()
+        consumed = [t for per in got for t in per]
+        assert len(consumed) == n_tasks
+        assert {id(t) for t in consumed} == {id(t) for t in tasks}
+        s = q.stats
+        assert s.popped_local + s.steals == n_tasks
+        assert sum(s.executed_per_worker) == n_tasks

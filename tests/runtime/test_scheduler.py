@@ -240,3 +240,68 @@ class TestEngines:
         spawn_n(rt, 4)
         report = rt.finish()
         assert report.n_workers == 1
+
+
+def _ident(x):
+    return x
+
+
+class TestTaskRecycling:
+    """``retain_tasks=False`` + slab release (serve hot path)."""
+
+    def test_default_retains_descriptors(self):
+        rt = make_scheduler()
+        spawn_n(rt, 3)
+        rt.finish()
+        assert rt.retains_tasks
+        assert len(rt.tasks) == 3
+
+    def test_release_refused_while_retaining(self):
+        rt = make_scheduler()
+        ts = spawn_n(rt, 2)
+        rt.finish()
+        with pytest.raises(SchedulerError, match="retain_tasks"):
+            rt.release_tasks(ts)
+
+    def test_non_retaining_scheduler_recycles(self):
+        from repro.runtime.task import task_slab
+
+        rt = Scheduler(
+            policy=SignificanceAgnostic(),
+            n_workers=2,
+            retain_tasks=False,
+        )
+        assert not rt.retains_tasks
+        ts = [rt.spawn(_ident, i, cost=SMALL_COST) for i in range(4)]
+        rt.taskwait()
+        assert rt.tasks == []  # nothing pinned by the scheduler
+        assert [t.result for t in ts] == [0, 1, 2, 3]
+        before = len(task_slab())
+        rt.release_tasks(ts)
+        assert len(task_slab()) >= before
+        rt.finish()
+
+    def test_recycled_spawns_reuse_storage(self):
+        rt = Scheduler(
+            policy=SignificanceAgnostic(),
+            n_workers=2,
+            retain_tasks=False,
+        )
+        a = rt.spawn(_ident, 1, cost=SMALL_COST)
+        rt.taskwait()
+        rt.release_tasks([a])
+        b = rt.spawn(_ident, 2, cost=SMALL_COST)
+        rt.taskwait()
+        assert b.result == 2
+        rt.finish()
+
+    def test_report_counts_survive_recycling(self):
+        rt = Scheduler(
+            policy=SignificanceAgnostic(),
+            n_workers=2,
+            retain_tasks=False,
+        )
+        for i in range(6):
+            rt.spawn(_ident, i, cost=SMALL_COST)
+        report = rt.finish()
+        assert report.tasks_total == 6

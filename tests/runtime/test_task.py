@@ -16,10 +16,12 @@ from repro.runtime.task import (
     ExecutionKind,
     Task,
     TaskCost,
+    TaskSlab,
     TaskState,
     quantize_significance,
     ref,
     refs,
+    task_slab,
 )
 
 
@@ -187,3 +189,80 @@ class TestTask:
         assert t.state is TaskState.CREATED
         assert t.decision is None
         assert t.worker == -1
+
+
+def _finished(slab, **kw):
+    t = slab.acquire(lambda x: x, (1,), **kw)
+    t.execute(ExecutionKind.ACCURATE)
+    t.state = TaskState.FINISHED
+    return t
+
+
+class TestTaskSlab:
+    """Slot recycling behind ``spawn_many`` (DESIGN.md section 12)."""
+
+    def test_acquire_reuses_released_storage(self):
+        slab = TaskSlab()
+        t = _finished(slab)
+        old_tid = t.tid
+        assert slab.release(t)
+        t2 = slab.acquire(lambda: None)
+        assert t2 is t                    # same storage...
+        assert t2.tid > old_tid           # ...fresh identity
+        assert t2.state is TaskState.CREATED
+        assert t2.decision is None and t2.result is None
+        assert t2.worker == -1
+        assert slab.reused == 1
+
+    def test_recycled_task_level_recomputed(self):
+        slab = TaskSlab()
+        t = _finished(slab, significance=0.9)
+        assert t.level == 90
+        slab.release(t)
+        t2 = slab.acquire(lambda: None, significance=0.35)
+        assert t2.level == 35  # cached level must not leak across lives
+
+    def test_recycled_path_validates_like_init(self):
+        slab = TaskSlab()
+        slab.release(_finished(slab))
+        from repro.runtime.errors import SignificanceError
+
+        with pytest.raises(SignificanceError):
+            slab.acquire(lambda: None, significance=1.5)
+        with pytest.raises(TypeError):
+            slab.acquire(42)
+        with pytest.raises(TypeError):
+            slab.acquire(lambda: None, approx_fn=3)
+        # The slot survives failed acquires for the next caller.
+        assert len(slab) == 1
+        assert slab.acquire(lambda: None) is not None
+
+    def test_release_rejects_unfinished(self):
+        slab = TaskSlab()
+        t = slab.acquire(lambda: None)
+        assert not slab.release(t)  # CREATED, still live
+        assert len(slab) == 0
+
+    def test_release_clears_payload_references(self):
+        slab = TaskSlab()
+        payload = object()
+        t = slab.acquire(lambda x: None, (payload,), group="g",
+                         cost=TaskCost(1.0))
+        t.state = TaskState.FINISHED
+        t.result = payload
+        slab.release(t)
+        assert t.args == () and t.result is None
+        assert t.group is None and t.cost is None
+        with pytest.raises(RuntimeError, match="released"):
+            t.fn()
+
+    def test_capacity_bounds_the_free_list(self):
+        slab = TaskSlab(capacity=2)
+        tasks = [_finished(slab) for _ in range(4)]
+        assert slab.release_many(tasks) == 2
+        assert len(slab) == 2
+        with pytest.raises(ValueError):
+            TaskSlab(capacity=-1)
+
+    def test_default_slab_is_process_wide(self):
+        assert task_slab() is task_slab()

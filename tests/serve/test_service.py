@@ -212,3 +212,49 @@ class TestBackends:
                     report.output,
                     kernel.reference({"size": 32, "seed": i}),
                 )
+
+
+class TestServiceProtocol:
+    """The explicit service contract (submit/flush/pending_jobs/stats/
+    close) — both service implementations satisfy it, and gateways
+    validate it up front instead of duck-typing."""
+
+    def test_task_service_implements_protocol(self):
+        from repro.serve import ServiceProtocol
+
+        svc = TaskService(_cfg(), tenants=("standard:name='t'",))
+        assert isinstance(svc, ServiceProtocol)
+        svc.close()
+
+    def test_cluster_service_implements_protocol(self):
+        from repro.cluster.service import ClusterService
+        from repro.serve import ServiceProtocol
+
+        cs = ClusterService(_cfg(workers=2), cluster=2)
+        assert isinstance(cs, ServiceProtocol)
+        cs.close()
+
+    def test_gateways_reject_non_services(self):
+        from repro.runtime.errors import ConfigError
+        from repro.serve import ServeServer
+
+        with pytest.raises(ConfigError, match="ServiceProtocol"):
+            LocalGateway(object())
+        with pytest.raises(ConfigError, match="ServiceProtocol"):
+            ServeServer(service=object())
+
+    def test_gateway_accepts_any_protocol_service(self):
+        from repro.cluster.service import ClusterService
+
+        cs = ClusterService(_cfg(workers=2), cluster=2)
+        with LocalGateway(cs) as gw:
+            report = gw.submit_many(
+                [
+                    JobRequest(
+                        tenant="standard",
+                        kernel="mc-pi",
+                        args={"blocks": 4, "samples": 64},
+                    )
+                ]
+            )[0]
+            assert report.status == "executed"
