@@ -28,6 +28,11 @@ about (section 4.2 / Figure 4):
   :mod:`repro.serve` task service: a mixed two-tenant job stream
   through the in-process gateway on the simulated backend (admission,
   batching, per-job accounting — the serving layer's hot path).
+* **compile_specialization** — the compile tier's acceptance gates
+  (ISSUE 8): serving and the end-to-end Sobel cell with
+  ``compile="specialize"`` versus interpreted (capped gated speedups),
+  plus the shallow profiler's <5% overhead bar on a specialized chunk
+  loop.
 * **serve_cluster** — the sharded serving layer's acceptance gates:
   the :func:`repro.cluster.figure.fig_cluster` smoke workload on 1/4/8
   shards (virtual-time speedups, gated at ≥3x and ≥5x), the cluster
@@ -71,6 +76,7 @@ __all__ = [
     "bench_end_to_end",
     "bench_governor_convergence",
     "bench_serve_throughput",
+    "bench_compile_specialization",
     "bench_serve_cluster",
     "bench_payload_bandwidth",
     "bench_sweep_pool",
@@ -428,13 +434,15 @@ SERVE_JOBS_SMALL = 24
 SERVE_JOBS_FULL = 96
 
 
-def _serve_stream(n_jobs: int) -> list[float]:
+def _serve_stream(n_jobs: int, compile_spec: str = "off") -> list[float]:
     """Run one mixed-tenant stream through a LocalGateway; per-job
     wall latencies are returned for the p95 metric."""
     from ..serve import JobRequest, LocalGateway
 
     gateway = LocalGateway(
-        config=RuntimeConfig(policy="gtb-max", n_workers=N_WORKERS),
+        config=RuntimeConfig(
+            policy="gtb-max", n_workers=N_WORKERS, compile=compile_spec
+        ),
         tenants=(
             "standard:name='acme',max_pending=4096",
             "premium:name='bee',max_pending=4096",
@@ -670,6 +678,135 @@ def bench_payload_bandwidth(
     }
 
 
+#: Speedup acceptance caps of the compile tier (ISSUE 8): specialized
+#: serving and the specialized end-to-end Sobel cell must beat their
+#: interpreted twins.  The raw ratios depend on host Python dispatch
+#: cost, so the gates are capped at conservative bars any healthy host
+#: saturates.
+COMPILE_SERVE_SPEEDUP_CAP = 1.15
+COMPILE_E2E_SPEEDUP_CAP = 1.2
+
+#: The shallow profiler's acceptance bar: <5% wall overhead on a
+#: payload-bound specialized chunk loop.
+PROFILE_OVERHEAD_MAX_PCT = 5.0
+
+
+def _e2e_sobel_cell(compile_spec: str) -> None:
+    """One small Sobel experiment cell, interpreted or specialized."""
+    config = RuntimeConfig(
+        policy="gtb-max", n_workers=N_WORKERS, compile=compile_spec
+    )
+    run_one(
+        ExperimentSpec(
+            workload="sobel", param=0.7, config=config, small=True
+        )
+    )
+
+
+def bench_compile_specialization(
+    small: bool,
+    repeats: int,
+    timer: TimerFn,
+    calib_ops_per_s: float,
+) -> dict[str, Metric]:
+    """The compile tier's acceptance gates (ISSUE 8).
+
+    Three claims, measured against their interpreted twins on the same
+    stream:
+
+    * the serving layer gets faster with ``compile="specialize"`` on —
+      admission folds each job's significance decisions once and runs
+      a handful of branch-free chunk tasks instead of one task per
+      element;
+    * the end-to-end Sobel cell (``ExperimentSpec`` → quality/energy
+      report) gets faster the same way;
+    * the recompyle-style shallow profiler costs <5% wall overhead on
+      a specialized chunk loop (interleaved best-of lap timing, so
+      background noise hits both variants alike).
+
+    The speedup gates are capped at their acceptance bars (the raw
+    ratios are host-dependent); the profiler gate is the acceptance
+    boolean itself.
+    """
+    import time as _time
+
+    from ..compiler.specialize import compile_chunk_body
+    from ..kernels.sobel import sobel_row_value
+    from ..quality.images import synthetic_image
+
+    n_jobs = SERVE_JOBS_SMALL if small else SERVE_JOBS_FULL
+    off = sample(
+        lambda: _serve_stream(n_jobs, "off"), repeats=repeats, timer=timer
+    )
+    on = sample(
+        lambda: _serve_stream(n_jobs, "specialize"),
+        repeats=repeats,
+        timer=timer,
+    )
+    serve_speedup = off.best_s / max(on.best_s, 1e-12)
+
+    e2e_off = sample(
+        lambda: _e2e_sobel_cell("off"), repeats=repeats, timer=timer
+    )
+    e2e_on = sample(
+        lambda: _e2e_sobel_cell("specialize"),
+        repeats=repeats,
+        timer=timer,
+    )
+    e2e_speedup = e2e_off.best_s / max(e2e_on.best_s, 1e-12)
+
+    # Profiler overhead: one heavy specialized chunk, plain vs profiled,
+    # interleaved so noise cancels in the ratio.
+    # Full-width rows even in smoke runs: the gate measures the probe's
+    # relative cost, and a narrow row inflates it with call overhead.
+    img = synthetic_image(130, 1024, 1)
+    members = tuple((img[i - 1 : i + 2], i) for i in range(1, 129))
+    plain, _ = compile_chunk_body(sobel_row_value, "bench")
+    profiled, _ = compile_chunk_body(sobel_row_value, "bench", profile=True)
+    plain(members, 0)
+    profiled(members, 0)
+    t_plain = t_prof = float("inf")
+    for _ in range(max(repeats * 5, 10)):
+        t0 = _time.perf_counter()
+        plain(members, 0)
+        t1 = _time.perf_counter()
+        profiled(members, 0)
+        t2 = _time.perf_counter()
+        t_plain = min(t_plain, t1 - t0)
+        t_prof = min(t_prof, t2 - t1)
+    overhead_pct = 100.0 * (t_prof - t_plain) / max(t_plain, 1e-12)
+
+    return {
+        "compile_specialization.serve_jobs_per_s": Metric(
+            n_jobs / max(on.best_s, 1e-12), "jobs/s",
+            higher_is_better=True,
+        ),
+        "compile_specialization.serve_speedup": Metric(
+            serve_speedup, "x", higher_is_better=True
+        ),
+        "compile_specialization.serve_speedup_min1_15x": Metric(
+            min(serve_speedup, COMPILE_SERVE_SPEEDUP_CAP), "x",
+            higher_is_better=True, gated=True,
+        ),
+        "compile_specialization.e2e_sobel_speedup": Metric(
+            e2e_speedup, "x", higher_is_better=True
+        ),
+        "compile_specialization.e2e_sobel_speedup_min1_2x": Metric(
+            min(e2e_speedup, COMPILE_E2E_SPEEDUP_CAP), "x",
+            higher_is_better=True, gated=True,
+        ),
+        "compile_specialization.profile_overhead_pct": Metric(
+            overhead_pct, "%", higher_is_better=False
+        ),
+        "compile_specialization.profile_overhead_lt_5pct": Metric(
+            1.0 if overhead_pct < PROFILE_OVERHEAD_MAX_PCT else 0.0,
+            "bool",
+            higher_is_better=True,
+            gated=True,
+        ),
+    }
+
+
 def _sweep_process_cells(reuse: bool, n_cells: int, n_tasks: int) -> None:
     """A mini sweep: ``n_cells`` schedulers on the process backend."""
     engine = (
@@ -745,6 +882,7 @@ WORKLOADS: dict[str, WorkloadFn] = {
     "end_to_end": bench_end_to_end,
     "governor_convergence": bench_governor_convergence,
     "serve_throughput": bench_serve_throughput,
+    "compile_specialization": bench_compile_specialization,
     "serve_cluster": bench_serve_cluster,
     "payload_bandwidth": bench_payload_bandwidth,
     "sweep_pool": bench_sweep_pool,

@@ -1,8 +1,16 @@
-"""Pragma front-end: the SCOOP source-to-source compiler substitute.
+"""Pragma front-end and compile tier: the SCOOP compiler, grown up.
 
-Parses ``#pragma omp task`` / ``#pragma omp taskwait`` directives
-embedded as comments in Python source and lowers them to runtime calls
-(paper section 2, Listings 1-3).
+The front-end parses ``#pragma omp task`` / ``#pragma omp taskwait``
+directives embedded as comments in Python source and lowers them to
+runtime calls (paper section 2, Listings 1-3).
+
+The compile tier (:mod:`repro.compiler.specialize`, the ``"compile"``
+registry family behind ``RuntimeConfig.compile``) goes one step
+further: it constant-folds the per-task significance decision for a
+concrete ``(ratio, dvfs_factor)`` spec, inlines the chosen
+exact/approximate variant into branch-free chunk loops compiled once
+and cached per spec, and optionally wraps every inner call with a
+shallow profiler.
 """
 
 from .directives import (
@@ -18,6 +26,17 @@ from .lowering import (
     preprocess_source,
 )
 from .parser import is_pragma, parse_directive, scan_pragmas, split_arguments
+from .specialize import (
+    KernelSpecializer,
+    SpecializationCache,
+    SpecializationError,
+    SpecializationSpec,
+    SpecializedBody,
+    SpecializedPlan,
+    clear_profile,
+    decide_kinds,
+    profile_snapshot,
+)
 
 __all__ = [
     "TaskDirective",
@@ -32,4 +51,13 @@ __all__ = [
     "lower_source",
     "compile_pragmas",
     "pragma_compile",
+    "SpecializationSpec",
+    "SpecializationCache",
+    "SpecializationError",
+    "SpecializedBody",
+    "SpecializedPlan",
+    "KernelSpecializer",
+    "decide_kinds",
+    "profile_snapshot",
+    "clear_profile",
 ]

@@ -55,12 +55,39 @@ _SPAWN = "__repro_spawn__"
 _TASKWAIT = "__repro_taskwait__"
 
 
+def _statement_indent(lines: list[str], start: int) -> str | None:
+    """Indentation of the next non-blank, non-pragma source line.
+
+    A pragma is a Python comment, so the programmer may leave it at any
+    column (column 0 inside an indented body is common after an editor
+    dedent); the marker that replaces it must sit at the *annotated
+    statement's* indentation or the rewritten module will not parse.
+    Returns ``None`` when no statement follows.
+    """
+    j = start
+    while j < len(lines):
+        nxt = lines[j]
+        if not nxt.strip():
+            j += 1
+            continue
+        if is_pragma(nxt):
+            while nxt.rstrip().endswith("\\") and j + 1 < len(lines):
+                j += 1
+                nxt = lines[j]
+            j += 1
+            continue
+        return nxt[: len(nxt) - len(nxt.lstrip())]
+    return None
+
+
 def preprocess_source(source: str) -> tuple[str, list[Directive]]:
     """Replace pragma comments with marker calls; collect directives.
 
     Pragma line continuations (trailing backslash) are folded into the
     directive; the continuation lines become ``pass``-equivalent blank
-    markers (kept blank to preserve line numbering).
+    markers (kept blank to preserve line numbering).  Each marker takes
+    the deeper of the pragma's own indentation and the annotated
+    statement's, so mis-indented pragmas still lower correctly.
     """
     lines = source.splitlines()
     directives: list[Directive] = []
@@ -79,7 +106,13 @@ def preprocess_source(source: str) -> tuple[str, list[Directive]]:
                 blank.append(i)
             directive = parse_directive(text, line=start + 1)
             directives.append(directive)
-            indent = line[: len(line) - len(line.lstrip())]
+            own = line[: len(line) - len(line.lstrip())]
+            stmt = _statement_indent(lines, i + 1)
+            indent = (
+                stmt
+                if stmt is not None and len(stmt) > len(own)
+                else own
+            )
             out_lines[start] = (
                 f"{indent}{_MARKER}({len(directives) - 1})"
             )
@@ -207,6 +240,12 @@ class PragmaLowerer(ast.NodeTransformer):
     def _lower_taskwait(
         self, d: TaskwaitDirective, marker: ast.stmt
     ) -> ast.stmt:
+        if d.label is not None and d.on is not None:
+            raise LoweringError(
+                f"'#pragma omp taskwait' at line {d.line} combines "
+                "label(...) and on(...); wait on a group or on a data "
+                "object, not both"
+            )
         line = marker.lineno
         kw: list[ast.keyword] = []
         if d.label is not None:
@@ -244,9 +283,15 @@ class PragmaLowerer(ast.NodeTransformer):
 
 
 def lower_source(source: str, filename: str = "<pragma>") -> ast.Module:
-    """Full front-end: pragma scan + parse + AST lowering."""
-    processed, directives = preprocess_source(textwrap.dedent(source))
-    tree = ast.parse(processed, filename=filename)
+    """Full front-end: pragma scan + parse + AST lowering.
+
+    Pragmas are scanned *before* dedenting: a column-0 pragma comment
+    inside an indented body would otherwise defeat ``textwrap.dedent``
+    (comment lines count toward the common margin), leaving the whole
+    source indented and unparsable.
+    """
+    processed, directives = preprocess_source(source)
+    tree = ast.parse(textwrap.dedent(processed), filename=filename)
     PragmaLowerer(directives).visit(tree)
     ast.fix_missing_locations(tree)
     return tree
@@ -297,8 +342,9 @@ def pragma_compile(fn: Callable) -> Callable:
         raise LoweringError(
             f"cannot fetch source of {fn!r} (defined interactively?)"
         ) from e
-    source = textwrap.dedent(source)
-    # Drop decorator lines so exec doesn't recurse into pragma_compile.
+    # Dedenting waits until after the pragma scan (see lower_source) so
+    # column-0 pragmas inside nested/method bodies survive.  Drop
+    # decorator lines so exec doesn't recurse into pragma_compile.
     lines = source.splitlines()
     start = 0
     while start < len(lines) and not lines[start].lstrip().startswith(

@@ -1,0 +1,930 @@
+"""Significance-aware kernel specialization: the compile tier.
+
+The pragma front-end (:mod:`repro.compiler.lowering`) reproduces the
+paper's SCOOP compiler faithfully — and inherits its cost: every task
+carries the significance branch (classify, stamp, dispatch accurate or
+approximate) through the runtime per element.  This module compiles
+that branch *away* for a concrete :class:`SpecializationSpec`
+``(ratio, dvfs_factor)``:
+
+1. **Fold the decision.**  :func:`decide_kinds` replays the GTB
+   Max-Buffer flush (sort by significance, ``ceil(ratio * n)`` quota,
+   forced 1.0/0.0 values) over the batch's significance vector at
+   specialization time, yielding one
+   :class:`~repro.runtime.task.ExecutionKind` per element — the
+   runtime's per-task decision, made once on the master.
+2. **Inline the chosen variant.**  Each element's accurate or
+   approximate body is known, so elements partition into homogeneous
+   *chunks*; :func:`compile_chunk_body` emits a branch-free loop per
+   variant — genuinely inlining simple module-level bodies into the
+   loop (the pypragma unroll/inline/collapse move) and falling back to
+   a direct-call loop otherwise — and compiles it once.
+3. **Cache per spec.**  Compiled bodies land in a
+   :class:`SpecializationCache` keyed like the approximate-result
+   cache — ``(kernel, spec)`` plus the variant's code fingerprint, so
+   editing a kernel body invalidates its entry — with LRU bounds and
+   explicit :meth:`~SpecializationCache.invalidate`.
+4. **Ship a handle, not code.**  :class:`SpecializedBody` pickles as a
+   compact ``(kernel, variant-ref, profile)`` handle;
+   ``ProcessPoolEngine`` workers rebuild (and cache) the compiled loop
+   locally instead of re-lowering per task.
+
+A :class:`SpecializedPlan` packages the chunks for
+``Scheduler.spawn_specialized``: every chunk spawns as one forced-
+accurate task whose :class:`~repro.runtime.task.TaskCost` is the sum
+of its members' decided-kind work (scaled by ``1 / dvfs_factor``), so
+the energy/time accounting matches the interpreted run while the
+per-task runtime overhead collapses to per-chunk.
+
+**Shallow profiling** (``"specialize:profile=true"``) is the
+recompyle move: the emitted loop wraps every inner call of the
+specialized body with monotonic-clock timestamps, accumulating
+per-callee call counts and total seconds in a process registry
+(:func:`profile_snapshot`).  The serve layer lands the snapshot in the
+chrome-trace ``group_meta`` — production-grade visibility at <5%
+overhead, versus full per-task tracing.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import importlib
+import inspect
+import math
+import textwrap
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..registry import register
+from ..runtime.errors import CompilerError, ConfigError
+from ..runtime.task import ExecutionKind, TaskCost
+
+__all__ = [
+    "SpecializationSpec",
+    "decide_kinds",
+    "SpecializedBody",
+    "SpecializedPlan",
+    "ChunkBatch",
+    "SpecializationCache",
+    "SpecializationError",
+    "KernelSpecializer",
+    "compile_chunk_body",
+    "profile_snapshot",
+    "clear_profile",
+]
+
+
+class SpecializationError(CompilerError):
+    """A kernel body could not be specialized."""
+
+
+# ----------------------------------------------------------------------
+# The spec: one point of the (ratio, dvfs) plane
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpecializationSpec:
+    """One concrete point the compile tier folds a kernel for.
+
+    ``ratio`` is the group's accurate-task ratio (the Table 1 knob);
+    ``dvfs_factor`` the frequency multiplier the chunk is compiled to
+    run at — work units scale by its inverse, matching the DVFS
+    actuation path of the governor.
+    """
+
+    ratio: float = 1.0
+    dvfs_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.ratio <= 1.0:
+            raise ConfigError(
+                f"specialization ratio must be in [0, 1], got {self.ratio}"
+            )
+        if not self.dvfs_factor > 0.0:
+            raise ConfigError(
+                f"dvfs_factor must be > 0, got {self.dvfs_factor}"
+            )
+
+    @property
+    def key(self) -> tuple[float, float]:
+        """Quantized cache identity (the result cache's ratio levels)."""
+        return (round(self.ratio, 2), round(self.dvfs_factor, 3))
+
+
+# ----------------------------------------------------------------------
+# Decision folding: the GTB Max-Buffer flush, replayed at compile time
+# ----------------------------------------------------------------------
+def decide_kinds(
+    significances: list[float],
+    droppable: bool,
+    ratio: float,
+) -> list[ExecutionKind]:
+    """Constant-fold the significance branch for one task batch.
+
+    Replays :meth:`~repro.runtime.policies.gtb.GlobalTaskBuffering._flush`
+    exactly — stable sort on raw significance (descending),
+    ``ceil(ratio * n)`` accurate quota, forced ``>= 1.0`` tasks consume
+    quota, forced ``<= 0.0`` tasks never do, and an element denied
+    accuracy is ``APPROXIMATE`` (or ``DROPPED`` when the batch has no
+    approximate variant, the paper's D mode).  The returned vector is
+    aligned with spawn order, which is what makes a specialized run
+    bit-identical to the interpreted GTB-max run.
+    """
+    n = len(significances)
+    kinds: list[ExecutionKind | None] = [None] * n
+    order = sorted(
+        range(n), key=lambda i: significances[i], reverse=True
+    )
+    quota = math.ceil(ratio * n - 1e-12)
+    denied = (
+        ExecutionKind.DROPPED if droppable else ExecutionKind.APPROXIMATE
+    )
+    accurate = 0
+    for i in order:
+        sig = significances[i]
+        if sig >= 1.0:
+            kinds[i] = ExecutionKind.ACCURATE
+            accurate += 1
+        elif sig <= 0.0:
+            kinds[i] = denied
+        elif accurate < quota:
+            kinds[i] = ExecutionKind.ACCURATE
+            accurate += 1
+        else:
+            kinds[i] = denied
+    return kinds  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# The shallow profiler registry (recompyle-style call wrapping)
+# ----------------------------------------------------------------------
+_prof_lock = threading.Lock()
+#: ``(kernel, callee) -> {"calls", "total_s"}`` accumulated by profiled
+#: chunk loops; drained by :func:`profile_snapshot`.
+_profile: dict[tuple[str, str], dict[str, float]] = {}
+
+
+def _profile_record(kernel: str, callee: str, calls: int, total_s: float):
+    with _prof_lock:
+        rec = _profile.get((kernel, callee))
+        if rec is None:
+            rec = _profile[(kernel, callee)] = {
+                "calls": 0, "total_s": 0.0,
+            }
+        rec["calls"] += calls
+        rec["total_s"] += total_s
+
+
+def profile_snapshot(
+    kernel: str | None = None, clear: bool = False
+) -> dict[str, dict[str, float]]:
+    """Per-callee timings of every profiled specialized body.
+
+    Returns ``{callee: {"calls", "total_s", "mean_us"}}`` (keys are
+    ``"kernel.callee"`` when ``kernel`` is None).  ``clear=True``
+    drains the returned records, so successive snapshots window the
+    runs between them — the serve layer attributes one round's calls
+    to that round's jobs this way.
+    """
+    out: dict[str, dict[str, float]] = {}
+    with _prof_lock:
+        for (k, callee), rec in list(_profile.items()):
+            if kernel is not None and k != kernel:
+                continue
+            name = callee if kernel is not None else f"{k}.{callee}"
+            calls = int(rec["calls"])
+            out[name] = {
+                "calls": calls,
+                "total_s": rec["total_s"],
+                "mean_us": (
+                    rec["total_s"] / calls * 1e6 if calls else 0.0
+                ),
+            }
+            if clear:
+                del _profile[(k, callee)]
+    return out
+
+
+def clear_profile() -> None:
+    """Drop every accumulated profile record."""
+    with _prof_lock:
+        _profile.clear()
+
+
+# ----------------------------------------------------------------------
+# Variant loop codegen: inline when possible, call otherwise
+# ----------------------------------------------------------------------
+def _variant_ref(fn: Callable) -> tuple[str, str]:
+    """Importable identity of a variant body (the pickle handle)."""
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if not module or not qualname or "<" in qualname:
+        raise SpecializationError(
+            f"cannot specialize {fn!r}: the body must be an importable "
+            "module-level function (lambdas and locals cannot be "
+            "rebuilt in worker processes)"
+        )
+    return (module, qualname)
+
+
+def _resolve_ref(ref: tuple[str, str]) -> Callable:
+    module, qualname = ref
+    obj: Any = importlib.import_module(module)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def _fingerprint(fn: Callable) -> str:
+    """Content hash of a body's compiled code — edits invalidate."""
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        return repr(fn)
+    return hashlib.sha256(
+        code.co_code + repr(code.co_consts).encode()
+    ).hexdigest()[:16]
+
+
+class _LocalRenamer(ast.NodeTransformer):
+    """Prefix a function body's local names so it pastes into a loop."""
+
+    def __init__(self, names: set[str], prefix: str) -> None:
+        self.names = names
+        self.prefix = prefix
+
+    def visit_Name(self, node: ast.Name) -> ast.Name:
+        if node.id in self.names:
+            node.id = self.prefix + node.id
+        return node
+
+
+def _local_names(fdef: ast.FunctionDef) -> set[str]:
+    """Names bound inside the body (params + simple assignments)."""
+    names = {a.arg for a in fdef.args.args}
+    for node in ast.walk(fdef):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for t in targets:
+                for sub in ast.walk(t):
+                    if isinstance(sub, ast.Name):
+                        names.add(sub.id)
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            for sub in ast.walk(node.target):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+        elif isinstance(node, ast.NamedExpr):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+    return names
+
+
+def _inlinable_fdef(fn: Callable) -> ast.FunctionDef | None:
+    """The body's AST when it is simple enough to inline, else None.
+
+    Inlinable: a plain module-level ``def`` with simple positional
+    parameters, no decorators, no nested defs/yields/global/nonlocal,
+    and at most one ``return`` sitting as the final statement.
+    """
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError):
+        return None
+    if len(tree.body) != 1 or not isinstance(
+        tree.body[0], ast.FunctionDef
+    ):
+        return None
+    fdef = tree.body[0]
+    a = fdef.args
+    if (
+        fdef.decorator_list
+        or a.vararg
+        or a.kwarg
+        or a.kwonlyargs
+        or a.posonlyargs
+        or a.defaults
+    ):
+        return None
+    banned = (
+        ast.Yield,
+        ast.YieldFrom,
+        ast.Global,
+        ast.Nonlocal,
+        ast.FunctionDef,
+        ast.AsyncFunctionDef,
+        ast.ClassDef,
+        ast.Await,
+    )
+    returns = []
+    for stmt in fdef.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, banned):
+                return None
+            if isinstance(node, ast.Return):
+                returns.append(node)
+    if len(returns) > 1:
+        return None
+    if returns and fdef.body[-1] is not returns[0]:
+        return None
+    return fdef
+
+
+_CHUNK_NAME = "__specialized_chunk__"
+
+
+def _loop_module(
+    fn: Callable, kernel: str, profile: bool
+) -> tuple[ast.Module, dict[str, Any], bool]:
+    """Build the chunk-loop module AST for one variant body.
+
+    Returns ``(module, extra_globals, inlined)``.  The non-profiled
+    path tries genuine inlining (unrolling the call frame away); the
+    profiled path always keeps the call — that *is* the probe point
+    the recompyle-style wrapper times.
+    """
+    callee = getattr(fn, "__name__", "body")
+    extra: dict[str, Any] = {"__body__": fn}
+    fdef = None if profile else _inlinable_fdef(fn)
+    if fdef is not None:
+        prefix = "__sp_"
+        names = _local_names(fdef)
+        body = [
+            _LocalRenamer(names, prefix).visit(stmt)
+            for stmt in fdef.body
+        ]
+        # Drop a leading docstring statement.
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            body = body[1:]
+        if body and isinstance(body[-1], ast.Return):
+            ret = body[-1].value or ast.Constant(None)
+            body = body[:-1]
+        else:
+            ret = ast.Constant(None)
+        params = ", ".join(
+            prefix + a.arg for a in fdef.args.args
+        ) or "_"
+        unpack = ast.parse(
+            f"({params},) = __args__"
+            if len(fdef.args.args) != 1
+            else f"{params}, = __args__"
+        ).body[0]
+        loop_body = [unpack, *body, ast.Expr(
+            ast.Call(
+                ast.Name("__append__", ast.Load()), [ret], []
+            )
+        )]
+        inlined = True
+    else:
+        loop_body = [
+            ast.parse("__append__(__body__(*__args__))").body[0]
+        ]
+        inlined = False
+
+    if profile:
+        loop_body = ast.parse(
+            "__t0__ = __perf__()\n"
+            "__r__ = __body__(*__args__)\n"
+            "__total__ += __perf__() - __t0__\n"
+            "__append__(__r__)"
+        ).body
+        prologue = "__total__ = 0.0\n"
+        epilogue = (
+            "    __record__(__kernel__, __callee__, "
+            "len(members), __total__)\n"
+        )
+        extra.update(
+            __perf__=time.perf_counter,
+            __record__=_profile_record,
+            __kernel__=kernel,
+            __callee__=callee,
+        )
+    else:
+        prologue = ""
+        epilogue = ""
+
+    shell = (
+        f"def {_CHUNK_NAME}(members, cid):\n"
+        f"    {prologue or 'pass'}\n"
+        "    __out__ = []\n"
+        "    __append__ = __out__.append\n"
+        "    for __args__ in members:\n"
+        "        pass\n"
+        f"{epilogue}"
+        "    return __out__\n"
+    )
+    module = ast.parse(shell)
+    fn_def = module.body[0]
+    assert isinstance(fn_def, ast.FunctionDef)
+    if not prologue:
+        fn_def.body = fn_def.body[1:]  # drop the placeholder pass
+    for stmt in fn_def.body:
+        if isinstance(stmt, ast.For):
+            stmt.body = loop_body
+    ast.fix_missing_locations(module)
+    return module, extra, inlined
+
+
+def compile_chunk_body(
+    fn: Callable, kernel: str, profile: bool = False
+) -> tuple[Callable, bool]:
+    """Compile the branch-free chunk loop for one variant body.
+
+    Returns ``(loop_fn, inlined)`` where ``loop_fn(members, cid)``
+    runs ``fn`` (inlined when possible) over every member argument
+    tuple and returns the results in order.
+    """
+    module, extra, inlined = _loop_module(fn, kernel, profile)
+    ns = dict(getattr(fn, "__globals__", {}) or {})
+    ns.update(extra)
+    filename = (
+        f"<specialize:{kernel}:{getattr(fn, '__name__', 'body')}"
+        f"{':profiled' if profile else ''}>"
+    )
+    code = compile(module, filename, "exec")
+    exec(code, ns)  # noqa: S102 - the compile tier's whole point
+    return ns[_CHUNK_NAME], inlined
+
+
+# ----------------------------------------------------------------------
+# The picklable compiled body
+# ----------------------------------------------------------------------
+#: Worker-process-local rebuild cache: a forked/spawned worker compiles
+#: each (kernel, variant, profile) loop once, then reuses it for every
+#: chunk of every round — the "reuse instead of re-lowering" half of
+#: the pickle-safe handle.
+_REBUILD_CACHE: dict[tuple, "SpecializedBody"] = {}
+_rebuild_lock = threading.Lock()
+
+
+def _rebuild_body(
+    kernel: str, ref: tuple[str, str], profile: bool
+) -> "SpecializedBody":
+    key = (kernel, ref, profile)
+    body = _REBUILD_CACHE.get(key)
+    if body is None:
+        with _rebuild_lock:
+            body = _REBUILD_CACHE.get(key)
+            if body is None:
+                body = SpecializedBody(kernel, _resolve_ref(ref), profile)
+                _REBUILD_CACHE[key] = body
+    return body
+
+
+class SpecializedBody:
+    """One compiled chunk executor: callable, picklable by handle.
+
+    ``body(members, cid)`` runs the specialized loop over ``members``
+    (a sequence of per-element argument tuples) and returns the
+    element results in order.  Pickling ships only
+    ``(kernel, variant-ref, profile)``; workers rebuild through
+    :func:`_rebuild_body`'s process-local cache.
+    """
+
+    __slots__ = ("kernel", "ref", "profile", "inlined", "_loop")
+
+    def __init__(
+        self, kernel: str, fn: Callable, profile: bool = False
+    ) -> None:
+        self.kernel = kernel
+        self.ref = _variant_ref(fn)
+        self.profile = profile
+        self._loop, self.inlined = compile_chunk_body(
+            fn, kernel, profile
+        )
+
+    @property
+    def __name__(self) -> str:
+        mode = "profiled" if self.profile else (
+            "inlined" if self.inlined else "call"
+        )
+        return f"specialized[{self.kernel}:{self.ref[1]}:{mode}]"
+
+    def __call__(self, members, cid: int) -> list:
+        return self._loop(members, cid)
+
+    def __reduce__(self):
+        return (_rebuild_body, (self.kernel, self.ref, self.profile))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SpecializedBody {self.__name__}>"
+
+
+# ----------------------------------------------------------------------
+# The compiled-body cache
+# ----------------------------------------------------------------------
+@dataclass
+class SpecializationCacheStats:
+    hits: int = 0
+    misses: int = 0
+    compiles: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "compiles": self.compiles,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+
+#: Process-global store of compiled loops, keyed like the LRU below.
+#: A fresh :class:`KernelSpecializer` (one per :class:`Scheduler`)
+#: starts with an empty LRU but still reuses loops some earlier
+#: specializer already ``exec``-compiled in this process — without
+#: this, every sweep cell and every serve gateway would pay the
+#: multi-millisecond lowering cost again.
+_BODY_CACHE: dict[tuple, "SpecializedBody"] = {}
+_body_cache_lock = threading.Lock()
+
+#: Safety valve for pathological churn (e.g. a test loop redefining
+#: bodies): past this many distinct fingerprints the store resets.
+_BODY_CACHE_MAX = 512
+
+
+def _compiled_body(
+    key: tuple, kernel: str, fn: Callable, profile: bool
+) -> "SpecializedBody":
+    body = _BODY_CACHE.get(key)
+    if body is None:
+        with _body_cache_lock:
+            body = _BODY_CACHE.get(key)
+            if body is None:
+                if len(_BODY_CACHE) >= _BODY_CACHE_MAX:
+                    _BODY_CACHE.clear()
+                body = SpecializedBody(kernel, fn, profile)
+                _BODY_CACHE[key] = body
+    return body
+
+
+class SpecializationCache:
+    """LRU cache of compiled bodies keyed ``(kernel, variant, spec)``.
+
+    The variant's code fingerprint is part of the key, so redefining a
+    kernel body naturally misses (the stale entry ages out of the LRU);
+    :meth:`invalidate` evicts a kernel's entries eagerly.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ConfigError(
+                f"specialization cache capacity must be >= 1, "
+                f"got {capacity}"
+            )
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, SpecializedBody]" = (
+            OrderedDict()
+        )
+        self.stats = SpecializationCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def body(
+        self, kernel: str, fn: Callable, profile: bool
+    ) -> SpecializedBody:
+        """The compiled body for one variant — cached per fingerprint."""
+        key = (kernel, _variant_ref(fn), _fingerprint(fn), profile)
+        body = self._entries.get(key)
+        if body is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return body
+        self.stats.misses += 1
+        # "compiles" counts bodies materialized into THIS cache; the
+        # exec cost itself is amortized through the process-global
+        # store when another specializer compiled the same variant.
+        body = _compiled_body(key, kernel, fn, profile)
+        self.stats.compiles += 1
+        self._entries[key] = body
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return body
+
+    def invalidate(self, kernel: str | None = None) -> int:
+        """Evict one kernel's compiled bodies (or all of them)."""
+        doomed = [
+            key
+            for key in self._entries
+            if kernel is None or key[0] == kernel
+        ]
+        for key in doomed:
+            del self._entries[key]
+        with _body_cache_lock:
+            for key in [
+                k
+                for k in _BODY_CACHE
+                if kernel is None or k[0] == kernel
+            ]:
+                del _BODY_CACHE[key]
+        self.stats.invalidations += len(doomed)
+        return len(doomed)
+
+    def keys(self) -> list[tuple]:
+        return list(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<SpecializationCache {len(self)}/{self.capacity} "
+            f"compiles={self.stats.compiles}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# The specialized plan: chunks shaped for Scheduler.spawn_specialized
+# ----------------------------------------------------------------------
+@dataclass
+class ChunkBatch:
+    """All chunks sharing one compiled body (one spawn_many call)."""
+
+    body: SpecializedBody
+    #: ``[(members, cid), ...]`` — the chunk argument tuples.
+    args_list: list[tuple]
+    #: Per-chunk :class:`TaskCost`, indexed by the chunk's ``cid``.
+    costs: dict[int, TaskCost]
+
+
+@dataclass
+class SpecializedPlan:
+    """One batch's folded decisions plus its compiled chunk tasks.
+
+    ``kinds`` is the per-element decision vector in spawn order;
+    ``batches`` the chunk tasks to spawn (accurate chunks first, then
+    approximate); ``chunk_members`` maps each chunk id back to the
+    element indices it executes, which is what :meth:`gather` uses to
+    scatter chunk results into a full-length per-element result list
+    (``None`` for dropped elements, as in the interpreted runtime).
+    """
+
+    kernel: str
+    spec: SpecializationSpec
+    kinds: list[ExecutionKind]
+    batches: list[ChunkBatch]
+    chunk_members: list[list[int]]
+    #: Summed member work per decided kind (unscaled).  Chunks execute
+    #: as forced-accurate tasks, so the trace cannot split busy time by
+    #: kind; these shares let the serve layer apportion a specialized
+    #: job's energy between its accurate and approximate halves.
+    work_acc: float = 0.0
+    work_apx: float = 0.0
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.kinds)
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.chunk_members)
+
+    @property
+    def accurate(self) -> int:
+        return sum(
+            1 for k in self.kinds if k is ExecutionKind.ACCURATE
+        )
+
+    @property
+    def approximate(self) -> int:
+        return sum(
+            1 for k in self.kinds if k is ExecutionKind.APPROXIMATE
+        )
+
+    @property
+    def dropped(self) -> int:
+        return sum(
+            1 for k in self.kinds if k is ExecutionKind.DROPPED
+        )
+
+    def gather(self, chunk_results: list) -> list:
+        """Scatter per-chunk result lists back to element order.
+
+        ``chunk_results`` must be aligned with the spawn order of the
+        plan's chunks (batch 0's chunks, then batch 1's) — exactly the
+        ``[task.result for task in spawn_specialized(...)]`` list.
+        """
+        if len(chunk_results) != self.n_chunks:
+            raise SpecializationError(
+                f"gather expected {self.n_chunks} chunk results, "
+                f"got {len(chunk_results)}"
+            )
+        out: list = [None] * self.n_tasks
+        for members, results in zip(self.chunk_members, chunk_results):
+            if results is None:
+                continue
+            for index, value in zip(members, results):
+                out[index] = value
+        return out
+
+
+#: Minimum elements per chunk.  Chunking exists to amortize per-task
+#: runtime overhead over many elements; splitting a 30-element batch
+#: 16 ways would spawn almost as many tasks as the interpreted loop
+#: and lose the entire win.
+MIN_CHUNK_ELEMENTS = 8
+
+
+def _split_chunks(indices: list[int], n_chunks: int) -> list[list[int]]:
+    """Split an index list into up to ``n_chunks`` balanced runs of at
+    least :data:`MIN_CHUNK_ELEMENTS` each (short batches get one run).
+    """
+    n = len(indices)
+    if n == 0:
+        return []
+    n_chunks = max(1, min(n_chunks, n // MIN_CHUNK_ELEMENTS, n))
+    size, extra = divmod(n, n_chunks)
+    out: list[list[int]] = []
+    at = 0
+    for c in range(n_chunks):
+        take = size + (1 if c < extra else 0)
+        out.append(indices[at : at + take])
+        at += take
+    return out
+
+
+# ----------------------------------------------------------------------
+# The compile-tier component ("compile" registry family)
+# ----------------------------------------------------------------------
+@register("compile", "specialize")
+class KernelSpecializer:
+    """The ``"specialize"`` compile tier (``RuntimeConfig.compile``).
+
+    Parameters
+    ----------
+    cache_size:
+        LRU capacity of the compiled-body cache
+        (``"specialize:cache_size=N"``).
+    profile:
+        Emit the shallow-profiled loops (per-callee timings into
+        :func:`profile_snapshot` at <5% overhead).
+    chunks:
+        Default chunk fan-out per kind when the caller does not pass
+        one (callers normally pass the scheduler's worker width).
+    """
+
+    def __init__(
+        self,
+        cache_size: int = 64,
+        profile: bool = False,
+        chunks: int = 16,
+    ) -> None:
+        if not isinstance(chunks, int) or chunks < 1:
+            raise ConfigError(
+                f"specialize chunks must be an int >= 1, got {chunks!r}"
+            )
+        if not isinstance(profile, bool):
+            raise ConfigError(
+                f"specialize profile must be a bool, got {profile!r}"
+            )
+        self.cache = SpecializationCache(cache_size)
+        self.profile = profile
+        self.chunks = chunks
+
+    # -- core ----------------------------------------------------------
+    def specialize(
+        self,
+        kernel: str,
+        fn: Callable,
+        args_list: Any,
+        *,
+        significance: Any = 1.0,
+        approxfun: Callable | None = None,
+        cost: Any = None,
+        ratio: float = 1.0,
+        dvfs_factor: float = 1.0,
+        n_chunks: int | None = None,
+    ) -> SpecializedPlan:
+        """Fold one task batch for ``(ratio, dvfs_factor)``.
+
+        ``significance`` and ``cost`` follow the ``spawn_many`` clause
+        convention (constants or per-element callables over the
+        element's arguments).  Returns a :class:`SpecializedPlan`
+        ready for ``Scheduler.spawn_specialized``.
+        """
+        spec = SpecializationSpec(ratio=ratio, dvfs_factor=dvfs_factor)
+        members: list[tuple] = [
+            args if isinstance(args, tuple) else (args,)
+            for args in args_list
+        ]
+        sig_fn = significance if callable(significance) else None
+        sigs = [
+            sig_fn(*args) if sig_fn else float(significance)
+            for args in members
+        ]
+        kinds = decide_kinds(sigs, approxfun is None, spec.ratio)
+
+        cost_fn = (
+            cost
+            if callable(cost) and not isinstance(cost, TaskCost)
+            else None
+        )
+        works: list[float] = []
+        for args, kind in zip(members, kinds):
+            c = cost_fn(*args) if cost_fn else cost
+            works.append(
+                c.for_kind(kind) if isinstance(c, TaskCost) else 0.0
+            )
+
+        fan_out = n_chunks if n_chunks is not None else self.chunks
+        batches: list[ChunkBatch] = []
+        chunk_members: list[list[int]] = []
+        cid = 0
+        variants = (
+            (ExecutionKind.ACCURATE, fn),
+            (ExecutionKind.APPROXIMATE, approxfun),
+        )
+        for kind, body_fn in variants:
+            indices = [i for i, k in enumerate(kinds) if k is kind]
+            if not indices or body_fn is None:
+                continue
+            body = self.cache.body(kernel, body_fn, self.profile)
+            args_out: list[tuple] = []
+            costs: dict[int, TaskCost] = {}
+            for run in _split_chunks(indices, fan_out):
+                work = sum(works[i] for i in run) / spec.dvfs_factor
+                args_out.append(
+                    (tuple(members[i] for i in run), cid)
+                )
+                costs[cid] = TaskCost(accurate=work)
+                chunk_members.append(run)
+                cid += 1
+            batches.append(
+                ChunkBatch(body=body, args_list=args_out, costs=costs)
+            )
+        return SpecializedPlan(
+            kernel=kernel,
+            spec=spec,
+            kinds=kinds,
+            batches=batches,
+            chunk_members=chunk_members,
+            work_acc=sum(
+                w
+                for w, k in zip(works, kinds)
+                if k is ExecutionKind.ACCURATE
+            ),
+            work_apx=sum(
+                w
+                for w, k in zip(works, kinds)
+                if k is ExecutionKind.APPROXIMATE
+            ),
+        )
+
+    def specialize_plan(
+        self,
+        kernel: str,
+        plan: Any,
+        *,
+        ratio: float,
+        dvfs_factor: float = 1.0,
+        n_chunks: int | None = None,
+    ) -> SpecializedPlan | None:
+        """Specialize a servable kernel's :class:`TaskPlan`.
+
+        Returns ``None`` when the plan's bodies cannot be specialized
+        (non-importable callables) — the caller falls back to the
+        interpreted spawn path.
+        """
+        try:
+            return self.specialize(
+                kernel,
+                plan.fn,
+                plan.args_list,
+                significance=plan.significance,
+                approxfun=plan.approxfun,
+                cost=plan.cost,
+                ratio=ratio,
+                dvfs_factor=dvfs_factor,
+                n_chunks=n_chunks,
+            )
+        except SpecializationError:
+            return None
+
+    # -- management ----------------------------------------------------
+    def invalidate(self, kernel: str | None = None) -> int:
+        """Evict compiled bodies (one kernel's, or everything)."""
+        return self.cache.invalidate(kernel)
+
+    def stats(self) -> dict:
+        return self.cache.stats.to_dict()
+
+    def describe(self) -> str:
+        text = f"specialize(cache={self.cache.capacity}"
+        if self.profile:
+            text += ",profile"
+        return text + ")"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<KernelSpecializer {self.describe()}>"

@@ -75,6 +75,51 @@ def _normalize_data_plane(value: Any) -> str:
     return value
 
 
+#: Valid compile-tier specs: tier name -> allowed option validators.
+_COMPILE_TIERS: dict[str, dict[str, Callable[[Any], bool]]] = {
+    "off": {},
+    "specialize": {
+        "cache_size": lambda v: isinstance(v, int)
+        and not isinstance(v, bool)
+        and v >= 1,
+        "profile": lambda v: isinstance(v, bool),
+        "chunks": lambda v: isinstance(v, int)
+        and not isinstance(v, bool)
+        and v >= 1,
+    },
+}
+
+
+def _normalize_compile(value: Any) -> str:
+    """Validate a ``compile`` value down to its canonical spec string."""
+    if not isinstance(value, str):
+        raise ConfigError(
+            "compile must be a spec string ('off', 'specialize', "
+            f"'specialize:cache_size=64'), got {value!r}"
+        )
+    try:
+        name, options = parse_spec(value)
+    except RegistryError as exc:
+        raise ConfigError(f"invalid compile spec: {exc}") from exc
+    if name not in _COMPILE_TIERS:
+        raise ConfigError(
+            f"unknown compile tier {name!r}; "
+            f"known: {sorted(_COMPILE_TIERS)}"
+        )
+    validators = _COMPILE_TIERS[name]
+    for key, val in options.items():
+        if key not in validators:
+            raise ConfigError(
+                f"unknown compile option {key!r} for {name!r}; "
+                f"known: {sorted(validators) or 'none'}"
+            )
+        if not validators[key](val):
+            raise ConfigError(
+                f"invalid compile option {key}={val!r} for {name!r}"
+            )
+    return value
+
+
 def component_name(value: Any, default: str) -> str:
     """Display name of a config component: the spec string itself,
     ``describe()`` on instances that have it, else the type name."""
@@ -139,6 +184,17 @@ class RuntimeConfig:
         :class:`ConfigError` — and applied by :meth:`build_engine` to
         the process-family engines; in-process engines (simulated,
         threaded) share memory natively and ignore it.
+    compile:
+        The compile tier: ``"off"`` (default — tasks run through the
+        interpreted per-task significance branch) or ``"specialize"`` /
+        ``"specialize:cache_size=64,profile=true,chunks=16"`` (the
+        :class:`~repro.compiler.specialize.KernelSpecializer`:
+        constant-fold the significance decision per ``(ratio, dvfs)``
+        spec, inline the chosen variant into branch-free chunk loops,
+        cache compiled bodies LRU).  Validated at construction;
+        consumed by :class:`~repro.runtime.scheduler.Scheduler`
+        (``spawn_specialized``) and requested at admission by
+        :class:`~repro.serve.server.TaskService`.
     """
 
     policy: Any = "accurate"
@@ -150,6 +206,7 @@ class RuntimeConfig:
     tenants: Any = None
     cluster: Any = None
     data_plane: Any = None
+    compile: Any = "off"
 
     def __post_init__(self) -> None:
         if not isinstance(self.n_workers, int) or self.n_workers < 1:
@@ -199,6 +256,16 @@ class RuntimeConfig:
                 "data_plane",
                 _normalize_data_plane(self.data_plane),
             )
+        if self.compile is None:
+            object.__setattr__(self, "compile", "off")
+        if isinstance(self.compile, str):
+            object.__setattr__(
+                self, "compile", _normalize_compile(self.compile)
+            )
+        elif not hasattr(self.compile, "specialize_plan"):
+            # Not a spec string and not a specializer instance: reject
+            # with the spec-string message.
+            _normalize_compile(self.compile)
         # Fail fast on unparseable/unknown spec strings: a config is a
         # value object and should be invalid at construction, not at
         # scheduler start.
@@ -317,6 +384,23 @@ class RuntimeConfig:
 
         return _resolve_cluster(self.cluster)
 
+    def build_compile(self):
+        """A fresh compile-tier specializer, or ``None`` for ``"off"``.
+
+        Resolution is lazy like :meth:`build_tenants`: the
+        ``"compile"`` registry family lives in
+        :mod:`repro.compiler.specialize`, imported on first use so a
+        bare ``repro.config`` import stays compiler-free.
+        """
+        if not isinstance(self.compile, str):
+            return self.compile  # programmatic specializer instance
+        name, _ = parse_spec(self.compile)
+        if name == "off":
+            return None
+        from .compiler import specialize as _specialize  # noqa: F401
+
+        return resolve("compile", self.compile)
+
     def build_engine(
         self,
         machine,
@@ -368,4 +452,6 @@ class RuntimeConfig:
             text += f" cluster={component_name(self.cluster, 'none')}"
         if self.data_plane is not None:
             text += f" data_plane={component_name(self.data_plane, 'none')}"
+        if not (isinstance(self.compile, str) and self.compile == "off"):
+            text += f" compile={component_name(self.compile, 'off')}"
         return text

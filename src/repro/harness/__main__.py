@@ -332,8 +332,8 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         choices=[
             "table1", "table2", "fig1", "fig2", "fig3", "fig4",
-            "fig-energy-budget", "fig-serve", "fig-cluster", "all",
-            "sweep", "bench", "serve",
+            "fig-energy-budget", "fig-serve", "fig-cluster",
+            "fig-compile", "all", "sweep", "bench", "serve",
         ],
     )
     parser.add_argument(
@@ -409,8 +409,8 @@ def main(argv: list[str] | None = None) -> int:
         help="bench: restrict to one probe (repeatable; "
         "scheduler_throughput/spawn_overhead/spawn_many/"
         "backend_matrix/end_to_end/governor_convergence/"
-        "serve_throughput/serve_cluster/payload_bandwidth/"
-        "sweep_pool)",
+        "serve_throughput/compile_specialization/serve_cluster/"
+        "payload_bandwidth/sweep_pool)",
     )
     parser.add_argument(
         "--baseline",
@@ -562,6 +562,16 @@ def main(argv: list[str] | None = None) -> int:
 
             print(
                 fig_cluster(
+                    small=args.small,
+                    n_workers=args.workers,
+                    engine=args.engine,
+                ).render()
+            )
+        elif exp == "fig-compile":
+            from ..compiler.figure import fig_compile
+
+            print(
+                fig_compile(
                     small=args.small,
                     n_workers=args.workers,
                     engine=args.engine,

@@ -36,6 +36,8 @@ __all__ = [
     "blockize",
     "unblockize",
     "dct_band_task",
+    "dct_band_value",
+    "band_cost",
     "reconstruct",
     "jpeg_quantization_table",
     "band_significance",
@@ -142,6 +144,24 @@ def dct_band_task(
         basis = np.outer(_C[u], _C[v])
         vals = np.tensordot(chunk, basis, axes=([1, 2], [0, 1]))
         coeffs[lo:hi, u, v] = np.round(vals / _Q[u, v])
+
+
+def dct_band_value(blocks: np.ndarray, k: int) -> np.ndarray:
+    """Quantized band-``k`` coefficients for every block, as a value.
+
+    The value-returning form of :func:`dct_band_task` (no output
+    mutation): returns an ``(n_blocks, n_coeff)`` array in
+    :func:`band_coefficients` order, so any execution backend — and
+    the compile tier's specialized chunk loops — can run it and
+    scatter the band back into the coefficient cube afterwards.
+    """
+    pairs = band_coefficients(k)
+    out = np.empty((blocks.shape[0], len(pairs)))
+    for j, (u, v) in enumerate(pairs):
+        basis = np.outer(_C[u], _C[v])
+        vals = np.tensordot(blocks, basis, axes=([1, 2], [0, 1]))
+        out[:, j] = np.round(vals / _Q[u, v])
+    return out
 
 
 def reconstruct(coeffs: np.ndarray, h: int, w: int) -> np.ndarray:

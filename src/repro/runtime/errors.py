@@ -84,14 +84,21 @@ class CompilerError(ReproError):
     """Base class for pragma front-end errors."""
 
 
-class DirectiveSyntaxError(CompilerError, SyntaxError):
+class LoweringError(CompilerError):
+    """The pragma front-end rejected a directive.
+
+    Umbrella error for the lowering pipeline: it covers both malformed
+    directives (:class:`DirectiveSyntaxError`) and well-formed ones
+    that cannot be attached to a statement, so callers can gate the
+    whole front-end with one ``except LoweringError``.  Messages carry
+    the offending source line.
+    """
+
+
+class DirectiveSyntaxError(LoweringError, SyntaxError):
     """A ``#pragma`` directive could not be parsed."""
 
     def __init__(self, message: str, line: int | None = None) -> None:
         loc = f" (line {line})" if line is not None else ""
         super().__init__(f"{message}{loc}")
         self.line = line
-
-
-class LoweringError(CompilerError):
-    """A parsed directive could not be attached to a statement."""

@@ -178,6 +178,12 @@ class Scheduler:
         self.governor = cfg.build_governor()
         if self.governor is not None:
             self.governor.bind(self)
+        #: Optional compile tier (``RuntimeConfig.compile``): a
+        #: :class:`~repro.compiler.specialize.KernelSpecializer` when
+        #: the config says ``"specialize"``, else ``None``.  Kernel
+        #: drivers branch on it to fold the significance decision and
+        #: spawn compiled chunk bodies via :meth:`spawn_specialized`.
+        self.specializer = cfg.build_compile()
 
     # ------------------------------------------------------------------
     # Program-facing operations (the pragma lowerings)
@@ -356,6 +362,32 @@ class Scheduler:
         to_issue = self.policy.on_spawn_many(tasks)
         if to_issue:
             self.issue_many(to_issue)
+        return tasks
+
+    def spawn_specialized(self, plan: Any, *, label: str | None = None):
+        """Spawn a compile-tier :class:`SpecializedPlan`'s chunk tasks.
+
+        Each chunk is one forced-accurate task (``significance=1.0``,
+        so every buffering policy issues it as-is — the significance
+        decision was already folded into the plan) running a compiled
+        branch-free body over its members; the chunk's
+        :class:`~repro.runtime.task.TaskCost` carries the summed
+        member work, so energy/time accounting matches the
+        interpreted spawn path.  Returns the chunk tasks in plan
+        order — exactly what ``plan.gather`` expects.
+        """
+        tasks: list[Task] = []
+        for batch in plan.batches:
+            costs = batch.costs
+            tasks.extend(
+                self.spawn_many(
+                    batch.body,
+                    batch.args_list,
+                    significance=1.0,
+                    label=label,
+                    cost=lambda members, cid, _costs=costs: _costs[cid],
+                )
+            )
         return tasks
 
     def taskwait(

@@ -9,7 +9,7 @@ reference.  Kernels live in the ``"servable"`` registry family, so jobs
 crossing the wire carry nothing but strings and JSON — the same
 serializability contract as :class:`~repro.config.RuntimeConfig`.
 
-Four built-ins cover the paper's two approximation modes:
+Five built-ins cover the paper's two approximation modes:
 
 * ``sobel`` — row tasks over a synthetic image with the paper's
   Listing 1 significance pattern; approximated rows run the cheap
@@ -24,6 +24,9 @@ Four built-ins cover the paper's two approximation modes:
 * ``kmeans`` — one k-means refinement step over point chunks; dropped
   chunks simply don't vote, and the centroid update renormalizes over
   the chunks that ran (**D** mode).
+* ``dct`` — JPEG forward DCT in zigzag-band tasks, significance
+  decreasing with spatial frequency; a dropped band leaves its
+  coefficients zero, like truncating the zigzag scan (**D** mode).
 
 Task bodies are module-level functions over picklable data, so every
 execution backend (simulated / threaded / process pool) can serve them.
@@ -39,6 +42,16 @@ from typing import Any, Callable
 
 import numpy as np
 
+from ..kernels.dct import (
+    BLOCK,
+    N_BANDS,
+    band_coefficients,
+    band_cost,
+    band_significance,
+    blockize,
+    dct_band_value,
+    reconstruct,
+)
 from ..kernels.jacobi import (
     OPS_PER_ENTRY,
     JacobiProblem,
@@ -50,6 +63,8 @@ from ..kernels.sobel import (
     sobel_row_approx,
     sobel_row_cost,
     sobel_row_significance,
+    sobel_row_value,
+    sobel_row_value_approx,
 )
 from ..quality.images import synthetic_image
 from ..quality.metrics import inverse_psnr, relative_error
@@ -64,6 +79,7 @@ __all__ = [
     "MonteCarloPiServable",
     "JacobiServable",
     "KmeansServable",
+    "DctServable",
     "get_servable",
     "servable_names",
 ]
@@ -138,24 +154,11 @@ def _int_arg(args: dict, key: str, default: int, lo: int, hi: int) -> int:
 # ----------------------------------------------------------------------
 # Sobel (approximate-task mode)
 # ----------------------------------------------------------------------
-def _sobel_row_value(window: np.ndarray, i: int) -> np.ndarray:
-    """Accurate Sobel of one row as a returned value.
-
-    ``window`` is the three-row image slice centred on the original
-    row ``i`` (``i`` rides along for the significance clause only), so
-    each task marshals O(width) data across process boundaries — not
-    the whole image — and a three-row scratch buffer reproduces the
-    row exactly.
-    """
-    res = np.zeros((3, window.shape[1]), dtype=window.dtype)
-    sobel_row_accurate(res, window, 1)
-    return res[1]
-
-
-def _sobel_row_value_approx(window: np.ndarray, i: int) -> np.ndarray:
-    res = np.zeros((3, window.shape[1]), dtype=window.dtype)
-    sobel_row_approx(res, window, 1)
-    return res[1]
+# The value-returning row bodies moved next to the stencils in
+# repro.kernels.sobel (the compile tier specializes them there too);
+# the old private names stay importable.
+_sobel_row_value = sobel_row_value
+_sobel_row_value_approx = sobel_row_value_approx
 
 
 @register("servable", "sobel")
@@ -182,13 +185,13 @@ class SobelServable(ServableKernel):
         img = self._image(canon)
         rows = range(1, canon["size"] - 1)
         return TaskPlan(
-            fn=_sobel_row_value,
+            fn=sobel_row_value,
             # Three-row windows, not the whole image: views share the
             # base array in-process and pickle as O(width) payloads on
             # the process backend.
             args_list=[(img[i - 1 : i + 2], i) for i in rows],
             significance=lambda window, i: sobel_row_significance(i),
-            approxfun=_sobel_row_value_approx,
+            approxfun=sobel_row_value_approx,
             cost=sobel_row_cost(canon["size"]),
         )
 
@@ -497,6 +500,77 @@ class KmeansServable(ServableKernel):
 
     def quality(self, reference: Any, output: Any) -> float:
         return relative_error(reference.ravel(), output.ravel())
+
+
+# ----------------------------------------------------------------------
+# DCT (drop mode)
+# ----------------------------------------------------------------------
+@register("servable", "dct")
+class DctServable(ServableKernel):
+    """JPEG forward DCT in droppable zigzag-band tasks.
+
+    Args: ``size`` (image side, multiple of 8, default 64), ``seed``
+    (default 2015).  One task per zigzag diagonal band ``k`` (15 for
+    8x8 blocks), significance decreasing with frequency
+    (:func:`~repro.kernels.dct.band_significance`).  No ``approxfun``:
+    a dropped band leaves its coefficients zero — exactly a JPEG
+    encoder truncating the zigzag scan (**D** mode).  Quality is the
+    inverse PSNR of the decoded image against the accurate pipeline.
+    """
+
+    name = "dct"
+
+    def canonical_args(self, args: dict | None) -> dict:
+        args = args or {}
+        canon = {
+            "size": _int_arg(args, "size", 64, 8, 4096),
+            "seed": _int_arg(args, "seed", 2015, 0, 2**31),
+        }
+        if canon["size"] % BLOCK:
+            raise ConfigError(
+                f"servable arg 'size'={canon['size']} must be a "
+                f"multiple of {BLOCK}"
+            )
+        return canon
+
+    def _blocks(self, canon: dict) -> np.ndarray:
+        img = synthetic_image(canon["size"], canon["size"], canon["seed"])
+        return blockize(img)
+
+    def plan(self, args: dict | None) -> TaskPlan:
+        canon = self.canonical_args(args)
+        blocks = self._blocks(canon)
+        n_blocks = blocks.shape[0]
+        return TaskPlan(
+            fn=dct_band_value,
+            args_list=[(blocks, k) for k in range(N_BANDS)],
+            significance=lambda blocks, k: band_significance(k),
+            approxfun=None,
+            cost=lambda blocks, k: band_cost(n_blocks, k),
+        )
+
+    def combine(self, args: dict | None, results: list) -> np.ndarray:
+        canon = self.canonical_args(args)
+        size = canon["size"]
+        n_blocks = (size // BLOCK) ** 2
+        coeffs = np.zeros((n_blocks, BLOCK, BLOCK))
+        for k, band in enumerate(results):
+            if band is None:
+                continue
+            for j, (u, v) in enumerate(band_coefficients(k)):
+                coeffs[:, u, v] = band[:, j]
+        return reconstruct(coeffs, size, size)
+
+    def reference(self, args: dict | None) -> np.ndarray:
+        canon = self.canonical_args(args)
+        blocks = self._blocks(canon)
+        return self.combine(
+            args,
+            [dct_band_value(blocks, k) for k in range(N_BANDS)],
+        )
+
+    def quality(self, reference: Any, output: Any) -> float:
+        return inverse_psnr(reference, output)
 
 
 def get_servable(spec: Any) -> ServableKernel:

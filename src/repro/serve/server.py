@@ -186,6 +186,9 @@ class _Admitted:
     plan: Any
     label: str = ""
     tasks: list = field(default_factory=list)
+    #: Compile-tier :class:`~repro.compiler.specialize.SpecializedPlan`
+    #: when the job was specialized at spawn time (``None`` otherwise).
+    splan: Any = None
 
     @property
     def n_tasks_est(self) -> int:
@@ -284,6 +287,11 @@ class TaskService:
         )
         self._machine = self._sched.machine_model
         self._watts = self._machine.busy_extra_w() + self._machine.core_idle_w
+        #: The compile tier (``RuntimeConfig.compile``): admission
+        #: knows the per-tenant served ratio, so jobs are specialized
+        #: here — the decision folded, variants inlined, bodies cached
+        #: per ``(kernel, spec)`` across jobs and rounds.
+        self._specializer = self._sched.specializer
         self._queues: dict[str, list[_Admitted]] = {}
         self._rr: list[str] = []  # tenant scan order for round-taking
         self._rr_pos = 0  # persistent round-robin cursor into _rr
@@ -562,14 +570,32 @@ class TaskService:
             }
             plan = adm.plan
             sched.init_group(label, effective)
-            adm.tasks = sched.spawn_many(
-                plan.fn,
-                plan.args_list,
-                significance=plan.significance,
-                approxfun=plan.approxfun,
-                label=label,
-                cost=plan.cost,
-            )
+            splan = None
+            if self._specializer is not None:
+                # The served ratio is decided here, so this is where
+                # the compile tier folds the significance branch away;
+                # a None return (unspecializable body) falls back to
+                # the interpreted spawn path.
+                splan = self._specializer.specialize_plan(
+                    adm.kernel.name,
+                    plan,
+                    ratio=effective,
+                    n_chunks=self.config.n_workers,
+                )
+            if splan is not None:
+                adm.splan = splan
+                self.job_meta[label]["specialized"] = True
+                self.job_meta[label]["n_chunks"] = splan.n_chunks
+                adm.tasks = sched.spawn_specialized(splan, label=label)
+            else:
+                adm.tasks = sched.spawn_many(
+                    plan.fn,
+                    plan.args_list,
+                    significance=plan.significance,
+                    approxfun=plan.approxfun,
+                    label=label,
+                    cost=plan.cost,
+                )
             adm.label = label
             to_run.append(adm)
 
@@ -616,17 +642,41 @@ class TaskService:
             group = self._sched.groups.get(label)
             busy_acc = busy.get((label, ExecutionKind.ACCURATE), 0.0)
             busy_apx = busy.get((label, ExecutionKind.APPROXIMATE), 0.0)
+            if adm.splan is not None:
+                # Specialized chunks all execute as forced-accurate
+                # tasks; apportion the job's busy time by the plan's
+                # per-kind work shares so the tenant's e_acc/e_apx
+                # energy models stay calibrated.
+                w_acc = adm.splan.work_acc
+                w_apx = adm.splan.work_apx
+                w_tot = w_acc + w_apx
+                if w_tot > 0.0:
+                    busy_tot = busy_acc + busy_apx
+                    busy_acc = busy_tot * (w_acc / w_tot)
+                    busy_apx = busy_tot - busy_acc
             energy_j = (busy_acc + busy_apx) * self._watts
 
             report = adm.report
             report.status = "executed"
             report.code = 200
-            report.tasks_total = group.spawned
-            report.accurate = group.accurate_count
-            report.approximate = group.approx_count
-            report.dropped = group.dropped_count
+            if adm.splan is not None:
+                # Specialized jobs run as a handful of chunk tasks;
+                # report the *logical* task counts from the folded
+                # decision vector, and scatter the chunk results back
+                # to element order before combining.
+                splan = adm.splan
+                report.tasks_total = splan.n_tasks
+                report.accurate = splan.accurate
+                report.approximate = splan.approximate
+                report.dropped = splan.dropped
+                results = splan.gather([t.result for t in adm.tasks])
+            else:
+                report.tasks_total = group.spawned
+                report.accurate = group.accurate_count
+                report.approximate = group.approx_count
+                report.dropped = group.dropped_count
+                results = [t.result for t in adm.tasks]
             report.energy_j = energy_j
-            results = [t.result for t in adm.tasks]
             report.output = adm.kernel.combine(adm.request.args, results)
             if self.compute_quality:
                 report.quality = adm.kernel.quality(
@@ -662,6 +712,28 @@ class TaskService:
             state = self._tenants[name]
             for kind, (busy_s, count) in buckets.items():
                 state.observe_energy(kind, busy_s, count, self._watts)
+
+        # Shallow-profiler landing: per-callee wall timings of every
+        # profiled specialized body, windowed to this round and written
+        # into the job's group_meta so the chrome trace carries them.
+        if self._specializer is not None and getattr(
+            self._specializer, "profile", False
+        ):
+            from ..compiler.specialize import profile_snapshot
+
+            prof_by_kernel: dict[str, dict] = {}
+            for adm in ran:
+                if adm.splan is None:
+                    continue
+                name = adm.kernel.name
+                if name not in prof_by_kernel:
+                    prof_by_kernel[name] = profile_snapshot(
+                        kernel=name, clear=True
+                    )
+                if prof_by_kernel[name]:
+                    self.job_meta[adm.label]["profile"] = (
+                        prof_by_kernel[name]
+                    )
 
         # Results are harvested and reports settled: recycle the round's
         # descriptors so a long-lived service does not grow one Task per

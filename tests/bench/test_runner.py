@@ -65,6 +65,9 @@ class TestRunBench:
             "serve_throughput.jobs_per_s",
             "serve_throughput.p95_latency_ms",
             "serve_throughput.jobs_per_mop",
+            "compile_specialization.serve_speedup_min1_15x",
+            "compile_specialization.e2e_sobel_speedup_min1_2x",
+            "compile_specialization.profile_overhead_lt_5pct",
             "sweep_pool.reuse_speedup",
             "sweep_pool.reuse_speedup_min2x",
             "serve_cluster.speedup_4shard",
@@ -80,8 +83,10 @@ class TestRunBench:
         # plus the serving layer's jobs/Mop and the sweep-pool capped
         # reuse-speedup bar, plus the cluster probe's four bars (two
         # capped speedups, ledger parity, isolation), plus the data
-        # plane's bytes-not-copied fraction and capped shm speedup.
-        assert len(gated) == 17
+        # plane's bytes-not-copied fraction and capped shm speedup,
+        # plus the compile tier's two capped speedups and the shallow
+        # profiler's <5% overhead bar.
+        assert len(gated) == 20
 
     def test_baseline_comparison_attached(self, tmp_path):
         base = run_bench(

@@ -131,6 +131,19 @@ def annotated_program(sink, n):
     #pragma omp taskwait label(g) ratio(0.5)
 
 
+def _identity(fn):
+    return fn
+
+
+@_identity
+@pragma_compile
+def decorated_program(sink, n):
+    for i in range(n):
+        #pragma omp task label(g) significant(0.9)
+        _acc_row(sink, i)
+    #pragma omp taskwait label(g)
+
+
 class TestPragmaCompile:
     def test_spawns_with_ratio(self):
         sink: list = []
@@ -162,3 +175,96 @@ class TestPragmaCompile:
         exec("def g():\n    pass\n", exec_ns)
         with pytest.raises(LoweringError):
             pragma_compile(exec_ns["g"])
+
+
+class TestIndentedPragmas:
+    """Column-0 pragmas and non-module-level defs (regressions).
+
+    A ``#pragma`` is a comment, so authors can (and do) leave it at
+    column 0 inside an indented block; the inserted marker must adopt
+    the *following statement's* indentation, not the comment's.
+    Likewise ``pragma_compile`` must survive sources that
+    ``inspect.getsource`` returns indented (nested defs, methods) —
+    lowering dedents only after the pragma scan.
+    """
+
+    def test_column_zero_pragma_adopts_statement_indent(self):
+        out = ast.unparse(
+            lower_source(
+                "for i in range(3):\n"
+                "#pragma omp task significant(0.5)\n"
+                "    f(i)\n"
+            )
+        )
+        assert "__repro_spawn__(f, i, significance=0.5)" in out
+
+    def test_column_zero_taskwait_in_nested_block(self):
+        out = ast.unparse(
+            lower_source(
+                "def prog():\n"
+                "    if x:\n"
+                "#pragma omp taskwait label(g)\n"
+                "        pass\n"
+            )
+        )
+        assert "__repro_taskwait__(label='g')" in out
+
+    def test_nested_def_pragma_compile(self):
+        @pragma_compile
+        def inner(sink, n):
+            for i in range(n):
+                #pragma omp task label(g) significant(0.9)
+                _acc_row(sink, i)
+            #pragma omp taskwait label(g)
+
+        sink: list = []
+        with Runtime(n_workers=2):
+            inner(sink, 3)
+        assert sorted(sink) == [("acc", 0), ("acc", 1), ("acc", 2)]
+
+    def test_decorated_function_compiles(self):
+        assert decorated_program.__name__ == "decorated_program"
+        sink: list = []
+        with Runtime(n_workers=2):
+            decorated_program(sink, 2)
+        assert sorted(sink) == [("acc", 0), ("acc", 1)]
+
+    def test_column_zero_pragma_in_nested_def_source(self):
+        def inner2(sink, n):
+            for i in range(n):
+#pragma omp task label(g) significant(0.9)
+                _acc_row(sink, i)
+            #pragma omp taskwait label(g)
+
+        compiled = pragma_compile(inner2)
+        sink: list = []
+        with Runtime(n_workers=2):
+            compiled(sink, 2)
+        assert sorted(sink) == [("acc", 0), ("acc", 1)]
+
+
+class TestLoweringErrorPaths:
+    """Every front-end rejection names the offending source line."""
+
+    def test_taskwait_label_and_on_conflict(self):
+        with pytest.raises(LoweringError, match="at line 1") as ei:
+            lower_source("#pragma omp taskwait label(g) on(x)\n")
+        assert "label" in str(ei.value) and "on" in str(ei.value)
+
+    def test_unknown_clause_is_lowering_error_with_line(self):
+        with pytest.raises(LoweringError, match="unknown clause") as ei:
+            lower_source("a = 1\n#pragma omp task frobnicate(1)\nf()\n")
+        assert "line 2" in str(ei.value)
+
+    def test_missing_statement_reports_line(self):
+        with pytest.raises(LoweringError, match="at line 3"):
+            lower_source("a = 1\nb = 2\n#pragma omp task\n")
+
+    def test_non_call_statement_reports_line(self):
+        with pytest.raises(LoweringError, match="at line 1"):
+            lower_source("#pragma omp task\nx = 1\n")
+
+    def test_directive_syntax_error_is_lowering_error(self):
+        from repro.runtime.errors import DirectiveSyntaxError
+
+        assert issubclass(DirectiveSyntaxError, LoweringError)

@@ -10,7 +10,7 @@ from repro.serve import get_servable, servable_names
 
 class TestRegistry:
     def test_builtins_registered(self):
-        assert {"sobel", "mc-pi", "jacobi", "kmeans"} <= set(
+        assert {"sobel", "mc-pi", "jacobi", "kmeans", "dct"} <= set(
             servable_names()
         )
         assert "sobel" in available("servable")
@@ -186,3 +186,90 @@ class TestKmeansPlan:
         kernel = get_servable("kmeans")
         with pytest.raises(ConfigError, match="k"):
             kernel.canonical_args({"points": 64, "k": 65})
+
+
+class TestDctPlan:
+    def test_digest_stable(self):
+        kernel = get_servable("dct")
+        assert kernel.digest({"size": 32}) == kernel.digest(
+            {"size": 32, "seed": 2015}
+        )
+        assert kernel.digest({"size": 32}) != kernel.digest(
+            {"size": 32, "seed": 7}
+        )
+
+    def test_plan_shape(self):
+        from repro.kernels.dct import N_BANDS
+
+        kernel = get_servable("dct")
+        plan = kernel.plan({"size": 32})
+        assert plan.n_tasks == N_BANDS
+        assert plan.approxfun is None  # D mode: drop, don't approximate
+        sigs = [plan.significance(*a) for a in plan.args_list]
+        assert all(0.0 < s < 1.0 for s in sigs)
+        # Low frequencies matter more: significance strictly decreases.
+        assert sigs == sorted(sigs, reverse=True)
+        costs = [plan.cost(*a).accurate for a in plan.args_list]
+        assert all(c > 0 for c in costs)
+        # The middle diagonal (k=7) has the most coefficients.
+        assert costs[7] == max(costs)
+
+    def test_size_must_be_block_multiple(self):
+        kernel = get_servable("dct")
+        with pytest.raises(ConfigError, match="multiple"):
+            kernel.canonical_args({"size": 36})
+
+    def test_full_plan_matches_reference(self):
+        kernel = get_servable("dct")
+        args = {"size": 32, "seed": 4}
+        plan = kernel.plan(args)
+        results = [plan.fn(*a) for a in plan.args_list]
+        output = kernel.combine(args, results)
+        assert kernel.quality(kernel.reference(args), output) == 0.0
+
+    def test_dropped_high_bands_degrade_gracefully(self):
+        kernel = get_servable("dct")
+        args = {"size": 32, "seed": 4}
+        plan = kernel.plan(args)
+        results = [plan.fn(*a) for a in plan.args_list]
+        for k in range(4, len(results)):  # truncate the zigzag tail
+            results[k] = None
+        output = kernel.combine(args, results)
+        quality = kernel.quality(kernel.reference(args), output)
+        assert 0.0 < quality < 0.5
+        assert output.dtype == np.uint8
+
+    def test_dropping_low_bands_hurts_more(self):
+        kernel = get_servable("dct")
+        args = {"size": 32, "seed": 4}
+        plan = kernel.plan(args)
+        results = [plan.fn(*a) for a in plan.args_list]
+        ref = kernel.reference(args)
+        lo = list(results)
+        lo[0] = lo[1] = None
+        hi = list(results)
+        hi[-1] = hi[-2] = None
+        assert kernel.quality(ref, kernel.combine(args, lo)) > (
+            kernel.quality(ref, kernel.combine(args, hi))
+        )
+
+    def test_served_end_to_end(self):
+        from repro.config import RuntimeConfig
+        from repro.serve.server import TaskService
+
+        cfg = RuntimeConfig(policy="gtb-max", n_workers=4)
+        with TaskService(cfg) as svc:
+            report = svc.submit(
+                {
+                    "job_id": "d1",
+                    "tenant": "standard",
+                    "kernel": "dct",
+                    "args": {"size": 32},
+                    "ratio": 0.6,
+                }
+            )
+            svc.flush()
+        assert report.status == "executed"
+        assert report.tasks_total == 15
+        assert report.dropped > 0  # D mode sheds the tail bands
+        assert report.quality is not None and report.quality < 0.5
