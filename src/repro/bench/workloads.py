@@ -45,6 +45,12 @@ about (section 4.2 / Figure 4):
   the deterministic bytes-not-copied fraction (≥0.9 acceptance; pool-
   backed rows reference, never copy) and the capped ≥1.5× tasks/s
   speedup of shm over pickling the same payloads.
+* **serve_scenarios** — the serving job shapes' acceptance gates
+  (ISSUE 9): streaming frames/s through the per-stream lane (gated per
+  calibration Mop), one deterministic anytime jacobi run's quality
+  curve monotone within :data:`~repro.serve.scenarios.QUALITY_EPS`
+  (gated bool), and the two registered fault scenarios from
+  :mod:`repro.serve.scenarios` all degraded-not-wrong (gated bool).
 * **sweep_pool** — process-engine cells on the shared warm executor
   (:mod:`repro.runtime.pool`) versus a private pool per cell; the
   gated ``reuse_speedup`` ratio is what makes sweeping over
@@ -869,6 +875,124 @@ def bench_sweep_pool(
     }
 
 
+def _scenario_stream(n_frames: int) -> None:
+    """One ordered stream of distinct frames through the task service
+    — the streaming fast path (lane bookkeeping + admission + batch),
+    flushed often enough to stay inside the stream window."""
+    from ..serve import JobRequest, TaskService
+
+    with TaskService(
+        RuntimeConfig(policy="gtb-max", n_workers=N_WORKERS),
+        tenants=("standard:name='acme',max_pending=4096",),
+        compute_quality=False,
+    ) as svc:
+        for i in range(n_frames):
+            svc.submit(
+                JobRequest(
+                    tenant="acme",
+                    kernel="sobel",
+                    # Distinct seeds: throughput must measure serving,
+                    # not the result cache.
+                    args={"size": 24, "seed": i},
+                    ratio=0.9,
+                    stream="cam0",
+                )
+            )
+            if (i + 1) % 8 == 0:
+                svc.flush()
+        svc.flush()
+
+
+def bench_serve_scenarios(
+    small: bool,
+    repeats: int,
+    timer: TimerFn,
+    calib_ops_per_s: float,
+) -> dict[str, Metric]:
+    """Job-shape acceptance gates (ISSUE 9): streaming frame
+    throughput, anytime monotonic refinement, faults degraded-not-
+    wrong.
+
+    The two bools are claims, not host speed — one deterministic
+    anytime jacobi run and the two registered fault scenarios from
+    :mod:`repro.serve.scenarios` (virtual-time simulated engine, fixed
+    fault seed), so they are bit-stable across hosts.
+    """
+    from ..serve import JobRequest, TaskService
+    from ..serve.scenarios import QUALITY_EPS, run_scenarios
+
+    n_frames = SERVE_JOBS_SMALL if small else SERVE_JOBS_FULL
+    s = sample(
+        lambda: _scenario_stream(n_frames),
+        repeats=repeats,
+        timer=timer,
+    )
+    frames_per_s = n_frames / max(s.best_s, 1e-12)
+
+    qualities: list[float] = []
+
+    def record_round(rr) -> bool:
+        qualities.append(rr.quality)
+        return True
+
+    with TaskService(
+        RuntimeConfig(policy="gtb-max", n_workers=N_WORKERS),
+        tenants=("premium:name='lab'",),
+    ) as svc:
+        svc.submit_anytime(
+            JobRequest(
+                tenant="lab",
+                kernel="jacobi",
+                args={"n": 64, "chunk": 8, "seed": 3},
+                ratio=1.0,
+                rounds=6,
+            ),
+            on_round=record_round,
+        )
+    monotone = len(qualities) >= 2 and all(
+        qualities[i + 1] <= qualities[i] + QUALITY_EPS
+        for i in range(len(qualities) - 1)
+    )
+
+    fault_reports = run_scenarios(
+        ["faults-under-serve", "faults-under-cluster"],
+        small=True,
+        n_workers=8,
+    )
+    degraded_not_wrong = all(r.passed for r in fault_reports)
+
+    return {
+        "serve_scenarios.streaming_frames_per_s": Metric(
+            frames_per_s, "frames/s", higher_is_better=True
+        ),
+        # Frames served per million calibration ops: host-portable,
+        # gated (the streaming lane must not regress vs batch serving).
+        "serve_scenarios.streaming_frames_per_mop": Metric(
+            frames_per_s / max(calib_ops_per_s, 1e-12) * 1e6,
+            "frames/Mop",
+            higher_is_better=True,
+            gated=True,
+        ),
+        "serve_scenarios.anytime_monotone": Metric(
+            1.0 if monotone else 0.0,
+            "bool",
+            higher_is_better=True,
+            gated=True,
+        ),
+        "serve_scenarios.anytime_final_quality": Metric(
+            qualities[-1] if qualities else 1.0,
+            "dist",
+            higher_is_better=False,
+        ),
+        "serve_scenarios.fault_degraded_not_wrong": Metric(
+            1.0 if degraded_not_wrong else 0.0,
+            "bool",
+            higher_is_better=True,
+            gated=True,
+        ),
+    }
+
+
 #: Signature every bench workload satisfies:
 #: ``fn(small, repeats, timer, calib_ops_per_s) -> {name: Metric}``.
 WorkloadFn = Callable[[bool, int, TimerFn, float], dict[str, Metric]]
@@ -886,4 +1010,5 @@ WORKLOADS: dict[str, WorkloadFn] = {
     "serve_cluster": bench_serve_cluster,
     "payload_bandwidth": bench_payload_bandwidth,
     "sweep_pool": bench_sweep_pool,
+    "serve_scenarios": bench_serve_scenarios,
 }

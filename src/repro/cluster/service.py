@@ -289,8 +289,15 @@ class ClusterService:
         Unknown kernels and bad args still route (by tenant/kernel
         alone) so the owning shard's admission path produces the proper
         404/400 report — rejection logic lives in ONE place, the serve
-        layer.
+        layer.  Stream frames route by ``(tenant, stream)`` instead of
+        content: an ordered frame sequence pins to one shard, so frame
+        order, the stream's admission window, and the governor's
+        mid-stream degradation all live in one place.
         """
+        if request.stream is not None:
+            return self.ring.lookup(
+                job_key(request.tenant, "\x1estream", request.stream)
+            )
         digest = ""
         try:
             digest = self._kernel(request.kernel).digest(request.args)
@@ -327,6 +334,33 @@ class ClusterService:
             request = JobRequest.from_dict(request)
         worker = self.shards[self.route(request)]
         return worker.call(worker.service.submit, request)
+
+    def submit_anytime(
+        self, request: JobRequest | dict, *, on_round=None
+    ) -> JobReport:
+        """Run one anytime job on its owning shard, synchronously.
+
+        Leases are topped up on that shard first (anytime rounds bypass
+        :meth:`flush`, where replenishment normally happens) and the
+        ledger is settled after, so cluster-wide budget enforcement and
+        parity hold for the iterative shape too.
+        """
+        if self._closed:
+            raise SchedulerError("cluster service is closed")
+        if isinstance(request, dict):
+            request = JobRequest.from_dict(request)
+        worker = self.shards[self.route(request)]
+
+        def run() -> JobReport:
+            for state in worker.service.tenants.values():
+                state.replenish()
+            return worker.service.submit_anytime(
+                request, on_round=on_round
+            )
+
+        report = worker.call(run)
+        self.ledger.settle_all()
+        return report
 
     def _shard_round(self, worker: ShardWorker) -> list[JobReport]:
         """One admission round on one shard (runs on its thread)."""

@@ -294,6 +294,33 @@ def _run_serve(args) -> int:
     return 0
 
 
+def _run_scenarios(args) -> int:
+    """The ``fig-scenarios`` subcommand: render every scenario figure
+    and gate on its machine-checked assertions (the conformance
+    harness's CLI face)."""
+    from ..serve.scenarios import run_scenarios
+
+    reports = run_scenarios(
+        args.scenario, small=args.small, n_workers=args.workers
+    )
+    failed = []
+    for report in reports:
+        print(report.render())
+        print()
+        if not report.passed:
+            failed.append(report.name)
+    if failed:
+        print(
+            f"scenario conformance FAILED: {', '.join(failed)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"all {len(reports)} scenarios conform", file=sys.stderr
+    )
+    return 0
+
+
 def _run_sweep(args) -> int:
     """The ``sweep`` subcommand: an ExperimentSpec grid to a ResultSet."""
     base = ExperimentSpec(
@@ -333,7 +360,8 @@ def main(argv: list[str] | None = None) -> int:
         choices=[
             "table1", "table2", "fig1", "fig2", "fig3", "fig4",
             "fig-energy-budget", "fig-serve", "fig-cluster",
-            "fig-compile", "all", "sweep", "bench", "serve",
+            "fig-compile", "fig-scenarios", "all", "sweep", "bench",
+            "serve",
         ],
     )
     parser.add_argument(
@@ -410,7 +438,7 @@ def main(argv: list[str] | None = None) -> int:
         "scheduler_throughput/spawn_overhead/spawn_many/"
         "backend_matrix/end_to_end/governor_convergence/"
         "serve_throughput/compile_specialization/serve_cluster/"
-        "payload_bandwidth/sweep_pool)",
+        "payload_bandwidth/sweep_pool/serve_scenarios)",
     )
     parser.add_argument(
         "--baseline",
@@ -476,6 +504,13 @@ def main(argv: list[str] | None = None) -> int:
         help="serve: front a sharded ClusterService with N shards "
         "(default 1 = a single TaskService)",
     )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        help="fig-scenarios: restrict to one scenario (repeatable; "
+        "default all registered scenarios)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "sweep":
@@ -484,6 +519,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_bench(args)
     if args.experiment == "serve":
         return _run_serve(args)
+    if args.experiment == "fig-scenarios":
+        return _run_scenarios(args)
 
     out_dir = None
     if args.out:

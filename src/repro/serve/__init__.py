@@ -59,6 +59,8 @@ class ServiceProtocol(Protocol):
 from .cache import ApproxResultCache, CacheEntry, CacheStats
 from .client import AsyncServeClient, ServeClient, ServeClientError
 from .kernels import (
+    AnytimeServable,
+    FluidanimateServable,
     MonteCarloPiServable,
     ServableKernel,
     SobelServable,
@@ -68,10 +70,14 @@ from .kernels import (
 )
 from .server import (
     DEFAULT_SERVE_CONFIG,
+    STREAM_MIN_RATIO,
+    STREAM_WINDOW,
     JobReport,
     JobRequest,
     LocalGateway,
+    RoundResult,
     ServeServer,
+    StreamState,
     TaskService,
 )
 from .tenants import TenantSpec, TenantState
@@ -83,15 +89,21 @@ __all__ = [
     "ServeServer",
     "JobRequest",
     "JobReport",
+    "RoundResult",
+    "StreamState",
     "DEFAULT_SERVE_CONFIG",
+    "STREAM_WINDOW",
+    "STREAM_MIN_RATIO",
     "TenantSpec",
     "TenantState",
     "ApproxResultCache",
     "CacheEntry",
     "CacheStats",
     "ServableKernel",
+    "AnytimeServable",
     "SobelServable",
     "MonteCarloPiServable",
+    "FluidanimateServable",
     "TaskPlan",
     "get_servable",
     "servable_names",

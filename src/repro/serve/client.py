@@ -25,7 +25,14 @@ class ServeClientError(ReproError):
 
 
 def _submit_message(
-    tenant: str, kernel: str, args: dict | None, ratio: float
+    tenant: str,
+    kernel: str,
+    args: dict | None,
+    ratio: float,
+    stream: str | None = None,
+    frame: int | None = None,
+    rounds: int | None = None,
+    deadline_s: float | None = None,
 ) -> dict:
     message: dict[str, Any] = {
         "op": "submit",
@@ -35,6 +42,14 @@ def _submit_message(
     }
     if args is not None:
         message["args"] = args
+    if stream is not None:
+        message["stream"] = stream
+    if frame is not None:
+        message["frame"] = frame
+    if rounds is not None:
+        message["rounds"] = rounds
+    if deadline_s is not None:
+        message["deadline_s"] = deadline_s
     return message
 
 
@@ -91,10 +106,27 @@ class ServeClient:
         kernel: str,
         args: dict | None = None,
         ratio: float = 1.0,
+        *,
+        stream: str | None = None,
+        frame: int | None = None,
+        rounds: int | None = None,
+        deadline_s: float | None = None,
     ) -> dict:
-        """Submit one job and block until its report comes back."""
+        """Submit one job and block until its report comes back.
+
+        ``stream``/``frame`` select the streaming shape (ordered frame
+        sequences, degrade-not-drop under pressure); ``rounds`` /
+        ``deadline_s`` select the anytime shape (the report carries
+        ``rounds_run`` and the per-round ``round_quality`` curve).
+        """
         return _unwrap(
-            self._roundtrip(_submit_message(tenant, kernel, args, ratio)),
+            self._roundtrip(
+                _submit_message(
+                    tenant, kernel, args, ratio,
+                    stream=stream, frame=frame,
+                    rounds=rounds, deadline_s=deadline_s,
+                )
+            ),
             "job",
         )
 
@@ -156,10 +188,19 @@ class AsyncServeClient:
         kernel: str,
         args: dict | None = None,
         ratio: float = 1.0,
+        *,
+        stream: str | None = None,
+        frame: int | None = None,
+        rounds: int | None = None,
+        deadline_s: float | None = None,
     ) -> dict:
         return _unwrap(
             await self._roundtrip(
-                _submit_message(tenant, kernel, args, ratio)
+                _submit_message(
+                    tenant, kernel, args, ratio,
+                    stream=stream, frame=frame,
+                    rounds=rounds, deadline_s=deadline_s,
+                )
             ),
             "job",
         )

@@ -75,11 +75,13 @@ from ..runtime.task import TaskCost
 __all__ = [
     "TaskPlan",
     "ServableKernel",
+    "AnytimeServable",
     "SobelServable",
     "MonteCarloPiServable",
     "JacobiServable",
     "KmeansServable",
     "DctServable",
+    "FluidanimateServable",
     "get_servable",
     "servable_names",
 ]
@@ -138,6 +140,50 @@ class ServableKernel(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<ServableKernel {self.name}>"
+
+
+class AnytimeServable(ServableKernel):
+    """A servable kernel that can also *refine* an answer round by
+    round — the anytime/iterative job shape.
+
+    The batch surface (:meth:`~ServableKernel.plan` /
+    :meth:`~ServableKernel.combine`) stays untouched; the anytime
+    surface models one refinement round over a mutable solution state:
+
+    * :meth:`anytime_state` — the initial solution,
+    * :meth:`anytime_plan` — one round's task batch against it,
+    * :meth:`anytime_update` — fold the round's results back in
+      (dropped tasks contribute ``None`` and leave their slice stale —
+      that is what makes a degraded round *graceful*),
+    * :meth:`anytime_reference` — the **converged** answer the
+      per-round quality curve is scored against (a different artifact
+      than the one-shot batch reference).
+
+    :meth:`~repro.serve.server.TaskService.submit_anytime` drives the
+    loop and reports improving quality after every round.
+    """
+
+    @abc.abstractmethod
+    def anytime_state(self, args: dict | None) -> Any:
+        """The initial solution state of one job."""
+
+    @abc.abstractmethod
+    def anytime_plan(self, args: dict | None, state: Any) -> TaskPlan:
+        """One refinement round's task batch against ``state``."""
+
+    @abc.abstractmethod
+    def anytime_update(
+        self, args: dict | None, state: Any, results: list
+    ) -> Any:
+        """The next state after folding one round's results in."""
+
+    def anytime_output(self, args: dict | None, state: Any) -> Any:
+        """The answer a client takes from ``state`` (default: as is)."""
+        return state
+
+    @abc.abstractmethod
+    def anytime_reference(self, args: dict | None) -> Any:
+        """The converged answer (quality baseline for every round)."""
 
 
 def _int_arg(args: dict, key: str, default: int, lo: int, hi: int) -> int:
@@ -296,6 +342,25 @@ class MonteCarloPiServable(ServableKernel):
 _JACOBI_BLOCK_SWEEPS = 12.0
 
 
+def _jacobi_sweep_chunk(
+    a_rows: np.ndarray,
+    b_chunk: np.ndarray,
+    diag_chunk: np.ndarray,
+    x: np.ndarray,
+    lo: int,
+    hi: int,
+) -> np.ndarray:
+    """One Jacobi sweep for rows ``lo:hi`` against the full iterate.
+
+    The anytime round body: ``x'[i] = (b[i] - sum_{j!=i} a[i,j] x[j])
+    / a[i,i]``.  Strict diagonal dominance makes the sweep a
+    contraction, so every round provably improves the answer — the
+    property the anytime quality curve rides on.
+    """
+    sigma = a_rows @ x - diag_chunk * x[lo:hi]
+    return (b_chunk - sigma) / diag_chunk
+
+
 def _jacobi_block(a_block: np.ndarray, b_chunk: np.ndarray, idx: int):
     """Solve one diagonal block ``a_block x = b_chunk`` accurately.
 
@@ -309,7 +374,7 @@ def _jacobi_block(a_block: np.ndarray, b_chunk: np.ndarray, idx: int):
 
 
 @register("servable", "jacobi")
-class JacobiServable(ServableKernel):
+class JacobiServable(AnytimeServable):
     """Block-Jacobi solve of a diagonally dominant system, in
     droppable diagonal-block tasks.
 
@@ -318,6 +383,11 @@ class JacobiServable(ServableKernel):
     its rows of the solution at zero, and diagonal dominance bounds the
     damage (**D** mode).  Each task owns a copied ``chunk x chunk``
     block, so process backends marshal O(chunk^2), not O(n^2).
+
+    Anytime surface: the state is the solution iterate ``x`` (zeros to
+    start); one round is one full Jacobi sweep in row-chunk tasks, and
+    a dropped chunk leaves its rows at the previous iterate — stale,
+    not wrong.  The reference is the converged solve.
     """
 
     name = "jacobi"
@@ -389,6 +459,60 @@ class JacobiServable(ServableKernel):
     def quality(self, reference: Any, output: Any) -> float:
         return relative_error(reference, output)
 
+    # -- anytime surface -------------------------------------------------
+    def anytime_state(self, args: dict | None) -> np.ndarray:
+        canon = self.canonical_args(args)
+        return np.zeros(canon["n"])
+
+    def anytime_plan(
+        self, args: dict | None, state: np.ndarray
+    ) -> TaskPlan:
+        canon = self.canonical_args(args)
+        problem = JacobiProblem.generate(canon["n"], canon["seed"])
+        diag = np.diag(problem.a)
+        chunk = canon["chunk"]
+        return TaskPlan(
+            fn=_jacobi_sweep_chunk,
+            args_list=[
+                (
+                    problem.a[lo:hi, :].copy(),
+                    problem.b[lo:hi].copy(),
+                    diag[lo:hi].copy(),
+                    state,
+                    lo,
+                    hi,
+                )
+                for lo, hi in self._chunks(canon)
+            ],
+            # Listing-1-style spread in (0, 1): never forces a decision.
+            significance=lambda a_rows, b_chunk, diag_chunk, x, lo, hi: (
+                ((lo // chunk % 9) + 1) / 10.0
+            ),
+            approxfun=None,
+            cost=TaskCost(
+                accurate=chunk * canon["n"] * OPS_PER_ENTRY
+            ),
+        )
+
+    def anytime_update(
+        self, args: dict | None, state: np.ndarray, results: list
+    ) -> np.ndarray:
+        canon = self.canonical_args(args)
+        x = state.copy()
+        for (lo, hi), x_chunk in zip(self._chunks(canon), results):
+            if x_chunk is not None:
+                x[lo:hi] = x_chunk
+        return x
+
+    def anytime_reference(self, args: dict | None) -> np.ndarray:
+        # The *exact* solution, not the tolerance-truncated iterative
+        # solve: the anytime iterate runs the same sweeps as the
+        # iterative reference and would pass straight through it,
+        # breaking the monotone quality curve at the tail.
+        canon = self.canonical_args(args)
+        problem = JacobiProblem.generate(canon["n"], canon["seed"])
+        return np.linalg.solve(problem.a, problem.b)
+
 
 # ----------------------------------------------------------------------
 # K-means (drop mode)
@@ -408,8 +532,14 @@ def _kmeans_chunk(points_chunk: np.ndarray, centroids: np.ndarray, idx: int):
 
 
 @register("servable", "kmeans")
-class KmeansServable(ServableKernel):
+class KmeansServable(AnytimeServable):
     """One k-means refinement step over droppable point chunks.
+
+    Anytime surface: the state is the centroid set (maxmin seeds to
+    start); one round is one Lloyd step in point-chunk tasks, and a
+    dropped chunk simply doesn't vote that round.  The reference is
+    converged Lloyd, so the per-round quality curve tracks distance to
+    the fixed point.
 
     Args: ``points`` (default 1024), ``k`` (default 8), ``dims``
     (default 8), ``chunk`` (points per task, default 128), ``seed``.
@@ -501,6 +631,74 @@ class KmeansServable(ServableKernel):
     def quality(self, reference: Any, output: Any) -> float:
         return relative_error(reference.ravel(), output.ravel())
 
+    # -- anytime surface -------------------------------------------------
+    def anytime_state(self, args: dict | None) -> np.ndarray:
+        # The classic (poor) first-k-points seeding, NOT the batch
+        # surface's maxmin seeds: maxmin lands so close to the fixed
+        # point on this data that Lloyd converges in one round and the
+        # anytime quality curve would be flat.
+        canon = self.canonical_args(args)
+        return self._problem(canon).points[: canon["k"]].copy()
+
+    def anytime_plan(
+        self, args: dict | None, state: np.ndarray
+    ) -> TaskPlan:
+        canon = self.canonical_args(args)
+        problem = self._problem(canon)
+        return TaskPlan(
+            fn=_kmeans_chunk,
+            args_list=[
+                (problem.points[lo:hi].copy(), state, i)
+                for i, (lo, hi) in enumerate(self._chunks(canon))
+            ],
+            significance=lambda points_chunk, centroids, idx: (
+                ((idx % 9) + 1) / 10.0
+            ),
+            approxfun=None,
+            cost=TaskCost(
+                accurate=canon["chunk"] * canon["k"] * canon["dims"]
+                * OPS_PER_DIM
+            ),
+        )
+
+    def anytime_update(
+        self, args: dict | None, state: np.ndarray, results: list
+    ) -> np.ndarray:
+        canon = self.canonical_args(args)
+        sums = np.zeros_like(state)
+        counts = np.zeros(canon["k"], dtype=np.int64)
+        for part in results:
+            if part is not None:
+                s, c = part
+                sums += s
+                counts += c
+        nonzero = counts > 0
+        out = state.copy()
+        out[nonzero] = sums[nonzero] / counts[nonzero, None]
+        return out
+
+    def anytime_reference(self, args: dict | None) -> np.ndarray:
+        # Converged Lloyd from the SAME seeding as the anytime iterate
+        # (first-k-points): seeding from the batch maxmin centroids
+        # lands in a differently-ordered fixed point and the quality
+        # curve would plateau at the permutation distance.
+        canon = self.canonical_args(args)
+        problem = self._problem(canon)
+        centroids = self.anytime_state(args)
+        for _ in range(64):
+            nxt = self.anytime_update(
+                args,
+                centroids,
+                [
+                    _kmeans_chunk(problem.points[lo:hi], centroids, i)
+                    for i, (lo, hi) in enumerate(self._chunks(canon))
+                ],
+            )
+            if float(np.abs(nxt - centroids).max()) < 1e-9:
+                return nxt
+            centroids = nxt
+        return centroids
+
 
 # ----------------------------------------------------------------------
 # DCT (drop mode)
@@ -571,6 +769,124 @@ class DctServable(ServableKernel):
 
     def quality(self, reference: Any, output: Any) -> float:
         return inverse_psnr(reference, output)
+
+
+# ----------------------------------------------------------------------
+# Fluidanimate (approximate-task mode)
+# ----------------------------------------------------------------------
+def _sph_chunk_value(
+    pos: np.ndarray,
+    vel: np.ndarray,
+    rho: np.ndarray,
+    lo: int,
+    hi: int,
+) -> tuple:
+    """Accurate SPH update of particles ``lo:hi`` (value-returning
+    wrapper around the benchmark's in-place chunk body)."""
+    from ..kernels.fluidanimate import FluidState, sph_chunk_accurate
+
+    old = FluidState(pos=pos, vel=vel, rho=rho)
+    new = old.copy()
+    sph_chunk_accurate(new, old, lo, hi)
+    return new.pos[lo:hi], new.vel[lo:hi], new.rho[lo:hi]
+
+
+def _sph_chunk_value_ballistic(
+    pos: np.ndarray,
+    vel: np.ndarray,
+    rho: np.ndarray,
+    lo: int,
+    hi: int,
+) -> tuple:
+    """Approximate body: the paper's ballistic extrapolation."""
+    from ..kernels.fluidanimate import FluidState, sph_chunk_ballistic
+
+    old = FluidState(pos=pos, vel=vel, rho=rho)
+    new = old.copy()
+    sph_chunk_ballistic(new, old, lo, hi)
+    return new.pos[lo:hi], new.vel[lo:hi], new.rho[lo:hi]
+
+
+@register("servable", "fluidanimate", "fluid")
+class FluidanimateServable(ServableKernel):
+    """One SPH timestep of the dam-break scene, in particle-chunk
+    tasks — the last Table 1 kernel promoted to the servable registry.
+
+    Args: ``particles`` (default 192), ``chunk`` (particles per task,
+    default 32), ``seed``.  Approximated chunks run the paper's
+    ballistic extrapolation (``x += v * dt`` — **A** mode), exactly the
+    benchmark's approximate timestep, task-granular instead of
+    step-granular.  The job output is the new particle position array;
+    quality is its relative error against the fully accurate step.  A
+    task omitted by a fault leaves its chunk at the previous positions
+    (stale, not wrong).
+    """
+
+    name = "fluidanimate"
+
+    def canonical_args(self, args: dict | None) -> dict:
+        args = args or {}
+        canon = {
+            "particles": _int_arg(args, "particles", 192, 16, 4096),
+            "chunk": _int_arg(args, "chunk", 32, 4, 1024),
+            "seed": _int_arg(args, "seed", 2015, 0, 2**31),
+        }
+        if canon["chunk"] > canon["particles"]:
+            raise ConfigError(
+                f"servable arg 'chunk'={canon['chunk']} exceeds "
+                f"particles={canon['particles']}"
+            )
+        return canon
+
+    def _state(self, canon: dict):
+        from ..kernels.fluidanimate import FluidState
+
+        return FluidState.dam_break(canon["particles"], canon["seed"])
+
+    def _chunks(self, canon: dict) -> list[tuple[int, int]]:
+        n, chunk = canon["particles"], canon["chunk"]
+        return [(lo, min(lo + chunk, n)) for lo in range(0, n, chunk)]
+
+    def plan(self, args: dict | None) -> TaskPlan:
+        from ..kernels.fluidanimate import (
+            UNIFORM_SIGNIFICANCE,
+            sph_chunk_cost,
+        )
+
+        canon = self.canonical_args(args)
+        state = self._state(canon)
+        return TaskPlan(
+            fn=_sph_chunk_value,
+            # Tasks share the (read-only) previous-step arrays; each
+            # returns only its own chunk's slices.
+            args_list=[
+                (state.pos, state.vel, state.rho, lo, hi)
+                for lo, hi in self._chunks(canon)
+            ],
+            significance=UNIFORM_SIGNIFICANCE,
+            approxfun=_sph_chunk_value_ballistic,
+            cost=sph_chunk_cost(canon["chunk"], canon["particles"]),
+        )
+
+    def combine(self, args: dict | None, results: list) -> np.ndarray:
+        canon = self.canonical_args(args)
+        state = self._state(canon)
+        pos = state.pos.copy()
+        for (lo, hi), part in zip(self._chunks(canon), results):
+            if part is not None:
+                pos[lo:hi] = part[0]
+        return pos
+
+    def reference(self, args: dict | None) -> np.ndarray:
+        from ..kernels.fluidanimate import fluid_reference
+
+        canon = self.canonical_args(args)
+        return fluid_reference(
+            self._state(canon), steps=1, chunk=canon["chunk"]
+        ).pos
+
+    def quality(self, reference: Any, output: Any) -> float:
+        return relative_error(reference, output)
 
 
 def get_servable(spec: Any) -> ServableKernel:

@@ -54,11 +54,28 @@ from .tenants import TenantSpec, TenantState
 __all__ = [
     "JobRequest",
     "JobReport",
+    "RoundResult",
+    "StreamState",
     "TaskService",
     "LocalGateway",
     "ServeServer",
     "DEFAULT_SERVE_CONFIG",
+    "STREAM_WINDOW",
+    "STREAM_MIN_RATIO",
 ]
+
+#: Per-stream admission window: frames admitted but not yet executed.
+#: A producer that outruns the service by more than a window's worth
+#: of frames is pushed back (429) instead of ballooning the queue —
+#: backpressure preserves frame order (the frame is *not* consumed, so
+#: the producer retries the same index).
+STREAM_WINDOW = 32
+
+#: Floor of the served ratio for an over-budget stream frame.  Streams
+#: degrade instead of dropping frames, but a D-mode kernel at ratio 0
+#: would drop every task and return an empty answer — the stream
+#: contract guarantees at least this much accurate work per frame.
+STREAM_MIN_RATIO = 0.1
 
 #: Default runtime for a service: GTB Max-Buffer stamps each round's
 #: decisions at the round barrier by sorting every job group on
@@ -72,7 +89,21 @@ _job_ids = itertools.count(1)
 
 @dataclass
 class JobRequest:
-    """One job submission: a kernel, its args, and a quality request."""
+    """One job submission: a kernel, its args, and a quality request.
+
+    Three job shapes share this envelope:
+
+    * **batch** (the default) — one kernel invocation, one answer.
+    * **streaming** — ``stream`` names an ordered frame sequence; the
+      optional ``frame`` index must match the stream's next expected
+      frame (omitted = "the next one").  Frames are admitted through a
+      per-stream window and degrade in ratio under budget pressure
+      instead of being dropped.
+    * **anytime** — ``rounds > 1`` (or a ``deadline_s``) asks an
+      anytime-capable kernel to iterate, reporting improving quality
+      after every round; the client takes the current answer when its
+      deadline hits (see :meth:`TaskService.submit_anytime`).
+    """
 
     tenant: str
     kernel: str
@@ -80,6 +111,15 @@ class JobRequest:
     #: Requested accurate-task ratio (the Table 1 knob, per job).
     ratio: float = 1.0
     job_id: str = field(default_factory=lambda: f"j{next(_job_ids)}")
+    #: Streaming: the frame sequence this job belongs to.
+    stream: str | None = None
+    #: Streaming: explicit frame index (must be the stream's next).
+    frame: int | None = None
+    #: Anytime: refinement rounds to run (1 = plain batch job).
+    rounds: int = 1
+    #: Anytime: stop after this much engine time, keeping the current
+    #: answer — the "take what you have" deadline.
+    deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.ratio <= 1.0:
@@ -90,10 +130,54 @@ class JobRequest:
             raise ConfigError(
                 f"job args must be a dict or None, got {self.args!r}"
             )
+        if self.stream is not None and (
+            not isinstance(self.stream, str) or not self.stream
+        ):
+            raise ConfigError(
+                f"job stream must be a non-empty string, "
+                f"got {self.stream!r}"
+            )
+        if self.frame is not None:
+            if self.stream is None:
+                raise ConfigError("job frame requires a stream")
+            if (
+                not isinstance(self.frame, int)
+                or isinstance(self.frame, bool)
+                or self.frame < 0
+            ):
+                raise ConfigError(
+                    f"job frame must be an int >= 0, got {self.frame!r}"
+                )
+        if (
+            not isinstance(self.rounds, int)
+            or isinstance(self.rounds, bool)
+            or self.rounds < 1
+        ):
+            raise ConfigError(
+                f"job rounds must be an int >= 1, got {self.rounds!r}"
+            )
+        if self.deadline_s is not None and not self.deadline_s > 0:
+            raise ConfigError(
+                f"job deadline_s must be > 0, got {self.deadline_s!r}"
+            )
+        if self.stream is not None and self.anytime:
+            raise ConfigError(
+                "a job is streaming or anytime, not both "
+                f"(stream={self.stream!r}, rounds={self.rounds}, "
+                f"deadline_s={self.deadline_s!r})"
+            )
+
+    @property
+    def anytime(self) -> bool:
+        """Whether this request asks for the anytime/iterative shape."""
+        return self.rounds > 1 or self.deadline_s is not None
 
     @classmethod
     def from_dict(cls, data: dict) -> "JobRequest":
-        known = {"tenant", "kernel", "args", "ratio", "job_id"}
+        known = {
+            "tenant", "kernel", "args", "ratio", "job_id",
+            "stream", "frame", "rounds", "deadline_s",
+        }
         unknown = set(data) - known
         if unknown:
             raise ConfigError(
@@ -138,6 +222,12 @@ class JobReport:
     dropped: int = 0
     detail: str = ""
     output: Any = field(default=None, repr=False)
+    #: Streaming: stream name / frame index this report answers.
+    stream: str | None = None
+    frame: int | None = None
+    #: Anytime: rounds actually run and the per-round quality curve.
+    rounds_run: int = 0
+    round_quality: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -168,9 +258,66 @@ class JobReport:
             "dropped": self.dropped,
             "detail": self.detail,
         }
+        if self.stream is not None:
+            out["stream"] = self.stream
+            out["frame"] = self.frame
+        if self.rounds_run:
+            out["rounds_run"] = self.rounds_run
+            out["round_quality"] = list(self.round_quality)
         if isinstance(self.output, (int, float, str, bool)):
             out["result"] = self.output
         return out
+
+
+@dataclass
+class StreamState:
+    """Live admission state of one ``(tenant, stream)`` frame sequence.
+
+    Streams get their own admission lane: frame occupancy counts
+    against a per-stream window (:data:`STREAM_WINDOW`), not the
+    tenant's batch queue cap, and a budget-throttled tenant's frames
+    are *degraded* in served ratio — down to the tenant's floor, never
+    below :data:`STREAM_MIN_RATIO` — instead of being rejected.
+    """
+
+    tenant: str
+    stream: str
+    max_inflight: int = STREAM_WINDOW
+    #: Next expected frame index (frames must arrive in order).
+    next_frame: int = 0
+    #: Frames admitted but not yet executed (the window universe).
+    inflight: int = 0
+    #: Lifetime counters for stats and the scenario figures.
+    frames: int = 0
+    degraded: int = 0
+    rejected: int = 0
+
+    def summary(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "stream": self.stream,
+            "next_frame": self.next_frame,
+            "inflight": self.inflight,
+            "frames": self.frames,
+            "degraded": self.degraded,
+            "rejected": self.rejected,
+        }
+
+
+@dataclass
+class RoundResult:
+    """One anytime round's snapshot, handed to the round callback.
+
+    The callback may return ``False`` to take the current answer and
+    stop iterating — the "early take" that makes the job *anytime*.
+    """
+
+    round: int
+    output: Any = field(repr=False)
+    quality: float | None
+    energy_j: float
+    elapsed_s: float
+    ratio: float
 
 
 @dataclass
@@ -189,6 +336,8 @@ class _Admitted:
     #: Compile-tier :class:`~repro.compiler.specialize.SpecializedPlan`
     #: when the job was specialized at spawn time (``None`` otherwise).
     splan: Any = None
+    #: Streaming: the owning stream's admission state (else ``None``).
+    stream_state: StreamState | None = None
 
     @property
     def n_tasks_est(self) -> int:
@@ -293,6 +442,8 @@ class TaskService:
         #: per ``(kernel, spec)`` across jobs and rounds.
         self._specializer = self._sched.specializer
         self._queues: dict[str, list[_Admitted]] = {}
+        #: ``(tenant, stream)`` -> admission state of that frame lane.
+        self._streams: dict[tuple[str, str], StreamState] = {}
         self._rr: list[str] = []  # tenant scan order for round-taking
         self._rr_pos = 0  # persistent round-robin cursor into _rr
         self._kernels: dict[str, ServableKernel] = {}
@@ -339,6 +490,10 @@ class TaskService:
             "tenants": {
                 name: state.summary()
                 for name, state in self._tenants.items()
+            },
+            "streams": {
+                f"{tenant}/{stream}": ss.summary()
+                for (tenant, stream), ss in self._streams.items()
             },
             "cache": self.cache.stats.to_dict(),
             "pending_jobs": self.pending_jobs,
@@ -407,6 +562,20 @@ class TaskService:
             state.rejected += 1
             return report
 
+        if request.anytime:
+            report.status = "rejected-bad-shape"
+            report.code = 400
+            report.detail = (
+                "anytime jobs (rounds > 1 / deadline_s) go through "
+                "submit_anytime()"
+            )
+            state.rejected += 1
+            return report
+        if request.stream is not None:
+            return self._submit_stream_frame(
+                request, state, kernel, digest, report
+            )
+
         if state.over_budget or state.saturated:
             reason = "budget" if state.over_budget else "queue"
             entry = None
@@ -430,6 +599,74 @@ class TaskService:
             state.rejected += 1
             return report
 
+        return self._enqueue(request, state, kernel, digest, report)
+
+    def _submit_stream_frame(
+        self, request, state: TenantState, kernel, digest, report
+    ) -> JobReport:
+        """Admit one frame of an ordered stream.
+
+        Streams have their own admission lane (see :class:`StreamState`):
+        out-of-order frames are refused 409-style, a full window pushes
+        back 429-style *without consuming the frame index* (the producer
+        retries the same frame, preserving order), and budget pressure
+        degrades the served ratio in :meth:`flush` instead of shedding.
+        A frame with a cached answer at or below the requested ratio is
+        served from cache for free, whatever the budget state.
+        """
+        key = (request.tenant, request.stream)
+        ss = self._streams.get(key)
+        if ss is None:
+            ss = self._streams[key] = StreamState(
+                tenant=request.tenant, stream=request.stream
+            )
+        frame = request.frame if request.frame is not None else ss.next_frame
+        report.stream = request.stream
+        report.frame = frame
+        if frame != ss.next_frame:
+            report.status = "rejected-out-of-order"
+            report.code = 409
+            report.detail = (
+                f"stream {request.stream!r} expects frame "
+                f"{ss.next_frame}, got {frame}"
+            )
+            state.rejected += 1
+            ss.rejected += 1
+            return report
+        if ss.inflight >= ss.max_inflight:
+            report.status = "rejected-stream-backpressure"
+            report.code = 429
+            report.detail = (
+                f"stream {request.stream!r} window full "
+                f"({ss.max_inflight} frames in flight); retry frame "
+                f"{frame}"
+            )
+            state.rejected += 1
+            ss.rejected += 1
+            return report
+        # Identical frames replay from the cache at zero energy — the
+        # re-submission path the regression test pins down.
+        entry = self.cache.get_degraded(
+            kernel.name,
+            digest,
+            max_ratio=max(request.ratio, state.spec.ratio_floor),
+        )
+        if entry is not None:
+            ss.next_frame = frame + 1
+            ss.frames += 1
+            self._serve_cached(report, state, entry)
+            report.detail = f"stream frame {frame} replayed from cache"
+            return report
+        ss.next_frame = frame + 1
+        ss.frames += 1
+        return self._enqueue(
+            request, state, kernel, digest, report, stream_state=ss
+        )
+
+    def _enqueue(
+        self, request, state: TenantState, kernel, digest, report,
+        stream_state: StreamState | None = None,
+    ) -> JobReport:
         plan = kernel.plan(request.args)
         # Seed the tenant's energy model from the analytic plan cost so
         # the very first governor step has something to project with.
@@ -446,13 +683,19 @@ class TaskService:
             t_submit_engine=self._sched.engine.master_time,
             t_submit_wall=_time.perf_counter(),
             plan=plan,
+            stream_state=stream_state,
         )
         if request.tenant not in self._queues:
             self._queues[request.tenant] = []
             self._rr.append(request.tenant)
         self._queues[request.tenant].append(admitted)
         self._active_ids.add(request.job_id)
-        state.pending += 1
+        if stream_state is None:
+            # Stream frames count against their stream's window, not
+            # the tenant's batch queue cap.
+            state.pending += 1
+        else:
+            stream_state.inflight += 1
         return report
 
     def _serve_cached(self, report, state: TenantState, entry) -> None:
@@ -534,19 +777,37 @@ class TaskService:
         followers: list[tuple[_Admitted, _Admitted]] = []
         for adm in batch:
             state = self._tenants[adm.request.tenant]
-            state.pending -= 1
+            if adm.stream_state is None:
+                state.pending -= 1
+            else:
+                adm.stream_state.inflight -= 1
             self._active_ids.discard(adm.request.job_id)
             requested = adm.request.ratio
             effective = min(requested, state.ratio)
             effective = max(effective, state.spec.ratio_floor)
+            if adm.stream_state is not None and state.over_budget:
+                # The streaming contract: an over-budget tenant's
+                # frames degrade to the floor of their quality band,
+                # they are never dropped mid-stream.
+                effective = max(
+                    state.spec.ratio_floor, STREAM_MIN_RATIO
+                )
+                adm.report.detail = (
+                    f"over-budget: frame degraded to ratio "
+                    f"{effective:g}, not dropped"
+                )
+                adm.stream_state.degraded += 1
             adm.report.ratio_served = effective
             # The round's cache window: an entry at least as accurate
-            # as we would execute, and no more accurate than asked for,
-            # serves the job for free.
+            # as we would execute, and no more accurate than we would
+            # serve, answers the job for free.  The upper bound must
+            # cover ``effective`` too: a ratio floor above the request
+            # would otherwise make the band empty and re-execute
+            # identical re-submitted frames forever.
             entry = self.cache.get_degraded(
                 adm.kernel.name,
                 adm.digest,
-                max_ratio=requested,
+                max_ratio=max(requested, effective),
                 min_ratio=effective,
             )
             if entry is not None:
@@ -625,14 +886,20 @@ class TaskService:
             0.0, _time.perf_counter() - adm.t_submit_wall
         )
 
-    def _settle(self, ran: list[_Admitted], t_end: float) -> None:
-        """Carve the round's trace window into per-job outcomes."""
+    def _window_busy(self) -> dict[tuple[str, Any], float]:
+        """Per-(group, kind) busy seconds since the last window, and
+        advance the window cursor."""
         segments = self._sched.engine.accounting.trace.segments
         busy: dict[tuple[str, Any], float] = {}
         for seg in segments[self._seg_cursor:]:
             key = (seg.group, seg.kind)
             busy[key] = busy.get(key, 0.0) + seg.duration
         self._seg_cursor = len(segments)
+        return busy
+
+    def _settle(self, ran: list[_Admitted], t_end: float) -> None:
+        """Carve the round's trace window into per-job outcomes."""
+        busy = self._window_busy()
 
         from ..runtime.task import ExecutionKind
 
@@ -680,7 +947,9 @@ class TaskService:
             report.output = adm.kernel.combine(adm.request.args, results)
             if self.compute_quality:
                 report.quality = adm.kernel.quality(
-                    self._reference(adm.kernel, adm.digest, adm.request),
+                    self._reference(
+                        adm.kernel, adm.digest, adm.request.args
+                    ),
                     report.output,
                 )
             self._finish_latency(adm, t_end)
@@ -743,16 +1012,243 @@ class TaskService:
                 self._sched.release_tasks(adm.tasks)
                 adm.tasks = []
 
-    def _reference(self, kernel: ServableKernel, digest: str, request):
-        key = (kernel.name, digest)
+    def _reference(
+        self,
+        kernel: ServableKernel,
+        digest: str,
+        args,
+        anytime: bool = False,
+    ):
+        """LRU-cached accurate reference output for one argument set.
+
+        Anytime references (the *converged* answer, not the one-shot
+        batch reference) are cached under a distinct key — the two are
+        different artifacts with different quality baselines.
+        """
+        key = (kernel.name, digest, "anytime") if anytime else (
+            kernel.name, digest
+        )
         ref = self._references.get(key)
         if ref is None:
-            ref = self._references[key] = kernel.reference(request.args)
+            ref = self._references[key] = (
+                kernel.anytime_reference(args)
+                if anytime
+                else kernel.reference(args)
+            )
             while len(self._references) > self._references_cap:
                 self._references.popitem(last=False)
         else:
             self._references.move_to_end(key)
         return ref
+
+    # -- anytime / iterative jobs ------------------------------------------
+    def submit_anytime(
+        self,
+        request: JobRequest | dict,
+        *,
+        on_round: Any = None,
+    ) -> JobReport:
+        """Run one anytime/iterative job to its deadline, synchronously.
+
+        The kernel must expose the anytime surface
+        (:class:`~repro.serve.kernels.AnytimeServable`): a mutable
+        solution state refined by one task round at a time.  Each round
+        spawns the kernel's round plan as its own task group
+        (``tenant/job#rN``), settles energy/quality from the round's
+        trace window, appends to ``report.round_quality``, and invokes
+        ``on_round`` with a :class:`RoundResult` — returning ``False``
+        from the callback takes the current answer and stops (the
+        "early take").  Iteration also stops when ``deadline_s`` of
+        engine time elapses or the tenant's budget runs dry; the report
+        always carries the best answer so far, never an error.
+
+        Runs on the caller's thread (the gateway's service thread),
+        serialized with :meth:`flush` rounds by construction.
+        """
+        if self._closed:
+            raise SchedulerError("service is closed")
+        if isinstance(request, dict):
+            request = JobRequest.from_dict(request)
+        report = JobReport(
+            job_id=request.job_id,
+            tenant=request.tenant,
+            kernel=request.kernel,
+            ratio_requested=request.ratio,
+        )
+        state = self._tenants.get(request.tenant)
+        if state is None:
+            report.status = "rejected-unknown-tenant"
+            report.code = 404
+            report.detail = f"unknown tenant {request.tenant!r}"
+            return report
+        if request.job_id in self._active_ids:
+            report.status = "rejected-duplicate-id"
+            report.code = 409
+            report.detail = (
+                f"job id {request.job_id!r} is already queued"
+            )
+            state.rejected += 1
+            return report
+        try:
+            kernel = self._kernel(request.kernel)
+        except (RegistryError, ConfigError) as exc:
+            report.status = "rejected-unknown-kernel"
+            report.code = 404
+            report.detail = str(exc)
+            state.rejected += 1
+            return report
+        from .kernels import AnytimeServable
+
+        if not isinstance(kernel, AnytimeServable):
+            report.status = "rejected-not-anytime"
+            report.code = 400
+            report.detail = (
+                f"kernel {kernel.name!r} has no anytime surface"
+            )
+            state.rejected += 1
+            return report
+        try:
+            args = kernel.canonical_args(request.args)
+            digest = kernel.digest(args)
+        except ConfigError as exc:
+            report.status = "rejected-bad-args"
+            report.code = 400
+            report.detail = str(exc)
+            state.rejected += 1
+            return report
+        if state.over_budget or state.saturated:
+            reason = "budget" if state.over_budget else "queue"
+            report.status = f"rejected-{reason}"
+            report.code = 429
+            report.detail = (
+                f"tenant {state.spec.name!r} over energy budget"
+                if reason == "budget"
+                else f"tenant queue full ({state.spec.max_pending})"
+            )
+            state.rejected += 1
+            return report
+
+        sched = self._sched
+        from ..runtime.task import ExecutionKind
+
+        rounds = request.rounds
+        t_start_engine = sched.engine.master_time
+        t_start_wall = _time.perf_counter()
+        astate = kernel.anytime_state(args)
+        reference = (
+            self._reference(kernel, digest, args, anytime=True)
+            if self.compute_quality
+            else None
+        )
+        t_end = t_start_engine
+        for r in range(rounds):
+            if r > 0 and state.over_budget:
+                report.detail = (
+                    f"budget exhausted after {r} rounds"
+                )
+                break
+            plan = kernel.anytime_plan(args, astate)
+            now = sched.engine.master_time
+            if state.governor is not None:
+                if state.e_acc_j is None:
+                    cost = _plan_cost(plan)
+                    ops = self._machine.ops_per_second
+                    state.e_acc_j = cost.accurate / ops * self._watts
+                    state.e_apx_j = (
+                        cost.approximate / ops * self._watts
+                    )
+                state.steer(now, plan.n_tasks * (rounds - r))
+            effective = min(request.ratio, state.ratio)
+            effective = max(effective, state.spec.ratio_floor)
+            label = f"{request.tenant}/{request.job_id}#r{r}"
+            self.job_meta[label] = {
+                "tenant": request.tenant,
+                "job": request.job_id,
+                "kernel": kernel.name,
+                "round": r,
+            }
+            sched.init_group(label, effective)
+            tasks = sched.spawn_many(
+                plan.fn,
+                plan.args_list,
+                significance=plan.significance,
+                approxfun=plan.approxfun,
+                label=label,
+                cost=plan.cost,
+            )
+            t_end = sched.taskwait()
+            busy = self._window_busy()
+            busy_acc = busy.get((label, ExecutionKind.ACCURATE), 0.0)
+            busy_apx = busy.get(
+                (label, ExecutionKind.APPROXIMATE), 0.0
+            )
+            energy_j = (busy_acc + busy_apx) * self._watts
+            state.charge(energy_j)
+            group = sched.groups.get(label)
+            state.observe_energy(
+                "acc", busy_acc, group.accurate_count, self._watts
+            )
+            state.observe_energy(
+                "apx",
+                busy_apx,
+                group.approx_count + group.dropped_count,
+                self._watts,
+            )
+            results = [t.result for t in tasks]
+            if not self._sched.retains_tasks:
+                self._sched.release_tasks(tasks)
+            astate = kernel.anytime_update(args, astate, results)
+            output = kernel.anytime_output(args, astate)
+            quality = (
+                kernel.quality(reference, output)
+                if self.compute_quality
+                else None
+            )
+            report.tasks_total += group.spawned
+            report.accurate += group.accurate_count
+            report.approximate += group.approx_count
+            report.dropped += group.dropped_count
+            report.energy_j += energy_j
+            report.ratio_served = effective
+            report.output = output
+            report.quality = quality
+            report.rounds_run = r + 1
+            report.round_quality.append(quality)
+            elapsed = t_end - t_start_engine
+            if on_round is not None:
+                verdict = on_round(
+                    RoundResult(
+                        round=r,
+                        output=output,
+                        quality=quality,
+                        energy_j=energy_j,
+                        elapsed_s=elapsed,
+                        ratio=effective,
+                    )
+                )
+                if verdict is False:
+                    report.detail = (
+                        f"early take after round {r + 1}"
+                    )
+                    break
+            if (
+                request.deadline_s is not None
+                and elapsed >= request.deadline_s
+                and r + 1 < rounds
+            ):
+                report.detail = (
+                    f"deadline {request.deadline_s:g}s hit after "
+                    f"round {r + 1}"
+                )
+                break
+        report.status = "executed"
+        report.code = 200
+        report.latency_s = max(0.0, t_end - t_start_engine)
+        report.wall_latency_s = max(
+            0.0, _time.perf_counter() - t_start_wall
+        )
+        state.executed += 1
+        return report
 
     # -- trace export ------------------------------------------------------
     def write_trace(self, path: str | Path) -> Path:
@@ -835,6 +1331,13 @@ class LocalGateway:
         """Admit one job (completed immediately when cache/rejection
         answers it; otherwise finished by the next :meth:`drain`)."""
         return self.service.submit(request)
+
+    def submit_anytime(
+        self, request: JobRequest | dict, *, on_round=None
+    ) -> JobReport:
+        """Run one anytime job to completion (see
+        :meth:`TaskService.submit_anytime`)."""
+        return self.service.submit_anytime(request, on_round=on_round)
 
     def drain(self) -> int:
         """Run execution rounds until the queue is empty."""
@@ -1016,7 +1519,25 @@ class ServeServer:
         The snapshot is taken on the service thread, where it is
         serialized against flush rounds — the event loop must never
         read ``report.status`` while a round may be mutating it.
+        Anytime-shaped requests run their rounds right here on the
+        service thread and come back settled (never queued).
         """
+        if request.anytime:
+            submit_anytime = getattr(
+                self.service, "submit_anytime", None
+            )
+            if submit_anytime is None:
+                report = JobReport(
+                    job_id=request.job_id,
+                    tenant=request.tenant,
+                    kernel=request.kernel,
+                    ratio_requested=request.ratio,
+                    status="rejected-not-anytime",
+                    code=400,
+                    detail="service has no anytime path",
+                )
+                return report, False
+            return submit_anytime(request), False
         report = self.service.submit(request)
         return report, report.status == "queued"
 

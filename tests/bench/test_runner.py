@@ -74,6 +74,10 @@ class TestRunBench:
             "serve_cluster.speedup_8shard",
             "serve_cluster.parity_within_2pct",
             "serve_cluster.isolated",
+            "serve_scenarios.streaming_frames_per_s",
+            "serve_scenarios.streaming_frames_per_mop",
+            "serve_scenarios.anytime_monotone",
+            "serve_scenarios.fault_degraded_not_wrong",
         ):
             assert expected in names
         gated = [n for n, m in report.metrics.items() if m.gated]
@@ -85,8 +89,9 @@ class TestRunBench:
         # capped speedups, ledger parity, isolation), plus the data
         # plane's bytes-not-copied fraction and capped shm speedup,
         # plus the compile tier's two capped speedups and the shallow
-        # profiler's <5% overhead bar.
-        assert len(gated) == 20
+        # profiler's <5% overhead bar, plus the job-shape probe's
+        # frames/Mop and its two conformance booleans.
+        assert len(gated) == 23
 
     def test_baseline_comparison_attached(self, tmp_path):
         base = run_bench(

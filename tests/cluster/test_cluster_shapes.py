@@ -1,0 +1,152 @@
+"""Streaming and anytime job shapes on the sharded cluster: stream
+pinning, cluster-wide ordering, and ledger-settled anytime rounds."""
+
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.cluster.service import ClusterService
+from repro.serve import JobRequest
+from repro.serve.tenants import TenantSpec
+
+
+@pytest.fixture()
+def cluster():
+    svc = ClusterService(
+        RuntimeConfig(policy="gtb-max", n_workers=4),
+        tenants=[
+            TenantSpec(name="a", tier="standard"),
+            TenantSpec(name="b", tier="standard", budget_j=0.002),
+        ],
+        cluster=3,
+    )
+    yield svc
+    svc.close()
+
+
+class TestStreamPinning:
+    def test_all_frames_of_a_stream_route_to_one_shard(self, cluster):
+        shards = {
+            cluster.route(
+                JobRequest(
+                    tenant="a",
+                    kernel="sobel",
+                    args={"size": 24, "seed": i},
+                    stream="cam0",
+                    frame=i,
+                )
+            )
+            for i in range(12)
+        }
+        assert len(shards) == 1
+
+    def test_distinct_streams_can_spread(self, cluster):
+        shards = {
+            cluster.route(
+                JobRequest(
+                    tenant="a", kernel="sobel", stream=f"cam{i}"
+                )
+            )
+            for i in range(16)
+        }
+        assert len(shards) > 1
+
+    def test_same_stream_name_different_tenants_are_independent(
+        self, cluster
+    ):
+        # Routing may or may not coincide, but the frame lanes must be
+        # independent: both tenants start at frame 0.
+        for tenant in ("a", "b"):
+            r = cluster.submit(
+                JobRequest(
+                    tenant=tenant,
+                    kernel="sobel",
+                    args={"size": 24, "seed": 1},
+                    stream="cam",
+                )
+            )
+            assert r.frame == 0
+        cluster.flush()
+
+    def test_stream_order_holds_cluster_wide(self, cluster):
+        reports = []
+        for i in range(6):
+            reports.append(
+                cluster.submit(
+                    JobRequest(
+                        tenant="a",
+                        kernel="sobel",
+                        args={"size": 24, "seed": 100 + i},
+                        stream="cam0",
+                    )
+                )
+            )
+        cluster.flush()
+        assert [r.frame for r in reports] == list(range(6))
+        assert all(r.ok for r in reports)
+        bad = cluster.submit(
+            JobRequest(
+                tenant="a",
+                kernel="sobel",
+                args={"size": 24, "seed": 7},
+                stream="cam0",
+                frame=99,
+            )
+        )
+        assert bad.status == "rejected-out-of-order"
+
+
+class TestClusterAnytime:
+    ARGS = {"n": 64, "chunk": 8, "seed": 3}
+
+    def test_anytime_runs_on_owning_shard(self, cluster):
+        r = cluster.submit_anytime(
+            JobRequest(
+                tenant="a", kernel="jacobi", args=self.ARGS, rounds=4
+            )
+        )
+        assert r.status == "executed"
+        assert r.rounds_run == 4
+        q = r.round_quality
+        assert all(
+            q[i + 1] <= q[i] + 1e-6 for i in range(len(q) - 1)
+        )
+
+    def test_anytime_energy_lands_in_ledger(self, cluster):
+        r = cluster.submit_anytime(
+            JobRequest(
+                tenant="b", kernel="jacobi", args=self.ARGS, rounds=3
+            )
+        )
+        assert r.status == "executed"
+        assert r.energy_j > 0
+        account = cluster.ledger.account("b")
+        # The post-call settle folded the shard's spend into the ledger.
+        assert account.settled_j == pytest.approx(r.energy_j)
+        summary = cluster.tenant_summary("b")
+        assert summary["spent_j"] == pytest.approx(r.energy_j)
+
+    def test_anytime_budget_enforced_cluster_wide(self, cluster):
+        reports = [
+            cluster.submit_anytime(
+                JobRequest(
+                    tenant="b",
+                    kernel="jacobi",
+                    args={"n": 64, "chunk": 8, "seed": s},
+                    rounds=6,
+                    job_id=f"any-{s}",
+                )
+            )
+            for s in range(12)
+        ]
+        statuses = {r.status for r in reports}
+        assert "executed" in statuses
+        # The 0.002 J budget cannot survive 12 six-round jobs: later
+        # ones are cut short or rejected, never wrong.
+        assert any(
+            r.status == "rejected-budget"
+            or "budget exhausted" in r.detail
+            for r in reports
+        ), statuses
+        spent = cluster.tenant_summary("b")["spent_j"]
+        budget = 0.002
+        assert spent <= budget * 1.5  # bounded lease-chunk overshoot

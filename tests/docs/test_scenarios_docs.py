@@ -1,0 +1,72 @@
+"""Execute every code block of docs/scenarios.md, plus wiring checks.
+
+Same contract as the serve page: every ``python`` block runs as
+written, in order, in one shared namespace — drifting job-shape docs
+fail here before they mislead a reader.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+import yaml
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SCENARIOS_MD = REPO_ROOT / "docs" / "scenarios.md"
+
+_BLOCK = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def _blocks() -> list[str]:
+    return _BLOCK.findall(SCENARIOS_MD.read_text())
+
+
+def test_scenarios_page_exists_and_has_snippets():
+    assert SCENARIOS_MD.exists()
+    assert len(_blocks()) >= 6
+
+
+def test_scenarios_snippets_execute_in_order():
+    namespace: dict = {}
+    for index, block in enumerate(_blocks()):
+        try:
+            exec(
+                compile(block, f"scenarios.md[block {index}]", "exec"),
+                namespace,
+            )
+        except Exception as exc:  # pragma: no cover - failure path
+            pytest.fail(
+                f"scenarios.md code block {index} failed: "
+                f"{type(exc).__name__}: {exc}\n---\n{block}"
+            )
+
+
+def test_scenarios_page_is_in_nav():
+    config = yaml.load(
+        (REPO_ROOT / "mkdocs.yml").read_text(), Loader=yaml.BaseLoader
+    )
+    flat = str(config["nav"])
+    assert "scenarios.md" in flat
+
+
+def test_api_reference_covers_scenario_modules():
+    text = (REPO_ROOT / "docs" / "api" / "serve.md").read_text()
+    assert "::: repro.serve.scenarios" in text
+    assert "::: repro.harness.frames" in text
+
+
+def test_scenarios_page_lists_every_registered_scenario():
+    from repro.serve.scenarios import SCENARIOS
+
+    text = SCENARIOS_MD.read_text()
+    for name in SCENARIOS:
+        assert f"`{name}`" in text, f"scenario {name} undocumented"
+
+
+def test_readme_has_scenario_rows():
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "fig-scenarios" in readme
+    for anchor in ("streaming", "anytime", "degrade"):
+        assert anchor in readme.lower()

@@ -1,0 +1,256 @@
+"""Anytime/iterative job shape: per-round quality, early take,
+deadlines, and budget exhaustion (ISSUE 9 tentpole)."""
+
+import pytest
+
+from repro.serve import (
+    AnytimeServable,
+    JobRequest,
+    RoundResult,
+    TaskService,
+    get_servable,
+)
+from repro.serve.tenants import TenantSpec
+
+JACOBI_ARGS = {"n": 64, "chunk": 8, "seed": 3}
+KMEANS_ARGS = {"points": 256, "k": 4, "chunk": 64, "seed": 5}
+
+#: Monotonicity slack: at convergence the iterate grazes machine
+#: precision and consecutive qualities may wobble at the 1e-7 level.
+EPS = 1e-6
+
+
+@pytest.fixture()
+def svc():
+    service = TaskService(tenants=("premium:name='lab'",))
+    yield service
+    service.close()
+
+
+class TestAnytimeShapeValidation:
+    def test_rounds_must_be_positive_int(self):
+        with pytest.raises(Exception):
+            JobRequest(tenant="t", kernel="jacobi", rounds=0)
+        with pytest.raises(Exception):
+            JobRequest(tenant="t", kernel="jacobi", rounds=True)
+
+    def test_deadline_must_be_positive(self):
+        with pytest.raises(Exception):
+            JobRequest(tenant="t", kernel="jacobi", deadline_s=0.0)
+
+    def test_anytime_property(self):
+        assert JobRequest(tenant="t", kernel="jacobi", rounds=4).anytime
+        assert JobRequest(
+            tenant="t", kernel="jacobi", deadline_s=0.5
+        ).anytime
+        assert not JobRequest(tenant="t", kernel="jacobi").anytime
+
+    def test_submit_rejects_anytime_shape(self, svc):
+        r = svc.submit(
+            JobRequest(
+                tenant="lab", kernel="jacobi", args=JACOBI_ARGS, rounds=4
+            )
+        )
+        assert r.status == "rejected-bad-shape"
+        assert r.code == 400
+        assert "submit_anytime" in r.detail
+
+    def test_submit_anytime_rejects_non_anytime_kernel(self, svc):
+        r = svc.submit_anytime(
+            JobRequest(tenant="lab", kernel="sobel", rounds=4)
+        )
+        assert r.status == "rejected-not-anytime"
+        assert r.code == 400
+
+    def test_submit_anytime_rejects_unknown_tenant(self, svc):
+        r = svc.submit_anytime(
+            JobRequest(tenant="ghost", kernel="jacobi", rounds=2)
+        )
+        assert r.code == 404
+
+
+class TestAnytimeQualityCurves:
+    def test_jacobi_quality_improves_monotonically(self, svc):
+        r = svc.submit_anytime(
+            JobRequest(
+                tenant="lab",
+                kernel="jacobi",
+                args=JACOBI_ARGS,
+                ratio=1.0,
+                rounds=8,
+            )
+        )
+        assert r.status == "executed"
+        assert r.rounds_run == 8
+        q = r.round_quality
+        assert len(q) == 8
+        assert all(
+            q[i + 1] <= q[i] + EPS for i in range(len(q) - 1)
+        ), q
+        # Meaningful refinement, not a flat line.
+        assert q[0] > 1e-3
+        assert q[-1] < q[0] / 10
+        assert r.quality == q[-1]
+
+    def test_kmeans_quality_improves(self, svc):
+        r = svc.submit_anytime(
+            JobRequest(
+                tenant="lab",
+                kernel="kmeans",
+                args=KMEANS_ARGS,
+                ratio=1.0,
+                rounds=8,
+            )
+        )
+        assert r.status == "executed"
+        q = r.round_quality
+        assert q[0] > 0
+        assert q[-1] <= q[0]
+
+    def test_round_energy_is_accounted(self, svc):
+        r = svc.submit_anytime(
+            JobRequest(
+                tenant="lab", kernel="jacobi", args=JACOBI_ARGS, rounds=3
+            )
+        )
+        assert r.energy_j > 0
+        assert r.tasks_total > 0
+        state = svc.tenants["lab"]
+        assert state.spent_j == pytest.approx(r.energy_j)
+
+    def test_anytime_output_not_cached(self, svc):
+        svc.submit_anytime(
+            JobRequest(
+                tenant="lab", kernel="jacobi", args=JACOBI_ARGS, rounds=3
+            )
+        )
+        kernel = get_servable("jacobi")
+        digest = kernel.digest(JACOBI_ARGS)
+        assert (
+            svc.cache.get_degraded("jacobi", digest, max_ratio=1.0)
+            is None
+        )
+
+
+class TestAnytimeEarlyTake:
+    def test_callback_false_takes_current_answer(self, svc):
+        seen = []
+
+        def on_round(rr: RoundResult):
+            seen.append(rr)
+            return rr.round < 3  # stop after the 4th round
+
+        r = svc.submit_anytime(
+            JobRequest(
+                tenant="lab", kernel="jacobi", args=JACOBI_ARGS, rounds=10
+            ),
+            on_round=on_round,
+        )
+        assert r.status == "executed"
+        assert r.rounds_run == 4
+        assert "early take after round 4" in r.detail
+        assert len(seen) == 4
+        assert [rr.round for rr in seen] == [0, 1, 2, 3]
+        assert all(rr.energy_j > 0 for rr in seen)
+        assert r.quality == seen[-1].quality
+
+    def test_callback_none_return_continues(self, svc):
+        calls = []
+        r = svc.submit_anytime(
+            JobRequest(
+                tenant="lab", kernel="jacobi", args=JACOBI_ARGS, rounds=3
+            ),
+            on_round=lambda rr: calls.append(rr.round),
+        )
+        assert r.rounds_run == 3
+        assert calls == [0, 1, 2]
+
+
+class TestAnytimeDeadline:
+    def test_tiny_deadline_stops_after_first_round(self, svc):
+        r = svc.submit_anytime(
+            JobRequest(
+                tenant="lab",
+                kernel="jacobi",
+                args=JACOBI_ARGS,
+                rounds=10,
+                deadline_s=1e-9,
+            )
+        )
+        assert r.status == "executed"
+        assert r.rounds_run == 1
+        assert "deadline" in r.detail
+        assert r.output is not None
+
+    def test_generous_deadline_runs_all_rounds(self, svc):
+        r = svc.submit_anytime(
+            JobRequest(
+                tenant="lab",
+                kernel="jacobi",
+                args=JACOBI_ARGS,
+                rounds=3,
+                deadline_s=1e6,
+            )
+        )
+        assert r.rounds_run == 3
+        assert r.detail == ""
+
+
+class TestAnytimeBudget:
+    def test_budget_exhaustion_keeps_best_answer(self):
+        spec = TenantSpec(name="poor", budget_j=1e-6)
+        svc = TaskService(tenants=[spec])
+        r = svc.submit_anytime(
+            JobRequest(
+                tenant="poor",
+                kernel="jacobi",
+                args=JACOBI_ARGS,
+                rounds=10,
+            )
+        )
+        # Degraded, not wrong: the job completes with the rounds it
+        # could afford and the best answer so far.
+        assert r.status == "executed"
+        assert 1 <= r.rounds_run < 10
+        assert "budget exhausted" in r.detail
+        assert r.output is not None
+        svc.close()
+
+    def test_already_over_budget_is_429(self):
+        spec = TenantSpec(name="poor", budget_j=1e-6)
+        svc = TaskService(tenants=[spec])
+        svc.submit_anytime(
+            JobRequest(
+                tenant="poor", kernel="jacobi", args=JACOBI_ARGS,
+                rounds=10,
+            )
+        )
+        r = svc.submit_anytime(
+            JobRequest(
+                tenant="poor", kernel="jacobi", args=JACOBI_ARGS,
+                rounds=2, job_id="second",
+            )
+        )
+        assert r.status == "rejected-budget"
+        assert r.code == 429
+        svc.close()
+
+
+class TestAnytimeSurface:
+    def test_jacobi_and_kmeans_are_anytime(self):
+        assert isinstance(get_servable("jacobi"), AnytimeServable)
+        assert isinstance(get_servable("kmeans"), AnytimeServable)
+
+    def test_batch_kernels_are_not(self):
+        for name in ("sobel", "mc-pi", "dct", "fluidanimate"):
+            assert not isinstance(get_servable(name), AnytimeServable)
+
+    def test_report_dict_carries_round_fields(self, svc):
+        r = svc.submit_anytime(
+            JobRequest(
+                tenant="lab", kernel="jacobi", args=JACOBI_ARGS, rounds=2
+            )
+        )
+        d = r.to_dict()
+        assert d["rounds_run"] == 2
+        assert len(d["round_quality"]) == 2

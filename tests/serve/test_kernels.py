@@ -273,3 +273,104 @@ class TestDctPlan:
         assert report.tasks_total == 15
         assert report.dropped > 0  # D mode sheds the tail bands
         assert report.quality is not None and report.quality < 0.5
+
+
+class TestFluidanimatePlan:
+    def test_registered_with_alias(self):
+        kernel = get_servable("fluidanimate")
+        assert kernel.name == "fluidanimate"
+        assert get_servable("fluid").name == "fluidanimate"
+        assert "fluidanimate" in servable_names()
+
+    def test_digest_stable_and_canonical(self):
+        kernel = get_servable("fluidanimate")
+        assert kernel.digest({"particles": 192}) == kernel.digest(None)
+        assert kernel.digest({"particles": 64}) != kernel.digest(
+            {"particles": 128}
+        )
+
+    def test_plan_shape(self):
+        kernel = get_servable("fluidanimate")
+        plan = kernel.plan({"particles": 128, "chunk": 32})
+        assert plan.n_tasks == 4
+        assert plan.approxfun is not None  # A mode: ballistic body
+        assert plan.cost.accurate > plan.cost.approximate > 0
+
+    def test_chunk_larger_than_particles_rejected(self):
+        kernel = get_servable("fluidanimate")
+        with pytest.raises(ConfigError):
+            kernel.canonical_args({"particles": 16, "chunk": 64})
+
+    def test_full_plan_matches_reference(self):
+        kernel = get_servable("fluidanimate")
+        args = {"particles": 96, "chunk": 24, "seed": 3}
+        plan = kernel.plan(args)
+        results = [plan.fn(*a) for a in plan.args_list]
+        output = kernel.combine(args, results)
+        ref = kernel.reference(args)
+        np.testing.assert_allclose(output, ref)
+        assert kernel.quality(ref, output) == pytest.approx(0.0)
+
+    def test_ballistic_chunks_degrade_not_corrupt(self):
+        kernel = get_servable("fluidanimate")
+        args = {"particles": 96, "chunk": 24, "seed": 3}
+        plan = kernel.plan(args)
+        results = [
+            plan.approxfun(*a) if i % 2 else plan.fn(*a)
+            for i, a in enumerate(plan.args_list)
+        ]
+        output = kernel.combine(args, results)
+        ref = kernel.reference(args)
+        q = kernel.quality(ref, output)
+        assert 0.0 < q < 0.5
+        assert np.isfinite(output).all()
+
+    def test_dropped_chunk_keeps_previous_positions(self):
+        kernel = get_servable("fluidanimate")
+        args = {"particles": 96, "chunk": 24, "seed": 3}
+        plan = kernel.plan(args)
+        results = [plan.fn(*a) for a in plan.args_list]
+        results[1] = None  # omission fault: stale, not wrong
+        output = kernel.combine(args, results)
+        assert np.isfinite(output).all()
+        q = kernel.quality(kernel.reference(args), output)
+        assert 0.0 < q < 1.0
+
+    def test_served_end_to_end(self):
+        from repro.config import RuntimeConfig
+        from repro.serve.server import TaskService
+
+        cfg = RuntimeConfig(policy="gtb-max", n_workers=4)
+        with TaskService(cfg) as svc:
+            full = svc.submit(
+                {
+                    "job_id": "f1",
+                    "tenant": "standard",
+                    "kernel": "fluidanimate",
+                    "args": {"particles": 128, "chunk": 16},
+                    "ratio": 1.0,
+                }
+            )
+            svc.flush()
+            approx = svc.submit(
+                {
+                    "job_id": "f2",
+                    "tenant": "standard",
+                    "kernel": "fluidanimate",
+                    "args": {"particles": 128, "chunk": 16, "seed": 9},
+                    "ratio": 0.3,
+                }
+            )
+            svc.flush()
+        assert full.status == "executed"
+        assert full.quality == pytest.approx(0.0)
+        assert approx.status == "executed"
+        assert approx.approximate > 0  # A mode, not D mode
+        assert approx.dropped == 0
+        assert approx.quality is not None and approx.quality < 0.5
+
+    def test_all_six_paper_kernels_servable(self):
+        names = set(servable_names())
+        assert {
+            "sobel", "mc-pi", "jacobi", "kmeans", "dct", "fluidanimate"
+        } <= names

@@ -1,0 +1,162 @@
+"""Property-based tests (hypothesis) for the serving-layer invariants
+the streaming/anytime shapes lean on: cache band lookups, canonical
+argument identity, and cross-tenant routing keys."""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.cluster.hashring import job_key  # noqa: E402
+from repro.serve.cache import ApproxResultCache, _ratio_key  # noqa: E402
+from repro.serve.kernels import get_servable  # noqa: E402
+
+SETTINGS = settings(max_examples=60, deadline=None, derandomize=True)
+
+ratios = st.floats(
+    min_value=0.0, max_value=1.0,
+    allow_nan=False, allow_infinity=False,
+)
+
+
+class TestCacheBandLookup:
+    @SETTINGS
+    @given(
+        cached=st.lists(ratios, min_size=1, max_size=12),
+        max_ratio=ratios,
+        min_ratio=ratios,
+    )
+    def test_get_degraded_band_invariants(
+        self, cached, max_ratio, min_ratio
+    ):
+        """The band lookup returns the highest cached ratio inside
+        ``[min_ratio, max_ratio]`` (after quantization), or nothing."""
+        cache = ApproxResultCache(capacity=64)
+        for r in cached:
+            cache.put("k", "d", r, output=r)
+        entry = cache.get_degraded(
+            "k", "d", max_ratio=max_ratio, min_ratio=min_ratio
+        )
+        lo, hi = _ratio_key(min_ratio), _ratio_key(max_ratio)
+        in_band = [
+            r for r in {_ratio_key(c) for c in cached} if lo <= r <= hi
+        ]
+        if entry is None:
+            assert not in_band
+        else:
+            # Returned ratio is in the requested band...
+            assert lo <= entry.ratio <= hi
+            # ...never exceeds what was asked for...
+            assert entry.ratio <= hi
+            # ...and is the best (highest) entry available there.
+            assert entry.ratio == max(in_band)
+
+    @SETTINGS
+    @given(
+        cached=st.lists(ratios, min_size=1, max_size=8),
+        ratio=ratios,
+    )
+    def test_exact_get_only_hits_same_quantized_ratio(
+        self, cached, ratio
+    ):
+        cache = ApproxResultCache(capacity=64)
+        for r in cached:
+            cache.put("k", "d", r, output=r)
+        entry = cache.get("k", "d", ratio)
+        present = _ratio_key(ratio) in {_ratio_key(c) for c in cached}
+        assert (entry is not None) == present
+        if entry is not None:
+            assert entry.ratio == _ratio_key(ratio)
+
+    @SETTINGS
+    @given(cached=st.lists(ratios, min_size=1, max_size=8))
+    def test_wrong_work_never_answers(self, cached):
+        """Band lookups never cross kernel or digest identity."""
+        cache = ApproxResultCache(capacity=64)
+        for r in cached:
+            cache.put("k", "d", r, output=r)
+        assert cache.get_degraded("k2", "d", max_ratio=1.0) is None
+        assert cache.get_degraded("k", "d2", max_ratio=1.0) is None
+
+
+sobel_args = st.fixed_dictionaries(
+    {},
+    optional={
+        "size": st.integers(min_value=8, max_value=256),
+        "seed": st.integers(min_value=0, max_value=2**31 - 1),
+    },
+)
+
+
+class TestCanonicalArgs:
+    @SETTINGS
+    @given(args=sobel_args)
+    def test_canonical_args_round_trip(self, args):
+        """Canonicalization is idempotent and digest-stable: feeding
+        the canonical form back yields the same identity."""
+        kernel = get_servable("sobel")
+        canon = kernel.canonical_args(args)
+        assert kernel.canonical_args(canon) == canon
+        assert kernel.digest(args) == kernel.digest(canon)
+
+    @SETTINGS
+    @given(
+        a=st.integers(min_value=8, max_value=256),
+        b=st.integers(min_value=8, max_value=256),
+    )
+    def test_digest_separates_distinct_args(self, a, b):
+        kernel = get_servable("sobel")
+        same = kernel.digest({"size": a}) == kernel.digest({"size": b})
+        assert same == (a == b)
+
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_defaults_do_not_change_identity(self, seed):
+        """Omitted args and explicit defaults digest identically."""
+        kernel = get_servable("mc-pi")
+        explicit = kernel.canonical_args({"seed": seed})
+        partial = dict(explicit)
+        assert kernel.digest(partial) == kernel.digest(explicit)
+
+
+#: Realistic tenant/kernel/stream identifiers: printable, no control
+#: characters (the routing key's separators are \x1f / \x1e).
+idents = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("L", "N", "P"), max_codepoint=0x2FF
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+
+class TestRoutingKeys:
+    @SETTINGS
+    @given(
+        t1=idents, t2=idents, kernel=idents, digest=idents
+    )
+    def test_no_cross_tenant_key_collisions(
+        self, t1, t2, kernel, digest
+    ):
+        k1 = job_key(t1, kernel, digest)
+        k2 = job_key(t2, kernel, digest)
+        assert (k1 == k2) == (t1 == t2)
+
+    @SETTINGS
+    @given(tenant=idents, s1=idents, s2=idents)
+    def test_stream_keys_separate_streams(self, tenant, s1, s2):
+        k1 = job_key(tenant, "\x1estream", s1)
+        k2 = job_key(tenant, "\x1estream", s2)
+        assert (k1 == k2) == (s1 == s2)
+
+    @SETTINGS
+    @given(tenant=idents, kernel=idents, digest=idents)
+    def test_stream_lane_never_collides_with_batch_lane(
+        self, tenant, kernel, digest
+    ):
+        """The stream routing lane uses a reserved kernel token no
+        wire-supplied kernel name can contain."""
+        assert job_key(tenant, "\x1estream", digest) != job_key(
+            tenant, kernel, digest
+        )

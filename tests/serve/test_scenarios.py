@@ -1,0 +1,71 @@
+"""The scenario conformance harness: every registered scenario must
+produce a figure AND a passing machine-checked assertion set."""
+
+import pytest
+
+from repro.runtime.errors import ConfigError
+from repro.serve.scenarios import (
+    SCENARIOS,
+    Check,
+    ScenarioReport,
+    run_scenarios,
+    scenario,
+)
+
+EXPECTED = {
+    "streaming-degrade",
+    "streaming-cache-replay",
+    "anytime-jacobi",
+    "anytime-kmeans",
+    "faults-under-serve",
+    "faults-under-cluster",
+}
+
+
+class TestRegistry:
+    def test_all_issue_scenarios_registered(self):
+        assert EXPECTED <= set(SCENARIOS)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigError):
+
+            @scenario("streaming-degrade", "dup")
+            def dup(**kwargs):  # pragma: no cover - never runs
+                raise AssertionError
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigError, match="unknown scenario"):
+            run_scenarios(["no-such-scenario"])
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_conforms(name):
+    """The conformance contract: run the scenario small, demand a
+    non-empty frame, a renderable figure, and all checks green."""
+    report = run_scenarios([name], small=True, n_workers=8)[0]
+    assert isinstance(report, ScenarioReport)
+    assert report.name == name
+    assert len(report.frame) > 0, "scenario produced an empty trace"
+    assert report.checks, "scenario registered no assertions"
+    assert all(isinstance(c, Check) for c in report.checks)
+    rendered = report.render()
+    assert name in rendered
+    for check in report.checks:
+        assert check.passed, f"{name}: {check.name} — {check.detail}"
+    assert "CONFORMS" in rendered
+
+
+class TestReportRendering:
+    def test_failed_check_renders_violation(self):
+        from repro.harness.frames import TraceFrame
+
+        report = ScenarioReport(
+            name="x",
+            title="t",
+            frame=TraceFrame({"a": [1]}),
+            checks=[Check("bad", False, "boom")],
+        )
+        assert not report.passed
+        rendered = report.render()
+        assert "FAIL" in rendered
+        assert "VIOLATION" in rendered

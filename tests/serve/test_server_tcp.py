@@ -166,3 +166,76 @@ class TestWireProtocol:
             sock.sendall(b'{"op": "ping"}\n')
             line = sock.makefile("rb").readline()
         assert json.loads(line) == {"ok": True, "pong": True}
+
+
+class TestJobShapesOverWire:
+    def test_streaming_frames_over_tcp(self, gateway):
+        host, port, _, _ = gateway
+        with ServeClient(host, port) as client:
+            jobs = [
+                client.submit(
+                    "t1",
+                    "sobel",
+                    {"size": 24, "seed": 100 + i},
+                    stream="cam0",
+                )
+                for i in range(3)
+            ]
+            assert [j["frame"] for j in jobs] == [0, 1, 2]
+            assert all(j["stream"] == "cam0" for j in jobs)
+            assert all(j["code"] == 200 for j in jobs)
+            stats = client.stats()
+            assert stats["streams"]["t1/cam0"]["next_frame"] == 3
+
+    def test_out_of_order_frame_is_409_over_tcp(self, gateway):
+        host, port, _, _ = gateway
+        with ServeClient(host, port) as client:
+            client.submit(
+                "t1", "sobel", {"size": 24, "seed": 1},
+                stream="cam1", frame=0,
+            )
+            bad = client.submit(
+                "t1", "sobel", {"size": 24, "seed": 2},
+                stream="cam1", frame=5,
+            )
+            assert bad["status"] == "rejected-out-of-order"
+            assert bad["code"] == 409
+
+    def test_anytime_job_over_tcp(self, gateway):
+        host, port, _, _ = gateway
+        with ServeClient(host, port) as client:
+            job = client.submit(
+                "t1",
+                "jacobi",
+                {"n": 64, "chunk": 8, "seed": 3},
+                ratio=1.0,
+                rounds=4,
+            )
+            assert job["status"] == "executed"
+            assert job["rounds_run"] == 4
+            q = job["round_quality"]
+            assert len(q) == 4
+            assert all(
+                q[i + 1] <= q[i] + 1e-6 for i in range(len(q) - 1)
+            )
+
+    def test_anytime_deadline_over_tcp(self, gateway):
+        host, port, _, _ = gateway
+        with ServeClient(host, port) as client:
+            job = client.submit(
+                "t1",
+                "jacobi",
+                {"n": 64, "chunk": 8, "seed": 3},
+                rounds=10,
+                deadline_s=1e-9,
+            )
+            assert job["status"] == "executed"
+            assert job["rounds_run"] < 10
+            assert "deadline" in job["detail"]
+
+    def test_anytime_on_batch_kernel_is_400_over_tcp(self, gateway):
+        host, port, _, _ = gateway
+        with ServeClient(host, port) as client:
+            job = client.submit("t1", "sobel", {"size": 24}, rounds=3)
+            assert job["status"] == "rejected-not-anytime"
+            assert job["code"] == 400

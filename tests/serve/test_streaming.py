@@ -1,0 +1,327 @@
+"""Streaming job shape: ordered frames, per-stream admission, and the
+re-submission cache regression (ISSUE 9 satellite)."""
+
+import pytest
+
+from repro.serve import (
+    STREAM_MIN_RATIO,
+    STREAM_WINDOW,
+    JobRequest,
+    StreamState,
+    TaskService,
+)
+from repro.serve.tenants import TenantSpec
+
+
+def _frame_args(i: int) -> dict:
+    """Distinct per-frame work (distinct digests)."""
+    return {"size": 24, "seed": 100 + i}
+
+
+class TestStreamShapeValidation:
+    def test_stream_must_be_nonempty_string(self):
+        with pytest.raises(Exception):
+            JobRequest(tenant="t", kernel="sobel", stream="")
+        with pytest.raises(Exception):
+            JobRequest(tenant="t", kernel="sobel", stream=7)
+
+    def test_frame_requires_stream(self):
+        with pytest.raises(Exception):
+            JobRequest(tenant="t", kernel="sobel", frame=0)
+
+    def test_stream_and_anytime_are_exclusive(self):
+        with pytest.raises(Exception):
+            JobRequest(tenant="t", kernel="jacobi", stream="s", rounds=4)
+        with pytest.raises(Exception):
+            JobRequest(
+                tenant="t", kernel="jacobi", stream="s", deadline_s=1.0
+            )
+
+    def test_from_dict_round_trips_stream_fields(self):
+        req = JobRequest.from_dict(
+            {
+                "tenant": "t",
+                "kernel": "sobel",
+                "stream": "cam0",
+                "frame": 3,
+            }
+        )
+        assert req.stream == "cam0"
+        assert req.frame == 3
+        assert not req.anytime
+
+
+class TestStreamOrdering:
+    def test_frames_default_to_next_in_sequence(self):
+        svc = TaskService(tenants=("standard:name='s'",))
+        for i in range(3):
+            r = svc.submit(
+                JobRequest(
+                    tenant="s",
+                    kernel="sobel",
+                    args=_frame_args(i),
+                    stream="cam0",
+                )
+            )
+            assert r.frame == i
+        svc.flush()
+        assert svc.stats()["streams"]["s/cam0"]["next_frame"] == 3
+        svc.close()
+
+    def test_out_of_order_frame_is_409(self):
+        svc = TaskService(tenants=("standard:name='s'",))
+        svc.submit(
+            JobRequest(
+                tenant="s",
+                kernel="sobel",
+                args=_frame_args(0),
+                stream="cam0",
+                frame=0,
+            )
+        )
+        skip = svc.submit(
+            JobRequest(
+                tenant="s",
+                kernel="sobel",
+                args=_frame_args(2),
+                stream="cam0",
+                frame=2,
+            )
+        )
+        assert skip.status == "rejected-out-of-order"
+        assert skip.code == 409
+        # The lane still expects frame 1: order is preserved.
+        nxt = svc.submit(
+            JobRequest(
+                tenant="s",
+                kernel="sobel",
+                args=_frame_args(1),
+                stream="cam0",
+                frame=1,
+            )
+        )
+        assert nxt.status == "queued"
+        svc.flush()
+        svc.close()
+
+    def test_streams_are_isolated_per_tenant_and_name(self):
+        svc = TaskService(
+            tenants=("standard:name='a'", "standard:name='b'")
+        )
+        svc.submit(
+            JobRequest(
+                tenant="a", kernel="sobel", args=_frame_args(0),
+                stream="cam",
+            )
+        )
+        # Same stream name under another tenant starts at frame 0.
+        r = svc.submit(
+            JobRequest(
+                tenant="b", kernel="sobel", args=_frame_args(0),
+                stream="cam",
+            )
+        )
+        assert r.frame == 0
+        assert r.status == "queued"
+        svc.flush()
+        svc.close()
+
+
+class TestStreamBackpressure:
+    def test_window_full_is_429_without_consuming_frame_index(self):
+        svc = TaskService(tenants=("standard:name='s'",))
+        ss = svc._streams  # noqa: SLF001 - white-box window shrink
+        for i in range(2):
+            svc.submit(
+                JobRequest(
+                    tenant="s",
+                    kernel="sobel",
+                    args=_frame_args(i),
+                    stream="cam0",
+                )
+            )
+        ss[("s", "cam0")].max_inflight = 2
+        pushed = svc.submit(
+            JobRequest(
+                tenant="s",
+                kernel="sobel",
+                args=_frame_args(2),
+                stream="cam0",
+            )
+        )
+        assert pushed.status == "rejected-stream-backpressure"
+        assert pushed.code == 429
+        # The index was NOT consumed: the retry of the same frame is
+        # in-order once the window drains.
+        svc.flush()
+        retry = svc.submit(
+            JobRequest(
+                tenant="s",
+                kernel="sobel",
+                args=_frame_args(2),
+                stream="cam0",
+            )
+        )
+        assert retry.frame == 2
+        assert retry.status == "queued"
+        svc.flush()
+        summary = svc.stats()["streams"]["s/cam0"]
+        assert summary["rejected"] == 1
+        assert summary["frames"] == 3
+        svc.close()
+
+    def test_default_window_is_module_constant(self):
+        ss = StreamState(tenant="t", stream="s")
+        assert ss.max_inflight == STREAM_WINDOW
+
+    def test_stream_frames_do_not_count_against_batch_queue_cap(self):
+        spec = TenantSpec(name="s", max_pending=1)
+        svc = TaskService(tenants=[spec])
+        svc.submit(
+            JobRequest(
+                tenant="s", kernel="sobel", args=_frame_args(0),
+                stream="cam0",
+            )
+        )
+        svc.submit(
+            JobRequest(
+                tenant="s", kernel="sobel", args=_frame_args(1),
+                stream="cam0",
+            )
+        )
+        # Two frames in flight, yet a batch job still fits under the
+        # max_pending=1 queue cap: streams have their own lane.
+        batch = svc.submit(
+            JobRequest(
+                tenant="s", kernel="mc-pi",
+                args={"blocks": 4, "samples": 200},
+            )
+        )
+        assert batch.status == "queued"
+        svc.flush()
+        svc.close()
+
+
+class TestStreamDegradeNotDrop:
+    def test_over_budget_frames_degrade_instead_of_dropping(self):
+        spec = TenantSpec(name="cam", tier="free", budget_j=1e-6)
+        svc = TaskService(tenants=[spec])
+        reports = []
+        for i in range(6):
+            reports.append(
+                svc.submit(
+                    JobRequest(
+                        tenant="cam",
+                        kernel="sobel",
+                        args=_frame_args(i),
+                        stream="cam0",
+                        ratio=0.9,
+                    )
+                )
+            )
+            svc.flush()
+        # Every frame completed: none rejected, none dropped.
+        assert all(r.ok for r in reports)
+        assert [r.frame for r in reports] == list(range(6))
+        degraded = [
+            r for r in reports
+            if r.ratio_served == pytest.approx(STREAM_MIN_RATIO)
+        ]
+        assert degraded, "budget never tightened in 6 frames"
+        assert "not dropped" in degraded[-1].detail
+        summary = svc.stats()["streams"]["cam/cam0"]
+        assert summary["degraded"] == len(degraded)
+        assert summary["rejected"] == 0
+        svc.close()
+
+    def test_degraded_frames_respect_ratio_floor(self):
+        spec = TenantSpec(name="cam", budget_j=1e-6, ratio_floor=0.4)
+        svc = TaskService(tenants=[spec])
+        reports = []
+        for i in range(5):
+            reports.append(
+                svc.submit(
+                    JobRequest(
+                        tenant="cam",
+                        kernel="sobel",
+                        args=_frame_args(i),
+                        stream="cam0",
+                        ratio=0.9,
+                    )
+                )
+            )
+            svc.flush()
+        assert all(r.ok for r in reports)
+        for r in reports:
+            assert r.ratio_served >= 0.4 - 1e-9
+
+
+class TestStreamCacheReplay:
+    def test_identical_frame_replays_from_cache(self):
+        svc = TaskService(tenants=("standard:name='s'",))
+        args = {"size": 24, "seed": 1}
+        first = svc.submit(
+            JobRequest(
+                tenant="s", kernel="sobel", args=args, stream="cam0",
+            )
+        )
+        svc.flush()
+        assert first.status == "executed"
+        replay = svc.submit(
+            JobRequest(
+                tenant="s", kernel="sobel", args=args, stream="cam0",
+            )
+        )
+        assert replay.served_from_cache
+        assert replay.energy_j == 0.0
+        assert "replayed from cache" in replay.detail
+        # The replay still advanced the lane.
+        assert replay.frame == 1
+        assert svc.stats()["streams"]["s/cam0"]["next_frame"] == 2
+        svc.close()
+
+
+class TestResubmissionCacheRegression:
+    """A frame re-submitted with an identical digest must be served
+    from the cache even when the tenant's ratio floor lifts the served
+    ratio above the requested one.
+
+    Regression: the round cache window was ``[effective, requested]``,
+    which is *empty* whenever ``ratio_floor > requested`` — identical
+    re-submitted frames always missed and re-executed.
+    """
+
+    def test_resubmitted_frame_above_floor_is_cache_served(self):
+        svc = TaskService(tenants=("premium:name='p'",))  # floor 0.7
+        args = {"blocks": 6, "samples": 400, "seed": 7}
+        r1 = svc.submit(
+            JobRequest(tenant="p", kernel="mc-pi", args=args, ratio=0.5)
+        )
+        svc.flush()
+        assert r1.status == "executed"
+        # The floor lifts the served ratio above the request.
+        assert r1.ratio_served == pytest.approx(0.7)
+
+        r2 = svc.submit(
+            JobRequest(tenant="p", kernel="mc-pi", args=args, ratio=0.5)
+        )
+        svc.flush()
+        assert r2.served_from_cache, r2.status
+        assert r2.energy_j == 0.0
+        assert r2.output == r1.output
+        svc.close()
+
+    def test_resubmission_at_floor_exactly_still_hits(self):
+        svc = TaskService(tenants=("standard:name='s'",))  # floor 0.3
+        args = {"blocks": 4, "samples": 300, "seed": 1}
+        r1 = svc.submit(
+            JobRequest(tenant="s", kernel="mc-pi", args=args, ratio=0.3)
+        )
+        svc.flush()
+        assert r1.status == "executed"
+        r2 = svc.submit(
+            JobRequest(tenant="s", kernel="mc-pi", args=args, ratio=0.3)
+        )
+        svc.flush()
+        assert r2.status == "cached"
+        svc.close()
