@@ -46,14 +46,18 @@ class ShardedResultCache:
         *,
         capacity_per_shard: int = 128,
         replicas: int | None = None,
+        metrics=None,
     ) -> None:
         shard_list = list(shards)
         if not shard_list:
             raise ConfigError("sharded cache needs at least one shard")
         ring_kwargs = {} if replicas is None else {"replicas": replicas}
         self.ring = HashRing(shard_list, **ring_kwargs)
+        # One registry across partitions: the counters are per-thread
+        # sharded, so all partitions incrementing the same series from
+        # their worker threads merges cleanly on read.
         self._partitions: dict = {
-            shard: ApproxResultCache(capacity_per_shard)
+            shard: ApproxResultCache(capacity_per_shard, metrics=metrics)
             for shard in shard_list
         }
         self._locks: dict = {

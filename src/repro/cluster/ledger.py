@@ -167,6 +167,28 @@ class EnergyLedger:
         self._accounts: dict[str, LedgerAccount] = {}
         self._leases: list[LedgerLease] = []
         self._lock = threading.Lock()
+        # Telemetry handles; None until bind_metrics wires a registry.
+        self._m_grants = None
+        self._m_granted_j = None
+        self._m_settled_j = None
+
+    def bind_metrics(self, registry) -> None:
+        """Wire grant/settle telemetry into a metrics registry."""
+        self._m_grants = registry.counter(
+            "repro_ledger_grants_total",
+            "Lease refills that granted any quota.",
+            labels=("tenant",),
+        )
+        self._m_granted_j = registry.counter(
+            "repro_ledger_granted_joules_total",
+            "Joules granted to shard leases.",
+            labels=("tenant",),
+        )
+        self._m_settled_j = registry.counter(
+            "repro_ledger_settled_joules_total",
+            "Joules settled back into tenant accounts.",
+            labels=("tenant",),
+        )
 
     # -- accounts --------------------------------------------------------
     def open_account(
@@ -238,6 +260,9 @@ class EnergyLedger:
             if grant > 0.0:
                 lease.granted_j += grant
                 account.granted_j += grant
+                if self._m_grants is not None:
+                    self._m_grants.labels(lease.tenant).inc()
+                    self._m_granted_j.labels(lease.tenant).inc(grant)
             return grant
 
     def settle(self, lease: LedgerLease) -> float:
@@ -253,6 +278,8 @@ class EnergyLedger:
         if delta:
             lease.settled_j = used
             self.account(lease.tenant).settled_j += delta
+            if self._m_settled_j is not None and delta > 0:
+                self._m_settled_j.labels(lease.tenant).inc(delta)
         return delta
 
     def settle_all(self) -> None:

@@ -47,6 +47,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, fields
 
 from ..config import RuntimeConfig
+from ..obs import MetricsRegistry, SpanRecorder, obs_enabled, start_span
 from ..registry import format_spec, parse_spec, register, resolve
 from ..runtime.errors import ConfigError, RegistryError, SchedulerError
 from ..serve.kernels import ServableKernel, get_servable
@@ -236,13 +237,26 @@ class ClusterService:
             raise ConfigError(f"duplicate tenant names in {names}")
         self.tenant_specs: tuple[TenantSpec, ...] = tuple(specs)
 
+        # One registry + recorder for the WHOLE cluster: per-thread
+        # counter cells make shard threads write-concurrent, per-shard
+        # gauges carry a ``shard`` label, so one scrape reconciles the
+        # cluster-wide run.
+        self._metrics: MetricsRegistry | None = None
+        self._spans: SpanRecorder | None = None
+        if obs_enabled():
+            self._metrics = MetricsRegistry()
+            self._spans = SpanRecorder()
+
         self.ring = HashRing(range(n), replicas=self.spec.replicas)
         self.cache = ShardedResultCache(
             range(n),
             capacity_per_shard=self.spec.cache_capacity,
             replicas=self.spec.replicas,
+            metrics=self._metrics,
         )
         self.ledger = EnergyLedger()
+        if self._metrics is not None:
+            self.ledger.bind_metrics(self._metrics)
         for spec in specs:
             if spec.budget_j is not None:
                 self.ledger.open_account(spec.name, spec.budget_j)
@@ -259,6 +273,9 @@ class ClusterService:
                 cache=self.cache.view(i),
                 max_batch=max_batch,
                 compute_quality=compute_quality,
+                metrics=self._metrics,
+                spans=self._spans,
+                shard=str(i),
             )
             for spec in specs:
                 if spec.budget_j is None:
@@ -326,14 +343,39 @@ class ClusterService:
             for spec in self.tenant_specs
         }
 
+    def _route_span(self, request: JobRequest):
+        """Open the routing span and thread it onto the request.
+
+        The shard's ``serve.job`` span parents under it, so one job
+        submitted through the cluster yields a single tree:
+        ``cluster.route`` → ``serve.job`` → ``runtime.group``.
+        """
+        if self._spans is None:
+            return None
+        span = start_span(
+            "cluster.route",
+            trace_id=request.trace_id,
+            parent_id=request.parent_span,
+            tenant=request.tenant,
+            job=request.job_id,
+        )
+        request.trace_id = span.trace_id
+        request.parent_span = span.span_id
+        return span
+
     def submit(self, request: JobRequest | dict) -> JobReport:
         """Admit one job on its owning shard (consistent-hash routed)."""
         if self._closed:
             raise SchedulerError("cluster service is closed")
         if isinstance(request, dict):
             request = JobRequest.from_dict(request)
-        worker = self.shards[self.route(request)]
-        return worker.call(worker.service.submit, request)
+        span = self._route_span(request)
+        shard = self.route(request)
+        worker = self.shards[shard]
+        report = worker.call(worker.service.submit, request)
+        if span is not None:
+            span.end(self._spans, shard=shard, status=report.status)
+        return report
 
     def submit_anytime(
         self, request: JobRequest | dict, *, on_round=None
@@ -349,7 +391,9 @@ class ClusterService:
             raise SchedulerError("cluster service is closed")
         if isinstance(request, dict):
             request = JobRequest.from_dict(request)
-        worker = self.shards[self.route(request)]
+        span = self._route_span(request)
+        shard = self.route(request)
+        worker = self.shards[shard]
 
         def run() -> JobReport:
             for state in worker.service.tenants.values():
@@ -360,6 +404,8 @@ class ClusterService:
 
         report = worker.call(run)
         self.ledger.settle_all()
+        if span is not None:
+            span.end(self._spans, shard=shard, status=report.status)
         return report
 
     def _shard_round(self, worker: ShardWorker) -> list[JobReport]:
@@ -451,10 +497,57 @@ class ClusterService:
                     "engine_time_s": (
                         w.service.scheduler.engine.master_time
                     ),
+                    "data_plane": w.service.data_plane_stats,
                 }
                 for w in self.shards
             ],
         }
+
+    # -- telemetry --------------------------------------------------------
+    @property
+    def metrics(self) -> MetricsRegistry | None:
+        """The cluster-wide registry (None when telemetry is off)."""
+        return self._metrics
+
+    @property
+    def span_recorder(self) -> SpanRecorder | None:
+        """The cluster-wide span sink (None when telemetry is off)."""
+        return self._spans
+
+    def collect(self) -> None:
+        """Refresh every sampled gauge: each shard's serve gauges plus
+        the ledger's per-lease occupancy."""
+        if self._metrics is None:
+            return
+        for w in self.shards:
+            w.service.collect()
+        lease_gauge = self._metrics.gauge(
+            "repro_ledger_lease_remaining_joules",
+            "Unspent Joules held on each shard's energy lease.",
+            labels=("tenant", "shard"),
+        )
+        for lease in self.ledger.to_dict()["leases"]:
+            lease_gauge.labels(
+                lease["tenant"], str(lease["shard"])
+            ).set(lease["remaining_j"])
+
+    def metrics_snapshot(self) -> dict:
+        """Stable-JSON snapshot of the cluster-wide registry."""
+        if self._metrics is None:
+            raise SchedulerError(
+                "telemetry is disabled on this cluster (REPRO_OBS=0)"
+            )
+        self.collect()
+        return self._metrics.to_dict()
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the cluster-wide registry."""
+        if self._metrics is None:
+            raise SchedulerError(
+                "telemetry is disabled on this cluster (REPRO_OBS=0)"
+            )
+        self.collect()
+        return self._metrics.to_prometheus()
 
     @property
     def makespan_s(self) -> float:

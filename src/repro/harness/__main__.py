@@ -24,6 +24,12 @@ service::
     python -m repro.harness serve --port 7915 \\
         --tenant "premium:name='alice'" --tenant "free:name='bob'"
     python -m repro.harness serve --smoke 200 --shards 4
+
+``top`` renders a refreshing live view of a running gateway (tenant
+Joules vs budget, governor actuation, cache bands, ledger leases,
+stream lanes, data-plane bytes) over its ``stats``/``metrics`` verbs::
+
+    python -m repro.harness top --port 7915 --interval 2
 """
 
 from __future__ import annotations
@@ -233,9 +239,16 @@ def _serve_smoke(n_jobs: int, workers: int, shards: int = 1) -> int:
                     if job["code"] not in (200, 429):
                         failures += 1
                 stats = client.stats()
+                try:
+                    metrics = client.metrics()
+                    prom = client.metrics(format="prometheus")
+                except Exception:
+                    metrics, prom = None, ""  # REPRO_OBS=0
         finally:
             shutdown()
             service.close()
+        if metrics is not None:
+            failures += _check_scrape(engine, stats, metrics, prom, shards)
         served = sum(
             n for s, n in outcomes.items() if not s.startswith("rejected")
         )
@@ -252,6 +265,55 @@ def _serve_smoke(n_jobs: int, workers: int, shards: int = 1) -> int:
         return 1
     print("serve smoke OK", file=sys.stderr)
     return 0
+
+
+def _check_scrape(
+    engine: str, stats: dict, metrics: dict, prom: str, shards: int
+) -> int:
+    """Reconcile one live ``metrics`` scrape against the ``stats``
+    digest: per-tenant energy parity within 2%, cache series present,
+    ledger lease occupancy visible on sharded clusters."""
+    bad = 0
+    energy = {
+        s["labels"]["tenant"]: s["value"]
+        for s in metrics.get(
+            "repro_tenant_energy_joules_total", {"series": []}
+        )["series"]
+    }
+    for name, tenant in stats["tenants"].items():
+        spent = tenant["spent_j"]
+        scraped = energy.get(name, 0.0)
+        if spent > 0 and abs(scraped - spent) > 0.02 * spent:
+            print(
+                f"[serve-smoke] {engine}: tenant {name!r} energy "
+                f"scrape {scraped} J vs stats {spent} J (>2% apart)",
+                file=sys.stderr,
+            )
+            bad += 1
+    if "repro_cache_lookups_total" not in metrics:
+        print(
+            f"[serve-smoke] {engine}: no cache series in scrape",
+            file=sys.stderr,
+        )
+        bad += 1
+    if shards > 1 and "repro_ledger_lease_remaining_joules" not in metrics:
+        print(
+            f"[serve-smoke] {engine}: no ledger lease series in scrape",
+            file=sys.stderr,
+        )
+        bad += 1
+    if "# TYPE repro_jobs_total counter" not in prom:
+        print(
+            f"[serve-smoke] {engine}: malformed prometheus exposition",
+            file=sys.stderr,
+        )
+        bad += 1
+    if not bad:
+        print(
+            f"[serve-smoke] {engine}: metrics scrape reconciles "
+            f"({len(energy)} tenant energy series)"
+        )
+    return bad
 
 
 def _run_serve(args) -> int:
@@ -350,6 +412,23 @@ def _run_sweep(args) -> int:
     return 0
 
 
+def _run_top(args) -> int:
+    """The ``top`` subcommand: live telemetry view of a gateway."""
+    from ..obs import run_top
+
+    if args.port == 0:
+        print(
+            "top needs the gateway's port (--port N)", file=sys.stderr
+        )
+        return 2
+    return run_top(
+        args.host,
+        args.port,
+        interval_s=args.interval,
+        iterations=args.iterations,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
@@ -361,7 +440,7 @@ def main(argv: list[str] | None = None) -> int:
             "table1", "table2", "fig1", "fig2", "fig3", "fig4",
             "fig-energy-budget", "fig-serve", "fig-cluster",
             "fig-compile", "fig-scenarios", "all", "sweep", "bench",
-            "serve",
+            "serve", "top",
         ],
     )
     parser.add_argument(
@@ -437,8 +516,8 @@ def main(argv: list[str] | None = None) -> int:
         help="bench: restrict to one probe (repeatable; "
         "scheduler_throughput/spawn_overhead/spawn_many/"
         "backend_matrix/end_to_end/governor_convergence/"
-        "serve_throughput/compile_specialization/serve_cluster/"
-        "payload_bandwidth/sweep_pool/serve_scenarios)",
+        "serve_throughput/obs_overhead/compile_specialization/"
+        "serve_cluster/payload_bandwidth/sweep_pool/serve_scenarios)",
     )
     parser.add_argument(
         "--baseline",
@@ -505,6 +584,19 @@ def main(argv: list[str] | None = None) -> int:
         "(default 1 = a single TaskService)",
     )
     parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="top: seconds between scrapes (default 2)",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="top: render N frames and exit (default: loop forever)",
+    )
+    parser.add_argument(
         "--scenario",
         action="append",
         default=None,
@@ -519,6 +611,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_bench(args)
     if args.experiment == "serve":
         return _run_serve(args)
+    if args.experiment == "top":
+        return _run_top(args)
     if args.experiment == "fig-scenarios":
         return _run_scenarios(args)
 

@@ -1,0 +1,186 @@
+"""Request-scoped spans: one cross-layer tree per served job.
+
+A job entering the system (over TCP, through :class:`~repro.serve
+.server.LocalGateway`, or straight into a service) is assigned a
+``trace_id``; every layer it crosses opens a child span under the
+parent recorded on the request.  The resulting tree for one job looks
+like::
+
+    gateway.request            (ServeServer, wall-clock of the op)
+    └── cluster.route          (ClusterService: ring lookup + shard hop)
+        └── serve.job          (TaskService: admission → settle)
+            └── runtime.group  (Scheduler task group, one per round)
+
+Span identifiers come from a process-wide monotonic counter (GIL-atomic
+``itertools.count``) prefixed with the PID, so they are unique within a
+run and stable enough to diff across runs.  Finished spans land in a
+:class:`SpanRecorder` whose per-thread buffers mirror the
+``AccountingShard`` single-writer pattern: recording is an ``append``
+on the calling thread's own list; readers merge on demand.
+
+Export targets:
+
+* :meth:`SpanRecorder.write_jsonl` — one JSON object per line, the
+  span log proper.
+* chrome-trace — ``TaskService.write_trace`` merges each group's
+  ``trace_id``/``span_id`` into the existing ``group_meta`` so the
+  usual chrome trace can be joined against the span log.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "SpanRecorder", "new_trace_id", "new_span_id"]
+
+_ids = itertools.count(1)
+
+
+def _next_id(prefix: str) -> str:
+    # itertools.count.__next__ is atomic under the GIL — no lock needed
+    # even when shard worker threads mint ids concurrently.
+    return f"{prefix}{os.getpid():x}-{next(_ids):06x}"
+
+
+def new_trace_id() -> str:
+    """Fresh trace identifier (``t<pid>-<seq>``)."""
+    return _next_id("t")
+
+
+def new_span_id() -> str:
+    """Fresh span identifier (``s<pid>-<seq>``)."""
+    return _next_id("s")
+
+
+@dataclass
+class Span:
+    """One timed operation inside a trace."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    name: str
+    t_start: float
+    t_end: float = 0.0
+    attrs: dict = field(default_factory=dict)
+
+    def end(self, recorder: "SpanRecorder | None" = None, **attrs) -> "Span":
+        """Stamp the end time (idempotent) and optionally record."""
+        if self.t_end == 0.0:
+            self.t_end = time.perf_counter()
+        if attrs:
+            self.attrs.update(attrs)
+        if recorder is not None:
+            recorder.record(self)
+        return self
+
+    @property
+    def duration_s(self) -> float:
+        return max(0.0, self.t_end - self.t_start)
+
+    def child(self, name: str, **attrs) -> "Span":
+        """Open a child span under this one, started now."""
+        return Span(
+            trace_id=self.trace_id,
+            span_id=new_span_id(),
+            parent_id=self.span_id,
+            name=name,
+            t_start=time.perf_counter(),
+            attrs=dict(attrs),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "duration_s": self.duration_s,
+            "attrs": self.attrs,
+        }
+
+
+def start_span(
+    name: str,
+    trace_id: str | None = None,
+    parent_id: str | None = None,
+    **attrs,
+) -> Span:
+    """Open a span; mints a fresh trace when ``trace_id`` is ``None``
+    (such a span is a trace *root*)."""
+    return Span(
+        trace_id=trace_id or new_trace_id(),
+        span_id=new_span_id(),
+        parent_id=parent_id,
+        name=name,
+        t_start=time.perf_counter(),
+        attrs=dict(attrs),
+    )
+
+
+class SpanRecorder:
+    """Bounded sink for finished spans, per-thread buffers merged on read.
+
+    Each writer thread appends to its own list (``list.append`` is
+    atomic under the GIL and each list has exactly one writer — the
+    ``AccountingShard`` discipline), so recording never takes a lock.
+    The total is bounded: once ``capacity`` spans are held, further
+    records are counted in :attr:`dropped` and discarded — telemetry
+    must not grow without bound under sustained load.
+    """
+
+    def __init__(self, capacity: int = 20_000) -> None:
+        self.capacity = capacity
+        self.dropped = 0
+        self._buffers: dict[int, list[Span]] = {}
+        self._approx_len = 0
+
+    def record(self, span: Span) -> None:
+        if self._approx_len >= self.capacity:
+            self.dropped += 1
+            return
+        tid = threading.get_ident()
+        buf = self._buffers.get(tid)
+        if buf is None:
+            buf = self._buffers.setdefault(tid, [])
+        buf.append(span)
+        # Racy increment is fine: it only steers the soft cap, and the
+        # merge path counts exactly.
+        self._approx_len += 1
+
+    def spans(self) -> list[Span]:
+        """Merged snapshot, ordered by start time."""
+        merged: list[Span] = []
+        for buf in list(self._buffers.values()):
+            merged.extend(list(buf))
+        merged.sort(key=lambda s: (s.t_start, s.span_id))
+        return merged
+
+    def __len__(self) -> int:
+        return sum(len(buf) for buf in list(self._buffers.values()))
+
+    def clear(self) -> None:
+        self._buffers = {}
+        self._approx_len = 0
+        self.dropped = 0
+
+    def by_trace(self) -> dict[str, list[Span]]:
+        out: dict[str, list[Span]] = {}
+        for span in self.spans():
+            out.setdefault(span.trace_id, []).append(span)
+        return out
+
+    def write_jsonl(self, path) -> int:
+        """Write one JSON object per span; returns the span count."""
+        spans = self.spans()
+        with open(path, "w") as fh:
+            for span in spans:
+                fh.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+        return len(spans)

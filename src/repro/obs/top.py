@@ -1,0 +1,248 @@
+"""``python -m repro.harness top``: a refreshing live cluster view.
+
+The renderer is a pure function from one ``stats`` digest plus one
+metrics snapshot (both as returned by the TCP gateway's ``stats`` and
+``metrics`` verbs) to a text frame — testable without a socket.  The
+harness wraps it in a scrape → render → sleep loop against a live
+gateway.
+
+One frame shows the state the paper's runtime is steering on: per-tenant
+Joules against budget, governor ratio/DVFS actuation, cache hit bands,
+ledger lease occupancy, stream lane depth, and the shared-memory data
+plane's byte accounting.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_top", "run_top"]
+
+
+def _series(metrics: dict | None, name: str) -> list[tuple[dict, float]]:
+    """``(labels, value)`` pairs of one family in a JSON snapshot."""
+    if not metrics or name not in metrics:
+        return []
+    return [
+        (s.get("labels", {}), s.get("value", s.get("count", 0.0)))
+        for s in metrics[name].get("series", [])
+    ]
+
+
+def _fmt_j(v: float | None) -> str:
+    if v is None:
+        return "-"
+    if v == 0:
+        return "0 J"
+    if abs(v) < 1e-3:
+        return f"{v * 1e6:.1f} uJ"
+    if abs(v) < 1.0:
+        return f"{v * 1e3:.2f} mJ"
+    return f"{v:.2f} J"
+
+
+def _bar(frac: float, width: int = 16) -> str:
+    frac = min(1.0, max(0.0, frac))
+    filled = int(round(frac * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def _tenant_rows(stats: dict) -> list[str]:
+    rows = [
+        f"  {'TENANT':<10} {'TIER':<9} {'SPENT':>10} {'BUDGET':>10} "
+        f"{'USE':<18} {'RATIO':>5}  {'EXEC':>5} {'CACHE':>5} "
+        f"{'COAL':>5} {'REJ':>5}"
+    ]
+    for name, t in sorted(stats.get("tenants", {}).items()):
+        budget = t.get("budget_j")
+        spent = t.get("spent_j", 0.0)
+        if budget:
+            use = f"[{_bar(spent / budget)}]"
+        else:
+            use = "[   unmetered    ]"
+        cached = t.get("cached", 0) + t.get("cached_degraded", 0)
+        flag = " OVER" if t.get("over_budget") else ""
+        rows.append(
+            f"  {name:<10} {t.get('tier', '-'):<9} "
+            f"{_fmt_j(spent):>10} {_fmt_j(budget):>10} "
+            f"{use:<18} {t.get('ratio', 1.0):>5.2f}  "
+            f"{t.get('executed', 0):>5} {cached:>5} "
+            f"{t.get('coalesced', 0):>5} {t.get('rejected', 0):>5}"
+            f"{flag}"
+        )
+    return rows
+
+
+def _governor_rows(metrics: dict | None) -> list[str]:
+    ratios = dict(
+        (tuple(sorted(lbl.items())), v)
+        for lbl, v in _series(metrics, "repro_governor_ratio")
+    )
+    factors = dict(
+        (tuple(sorted(lbl.items())), v)
+        for lbl, v in _series(metrics, "repro_governor_dvfs_factor")
+    )
+    ticks = dict(
+        (tuple(sorted(lbl.items())), v)
+        for lbl, v in _series(metrics, "repro_governor_ticks_total")
+    )
+    if not ratios:
+        return []
+    rows = ["governors:"]
+    for key in sorted(ratios):
+        scope = dict(key).get("scope", "?")
+        rows.append(
+            f"  {scope:<10} ratio={ratios[key]:.2f} "
+            f"dvfs={factors.get(key, 1.0):.2f} "
+            f"ticks={int(ticks.get(key, 0))}"
+        )
+    return rows
+
+
+def _cache_row(stats: dict) -> str:
+    c = stats.get("cache", {})
+    return (
+        f"cache: {int(c.get('hits', 0))} hits + "
+        f"{int(c.get('degraded_hits', 0))} degraded / "
+        f"{int(c.get('misses', 0))} misses "
+        f"(rate {c.get('hit_rate', 0.0):.0%}), "
+        f"{int(c.get('puts', 0))} puts, "
+        f"{int(c.get('evictions', 0))} evictions"
+    )
+
+
+def _ledger_rows(metrics: dict | None) -> list[str]:
+    leases = _series(metrics, "repro_ledger_lease_remaining_joules")
+    if not leases:
+        return []
+    rows = ["ledger leases (unspent):"]
+    by_tenant: dict[str, list[str]] = {}
+    for lbl, v in leases:
+        by_tenant.setdefault(lbl.get("tenant", "?"), []).append(
+            f"s{lbl.get('shard', '?')}={_fmt_j(v)}"
+        )
+    for tenant in sorted(by_tenant):
+        rows.append(f"  {tenant:<10} " + "  ".join(by_tenant[tenant]))
+    return rows
+
+
+def _stream_rows(stats: dict, metrics: dict | None) -> list[str]:
+    streams = stats.get("streams") or {}
+    inflight = {
+        (lbl.get("tenant"), lbl.get("stream")): v
+        for lbl, v in _series(metrics, "repro_stream_inflight")
+    }
+    if not streams and not inflight:
+        return []
+    rows = ["streams:"]
+    for key, s in sorted(streams.items()):
+        tenant = s.get("tenant", "?")
+        lane = s.get("stream", key)
+        depth = inflight.get((tenant, lane), s.get("inflight", 0))
+        rows.append(
+            f"  {tenant}/{lane}: frame {s.get('next_frame', 0)}, "
+            f"{int(depth)} in flight, "
+            f"{s.get('degraded', 0)} degraded, "
+            f"{s.get('rejected', 0)} rejected"
+        )
+    return rows
+
+
+def _data_plane_rows(stats: dict) -> list[str]:
+    planes: list[tuple[str, dict]] = []
+    if stats.get("data_plane"):
+        planes.append(("", stats["data_plane"]))
+    for shard in stats.get("per_shard", []):
+        if shard.get("data_plane"):
+            planes.append((f"shard {shard['shard']}: ", shard["data_plane"]))
+    if not planes:
+        return []
+    rows = ["data plane (shm):"]
+    for prefix, dp in planes:
+        rows.append(
+            f"  {prefix}{dp.get('bytes_referenced', 0)} B by reference, "
+            f"{dp.get('bytes_copied_in', 0)}+"
+            f"{dp.get('bytes_copied_out', 0)} B copied, "
+            f"{dp.get('bytes_pickled', 0)} B pickled "
+            f"(zero-copy {dp.get('bytes_not_copied_frac', 0.0):.0%})"
+        )
+    return rows
+
+
+def render_top(stats: dict, metrics: dict | None = None) -> str:
+    """One ``top`` frame from a ``stats`` digest and an optional
+    ``metrics`` JSON snapshot (both as the TCP gateway returns them)."""
+    cluster = stats.get("cluster")
+    if cluster:
+        shape = f"{cluster.get('shards', '?')} shards"
+    else:
+        shape = "1 service"
+    head = (
+        f"repro.serve {shape} · engine={stats.get('engine', '?')} · "
+        f"round {stats.get('rounds', 0)} · "
+        f"{stats.get('pending_jobs', 0)} pending · "
+        f"engine time {stats.get('engine_time_s', 0.0):.3g}s"
+    )
+    lines = [head, "=" * len(head)]
+    lines.extend(_tenant_rows(stats))
+    gov = _governor_rows(metrics)
+    if gov:
+        lines.append("")
+        lines.extend(gov)
+    lines.append("")
+    lines.append(_cache_row(stats))
+    for block in (
+        _ledger_rows(metrics),
+        _stream_rows(stats, metrics),
+        _data_plane_rows(stats),
+    ):
+        if block:
+            lines.append("")
+            lines.extend(block)
+    per_shard = stats.get("per_shard")
+    if per_shard:
+        lines.append("")
+        lines.append("shards:")
+        for s in per_shard:
+            lines.append(
+                f"  shard {s['shard']}: {s.get('pending_jobs', 0)} "
+                f"pending, {s.get('rounds', 0)} rounds, "
+                f"engine time {s.get('engine_time_s', 0.0):.3g}s"
+            )
+    return "\n".join(lines)
+
+
+def run_top(
+    host: str,
+    port: int,
+    *,
+    interval_s: float = 2.0,
+    iterations: int | None = None,
+    out=None,
+) -> int:
+    """Scrape → render → sleep against a live gateway.
+
+    ``iterations=None`` loops until interrupted (the interactive
+    shape); a bounded count is the smoke/CI shape.  Returns 0.
+    """
+    import sys
+    import time
+
+    from ..serve.client import ServeClient
+
+    stream = out if out is not None else sys.stdout
+    n = 0
+    with ServeClient(host, port) as client:
+        while iterations is None or n < iterations:
+            stats = client.stats()
+            try:
+                metrics = client.metrics()
+            except Exception:
+                metrics = None  # telemetry off server-side
+            frame = render_top(stats, metrics)
+            if out is None and stream.isatty():  # pragma: no cover
+                stream.write("\x1b[2J\x1b[H")
+            stream.write(frame + "\n")
+            stream.flush()
+            n += 1
+            if iterations is None or n < iterations:
+                time.sleep(interval_s)
+    return 0

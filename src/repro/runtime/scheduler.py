@@ -93,6 +93,7 @@ class Scheduler:
         governor: Any = None,
         *,
         retain_tasks: bool = True,
+        metrics: Any = None,
     ) -> None:
         if config is not None and not isinstance(config, RuntimeConfig):
             # Compat shim: the first parameter used to be the policy
@@ -165,6 +166,43 @@ class Scheduler:
         self._group_label: Any = _NO_GROUP
         self._group_rec = None
 
+        #: Telemetry handles: populated when a caller wires a
+        #: :class:`~repro.obs.MetricsRegistry` down (the serve layer
+        #: passes its own so scheduler counters land beside job
+        #: metrics) and observability is enabled; ``None`` otherwise.
+        #: The per-task paths (spawn/issue/finish) stay telemetry-free
+        #: either way: the counters are fed *deltas* of the inline
+        #: totals above at each barrier (:meth:`_obs_sync`), so the
+        #: whole plane costs one sync per taskwait, not one increment
+        #: per task.
+        self._m_spawned = None
+        self._m_completed = None
+        self._m_issued = None
+        self._m_barriers = None
+        self._obs_spawned_seen = 0
+        self._obs_completed_seen = 0
+        self._obs_issued_seen = 0
+        if metrics is not None:
+            from ..obs import obs_enabled
+
+            if obs_enabled():
+                self._m_spawned = metrics.counter(
+                    "repro_sched_tasks_spawned_total",
+                    "Tasks spawned into the scheduler.",
+                )
+                self._m_completed = metrics.counter(
+                    "repro_sched_tasks_completed_total",
+                    "Tasks retired by the engine.",
+                )
+                self._m_issued = metrics.counter(
+                    "repro_sched_tasks_issued_total",
+                    "Tasks released toward worker queues.",
+                )
+                self._m_barriers = metrics.counter(
+                    "repro_sched_barriers_total",
+                    "taskwait barriers executed.",
+                )
+
         self.policy.attach(self)
         self.engine: ExecutionBackend = cfg.build_engine(
             self.machine_model,
@@ -178,6 +216,8 @@ class Scheduler:
         self.governor = cfg.build_governor()
         if self.governor is not None:
             self.governor.bind(self)
+            if metrics is not None and self._m_spawned is not None:
+                self.governor.obs_bind(metrics, scope="_run")
         #: Optional compile tier (``RuntimeConfig.compile``): a
         #: :class:`~repro.compiler.specialize.KernelSpecializer` when
         #: the config says ``"specialize"``, else ``None``.  Kernel
@@ -441,6 +481,9 @@ class Scheduler:
 
         self.engine.master_charge(self.policy.barrier_overhead(label))
         t = self.engine.run_until(predicate, desc)
+        if self._m_barriers is not None:
+            self._m_barriers.inc()
+            self._obs_sync()
 
         # Barrier epochs delimit phases for the Table 2 statistics.
         if label is not None:
@@ -449,6 +492,27 @@ class Scheduler:
             for g in self.groups:
                 g.new_epoch()
         return t
+
+    def _obs_sync(self) -> None:
+        """Feed the task counters the deltas of the inline totals.
+
+        Runs on the master thread after a barrier's ``run_until``
+        returned, so ``_completed_total`` (worker-side writer) is
+        quiescent.  Batching here keeps spawn/issue/finish — the
+        per-task hot paths — free of any telemetry cost.
+        """
+        d = self._spawned_total - self._obs_spawned_seen
+        if d:
+            self._m_spawned.inc(d)
+            self._obs_spawned_seen = self._spawned_total
+        d = self._completed_total - self._obs_completed_seen
+        if d:
+            self._m_completed.inc(d)
+            self._obs_completed_seen = self._completed_total
+        d = self._issued_total - self._obs_issued_seen
+        if d:
+            self._m_issued.inc(d)
+            self._obs_issued_seen = self._issued_total
 
     # ------------------------------------------------------------------
     # Controller-facing introspection (the governor's observation API)

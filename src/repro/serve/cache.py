@@ -90,7 +90,9 @@ class CacheStats:
 class ApproxResultCache:
     """LRU cache of job results keyed ``(kernel, digest, ratio)``."""
 
-    def __init__(self, capacity: int = 128) -> None:
+    def __init__(
+        self, capacity: int = 128, *, metrics: Any = None
+    ) -> None:
         if capacity < 1:
             raise ConfigError(
                 f"cache capacity must be >= 1, got {capacity}"
@@ -98,6 +100,30 @@ class ApproxResultCache:
         self.capacity = capacity
         self._entries: "OrderedDict[tuple, CacheEntry]" = OrderedDict()
         self.stats = CacheStats()
+        # Telemetry handles, pre-bound per outcome so the lookup path
+        # pays one attribute test plus one cell increment (see
+        # repro.obs.registry); None when no registry is wired.
+        self._m_hit = None
+        self._m_degraded = None
+        self._m_miss = None
+        self._m_put = None
+        self._m_evict = None
+        if metrics is not None:
+            lookups = metrics.counter(
+                "repro_cache_lookups_total",
+                "Result-cache lookups by outcome.",
+                labels=("result",),
+            )
+            self._m_hit = lookups.labels("hit")
+            self._m_degraded = lookups.labels("degraded")
+            self._m_miss = lookups.labels("miss")
+            self._m_put = metrics.counter(
+                "repro_cache_puts_total", "Result-cache inserts."
+            )
+            self._m_evict = metrics.counter(
+                "repro_cache_evictions_total",
+                "Result-cache LRU evictions.",
+            )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -115,10 +141,14 @@ class ApproxResultCache:
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
+            if self._m_miss is not None:
+                self._m_miss.inc()
             return None
         self._entries.move_to_end(key)
         entry.hits += 1
         self.stats.hits += 1
+        if self._m_hit is not None:
+            self._m_hit.inc()
         return entry
 
     def get_degraded(
@@ -145,14 +175,20 @@ class ApproxResultCache:
                 best_key, best_ratio = key, k_ratio
         if best_key is None:
             self.stats.misses += 1
+            if self._m_miss is not None:
+                self._m_miss.inc()
             return None
         self._entries.move_to_end(best_key)
         entry = self._entries[best_key]
         entry.hits += 1
         if best_ratio == hi:
             self.stats.hits += 1
+            if self._m_hit is not None:
+                self._m_hit.inc()
         else:
             self.stats.degraded_hits += 1
+            if self._m_degraded is not None:
+                self._m_degraded.inc()
         return entry
 
     # -- updates ---------------------------------------------------------
@@ -179,9 +215,13 @@ class ApproxResultCache:
             del self._entries[key]
         self._entries[key] = entry
         self.stats.puts += 1
+        if self._m_put is not None:
+            self._m_put.inc()
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            if self._m_evict is not None:
+                self._m_evict.inc()
         return entry
 
     def clear(self) -> None:

@@ -133,6 +133,21 @@ class ServeClient:
     def stats(self) -> dict:
         return _unwrap(self._roundtrip({"op": "stats"}), "stats")
 
+    def metrics(self, format: str = "json"):
+        """Scrape the gateway's metrics registry.
+
+        ``format="json"`` (default) returns the stable-JSON snapshot
+        as a dict; ``format="prometheus"`` (or ``"text"``) returns the
+        Prometheus text exposition as a string.
+        """
+        message: dict[str, Any] = {"op": "metrics"}
+        as_text = format in ("prometheus", "text")
+        if as_text:
+            message["format"] = format
+        return _unwrap(
+            self._roundtrip(message), "text" if as_text else "metrics"
+        )
+
     def close(self) -> None:
         try:
             self._file.close()

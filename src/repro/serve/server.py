@@ -44,6 +44,7 @@ from pathlib import Path
 from typing import Any
 
 from ..config import RuntimeConfig
+from ..obs import MetricsRegistry, SpanRecorder, obs_enabled, start_span
 from ..runtime.errors import ConfigError, RegistryError, SchedulerError
 from ..runtime.scheduler import Scheduler
 from . import ServiceProtocol
@@ -120,6 +121,13 @@ class JobRequest:
     #: Anytime: stop after this much engine time, keeping the current
     #: answer — the "take what you have" deadline.
     deadline_s: float | None = None
+    #: Observability: the distributed trace this job belongs to and the
+    #: caller's span to parent under.  ``None`` (the default) lets the
+    #: first instrumented layer mint a fresh trace; gateways and the
+    #: cluster router fill both in as the request crosses layers (see
+    #: :mod:`repro.obs.spans`).
+    trace_id: str | None = None
+    parent_span: str | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.ratio <= 1.0:
@@ -160,6 +168,15 @@ class JobRequest:
             raise ConfigError(
                 f"job deadline_s must be > 0, got {self.deadline_s!r}"
             )
+        for attr in ("trace_id", "parent_span"):
+            value = getattr(self, attr)
+            if value is not None and (
+                not isinstance(value, str) or not value
+            ):
+                raise ConfigError(
+                    f"job {attr} must be a non-empty string or None, "
+                    f"got {value!r}"
+                )
         if self.stream is not None and self.anytime:
             raise ConfigError(
                 "a job is streaming or anytime, not both "
@@ -177,6 +194,7 @@ class JobRequest:
         known = {
             "tenant", "kernel", "args", "ratio", "job_id",
             "stream", "frame", "rounds", "deadline_s",
+            "trace_id", "parent_span",
         }
         unknown = set(data) - known
         if unknown:
@@ -228,6 +246,10 @@ class JobReport:
     #: Anytime: rounds actually run and the per-round quality curve.
     rounds_run: int = 0
     round_quality: list = field(default_factory=list)
+    #: Observability: the trace/span this job was served under (``None``
+    #: when telemetry is off) — clients join these against the span log.
+    trace_id: str | None = None
+    span_id: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -264,6 +286,9 @@ class JobReport:
         if self.rounds_run:
             out["rounds_run"] = self.rounds_run
             out["round_quality"] = list(self.round_quality)
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+            out["span_id"] = self.span_id
         if isinstance(self.output, (int, float, str, bool)):
             out["result"] = self.output
         return out
@@ -338,6 +363,9 @@ class _Admitted:
     splan: Any = None
     #: Streaming: the owning stream's admission state (else ``None``).
     stream_state: StreamState | None = None
+    #: Observability: the job's ``runtime.group`` span while its task
+    #: group executes (``None`` when telemetry is off).
+    span: Any = None
 
     @property
     def n_tasks_est(self) -> int:
@@ -400,10 +428,27 @@ class TaskService:
         cache=None,
         max_batch: int = 8,
         compute_quality: bool = True,
+        metrics: MetricsRegistry | None = None,
+        spans: SpanRecorder | None = None,
+        shard: str | None = None,
     ) -> None:
         if max_batch < 1:
             raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
         self.config = config if config is not None else DEFAULT_SERVE_CONFIG
+        # Telemetry plane: when observability is on (the default — see
+        # repro.obs), the service owns a private registry and span
+        # recorder unless the caller injects shared ones (the cluster
+        # shares one pair across every shard).  A private registry is
+        # what makes a scrape reconcile exactly with THIS service's run.
+        if obs_enabled():
+            self._metrics = metrics if metrics is not None else (
+                MetricsRegistry()
+            )
+            self._spans = spans if spans is not None else SpanRecorder()
+        else:
+            self._metrics = metrics
+            self._spans = spans
+        self._shard_label = shard if shard is not None else "0"
         specs = list(self.config.build_tenants())
         for extra in tenants:
             specs.append(
@@ -422,7 +467,9 @@ class TaskService:
             s.name: TenantState(s) for s in specs
         }
         self.cache = (
-            cache if cache is not None else ApproxResultCache(cache_capacity)
+            cache
+            if cache is not None
+            else ApproxResultCache(cache_capacity, metrics=self._metrics)
         )
         self.max_batch = max_batch
         self.compute_quality = compute_quality
@@ -433,6 +480,7 @@ class TaskService:
         self._sched = Scheduler(
             config=self.config,
             retain_tasks=self.config.governor is not None,
+            metrics=self._metrics,
         )
         self._machine = self._sched.machine_model
         self._watts = self._machine.busy_extra_w() + self._machine.core_idle_w
@@ -466,6 +514,87 @@ class TaskService:
         self._closed = False
         self.run_report = None
 
+        #: Live spans of queued jobs, keyed by job id; moved onto the
+        #: recorder when the job's report turns terminal.
+        self._job_spans: dict[str, Any] = {}
+        self._bind_metrics()
+
+    def _bind_metrics(self) -> None:
+        """Capture metric handles once (no-op-when-disabled guard: the
+        hot paths test a single attribute against ``None``)."""
+        m = self._metrics
+        self._m_jobs = self._m_energy = self._m_latency = None
+        self._m_rounds = self._m_anytime = None
+        self._m_stream_frames = None
+        self._m_stream_degraded = self._m_stream_rejected = None
+        if m is None:
+            return
+        self._m_jobs = m.counter(
+            "repro_jobs_total",
+            "Terminal job reports by tenant and status.",
+            labels=("tenant", "status"),
+        )
+        self._m_energy = m.counter(
+            "repro_tenant_energy_joules_total",
+            "Joules billed to each tenant (busy seconds x watts).",
+            labels=("tenant",),
+        )
+        self._m_latency = m.histogram(
+            "repro_job_latency_seconds",
+            "Wall latency of served (code 200) jobs.",
+            labels=("tenant",),
+        )
+        self._m_rounds = m.counter(
+            "repro_serve_rounds_total",
+            "Admission rounds executed on the shared engine.",
+        )
+        self._m_anytime = m.counter(
+            "repro_anytime_rounds_total",
+            "Anytime refinement rounds executed.",
+            labels=("tenant",),
+        )
+        self._m_stream_frames = m.counter(
+            "repro_stream_frames_total",
+            "Stream frames admitted (per lane).",
+            labels=("tenant", "stream"),
+        )
+        self._m_stream_degraded = m.counter(
+            "repro_stream_degraded_total",
+            "Stream frames served degraded under budget pressure.",
+            labels=("tenant", "stream"),
+        )
+        self._m_stream_rejected = m.counter(
+            "repro_stream_rejected_total",
+            "Stream frames refused (out of order / backpressure).",
+            labels=("tenant", "stream"),
+        )
+        # Budgeted tenants' governors report their control state under
+        # this tenant's scope (the run-level governor, when configured,
+        # is bound by the Scheduler under scope "_run").
+        for name, state in self._tenants.items():
+            if state.governor is not None:
+                state.governor.obs_bind(m, scope=name)
+
+    def _obs_count(self, report: JobReport) -> None:
+        """Count one terminal report."""
+        if self._m_jobs is not None:
+            self._m_jobs.labels(report.tenant, report.status).inc()
+            if report.code == 200:
+                self._m_latency.labels(report.tenant).observe(
+                    report.wall_latency_s
+                )
+
+    def _obs_finish(self, report: JobReport) -> None:
+        """Count one terminal report and close its serve-layer span."""
+        span = self._job_spans.pop(report.job_id, None)
+        if span is not None:
+            report.trace_id = span.trace_id
+            report.span_id = span.span_id
+            span.end(
+                self._spans, status=report.status, code=report.code
+            )
+        self._obs_count(report)
+
     # -- introspection ---------------------------------------------------
     @property
     def scheduler(self) -> Scheduler:
@@ -484,6 +613,24 @@ class TaskService:
     def rounds(self) -> int:
         return self._rounds
 
+    @property
+    def metrics(self) -> MetricsRegistry | None:
+        """This service's metrics registry (``None``: telemetry off)."""
+        return self._metrics
+
+    @property
+    def span_recorder(self) -> SpanRecorder | None:
+        """This service's span sink (``None``: telemetry off)."""
+        return self._spans
+
+    @property
+    def data_plane_stats(self) -> dict | None:
+        """The engine's zero-copy data-plane byte accounting (bytes
+        shipped by reference vs copied, promotions), or ``None`` on
+        engines without a data plane."""
+        stats = getattr(self._sched.engine, "data_plane_stats", None)
+        return stats.to_dict() if stats is not None else None
+
     def stats(self) -> dict:
         """Service-wide digest (the gateway's ``stats`` op)."""
         return {
@@ -501,7 +648,85 @@ class TaskService:
             "engine_time_s": self._sched.engine.master_time,
             "engine": str(self.config.engine),
             "policy": self._sched.policy.describe(),
+            "data_plane": self.data_plane_stats,
         }
+
+    def collect(self) -> None:
+        """Refresh collect-on-scrape gauges from live service state."""
+        m = self._metrics
+        if m is None:
+            return
+        shard = self._shard_label
+        m.gauge(
+            "repro_pending_jobs",
+            "Jobs admitted but not yet executed.",
+            labels=("shard",),
+        ).labels(shard).set(self.pending_jobs)
+        m.gauge(
+            "repro_engine_time_seconds",
+            "The shared engine's own timeline.",
+            labels=("shard",),
+        ).labels(shard).set(self._sched.engine.master_time)
+        ratio_g = m.gauge(
+            "repro_tenant_ratio",
+            "Served accurate-task ratio per tenant.",
+            labels=("tenant", "shard"),
+        )
+        budget_g = m.gauge(
+            "repro_tenant_budget_joules",
+            "Lifetime energy budget per tenant (0 = unmetered).",
+            labels=("tenant",),
+        )
+        for name, state in self._tenants.items():
+            ratio_g.labels(name, shard).set(state.ratio)
+            budget_g.labels(name).set(state.spec.budget_j or 0.0)
+        lane_g = m.gauge(
+            "repro_stream_inflight",
+            "Frames admitted but not yet executed, per stream lane.",
+            labels=("tenant", "stream"),
+        )
+        for (tenant, stream), ss in self._streams.items():
+            lane_g.labels(tenant, stream).set(ss.inflight)
+        plane = self.data_plane_stats
+        if plane is not None:
+            bytes_g = m.gauge(
+                "repro_data_plane_bytes",
+                "Data-plane payload bytes by path.",
+                labels=("shard", "path"),
+            )
+            for path in (
+                "bytes_referenced",
+                "bytes_copied_in",
+                "bytes_copied_out",
+                "bytes_pickled",
+            ):
+                bytes_g.labels(shard, path.removeprefix("bytes_")).set(
+                    plane[path]
+                )
+            m.gauge(
+                "repro_data_plane_not_copied_frac",
+                "Fraction of payload bytes moved by reference.",
+                labels=("shard",),
+            ).labels(shard).set(plane["bytes_not_copied_frac"])
+
+    def metrics_snapshot(self) -> dict:
+        """Refresh gauges and return the stable-JSON registry snapshot
+        (the gateway's ``metrics`` op)."""
+        if self._metrics is None:
+            raise SchedulerError(
+                "telemetry is disabled on this service (REPRO_OBS=0)"
+            )
+        self.collect()
+        return self._metrics.to_dict()
+
+    def metrics_text(self) -> str:
+        """Refresh gauges and return Prometheus text exposition."""
+        if self._metrics is None:
+            raise SchedulerError(
+                "telemetry is disabled on this service (REPRO_OBS=0)"
+            )
+        self.collect()
+        return self._metrics.to_prometheus()
 
     # -- admission -------------------------------------------------------
     def _kernel(self, name: str) -> ServableKernel:
@@ -522,6 +747,34 @@ class TaskService:
             raise SchedulerError("service is closed")
         if isinstance(request, dict):
             request = JobRequest.from_dict(request)
+        span = None
+        if self._spans is not None and (
+            request.job_id not in self._job_spans
+        ):
+            # One serve-layer span per admission: root of the trace
+            # unless a gateway/router already opened one upstream.
+            span = start_span(
+                "serve.job",
+                trace_id=request.trace_id,
+                parent_id=request.parent_span,
+                tenant=request.tenant,
+                job=request.job_id,
+                kernel=request.kernel,
+            )
+            request.trace_id = span.trace_id
+            self._job_spans[request.job_id] = span
+        report = self._submit_inner(request)
+        if report.status != "queued":
+            if span is not None:
+                # Close only the span THIS admission opened — a
+                # duplicate-id rejection must not steal the queued
+                # original's live span.
+                self._obs_finish(report)
+            else:
+                self._obs_count(report)
+        return report
+
+    def _submit_inner(self, request: JobRequest) -> JobReport:
         report = JobReport(
             job_id=request.job_id,
             tenant=request.tenant,
@@ -632,6 +885,10 @@ class TaskService:
             )
             state.rejected += 1
             ss.rejected += 1
+            if self._m_stream_rejected is not None:
+                self._m_stream_rejected.labels(
+                    request.tenant, request.stream
+                ).inc()
             return report
         if ss.inflight >= ss.max_inflight:
             report.status = "rejected-stream-backpressure"
@@ -643,6 +900,10 @@ class TaskService:
             )
             state.rejected += 1
             ss.rejected += 1
+            if self._m_stream_rejected is not None:
+                self._m_stream_rejected.labels(
+                    request.tenant, request.stream
+                ).inc()
             return report
         # Identical frames replay from the cache at zero energy — the
         # re-submission path the regression test pins down.
@@ -654,11 +915,19 @@ class TaskService:
         if entry is not None:
             ss.next_frame = frame + 1
             ss.frames += 1
+            if self._m_stream_frames is not None:
+                self._m_stream_frames.labels(
+                    request.tenant, request.stream
+                ).inc()
             self._serve_cached(report, state, entry)
             report.detail = f"stream frame {frame} replayed from cache"
             return report
         ss.next_frame = frame + 1
         ss.frames += 1
+        if self._m_stream_frames is not None:
+            self._m_stream_frames.labels(
+                request.tenant, request.stream
+            ).inc()
         return self._enqueue(
             request, state, kernel, digest, report, stream_state=ss
         )
@@ -797,6 +1066,10 @@ class TaskService:
                     f"{effective:g}, not dropped"
                 )
                 adm.stream_state.degraded += 1
+                if self._m_stream_degraded is not None:
+                    self._m_stream_degraded.labels(
+                        adm.request.tenant, adm.request.stream
+                    ).inc()
             adm.report.ratio_served = effective
             # The round's cache window: an entry at least as accurate
             # as we would execute, and no more accurate than we would
@@ -813,6 +1086,7 @@ class TaskService:
             if entry is not None:
                 self._serve_cached(adm.report, state, entry)
                 self._finish_latency(adm, now)
+                self._obs_finish(adm.report)
                 continue
             # In-round coalescing: identical work at the same served
             # ratio executes once; the leader is billed, followers ride
@@ -829,6 +1103,16 @@ class TaskService:
                 "job": adm.request.job_id,
                 "kernel": adm.kernel.name,
             }
+            if adm.request.stream is not None:
+                # Chrome traces distinguish job shapes: stream frames
+                # carry their lane and frame index in group_meta.
+                self.job_meta[label]["stream"] = adm.request.stream
+                self.job_meta[label]["frame"] = adm.report.frame
+            jspan = self._job_spans.get(adm.request.job_id)
+            if jspan is not None:
+                adm.span = jspan.child("runtime.group", label=label)
+                self.job_meta[label]["trace_id"] = jspan.trace_id
+                self.job_meta[label]["span_id"] = adm.span.span_id
             plan = adm.plan
             sched.init_group(label, effective)
             splan = None
@@ -877,7 +1161,10 @@ class TaskService:
             report.detail = f"coalesced with {led.job_id}"
             self._finish_latency(adm, t_end)
             self._tenants[adm.request.tenant].coalesced += 1
+            self._obs_finish(report)
         self._rounds += 1
+        if self._m_rounds is not None:
+            self._m_rounds.inc()
         return [adm.report for adm in batch]
 
     def _finish_latency(self, adm: _Admitted, t_end: float) -> None:
@@ -953,10 +1240,21 @@ class TaskService:
                     report.output,
                 )
             self._finish_latency(adm, t_end)
+            if adm.span is not None:
+                adm.span.end(
+                    self._spans,
+                    tasks=report.tasks_total,
+                    accurate=report.accurate,
+                    approximate=report.approximate,
+                    dropped=report.dropped,
+                    energy_j=energy_j,
+                )
 
             state = self._tenants[adm.request.tenant]
             state.executed += 1
             state.charge(energy_j)
+            if self._m_energy is not None:
+                self._m_energy.labels(adm.request.tenant).inc(energy_j)
             self.cache.put(
                 adm.kernel.name,
                 adm.digest,
@@ -976,6 +1274,7 @@ class TaskService:
             # with the approximate basket so e_apx reflects "what a
             # degraded task costs" on this tenant's mix.
             bucket["apx"][1] += report.approximate + report.dropped
+            self._obs_finish(report)
 
         for name, buckets in per_tenant.items():
             state = self._tenants[name]
@@ -1069,6 +1368,32 @@ class TaskService:
             raise SchedulerError("service is closed")
         if isinstance(request, dict):
             request = JobRequest.from_dict(request)
+        span = None
+        if (
+            self._spans is not None
+            and request.job_id not in self._job_spans
+        ):
+            span = start_span(
+                "serve.job",
+                trace_id=request.trace_id,
+                parent_id=request.parent_span,
+                tenant=request.tenant,
+                job=request.job_id,
+                kernel=request.kernel,
+                anytime=True,
+            )
+            request.trace_id = span.trace_id
+            self._job_spans[request.job_id] = span
+        report = self._submit_anytime_inner(request, on_round=on_round)
+        if span is not None:
+            self._obs_finish(report)
+        else:
+            self._obs_count(report)
+        return report
+
+    def _submit_anytime_inner(
+        self, request: JobRequest, *, on_round: Any = None
+    ) -> JobReport:
         report = JobReport(
             job_id=request.job_id,
             tenant=request.tenant,
@@ -1141,6 +1466,7 @@ class TaskService:
             else None
         )
         t_end = t_start_engine
+        jspan = self._job_spans.get(request.job_id)
         for r in range(rounds):
             if r > 0 and state.over_budget:
                 report.detail = (
@@ -1166,7 +1492,15 @@ class TaskService:
                 "job": request.job_id,
                 "kernel": kernel.name,
                 "round": r,
+                "rounds": rounds,
             }
+            rspan = None
+            if jspan is not None:
+                rspan = jspan.child(
+                    "runtime.round", label=label, round=r
+                )
+                self.job_meta[label]["trace_id"] = jspan.trace_id
+                self.job_meta[label]["span_id"] = rspan.span_id
             sched.init_group(label, effective)
             tasks = sched.spawn_many(
                 plan.fn,
@@ -1184,7 +1518,16 @@ class TaskService:
             )
             energy_j = (busy_acc + busy_apx) * self._watts
             state.charge(energy_j)
+            if self._m_energy is not None:
+                self._m_energy.labels(request.tenant).inc(energy_j)
+                self._m_anytime.labels(request.tenant).inc()
             group = sched.groups.get(label)
+            if rspan is not None:
+                rspan.end(
+                    self._spans,
+                    tasks=group.spawned,
+                    energy_j=energy_j,
+                )
             state.observe_energy(
                 "acc", busy_acc, group.accurate_count, self._watts
             )
@@ -1248,18 +1591,35 @@ class TaskService:
             0.0, _time.perf_counter() - t_start_wall
         )
         state.executed += 1
+        # Stamp the final round count into every round's group_meta so
+        # a chrome trace shows "round 2 of 3 run" without the span log.
+        for rr in range(report.rounds_run):
+            meta = self.job_meta.get(
+                f"{request.tenant}/{request.job_id}#r{rr}"
+            )
+            if meta is not None:
+                meta["rounds_run"] = report.rounds_run
         return report
 
     # -- trace export ------------------------------------------------------
     def write_trace(self, path: str | Path) -> Path:
         """Chrome-trace export of the whole serve run, events tagged
-        with tenant/job/kernel ids (one timeline for the service)."""
+        with tenant/job/kernel ids (one timeline for the service).
+
+        Run-level metadata — the shared-memory data plane's byte
+        accounting, when the engine has one — rides along under the
+        ``__run__`` meta key and lands in the trace's ``otherData``.
+        """
         from ..sim.chrome_trace import write_chrome_trace
 
+        meta = dict(self.job_meta)
+        dp = self.data_plane_stats
+        if dp is not None:
+            meta["__run__"] = {"data_plane": dp}
         return write_chrome_trace(
             self._sched.engine.accounting.trace,
             path,
-            group_meta=self.job_meta,
+            group_meta=meta,
         )
 
     # -- lifecycle ---------------------------------------------------------
@@ -1380,6 +1740,11 @@ class ServeServer:
       settles (cache/rejection immediately; executed jobs after their
       round).
     * ``{"op": "stats"}`` → ``{"ok": true, "stats": {...}}``
+    * ``{"op": "metrics"}`` → ``{"ok": true, "metrics": {...}}`` (the
+      registry's stable-JSON snapshot); ``{"op": "metrics", "format":
+      "prometheus"}`` → ``{"ok": true, "text": "..."}`` in Prometheus
+      text exposition format.  Scrapes run on the worker thread, so
+      they are serialized against rounds and reconcile with reports.
     * ``{"op": "ping"}`` → ``{"ok": true, "pong": true}``
 
     All service state is touched from a single worker thread (the
@@ -1552,6 +1917,21 @@ class ServeServer:
             if op == "stats":
                 stats = await self._call(self.service.stats)
                 return {"ok": True, "stats": stats}
+            if op == "metrics":
+                fmt = message.get("format", "json")
+                as_text = fmt in ("prometheus", "text")
+                fn = getattr(
+                    self.service,
+                    "metrics_text" if as_text else "metrics_snapshot",
+                    None,
+                )
+                if fn is None:
+                    return {
+                        "ok": False,
+                        "error": "service has no metrics endpoint",
+                    }
+                body = await self._call(fn)
+                return {"ok": True, ("text" if as_text else "metrics"): body}
             if op != "submit":
                 return {"ok": False, "error": f"unknown op {op!r}"}
             payload = {
@@ -1564,6 +1944,20 @@ class ServeServer:
                     "error": f"job id {request.job_id!r} is already "
                     "in flight on this gateway",
                 }
+            # The gateway is the outermost instrumented layer: a
+            # request arriving without a trace gets its root span here,
+            # covering the full wire-to-settled wall time of the op.
+            recorder = getattr(self.service, "span_recorder", None)
+            gspan = None
+            if recorder is not None and request.trace_id is None:
+                gspan = start_span(
+                    "gateway.request",
+                    tenant=request.tenant,
+                    job=request.job_id,
+                    op="submit",
+                )
+                request.trace_id = gspan.trace_id
+                request.parent_span = gspan.span_id
             # Register the waiter *before* the service sees the job:
             # the flusher may settle the round (and try to resolve the
             # future) before this coroutine gets scheduled again.
@@ -1581,6 +1975,10 @@ class ServeServer:
             except BaseException:
                 self._futures.pop(request.job_id, None)
                 raise
+            if gspan is not None:
+                gspan.end(
+                    recorder, status=report.status, code=report.code
+                )
             return {"ok": report.ok, "job": report.to_dict()}
         except Exception as exc:
             return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}

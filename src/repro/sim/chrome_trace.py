@@ -40,8 +40,15 @@ def to_chrome_trace(
 
     ``group_meta`` maps group labels to extra ``args`` entries merged
     into each of that group's events (e.g. serve-layer tenant/job ids);
-    a ``"tenant"`` entry is also appended to the event category.
+    a ``"tenant"`` entry is also appended to the event category.  The
+    reserved ``"__run__"`` key carries run-level metadata (e.g. the
+    serve layer's data-plane byte accounting) and lands in the trace's
+    top-level ``otherData`` instead of on any event.
     """
+    run_meta = None
+    if group_meta is not None and "__run__" in group_meta:
+        group_meta = dict(group_meta)
+        run_meta = group_meta.pop("__run__")
     events: list[dict] = []
     for w in range(trace.n_workers):
         events.append(
@@ -88,13 +95,16 @@ def to_chrome_trace(
                     "dur": seg.duration * us,
                 }
             )
+    other = {
+        "makespan_s": trace.makespan,
+        "workers": trace.n_workers,
+    }
+    if run_meta:
+        other.update(run_meta)
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": {
-            "makespan_s": trace.makespan,
-            "workers": trace.n_workers,
-        },
+        "otherData": other,
     }
 
 

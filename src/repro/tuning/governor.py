@@ -198,6 +198,10 @@ class EnergyBudgetGovernor:
         # re-solving against the *measured* sunk cost.
         self._busy_per_task = {"acc": None, "apx": None}
         self._primed = False
+        # Telemetry handles; None until obs_bind wires a registry.
+        self._obs_ticks = None
+        self._obs_ratio = None
+        self._obs_factor = None
 
     # -- wiring ----------------------------------------------------------
     def bind(self, scheduler: "Scheduler") -> None:
@@ -220,6 +224,30 @@ class EnergyBudgetGovernor:
         if self._scheduler is None:
             raise GovernorError("governor is not bound to a scheduler")
         return self._scheduler
+
+    def obs_bind(self, registry, scope: str) -> None:
+        """Wire control-loop telemetry into a metrics registry.
+
+        ``scope`` is the label the series carry — the tenant name for
+        per-tenant serve governors, ``"_run"`` for a run-level one.
+        Safe to skip entirely (handles stay ``None`` and
+        :meth:`control_step` pays one attribute test).
+        """
+        self._obs_ticks = registry.counter(
+            "repro_governor_ticks_total",
+            "Control-law steps taken.",
+            labels=("scope",),
+        ).labels(scope)
+        self._obs_ratio = registry.gauge(
+            "repro_governor_ratio",
+            "Accurate ratio currently requested.",
+            labels=("scope",),
+        ).labels(scope)
+        self._obs_factor = registry.gauge(
+            "repro_governor_dvfs_factor",
+            "DVFS factor currently requested (1.0 = nominal).",
+            labels=("scope",),
+        ).labels(scope)
 
     # -- introspection ---------------------------------------------------
     @property
@@ -444,6 +472,10 @@ class EnergyBudgetGovernor:
                 remaining_tasks=remaining_tasks,
             )
         )
+        if self._obs_ticks is not None:
+            self._obs_ticks.inc()
+            self._obs_ratio.set(self._ratio)
+            self._obs_factor.set(self._factor)
         return self._ratio
 
     def _solve_ratio(

@@ -65,6 +65,8 @@ class TestRunBench:
             "serve_throughput.jobs_per_s",
             "serve_throughput.p95_latency_ms",
             "serve_throughput.jobs_per_mop",
+            "obs_overhead.gate",
+            "obs_overhead.throughput_ratio",
             "compile_specialization.serve_speedup_min1_15x",
             "compile_specialization.e2e_sobel_speedup_min1_2x",
             "compile_specialization.profile_overhead_lt_5pct",
@@ -90,8 +92,9 @@ class TestRunBench:
         # plane's bytes-not-copied fraction and capped shm speedup,
         # plus the compile tier's two capped speedups and the shallow
         # profiler's <5% overhead bar, plus the job-shape probe's
-        # frames/Mop and its two conformance booleans.
-        assert len(gated) == 23
+        # frames/Mop and its two conformance booleans, plus the
+        # telemetry plane's capped ON/OFF throughput-ratio gate.
+        assert len(gated) == 24
 
     def test_baseline_comparison_attached(self, tmp_path):
         base = run_bench(

@@ -1,0 +1,11 @@
+import pytest
+
+from repro.obs import set_obs_enabled
+
+
+@pytest.fixture(autouse=True)
+def _obs_on():
+    """Force telemetry on for the obs suite regardless of REPRO_OBS."""
+    prev = set_obs_enabled(True)
+    yield
+    set_obs_enabled(prev)

@@ -1,0 +1,255 @@
+"""The dependency-free metrics registry: cells, caps, exposition."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    OVERFLOW_LABEL,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter()
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        c = Counter()
+        with pytest.raises(ValueError, match=">= 0"):
+            c.inc(-1.0)
+        assert c.value == 0.0
+
+    def test_concurrent_increments_never_lost(self):
+        """Per-thread cells merge to the exact total: the single-writer
+        discipline means racing threads cannot clobber each other."""
+        c = Counter()
+        n_threads, n_incs = 8, 5_000
+        barrier = threading.Barrier(n_threads)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(n_incs):
+                c.inc()
+
+        threads = [
+            threading.Thread(target=hammer) for _ in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == n_threads * n_incs
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge()
+        g.set(4.0)
+        g.add(-1.5)
+        assert g.value == 2.5
+        g.set(0.25)
+        assert g.value == 0.25
+
+
+class TestHistogram:
+    def test_boundary_value_lands_in_its_bucket(self):
+        """Prometheus ``le`` semantics: an observation exactly on a
+        bound counts toward that bound's bucket."""
+        h = Histogram(buckets=(0.001, 0.01, 0.1))
+        h.observe(0.001)
+        snap = h.snapshot()
+        by_le = dict(snap["buckets"])
+        assert by_le[0.001] == 1
+        assert by_le[0.01] == 1  # cumulative
+        assert by_le[float("inf")] == 1
+
+    def test_just_above_boundary_rolls_to_next_bucket(self):
+        h = Histogram(buckets=(0.001, 0.01, 0.1))
+        h.observe(0.001 + 1e-9)
+        by_le = dict(h.snapshot()["buckets"])
+        assert by_le[0.001] == 0
+        assert by_le[0.01] == 1
+
+    def test_overflow_lands_in_inf_only(self):
+        h = Histogram(buckets=(0.001, 0.01))
+        h.observe(5.0)
+        by_le = dict(h.snapshot()["buckets"])
+        assert by_le[0.001] == 0
+        assert by_le[0.01] == 0
+        assert by_le[float("inf")] == 1
+
+    def test_count_sum_and_cumulation(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(105.0)
+        assert [n for _, n in snap["buckets"]] == [1, 2, 3, 4]
+
+    def test_unsorted_or_empty_buckets_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram(buckets=(2.0, 1.0))
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram(buckets=())
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestCardinalityCap:
+    def test_overflow_collapse_and_drop_count(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("jobs", labels=("tenant",), max_series=3)
+        for t in ("a", "b", "c", "d", "e"):
+            fam.labels(t).inc()
+        series = dict(fam.series())
+        # Three real series plus the single overflow series.
+        assert len(series) == 4
+        assert fam.dropped_series == 2
+        assert series[(OVERFLOW_LABEL,)].value == 2.0
+        # The capped series keep working, still no growth.
+        fam.labels("f").inc()
+        assert len(dict(fam.series())) == 4
+        assert series[(OVERFLOW_LABEL,)].value == 3.0
+
+    def test_existing_series_unaffected_by_cap(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("jobs", labels=("tenant",), max_series=2)
+        fam.labels("a").inc(5)
+        fam.labels("b").inc(7)
+        fam.labels("c").inc()  # over the cap
+        assert fam.labels("a").value == 5.0
+        assert fam.labels("b").value == 7.0
+
+    def test_label_arity_checked(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("jobs", labels=("tenant", "status"))
+        with pytest.raises(ValueError, match="expected 2"):
+            fam.labels("only-one")
+
+
+class TestRegistry:
+    def test_unlabeled_returns_child_labeled_returns_family(self):
+        reg = MetricsRegistry()
+        plain = reg.counter("plain")
+        plain.inc()
+        assert plain.value == 1.0
+        fam = reg.counter("labeled", labels=("x",))
+        assert hasattr(fam, "labels")
+
+    def test_same_name_same_family(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c") is reg.counter("c")
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+    def test_families_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("zz")
+        reg.gauge("aa")
+        assert [f.name for f in reg.families()] == ["aa", "zz"]
+
+
+class TestExposition:
+    def _small_registry(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("repro_jobs_total", "Jobs.", labels=("tenant",)).labels(
+            "acme"
+        ).inc(3)
+        reg.gauge("repro_pending", "Pending.").set(2)
+        h = reg.histogram(
+            "repro_latency_seconds", "Latency.", buckets=(0.1, 1.0)
+        )
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(7.0)
+        return reg
+
+    def test_prometheus_golden(self):
+        text = self._small_registry().to_prometheus()
+        assert text == (
+            "# HELP repro_jobs_total Jobs.\n"
+            "# TYPE repro_jobs_total counter\n"
+            'repro_jobs_total{tenant="acme"} 3\n'
+            "# HELP repro_latency_seconds Latency.\n"
+            "# TYPE repro_latency_seconds histogram\n"
+            'repro_latency_seconds_bucket{le="0.1"} 1\n'
+            'repro_latency_seconds_bucket{le="1"} 2\n'
+            'repro_latency_seconds_bucket{le="+Inf"} 3\n'
+            "repro_latency_seconds_sum 7.55\n"
+            "repro_latency_seconds_count 3\n"
+            "# HELP repro_pending Pending.\n"
+            "# TYPE repro_pending gauge\n"
+            "repro_pending 2\n"
+        )
+
+    def test_json_golden(self):
+        d = self._small_registry().to_dict()
+        assert d["repro_jobs_total"] == {
+            "type": "counter",
+            "help": "Jobs.",
+            "dropped_series": 0,
+            "series": [{"labels": {"tenant": "acme"}, "value": 3.0}],
+        }
+        hist = d["repro_latency_seconds"]["series"][0]
+        assert hist["count"] == 3
+        assert hist["sum"] == pytest.approx(7.55)
+        assert hist["buckets"] == [[0.1, 1.0], [1.0, 2.0], ["+Inf", 3.0]]
+
+    def test_to_json_is_stable_and_parseable(self):
+        import json
+
+        reg = self._small_registry()
+        assert json.loads(reg.to_json()) == json.loads(reg.to_json())
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c", labels=("v",)).labels('a"b\\c\nd').inc()
+        text = reg.to_prometheus()
+        assert 'c{v="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_concurrent_scrape_during_writes(self):
+        """Scraping while writer threads increment never fails and
+        never reads a total above the true final value."""
+        reg = MetricsRegistry()
+        fam = reg.counter("c", labels=("t",))
+        stop = threading.Event()
+
+        def writer(tag: str):
+            while not stop.is_set():
+                fam.labels(tag).inc()
+
+        threads = [
+            threading.Thread(target=writer, args=(str(i),))
+            for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(50):
+                snap = reg.to_dict()
+                for s in snap["c"]["series"]:
+                    assert s["value"] >= 0
+                reg.to_prometheus()
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        final = sum(s[1].value for s in fam.series())
+        assert final == sum(
+            s["value"] for s in reg.to_dict()["c"]["series"]
+        )

@@ -1,0 +1,107 @@
+"""Property-based span-tree invariants over a sharded workload.
+
+Whatever mix of batch, cached, coalesced, rejected, and anytime jobs a
+3-shard cluster serves, the recorded spans must form well-formed trees:
+unique span ids, every parent resolvable within its own trace, and
+exactly one root per submitted job.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.cluster import ClusterService  # noqa: E402
+from repro.config import RuntimeConfig  # noqa: E402
+from repro.serve import LocalGateway  # noqa: E402
+
+# A cluster per example is heavyweight: few, well-shuffled examples.
+SETTINGS = settings(max_examples=8, deadline=None, derandomize=True)
+
+#: One job: (tenant, kind, seed).  ``batch`` jobs run sobel/mc-pi
+#: through the queued path (cache hits and coalescing arise when seeds
+#: collide); ``anytime`` jobs run jacobi rounds through the iterative
+#: path.  The tiny ``hobby`` budget makes rejections reachable.
+jobs = st.lists(
+    st.tuples(
+        st.sampled_from(["acme", "hobby"]),
+        st.sampled_from(["sobel", "mc-pi", "anytime"]),
+        st.integers(min_value=0, max_value=3),
+    ),
+    min_size=1,
+    max_size=7,
+)
+
+
+def _run_workload(mix):
+    service = ClusterService(
+        RuntimeConfig(policy="gtb-max", n_workers=4),
+        tenants=(
+            "standard:name='acme'",
+            "free:name='hobby',budget_j=0.003,max_pending=1024",
+        ),
+        cluster=3,
+        compute_quality=False,
+    )
+    with LocalGateway(service) as gw:
+        for tenant, kind, seed in mix:
+            if kind == "anytime":
+                gw.submit_anytime(
+                    {
+                        "tenant": tenant,
+                        "kernel": "jacobi",
+                        "args": {"n": 32, "chunk": 8, "seed": seed},
+                        "rounds": 2,
+                    }
+                )
+            else:
+                gw.submit(
+                    {
+                        "tenant": tenant,
+                        "kernel": kind,
+                        "args": (
+                            {"size": 16, "seed": seed}
+                            if kind == "sobel"
+                            else {"blocks": 2, "samples": 50, "seed": seed}
+                        ),
+                    }
+                )
+        gw.drain()
+        return service.span_recorder.spans()
+
+
+class TestSpanTreeInvariants:
+    @SETTINGS
+    @given(mix=jobs)
+    def test_trees_are_well_formed(self, mix):
+        spans = _run_workload(mix)
+
+        # Every span id is unique across the whole run.
+        ids = [s.span_id for s in spans]
+        assert len(ids) == len(set(ids))
+
+        # Every non-root parent exists, in the same trace.
+        by_trace = {}
+        for s in spans:
+            by_trace.setdefault(s.trace_id, {})[s.span_id] = s
+        for s in spans:
+            if s.parent_id is not None:
+                assert s.parent_id in by_trace[s.trace_id], (
+                    f"span {s.span_id} ({s.name}) orphaned: parent "
+                    f"{s.parent_id} missing from trace {s.trace_id}"
+                )
+
+        # Exactly one root per submitted job, one trace per root.
+        roots = [s for s in spans if s.parent_id is None]
+        assert len(roots) == len(mix)
+        assert len({r.trace_id for r in roots}) == len(roots)
+        assert all(r.name == "cluster.route" for r in roots)
+
+        # Spans are properly closed: non-negative durations.
+        assert all(s.t_end >= s.t_start for s in spans)
+
+        # Each trace's root starts no later than its children end.
+        for trace_id, members in by_trace.items():
+            root = [s for s in members.values() if s.parent_id is None]
+            assert len(root) == 1

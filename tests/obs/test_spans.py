@@ -1,0 +1,133 @@
+"""Span primitives: identity, tree shape, recorder bounds, export."""
+
+import json
+
+from repro.obs import Span, SpanRecorder, new_span_id, new_trace_id, start_span
+
+
+class TestIds:
+    def test_ids_are_unique_and_prefixed(self):
+        traces = {new_trace_id() for _ in range(100)}
+        spans = {new_span_id() for _ in range(100)}
+        assert len(traces) == 100
+        assert len(spans) == 100
+        assert all(t.startswith("t") for t in traces)
+        assert all(s.startswith("s") for s in spans)
+        assert not traces & spans
+
+
+class TestSpan:
+    def test_start_span_mints_trace_for_roots(self):
+        root = start_span("gateway.request", tenant="acme")
+        assert root.parent_id is None
+        assert root.trace_id
+        assert root.attrs == {"tenant": "acme"}
+
+    def test_start_span_joins_existing_trace(self):
+        s = start_span("serve.job", trace_id="t-1", parent_id="s-0")
+        assert s.trace_id == "t-1"
+        assert s.parent_id == "s-0"
+
+    def test_child_inherits_trace_and_parents_correctly(self):
+        root = start_span("serve.job")
+        kid = root.child("runtime.group", label="g")
+        assert kid.trace_id == root.trace_id
+        assert kid.parent_id == root.span_id
+        assert kid.span_id != root.span_id
+        assert kid.attrs == {"label": "g"}
+
+    def test_end_is_idempotent_and_merges_attrs(self):
+        s = start_span("op")
+        s.end(status="ok")
+        first_end = s.t_end
+        assert first_end > 0
+        s.end(code=200)
+        assert s.t_end == first_end
+        assert s.attrs == {"status": "ok", "code": 200}
+        assert s.duration_s >= 0.0
+
+    def test_end_records_when_given_a_recorder(self):
+        rec = SpanRecorder()
+        s = start_span("op")
+        assert s.end(rec) is s
+        assert rec.spans() == [s]
+
+    def test_to_dict_round_trips_through_json(self):
+        s = start_span("op", tenant="a").end(status="executed")
+        d = json.loads(json.dumps(s.to_dict()))
+        assert d["name"] == "op"
+        assert d["trace_id"] == s.trace_id
+        assert d["span_id"] == s.span_id
+        assert d["parent_id"] is None
+        assert d["attrs"] == {"tenant": "a", "status": "executed"}
+        assert d["duration_s"] >= 0
+
+
+class TestRecorder:
+    def test_spans_sorted_by_start_time(self):
+        rec = SpanRecorder()
+        a = Span("t", "s1", None, "late", t_start=2.0, t_end=3.0)
+        b = Span("t", "s2", None, "early", t_start=1.0, t_end=1.5)
+        rec.record(a)
+        rec.record(b)
+        assert [s.name for s in rec.spans()] == ["early", "late"]
+
+    def test_capacity_bounds_and_counts_drops(self):
+        rec = SpanRecorder(capacity=2)
+        for i in range(5):
+            rec.record(Span("t", f"s{i}", None, "op", t_start=float(i)))
+        assert len(rec) == 2
+        assert rec.dropped == 3
+
+    def test_clear_resets_everything(self):
+        rec = SpanRecorder(capacity=1)
+        rec.record(Span("t", "s1", None, "op", t_start=0.0))
+        rec.record(Span("t", "s2", None, "op", t_start=0.0))
+        assert rec.dropped == 1
+        rec.clear()
+        assert len(rec) == 0
+        assert rec.dropped == 0
+        assert rec.spans() == []
+
+    def test_by_trace_groups(self):
+        rec = SpanRecorder()
+        rec.record(Span("tA", "s1", None, "op", t_start=0.0))
+        rec.record(Span("tA", "s2", "s1", "op", t_start=1.0))
+        rec.record(Span("tB", "s3", None, "op", t_start=0.5))
+        grouped = rec.by_trace()
+        assert set(grouped) == {"tA", "tB"}
+        assert [s.span_id for s in grouped["tA"]] == ["s1", "s2"]
+
+    def test_write_jsonl(self, tmp_path):
+        rec = SpanRecorder()
+        rec.record(start_span("a").end())
+        rec.record(start_span("b").end())
+        path = tmp_path / "spans.jsonl"
+        assert rec.write_jsonl(path) == 2
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        names = {json.loads(line)["name"] for line in lines}
+        assert names == {"a", "b"}
+
+    def test_recording_from_many_threads_loses_nothing(self):
+        import threading
+
+        rec = SpanRecorder(capacity=100_000)
+        n_threads, n_spans = 6, 500
+
+        def worker(tag: int):
+            for i in range(n_spans):
+                rec.record(
+                    Span("t", f"s{tag}-{i}", None, "op", t_start=float(i))
+                )
+
+        threads = [
+            threading.Thread(target=worker, args=(k,))
+            for k in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(rec) == n_threads * n_spans
+        assert rec.dropped == 0
